@@ -1,0 +1,82 @@
+// Command wgtt-heatmap renders the Fig. 10 ESNR heatmap of the simulated
+// deployment: per-AP large-scale effective SNR over the road plane, as an
+// ASCII map or CSV.
+//
+//	wgtt-heatmap            # ASCII art, one map per AP
+//	wgtt-heatmap -combined  # best-AP ESNR over the road
+//	wgtt-heatmap -csv       # machine-readable grid
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"wgtt"
+)
+
+// shade maps ESNR (dB) to a glyph ramp.
+func shade(esnr float64) byte {
+	ramp := []byte(" .:-=+*#%@")
+	lo, hi := 0.0, 30.0
+	if esnr <= lo {
+		return ramp[0]
+	}
+	if esnr >= hi {
+		return ramp[len(ramp)-1]
+	}
+	idx := int((esnr - lo) / (hi - lo) * float64(len(ramp)-1))
+	return ramp[idx]
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of ASCII")
+		combined = flag.Bool("combined", false, "one map of max-over-APs ESNR")
+	)
+	flag.Parse()
+
+	r := wgtt.Fig10ESNRHeatmap(wgtt.Options{Seed: *seed})
+
+	if *csv {
+		fmt.Println("ap,x,y,esnr_db")
+		for ap := range r.ESNR {
+			for yi, y := range r.Ys {
+				for xi, x := range r.Xs {
+					fmt.Printf("%d,%.2f,%.2f,%.2f\n", ap, x, y, r.ESNR[ap][yi][xi])
+				}
+			}
+		}
+		return
+	}
+
+	if *combined {
+		fmt.Println("best-AP ESNR along the road (x →, y ↓; road at y=0):")
+		for yi := range r.Ys {
+			for xi := range r.Xs {
+				best := -999.0
+				for ap := range r.ESNR {
+					if v := r.ESNR[ap][yi][xi]; v > best {
+						best = v
+					}
+				}
+				fmt.Printf("%c", shade(best))
+			}
+			fmt.Printf("  y=%+.0f\n", r.Ys[yi])
+		}
+		fmt.Printf("\nadjacent-AP coverage overlap at 10 dB: %.1f m\n", r.OverlapM)
+		return
+	}
+
+	for ap := range r.ESNR {
+		fmt.Printf("AP %d (x=%.1f m):\n", ap, 7.5*float64(ap))
+		for yi := range r.Ys {
+			fmt.Print("  ")
+			for xi := range r.Xs {
+				fmt.Printf("%c", shade(r.ESNR[ap][yi][xi]))
+			}
+			fmt.Printf("  y=%+.0f\n", r.Ys[yi])
+		}
+		fmt.Println()
+	}
+}

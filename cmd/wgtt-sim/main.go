@@ -1,0 +1,143 @@
+// Command wgtt-sim runs one end-to-end scenario on the simulated roadside
+// testbed and prints a summary: scheme, speed, number of clients,
+// workload, and duration are all flags.
+//
+//	wgtt-sim -scheme wgtt -mph 15 -clients 1 -workload udp -rate 30
+//	wgtt-sim -scheme 11r -mph 25 -workload tcp -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wgtt"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "wgtt", "wgtt | 11r | stock11r")
+		mph        = flag.Float64("mph", 15, "client speed (0 = parked mid-array)")
+		clients    = flag.Int("clients", 1, "number of clients (following pattern)")
+		workloadN  = flag.String("workload", "udp", "udp | tcp | video | web | conference")
+		rate       = flag.Float64("rate", 30, "UDP offered load, Mbit/s")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		series     = flag.Bool("series", false, "print 100 ms throughput series for client 0")
+		traceN     = flag.Int("trace", 0, "dump the last N switch-protocol events (tcpdump-style)")
+	)
+	flag.Parse()
+
+	var scheme wgtt.Scheme
+	switch *schemeName {
+	case "wgtt":
+		scheme = wgtt.SchemeWGTT
+	case "11r":
+		scheme = wgtt.SchemeEnhanced80211r
+	case "stock11r":
+		scheme = wgtt.SchemeStock80211r
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	cfg := wgtt.DefaultConfig(scheme)
+	cfg.Seed = *seed
+	cfg.TraceCapacity = *traceN
+	n := wgtt.NewNetwork(cfg)
+	lo, hi := cfg.RoadSpanX()
+
+	var trajs []wgtt.Trajectory
+	var dur wgtt.Duration
+	if *mph == 0 {
+		for i := 0; i < *clients; i++ {
+			trajs = append(trajs, wgtt.Stationary{X: (lo + hi) / 2, Y: float64(-3 * i)})
+		}
+		dur = 10 * wgtt.Second
+	} else {
+		trajs = wgtt.Scenario(wgtt.Following, *clients, lo-5, 0, *mph)
+		dur = wgtt.Duration((hi - lo + 10) / trajs[0].SpeedMps() * 1e9)
+	}
+
+	type meterer interface{ Mbps(wgtt.Time) float64 }
+	var udps []*wgtt.UDPDownlink
+	var meters []meterer
+	var videos []*wgtt.Video
+	var pages []*wgtt.PageLoad
+	var confs []*wgtt.Conference
+
+	for _, traj := range trajs {
+		c := n.AddClient(traj)
+		switch *workloadN {
+		case "udp":
+			f := wgtt.NewUDPDownlink(n, c, *rate)
+			n.Loop.After(100*wgtt.Millisecond, f.Start)
+			udps = append(udps, f)
+			meters = append(meters, f)
+		case "tcp":
+			f := wgtt.NewTCPDownlink(n, c, 0)
+			n.Loop.After(100*wgtt.Millisecond, f.Start)
+			meters = append(meters, f)
+		case "video":
+			v := wgtt.NewVideo(n, c)
+			n.Loop.After(100*wgtt.Millisecond, v.Start)
+			videos = append(videos, v)
+		case "web":
+			w := wgtt.NewPageLoad(n, c)
+			n.Loop.After(100*wgtt.Millisecond, w.Start)
+			pages = append(pages, w)
+		case "conference":
+			cf := wgtt.NewConference(n, c)
+			n.Loop.After(100*wgtt.Millisecond, cf.Start)
+			confs = append(confs, cf)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadN)
+			os.Exit(2)
+		}
+	}
+
+	n.Run(dur)
+	now := n.Loop.Now()
+
+	fmt.Printf("scheme=%v  speed=%v mph  clients=%d  workload=%s  sim=%.1fs\n\n",
+		scheme, *mph, *clients, *workloadN, now.Seconds())
+	for i, m := range meters {
+		fmt.Printf("client %d: %.1f Mbit/s\n", i, m.Mbps(now))
+	}
+	for i, f := range udps {
+		fmt.Printf("client %d: loss %.3f\n", i, f.Sink.LossRate())
+	}
+	for i, v := range videos {
+		fmt.Printf("client %d: rebuffer ratio %.2f (%d stalls)\n", i, v.RebufferRatio(), v.Rebuffers())
+	}
+	for i, w := range pages {
+		fmt.Printf("client %d: page load %.2f s (done=%v)\n", i, w.LoadTimeSeconds(), w.Done())
+	}
+	for i, cf := range confs {
+		fmt.Printf("client %d: fps median %.0f, p85 %.0f\n", i,
+			cf.FPSSamples.Quantile(0.5), cf.FPSSamples.Quantile(0.85))
+	}
+	if scheme == wgtt.SchemeWGTT {
+		fmt.Printf("\nswitches: %d issued, %d completed; uplink dups removed: %d\n",
+			n.Ctrl.SwitchesIssued, n.Ctrl.SwitchesAcked, n.Ctrl.UplinkDuplicates)
+	}
+	if *traceN > 0 && n.Trace != nil {
+		fmt.Println("\nevent trace (most recent):")
+		_ = n.Trace.Dump(os.Stdout)
+	}
+	if *series && len(meters) > 0 {
+		if f, ok := meters[0].(*wgtt.UDPDownlink); ok {
+			ts, mbps := f.Meter.Series()
+			fmt.Println("\nt(s)  Mbit/s")
+			for i := range ts {
+				fmt.Printf("%5.1f %6.1f\n", ts[i], mbps[i])
+			}
+		}
+		if f, ok := meters[0].(*wgtt.TCPDownlink); ok {
+			ts, mbps := f.Meter.Series()
+			fmt.Println("\nt(s)  Mbit/s")
+			for i := range ts {
+				fmt.Printf("%5.1f %6.1f\n", ts[i], mbps[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Videostream reproduces the paper's first case study (§5.4, Table 4): a
+// passenger watching a locally-cached HD video while the car drives past
+// the AP array. Run it to watch the playback buffer under WGTT stay full
+// while Enhanced 802.11r stalls.
+package main
+
+import (
+	"fmt"
+
+	"wgtt"
+)
+
+func run(scheme wgtt.Scheme, mph float64) {
+	cfg := wgtt.DefaultConfig(scheme)
+	n := wgtt.NewNetwork(cfg)
+	lo, hi := cfg.RoadSpanX()
+	car := n.AddClient(wgtt.Drive(lo-5, 0, mph))
+	video := wgtt.NewVideo(n, car)
+	video.Start()
+
+	total := wgtt.Duration((hi - lo + 10) / wgtt.Drive(0, 0, mph).SpeedMps() * 1e9)
+	steps := 12
+	fmt.Printf("\n%v at %v mph — playback buffer (seconds of video):\n  ", scheme, mph)
+	for i := 1; i <= steps; i++ {
+		n.Run(total * wgtt.Duration(i) / wgtt.Duration(steps))
+		fmt.Printf("%5.1f", video.BufferedSeconds())
+	}
+	fmt.Printf("\n  rebuffer ratio %.2f (%d stalls)\n", video.RebufferRatio(), video.Rebuffers())
+}
+
+func main() {
+	fmt.Println("HD video (2.5 Mbit/s, 1.5 s prebuffer) during a drive-by")
+	for _, mph := range []float64{5, 20} {
+		run(wgtt.SchemeWGTT, mph)
+		run(wgtt.SchemeEnhanced80211r, mph)
+	}
+}

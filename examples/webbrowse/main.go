@@ -1,0 +1,56 @@
+// Webbrowse reproduces the §5.4 web case study: a passenger repeatedly
+// loading the 2.1 MB page while the car crosses the AP array, under WGTT
+// and under Enhanced 802.11r.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"wgtt"
+)
+
+func run(scheme wgtt.Scheme, mph float64) (loads []float64, mean float64) {
+	cfg := wgtt.DefaultConfig(scheme)
+	n := wgtt.NewNetwork(cfg)
+	lo, hi := cfg.RoadSpanX()
+	car := n.AddClient(wgtt.Drive(lo-5, 0, mph))
+
+	// Load the page repeatedly with half a second of reading between
+	// loads, like the Table 5 experiment.
+	var times []float64
+	var fetch func()
+	fetch = func() {
+		w := wgtt.NewPageLoad(n, car)
+		w.OnDone = func() {
+			times = append(times, w.LoadTimeSeconds())
+			n.Loop.After(500*wgtt.Millisecond, fetch)
+		}
+		w.Start()
+	}
+	n.Loop.After(100*wgtt.Millisecond, fetch)
+	n.Run(wgtt.Duration((hi - lo + 10) / wgtt.Drive(0, 0, mph).SpeedMps() * 1e9))
+
+	if len(times) == 0 {
+		return nil, math.Inf(1)
+	}
+	sum := 0.0
+	for _, v := range times {
+		sum += v
+	}
+	return times, sum / float64(len(times))
+}
+
+func main() {
+	fmt.Println("Loading the 2.1 MB page repeatedly while driving")
+	for _, mph := range []float64{5, 15} {
+		for _, scheme := range []wgtt.Scheme{wgtt.SchemeWGTT, wgtt.SchemeEnhanced80211r} {
+			loads, mean := run(scheme, mph)
+			fmt.Printf("\n%v at %v mph: %d loads, mean %.2f s\n  ", scheme, mph, len(loads), mean)
+			for _, v := range loads {
+				fmt.Printf("%5.2f", v)
+			}
+			fmt.Println()
+		}
+	}
+}

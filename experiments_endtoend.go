@@ -1,0 +1,378 @@
+package wgtt
+
+import (
+	"fmt"
+
+	"wgtt/internal/stats"
+	"wgtt/internal/workload"
+)
+
+// Fig13Result reproduces "TCP and UDP throughput when the client moves at
+// different speeds".
+type Fig13Result struct {
+	SpeedsMPH []float64
+	// [speed] goodput in Mbit/s.
+	WGTTTCP, WGTTUDP         []float64
+	BaselineTCP, BaselineUDP []float64
+}
+
+// Fig13ThroughputVsSpeed runs single-client drive-bys at each speed under
+// both schemes and both transports. Speed 0 is the parked reference the
+// paper's figure includes as "static".
+func Fig13ThroughputVsSpeed(opt Options, speeds []float64) Fig13Result {
+	if len(speeds) == 0 {
+		speeds = []float64{0, 5, 15, 25, 35}
+	}
+	res := Fig13Result{SpeedsMPH: speeds}
+	cfg := DefaultConfig(SchemeWGTT)
+	for _, mph := range speeds {
+		var trajs []Trajectory
+		var dur Duration
+		if mph == 0 {
+			lo, hi := cfg.RoadSpanX()
+			trajs = []Trajectory{Stationary{X: (lo + hi) / 2, Y: 0}}
+			dur = 10 * Second
+		} else {
+			traj, d := driveAcross(&cfg, mph)
+			trajs, dur = []Trajectory{traj}, d
+		}
+		res.WGTTTCP = append(res.WGTTTCP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, true))
+		res.WGTTUDP = append(res.WGTTUDP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, false))
+		res.BaselineTCP = append(res.BaselineTCP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, true))
+		res.BaselineUDP = append(res.BaselineUDP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, false))
+	}
+	return res
+}
+
+// String renders the figure as a table.
+func (r Fig13Result) String() string {
+	rows := make([][]string, len(r.SpeedsMPH))
+	for i, s := range r.SpeedsMPH {
+		rows[i] = []string{
+			f1(s), f1(r.WGTTTCP[i]), f1(r.BaselineTCP[i]),
+			f1(r.WGTTUDP[i]), f1(r.BaselineUDP[i]),
+			f2(r.WGTTTCP[i] / r.BaselineTCP[i]), f2(r.WGTTUDP[i] / r.BaselineUDP[i]),
+		}
+	}
+	return "Fig 13 — throughput vs speed (Mbit/s)\n" + fmtTable(
+		[]string{"mph", "WGTT-TCP", "11r-TCP", "WGTT-UDP", "11r-UDP", "xTCP", "xUDP"}, rows)
+}
+
+// TimeseriesResult reproduces Figs. 14/15: goodput over time plus the AP
+// the client is attached to, for both schemes, during a 15 mph drive.
+type TimeseriesResult struct {
+	Proto string
+	// BinSeconds is the throughput bin width.
+	BinSeconds float64
+	WGTT       SchemeSeries
+	Baseline   SchemeSeries
+}
+
+// SchemeSeries is one scheme's timeseries.
+type SchemeSeries struct {
+	T        []float64 // bin start, seconds
+	Mbps     []float64
+	APTimes  []float64 // association sample times
+	APs      []int     // serving/associated AP per sample (-1 none)
+	Switches int
+	MeanMbps float64
+}
+
+// figTimeseries runs one scheme.
+func figTimeseries(scheme Scheme, opt Options, tcp bool) SchemeSeries {
+	n := buildNetwork(scheme, opt)
+	traj, dur := driveAcross(&n.Cfg, 15)
+	c := n.AddClient(traj)
+	var meter *throughput
+	if tcp {
+		f := NewTCPDownlink(n, c, 0)
+		startAfterWarmup(n, f.Start)
+		meter = f.Meter
+	} else {
+		f := NewUDPDownlink(n, c, offeredUDPMbps)
+		startAfterWarmup(n, f.Start)
+		meter = f.Meter
+	}
+	var s SchemeSeries
+	lastAP := -2
+	sampleEvery(n, 50*Millisecond, func() {
+		ap := n.ServingAP(0)
+		s.APTimes = append(s.APTimes, n.Loop.Now().Seconds())
+		s.APs = append(s.APs, ap)
+		if ap != lastAP && lastAP != -2 {
+			s.Switches++
+		}
+		lastAP = ap
+	})
+	n.Run(dur)
+	s.T, s.Mbps = meter.Series()
+	s.MeanMbps = meter.MeanMbps(n.Loop.Now())
+	return s
+}
+
+// Fig14TCPTimeseries reproduces Fig. 14 (TCP during a 15 mph drive).
+func Fig14TCPTimeseries(opt Options) TimeseriesResult {
+	return TimeseriesResult{
+		Proto:      "TCP",
+		BinSeconds: 0.1,
+		WGTT:       figTimeseries(SchemeWGTT, opt, true),
+		Baseline:   figTimeseries(SchemeEnhanced80211r, opt, true),
+	}
+}
+
+// Fig15UDPTimeseries reproduces Fig. 15 (UDP during a 15 mph drive).
+func Fig15UDPTimeseries(opt Options) TimeseriesResult {
+	return TimeseriesResult{
+		Proto:      "UDP",
+		BinSeconds: 0.1,
+		WGTT:       figTimeseries(SchemeWGTT, opt, false),
+		Baseline:   figTimeseries(SchemeEnhanced80211r, opt, false),
+	}
+}
+
+// String summarizes the two curves.
+func (r TimeseriesResult) String() string {
+	figure := "14"
+	if r.Proto == "UDP" {
+		figure = "15"
+	}
+	return fmt.Sprintf(
+		"Fig %s — %s timeseries at 15 mph\n  WGTT:     mean %.1f Mbit/s, %d AP changes\n  Enh-11r:  mean %.1f Mbit/s, %d AP changes\n",
+		figure, r.Proto, r.WGTT.MeanMbps, r.WGTT.Switches, r.Baseline.MeanMbps, r.Baseline.Switches)
+}
+
+// Fig16Result reproduces the link bit-rate CDFs.
+type Fig16Result struct {
+	// MPDUs per MCS rate, per scheme, summed over TCP+UDP runs.
+	WGTTRateMbps, BaselineRateMbps []float64
+	WGTTCount, BaselineCount       []int
+	WGTT90th, Baseline90th         float64
+}
+
+// Fig16BitrateCDF measures the PHY rate distribution (per transmitted
+// MPDU) during 15 mph drives under both schemes.
+func Fig16BitrateCDF(opt Options) Fig16Result {
+	collect := func(scheme Scheme) ([]int, float64) {
+		counts := make([]int, 8)
+		for _, tcp := range []bool{true, false} {
+			n := buildNetwork(scheme, opt)
+			traj, dur := driveAcross(&n.Cfg, 15)
+			c := n.AddClient(traj)
+			if tcp {
+				f := NewTCPDownlink(n, c, 0)
+				startAfterWarmup(n, f.Start)
+			} else {
+				f := NewUDPDownlink(n, c, offeredUDPMbps)
+				startAfterWarmup(n, f.Start)
+			}
+			n.Run(dur)
+			for mcs := 0; mcs < 8; mcs++ {
+				if n.Cfg.Scheme == SchemeWGTT {
+					for _, a := range n.APs {
+						counts[mcs] += a.RateMPDUs[mcs]
+					}
+				} else {
+					for _, a := range n.BaseAPs {
+						counts[mcs] += a.RateMPDUs[mcs]
+					}
+				}
+			}
+		}
+		var cdf stats.CDF
+		for mcs, cnt := range counts {
+			for i := 0; i < cnt; i += 8 { // decimate: CDF shape only
+				cdf.Add(rateMbpsOf(mcs))
+			}
+		}
+		return counts, cdf.Quantile(0.9)
+	}
+	var r Fig16Result
+	for mcs := 0; mcs < 8; mcs++ {
+		r.WGTTRateMbps = append(r.WGTTRateMbps, rateMbpsOf(mcs))
+		r.BaselineRateMbps = append(r.BaselineRateMbps, rateMbpsOf(mcs))
+	}
+	r.WGTTCount, r.WGTT90th = collect(SchemeWGTT)
+	r.BaselineCount, r.Baseline90th = collect(SchemeEnhanced80211r)
+	return r
+}
+
+// String summarizes the distributions.
+func (r Fig16Result) String() string {
+	return fmt.Sprintf(
+		"Fig 16 — link bit rate at 15 mph\n  WGTT 90th pct:     %.1f Mbit/s\n  Enh-11r 90th pct:  %.1f Mbit/s\n",
+		r.WGTT90th, r.Baseline90th)
+}
+
+// Table2Result reproduces switching accuracy.
+type Table2Result struct {
+	WGTTTCP, WGTTUDP         float64 // percent
+	BaselineTCP, BaselineUDP float64
+}
+
+// Table2SwitchingAccuracy measures the fraction of drive time each scheme
+// keeps the client on the oracle-optimal AP.
+func Table2SwitchingAccuracy(opt Options) Table2Result {
+	measure := func(scheme Scheme, tcp bool) float64 {
+		n := buildNetwork(scheme, opt)
+		traj, dur := driveAcross(&n.Cfg, 15)
+		c := n.AddClient(traj)
+		if tcp {
+			f := NewTCPDownlink(n, c, 0)
+			startAfterWarmup(n, f.Start)
+		} else {
+			f := NewUDPDownlink(n, c, offeredUDPMbps)
+			startAfterWarmup(n, f.Start)
+		}
+		var acc stats.Accuracy
+		sampleEvery(n, 5*Millisecond, func() {
+			acc.Observe(n.Loop.Now(), n.ServingAP(0) == n.OracleBestAP(0))
+		})
+		n.Run(dur)
+		return 100 * acc.Value()
+	}
+	return Table2Result{
+		WGTTTCP:     measure(SchemeWGTT, true),
+		WGTTUDP:     measure(SchemeWGTT, false),
+		BaselineTCP: measure(SchemeEnhanced80211r, true),
+		BaselineUDP: measure(SchemeEnhanced80211r, false),
+	}
+}
+
+// String renders the table.
+func (r Table2Result) String() string {
+	return "Table 2 — switching accuracy (%)\n" + fmtTable(
+		[]string{"", "WGTT", "Enhanced 802.11r"},
+		[][]string{
+			{"TCP", f1(r.WGTTTCP), f1(r.BaselineTCP)},
+			{"UDP", f1(r.WGTTUDP), f1(r.BaselineUDP)},
+		})
+}
+
+// Fig17Result reproduces per-client throughput vs number of clients.
+type Fig17Result struct {
+	Clients                  []int
+	WGTTTCP, WGTTUDP         []float64
+	BaselineTCP, BaselineUDP []float64
+}
+
+// Fig17MultiClient runs 1–3 clients driving in the Following pattern at
+// 15 mph and reports mean per-client goodput.
+func Fig17MultiClient(opt Options) Fig17Result {
+	res := Fig17Result{Clients: []int{1, 2, 3}}
+	cfg := DefaultConfig(SchemeWGTT)
+	_, dur := driveAcross(&cfg, 15)
+	lo, _ := cfg.RoadSpanX()
+	for _, k := range res.Clients {
+		trajs := Scenario(Following, k, lo-5, 0, 15)
+		res.WGTTTCP = append(res.WGTTTCP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, true))
+		res.WGTTUDP = append(res.WGTTUDP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, false))
+		res.BaselineTCP = append(res.BaselineTCP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, true))
+		res.BaselineUDP = append(res.BaselineUDP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, false))
+	}
+	return res
+}
+
+// String renders the figure as a table.
+func (r Fig17Result) String() string {
+	rows := make([][]string, len(r.Clients))
+	for i, k := range r.Clients {
+		rows[i] = []string{
+			fmt.Sprint(k), f1(r.WGTTTCP[i]), f1(r.BaselineTCP[i]),
+			f1(r.WGTTUDP[i]), f1(r.BaselineUDP[i]),
+		}
+	}
+	return "Fig 17 — per-client throughput vs #clients (Mbit/s, 15 mph)\n" + fmtTable(
+		[]string{"clients", "WGTT-TCP", "11r-TCP", "WGTT-UDP", "11r-UDP"}, rows)
+}
+
+// Fig18Result reproduces uplink loss with and without multi-AP reception.
+type Fig18Result struct {
+	// Mean uplink loss rate per client.
+	MultiAP  []float64 // WGTT: every AP forwards
+	SingleAP []float64 // baseline: only the associated AP
+}
+
+// Fig18UplinkLoss drives three clients at 15 mph sending uplink UDP and
+// compares loss with uplink path diversity (WGTT) against the
+// single-path baseline.
+func Fig18UplinkLoss(opt Options) Fig18Result {
+	run := func(scheme Scheme) []float64 {
+		n := buildNetwork(scheme, opt)
+		_, dur := driveAcross(&n.Cfg, 15)
+		lo, _ := n.Cfg.RoadSpanX()
+		trajs := Scenario(Following, 3, lo-5, 0, 15)
+		var flows []*UDPUplink
+		for i, traj := range trajs {
+			c := n.AddClient(traj)
+			f := NewUDPUplink(n, c, uint16(workload.PortUplink+10*i), 5)
+			startAfterWarmup(n, f.Start)
+			flows = append(flows, f)
+		}
+		n.Run(dur)
+		var out []float64
+		for _, f := range flows {
+			out = append(out, f.Sink.LossRate())
+		}
+		return out
+	}
+	return Fig18Result{
+		MultiAP:  run(SchemeWGTT),
+		SingleAP: run(SchemeEnhanced80211r),
+	}
+}
+
+// String renders per-client loss.
+func (r Fig18Result) String() string {
+	rows := make([][]string, len(r.MultiAP))
+	for i := range r.MultiAP {
+		rows[i] = []string{
+			fmt.Sprintf("client %d", i+1),
+			fmt.Sprintf("%.4f", r.MultiAP[i]),
+			fmt.Sprintf("%.4f", r.SingleAP[i]),
+		}
+	}
+	return "Fig 18 — uplink UDP loss rate, 3 clients at 15 mph\n" + fmtTable(
+		[]string{"", "multi-AP (WGTT)", "single-AP (11r)"}, rows)
+}
+
+// Fig20Result reproduces throughput under the three driving patterns.
+type Fig20Result struct {
+	Patterns                 []Pattern
+	WGTTTCP, WGTTUDP         []float64
+	BaselineTCP, BaselineUDP []float64
+}
+
+// Fig20DrivingPatterns runs two clients at 15 mph in following, parallel,
+// and opposing patterns.
+func Fig20DrivingPatterns(opt Options) Fig20Result {
+	res := Fig20Result{Patterns: []Pattern{Following, Parallel, Opposing}}
+	cfg := DefaultConfig(SchemeWGTT)
+	_, dur := driveAcross(&cfg, 15)
+	lo, _ := cfg.RoadSpanX()
+	for _, p := range res.Patterns {
+		trajs := Scenario(p, 2, lo-5, 0, 15)
+		res.WGTTTCP = append(res.WGTTTCP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, true))
+		res.WGTTUDP = append(res.WGTTUDP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, false))
+		res.BaselineTCP = append(res.BaselineTCP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, true))
+		res.BaselineUDP = append(res.BaselineUDP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, false))
+	}
+	return res
+}
+
+// String renders the figure as a table.
+func (r Fig20Result) String() string {
+	rows := make([][]string, len(r.Patterns))
+	for i, p := range r.Patterns {
+		rows[i] = []string{
+			p.String(), f1(r.WGTTTCP[i]), f1(r.BaselineTCP[i]),
+			f1(r.WGTTUDP[i]), f1(r.BaselineUDP[i]),
+		}
+	}
+	return "Fig 20 — two-client driving patterns (Mbit/s per client, 15 mph)\n" + fmtTable(
+		[]string{"pattern", "WGTT-TCP", "11r-TCP", "WGTT-UDP", "11r-UDP"}, rows)
+}
+
+// rateMbpsOf maps an MCS index to Mbit/s.
+func rateMbpsOf(mcs int) float64 { return rateTable[mcs] }
+
+var rateTable = [8]float64{7.2, 14.4, 21.7, 28.9, 43.3, 57.8, 65.0, 72.2}

@@ -1,0 +1,182 @@
+package wgtt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wgtt/internal/core"
+	"wgtt/internal/csi"
+	"wgtt/internal/phy"
+	"wgtt/internal/sim"
+	"wgtt/internal/stats"
+	"wgtt/internal/workload"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Seed drives every random stream; the same seed reproduces the
+	// same result bit for bit.
+	Seed int64
+	// Mutate, when non-nil, adjusts the network config before building
+	// (used by ablation benches).
+	Mutate func(*Config)
+}
+
+// DefaultOptions returns the options used throughout EXPERIMENTS.md.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// warmup delays workload start past association and controller adoption,
+// as any real flow begins after the client has joined the network.
+const warmup = 100 * Millisecond
+
+// startAfterWarmup schedules a workload start.
+func startAfterWarmup(n *Network, start func()) {
+	n.Loop.After(warmup, start)
+}
+
+// offeredUDPMbps is the saturating downlink load the end-to-end
+// experiments offer, standing in for the paper's 50–90 Mbit/s iperf
+// runs scaled to our channel.
+const offeredUDPMbps = 30
+
+// buildNetwork constructs a network for a scheme with the experiment's
+// seed.
+func buildNetwork(scheme Scheme, opt Options) *Network {
+	cfg := DefaultConfig(scheme)
+	cfg.Seed = opt.Seed
+	if opt.Mutate != nil {
+		opt.Mutate(&cfg)
+	}
+	return NewNetwork(cfg)
+}
+
+// driveAcross returns a trajectory that crosses the whole AP array at
+// the given speed, plus the sim duration of the crossing. The run spans
+// 5 m of lead-in/out beyond the array.
+func driveAcross(cfg *Config, mph float64) (Linear, Duration) {
+	lo, hi := cfg.RoadSpanX()
+	const margin = 5.0
+	traj := Drive(lo-margin, 0, mph)
+	dist := (hi + margin) - (lo - margin)
+	secs := dist / traj.SpeedMps()
+	return traj, Duration(secs * float64(Second))
+}
+
+// meanPerClientMbps runs one drive-by with nClients at speed mph under
+// scheme, with either TCP or UDP bulk downlink to every client, and
+// returns the average per-client goodput.
+func meanPerClientMbps(scheme Scheme, opt Options, trajs []Trajectory, dur Duration, tcp bool) float64 {
+	n := buildNetwork(scheme, opt)
+	var flows []interface{ Mbps(Time) float64 }
+	for _, traj := range trajs {
+		c := n.AddClient(traj)
+		if tcp {
+			f := NewTCPDownlink(n, c, 0)
+			startAfterWarmup(n, f.Start)
+			flows = append(flows, f)
+		} else {
+			f := NewUDPDownlink(n, c, offeredUDPMbps)
+			startAfterWarmup(n, f.Start)
+			flows = append(flows, f)
+		}
+	}
+	n.Run(dur)
+	sum := 0.0
+	for _, f := range flows {
+		sum += f.Mbps(n.Loop.Now())
+	}
+	return sum / float64(len(flows))
+}
+
+// potentialMbps integrates the oracle link capacity over a drive: at
+// every sample the best AP's ESNR is mapped to the highest sustainable
+// PHY rate, discounted by a fixed MAC efficiency. This is the
+// "channel capacity" that Fig. 4 and Fig. 21 compare deliveries against.
+func potentialMbps(n *Network, clientID int, samples *[]float64) func() {
+	return func() {
+		best := 0.0
+		for ap := 0; ap < n.Cfg.NumAPs; ap++ {
+			esnr := n.LinkESNRdB(ap, clientID)
+			r := phy.BestRateFor(esnr, 0)
+			if esnr < phy.Rates[0].ThresholdDB {
+				continue // no rate sustainable
+			}
+			if r.Mbps > best {
+				best = r.Mbps
+			}
+		}
+		*samples = append(*samples, best*macEfficiency)
+	}
+}
+
+// macEfficiency discounts PHY rate to achievable MAC-layer goodput
+// (preamble, contention, BA exchange, headers).
+const macEfficiency = 0.75
+
+// sampleEvery schedules fn at a fixed cadence for the whole run.
+func sampleEvery(n *Network, period Duration, fn func()) {
+	var tick func()
+	tick = func() {
+		fn()
+		n.Loop.After(period, tick)
+	}
+	n.Loop.After(period, tick)
+}
+
+// fmtTable renders rows of labeled values in a paper-like layout.
+func fmtTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, v := range r {
+			if i < len(width) && len(v) > width[i] {
+				width[i] = len(v)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, v := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], v)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal, rendering +Inf as the paper's ∞.
+func f1(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func f2(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Internal aliases used by the experiment files.
+type (
+	coreNetwork = core.Network
+	throughput  = stats.Throughput
+)
+
+var (
+	_ = csi.RefModulation
+	_ = workload.PortUplink
+	_ = sim.Second
+)

@@ -1,0 +1,524 @@
+// Package ap implements the WGTT access point (§3, §4.2): the per-client
+// cyclic transmit queue fed by the controller's fan-out, the
+// stop/start/ack switching state machine with its kernel index query, the
+// A-MPDU transmit loop with Minstrel rate control, uplink tunneling and
+// CSI reporting, and the monitor-mode block-ACK forwarding path.
+package ap
+
+import (
+	"fmt"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/csi"
+	"wgtt/internal/mac"
+	"wgtt/internal/packet"
+	"wgtt/internal/phy"
+	"wgtt/internal/queue"
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+	"wgtt/internal/trace"
+)
+
+// Config tunes a WGTT AP.
+type Config struct {
+	// IoctlDelay is the mean latency of the stop(c) → start(c,k)
+	// kernel round trip: the ioctl that reads the first-unsent index
+	// plus the driver-queue filter walk (§3.1.2's "Implementing the
+	// switch"). Jitter of ±IoctlJitter is added per query.
+	IoctlDelay  sim.Duration
+	IoctlJitter sim.Duration
+	// BAWaitMargin pads the own-BA wait beyond SIFS + BA airtime.
+	BAWaitMargin sim.Duration
+	// BAForwardWait is the additional grace period for a block ACK
+	// forwarded over the backhaul when the over-the-air copy was lost.
+	BAForwardWait sim.Duration
+	// ForwardBAs enables §3.2.1's block-ACK forwarding (ablation knob).
+	ForwardBAs bool
+	// FlushOnStart enables the start(c,k) queue flush; disabling it
+	// reproduces a naive multi-AP scheme whose new AP replays its whole
+	// buffered backlog (ablation knob).
+	FlushOnStart bool
+	// AckJitterMax spreads each AP's uplink block ACK by a uniform
+	// random delay, the backoff the paper observed on the TP-Link APs
+	// (§5.3.2) that keeps simultaneous acks from colliding.
+	AckJitterMax sim.Duration
+	// SeedRatesFromCSI enables the §8 future-work extension: on
+	// adopting a client, seed Minstrel from the client's last measured
+	// ESNR instead of starting from priors. Off by default (the paper
+	// runs stock rate control).
+	SeedRatesFromCSI bool
+}
+
+// DefaultConfig returns the testbed AP tuning. IoctlDelay is set so the
+// end-to-end switching protocol lands in Table 1's 17–21 ms band.
+func DefaultConfig() Config {
+	return Config{
+		IoctlDelay:    17 * sim.Millisecond,
+		IoctlJitter:   6 * sim.Millisecond,
+		BAWaitMargin:  80 * sim.Microsecond,
+		BAForwardWait: 400 * sim.Microsecond,
+		ForwardBAs:    true,
+		FlushOnStart:  true,
+		AckJitterMax:  40 * sim.Microsecond,
+	}
+}
+
+// Fabric resolves identities on the backhaul; implemented by the core
+// wiring.
+type Fabric interface {
+	// APNode returns the backhaul node of the AP with the given WGTT id.
+	APNode(apID uint16) backhaul.NodeID
+	// APByMAC resolves an AP's layer-2 address to its backhaul node.
+	APByMAC(addr packet.MAC) (backhaul.NodeID, bool)
+	// Controller returns the controller's backhaul node.
+	Controller() backhaul.NodeID
+}
+
+// clientState is one client's transmit context at this AP.
+type clientState struct {
+	addr     packet.MAC
+	cyclic   *queue.Cyclic
+	agg      *mac.Aggregator
+	rates    *phy.Minstrel
+	serving  bool
+	lastESNR float64
+	hasESNR  bool
+}
+
+// awaitBA tracks the in-flight downlink aggregate.
+type awaitBA struct {
+	client   *clientState
+	sent     []mac.MPDU
+	rate     phy.Rate
+	timer    *sim.Event
+	extended bool
+	start    uint16 // BA window start (first MPDU seq)
+}
+
+// AP is one WGTT access point.
+type AP struct {
+	ID   uint16
+	Addr packet.MAC
+
+	loop   *sim.Loop
+	medium *mac.Medium
+	node   *mac.Node
+	bh     *backhaul.Net
+	self   backhaul.NodeID
+	fabric Fabric
+	cfg    Config
+	rng    *sim.RNG
+
+	// Trace, when set, receives stop/start/drop events.
+	Trace *trace.Log
+
+	clients map[packet.MAC]*clientState
+	order   []packet.MAC // round-robin order
+	rrNext  int
+	busy    bool
+	await   *awaitBA
+
+	// Stats.
+	Switches       int // start(c,k) handoffs accepted
+	StopsHandled   int
+	AggregatesSent int
+	// RateMPDUs counts transmitted MPDUs per MCS (Fig. 16's link
+	// bit-rate distribution).
+	RateMPDUs   [phy.NumRates]int
+	BAForwarded int // BAs we relayed for another AP
+	BARecovered int // aggregates saved by a forwarded BA
+	UplinkMPDUs int
+	CSIReports  int
+}
+
+// New creates an AP at the given roadside position and attaches it to the
+// medium and backhaul.
+func New(id uint16, pos rf.Position, loop *sim.Loop, medium *mac.Medium, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, cfg Config, rng *sim.RNG) *AP {
+	a := &AP{
+		ID:      id,
+		Addr:    packet.APMAC(int(id)),
+		loop:    loop,
+		medium:  medium,
+		bh:      bh,
+		self:    self,
+		fabric:  fabric,
+		cfg:     cfg,
+		rng:     rng,
+		clients: make(map[packet.MAC]*clientState),
+	}
+	a.node = &mac.Node{
+		Name: fmt.Sprintf("ap%d", id),
+		Addr: a.Addr,
+		Pos:  func() rf.Position { return pos },
+		Recv: (*apReceiver)(a),
+	}
+	medium.Register(a.node)
+	bh.AddNode(self, a.OnBackhaul)
+	return a
+}
+
+// Node exposes the AP's radio for channel wiring.
+func (a *AP) Node() *mac.Node { return a.node }
+
+// Serving reports whether this AP currently serves the client.
+func (a *AP) Serving(client packet.MAC) bool {
+	cs := a.clients[client]
+	return cs != nil && cs.serving
+}
+
+// Backlog reports the client's buffered downlink packets here.
+func (a *AP) Backlog(client packet.MAC) int {
+	cs := a.clients[client]
+	if cs == nil {
+		return 0
+	}
+	return cs.cyclic.Len()
+}
+
+// stateFor returns (creating on demand) the client's context.
+func (a *AP) stateFor(addr packet.MAC) *clientState {
+	cs := a.clients[addr]
+	if cs == nil {
+		cs = &clientState{
+			addr:   addr,
+			cyclic: queue.NewCyclic(),
+			agg:    mac.NewAggregator(),
+			rates:  phy.NewMinstrel(a.rng.Fork("minstrel" + addr.String())),
+		}
+		a.clients[addr] = cs
+		a.order = append(a.order, addr)
+	}
+	return cs
+}
+
+// OnBackhaul handles controller/peer messages.
+func (a *AP) OnBackhaul(from backhaul.NodeID, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.DownlinkData:
+		cs := a.stateFor(m.Client)
+		cs.cyclic.Insert(m.Inner)
+		if cs.serving {
+			a.kick()
+		}
+	case *packet.Stop:
+		a.onStop(m)
+	case *packet.Start:
+		a.onStart(m)
+	case *packet.AssocState:
+		// Replicated sta_info: be ready to serve this client.
+		a.stateFor(m.Client)
+	case *packet.BAForward:
+		a.onForwardedBA(m)
+	}
+}
+
+// onStop implements switching-protocol step 2: freeze the client's
+// transmit path, query the first-unsent index from the kernel, and hand
+// off to the next AP with start(c,k).
+func (a *AP) onStop(m *packet.Stop) {
+	cs := a.stateFor(m.Client)
+	a.StopsHandled++
+	cs.serving = false
+	a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "stop #%d %s", m.SwitchID, m.Client)
+	// Pending retries stay: they model frames already committed to the
+	// NIC hardware queue, which §3.1.2 lets AP1 drain onto the air even
+	// after the stop (the ~6 ms the paper accepts as minimal loss).
+	// They are bounded by the MAC retry limit.
+
+	// The kernel ioctl + driver filter walk takes milliseconds; the
+	// current in-flight aggregate (hardware queue) still drains
+	// meanwhile, exactly as §3.1.2 tolerates.
+	delay := a.cfg.IoctlDelay
+	if a.cfg.IoctlJitter > 0 {
+		delay += sim.Duration((a.rng.Float64()*2 - 1) * float64(a.cfg.IoctlJitter))
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	a.loop.After(delay, func() {
+		k := cs.cyclic.Head()
+		a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "start #%d k=%d -> ap%d", m.SwitchID, k, m.NewAPID)
+		a.bh.Send(a.self, a.fabric.APNode(m.NewAPID), &packet.Start{
+			Client:   m.Client,
+			Index:    k,
+			SwitchID: m.SwitchID,
+		})
+	})
+}
+
+// onStart implements step 3: adopt the hand-off at index k, ack the
+// controller, and start transmitting from our own cyclic queue.
+func (a *AP) onStart(m *packet.Start) {
+	cs := a.stateFor(m.Client)
+	if a.cfg.FlushOnStart {
+		cs.cyclic.SetHead(m.Index)
+	}
+	if a.cfg.SeedRatesFromCSI && cs.hasESNR {
+		cs.rates.Seed(cs.lastESNR)
+	}
+	cs.serving = true
+	a.Switches++
+	a.bh.Send(a.self, a.fabric.Controller(), &packet.SwitchAck{
+		Client:   m.Client,
+		APID:     a.ID,
+		SwitchID: m.SwitchID,
+	})
+	a.kick()
+}
+
+// onForwardedBA merges a block ACK another AP overheard (§3.2.1). Only
+// useful while the matching aggregate is still awaiting acknowledgement;
+// duplicates and stale copies are dropped, as the paper's AP does.
+func (a *AP) onForwardedBA(m *packet.BAForward) {
+	aw := a.await
+	if aw == nil || aw.client.addr != m.Client || aw.start != m.StartSeq {
+		return
+	}
+	a.BARecovered++
+	a.finishAggregate(aw, mac.BAInfo{StartSeq: m.StartSeq, Bitmap: m.Bitmap})
+}
+
+// kick starts the downlink transmit loop if idle and anything is pending.
+func (a *AP) kick() {
+	if a.busy {
+		return
+	}
+	if a.nextServableIdx() < 0 {
+		return
+	}
+	a.busy = true
+	a.medium.Contend(a.node, phy.CWMin, a.txop)
+}
+
+// nextServableIdx finds the next round-robin client with pending traffic.
+func (a *AP) nextServableIdx() int {
+	n := len(a.order)
+	for i := 0; i < n; i++ {
+		idx := (a.rrNext + i) % n
+		cs := a.clients[a.order[idx]]
+		// Retries drain even after a stop (hardware-queue drain);
+		// fresh cyclic-queue packets go out only while serving.
+		if cs.agg.PendingRetries() > 0 || (cs.serving && cs.cyclic.Len() > 0) {
+			return idx
+		}
+	}
+	return -1
+}
+
+// txop transmits one aggregate to the next servable client.
+func (a *AP) txop() {
+	idx := a.nextServableIdx()
+	if idx < 0 {
+		a.busy = false
+		return
+	}
+	a.rrNext = (idx + 1) % len(a.order)
+	cs := a.clients[a.order[idx]]
+	rate := cs.rates.Select(a.loop.Now())
+	mpdus := cs.agg.Build(rate, func() (packet.Packet, bool) {
+		return cs.cyclic.Pop()
+	})
+	if len(mpdus) == 0 {
+		a.busy = false
+		return
+	}
+	t := &mac.Transmission{
+		Tx:    a.node,
+		Dst:   cs.addr,
+		Type:  mac.FrameData,
+		Rate:  rate,
+		MPDUs: mpdus,
+	}
+	a.medium.Transmit(t)
+	a.AggregatesSent++
+	a.RateMPDUs[rate.MCS] += len(mpdus)
+	aw := &awaitBA{client: cs, sent: mpdus, rate: rate, start: mpdus[0].Seq}
+	deadline := t.End.Add(phy.SIFS + phy.BlockAckAirtime + a.cfg.BAWaitMargin)
+	aw.timer = a.loop.At(deadline, func() { a.baDeadline(aw) })
+	a.await = aw
+}
+
+// baDeadline fires when the client's own BA did not arrive in time. With
+// BA forwarding on, wait a little longer for a copy relayed over the
+// backhaul before declaring the whole aggregate lost.
+func (a *AP) baDeadline(aw *awaitBA) {
+	if a.await != aw {
+		return
+	}
+	if a.cfg.ForwardBAs && !aw.extended {
+		aw.extended = true
+		aw.timer = a.loop.After(a.cfg.BAForwardWait, func() { a.baDeadline(aw) })
+		return
+	}
+	a.finishAggregate(aw, mac.BAInfo{StartSeq: aw.start, Bitmap: 0})
+}
+
+// finishAggregate settles the in-flight aggregate with the given
+// acknowledgement state and resumes the loop.
+func (a *AP) finishAggregate(aw *awaitBA, ba mac.BAInfo) {
+	if a.await != aw {
+		return
+	}
+	a.await = nil
+	a.loop.Cancel(aw.timer)
+	res := aw.client.agg.ProcessBA(aw.sent, ba)
+	if n := len(res.DroppedPkts); n > 0 {
+		a.Trace.Addf(a.loop.Now(), trace.Drop, a.node.Name, "%d MPDUs exceeded retry limit", n)
+	}
+	aw.client.rates.Feedback(a.loop.Now(), aw.rate, len(aw.sent), res.AckedCount)
+	// If the client was stopped while this aggregate flew, its retries
+	// must not survive: the new AP owns those indexes.
+	if !aw.client.serving {
+		aw.client.agg.DropRetries()
+	}
+	a.busy = false
+	a.kick()
+}
+
+// apReceiver adapts AP to mac.Receiver.
+type apReceiver AP
+
+// OnReceive implements mac.Receiver: uplink data, the client's downlink
+// BAs, and overheard BAs destined to other APs.
+func (ar *apReceiver) OnReceive(t *mac.Transmission, det mac.Detection) {
+	a := (*AP)(ar)
+	switch t.Type {
+	case mac.FrameData:
+		if t.Dst == packet.BSSID {
+			a.onUplinkData(t, det)
+		}
+	case mac.FrameBlockAck:
+		if det.Collided {
+			return
+		}
+		if t.Dst == a.Addr {
+			// The client acking our aggregate. Its BA is an uplink
+			// transmission, so it also yields a CSI reading.
+			a.reportCSI(t.Tx.Addr, det)
+			if aw := a.await; aw != nil && aw.client.addr == t.Tx.Addr && aw.start == t.BA.StartSeq {
+				a.finishAggregate(aw, t.BA)
+			}
+			return
+		}
+		// Monitor mode: a BA a client sent to another AP. It is still
+		// a CSI sample of our own link to that client, and worth
+		// relaying to its addressee (§3.2.1).
+		if dst, ok := a.fabric.APByMAC(t.Dst); ok {
+			a.reportCSI(t.Tx.Addr, det)
+			if a.cfg.ForwardBAs {
+				a.BAForwarded++
+				a.bh.Send(a.self, dst, &packet.BAForward{
+					Client:   t.Tx.Addr,
+					FromAPID: a.ID,
+					StartSeq: t.BA.StartSeq,
+					Bitmap:   t.BA.Bitmap,
+				})
+			}
+		}
+	}
+}
+
+// reportCSI encapsulates one uplink frame's CSI measurement to the
+// controller, as the Atheros CSI tool does (§4.2), and retains the
+// latest effective SNR locally for the rate-seeding extension.
+func (a *AP) reportCSI(client packet.MAC, det mac.Detection) {
+	a.CSIReports++
+	cs := a.stateFor(client)
+	cs.lastESNR = csi.EffectiveSNRdB(det.SNRsDB[:], csi.RefModulation)
+	cs.hasESNR = true
+	rep := &packet.CSIReport{
+		Client: client,
+		APID:   a.ID,
+		Time:   a.loop.Now(),
+	}
+	rep.SNRsDB = det.SNRsDB
+	a.bh.Send(a.self, a.fabric.Controller(), rep)
+}
+
+// onUplinkData tunnels decoded client packets to the controller, reports
+// CSI, and acknowledges over the air.
+func (a *AP) onUplinkData(t *mac.Transmission, det mac.Detection) {
+	if det.Collided {
+		return
+	}
+	anyOK := false
+	for i := range t.MPDUs {
+		if !det.OK[i] {
+			continue
+		}
+		anyOK = true
+		a.UplinkMPDUs++
+		a.bh.Send(a.self, a.fabric.Controller(), &packet.UplinkData{
+			APID:   a.ID,
+			Client: t.Tx.Addr,
+			Inner:  t.MPDUs[i].Pkt,
+		})
+	}
+	if !anyOK {
+		return
+	}
+	// One CSI report per received PPDU (§3.1.1).
+	a.reportCSI(t.Tx.Addr, det)
+
+	// Every associated AP acks what it decoded (§5.3.2). The serving AP
+	// answers immediately at SIFS; the others apply the hardware's
+	// microsecond backoff and a CCA check, so they only ack when nobody
+	// else already is — the behaviour the paper infers from the
+	// TP-Link's HT-immediate BA and credits for the near-absence of ack
+	// collisions (Table 3).
+	ba := mac.BuildBitmap(t.MPDUs, det.OK)
+	cs := a.clients[t.Tx.Addr]
+	serving := cs != nil && cs.serving
+	delay := phy.SIFS
+	if !serving {
+		// Quantized microsecond backoff starting 2 µs after SIFS, so
+		// a serving AP's immediate ack is always visible to the CCA
+		// check; ties between two backers-off inside the CCA blind
+		// window are what collide.
+		slots := 2 + a.rng.Intn(int(a.cfg.AckJitterMax/sim.Microsecond))
+		delay += sim.Duration(slots) * sim.Microsecond
+	}
+	a.loop.After(delay, func() {
+		if !serving && a.medium.BlockAckOnAir(a.node) {
+			return // someone already acked; stay quiet
+		}
+		a.medium.Transmit(&mac.Transmission{
+			Tx:   a.node,
+			Dst:  t.Tx.Addr,
+			Type: mac.FrameBlockAck,
+			Rate: phy.BasicRate,
+			BA:   ba,
+		})
+	})
+}
+
+// MinstrelProb exposes the rate controller's delivery estimate for tests
+// and diagnostics.
+func (a *AP) MinstrelProb(client packet.MAC, mcs int) (float64, bool) {
+	cs := a.clients[client]
+	if cs == nil || !cs.serving {
+		return 0, false
+	}
+	return cs.rates.Prob(mcs), true
+}
+
+// AggStats exposes the per-client aggregation counters (diagnostics).
+func (a *AP) AggStats(client packet.MAC) (sent, resent, acked, dropped, pending int) {
+	cs := a.clients[client]
+	if cs == nil {
+		return
+	}
+	return cs.agg.Sent, cs.agg.Resent, cs.agg.Acked, cs.agg.Dropped, cs.agg.PendingRetries()
+}
+
+// DebugState exposes internal flags for test diagnostics.
+func (a *AP) DebugState(client packet.MAC) (busy bool, awaiting bool, backlog int, retries int, serving bool) {
+	busy = a.busy
+	awaiting = a.await != nil
+	if cs := a.clients[client]; cs != nil {
+		backlog = cs.cyclic.Len()
+		retries = cs.agg.PendingRetries()
+		serving = cs.serving
+	}
+	return
+}

@@ -1,0 +1,186 @@
+// Package backhaul models the wired Ethernet that interconnects the WGTT
+// controller, the eight APs, and the wired server: a star topology through
+// one switch, with per-node egress serialization, propagation delay, and —
+// critical to the switching protocol's latency — a strict-priority control
+// queue that lets stop/start/ack messages bypass queued data (§3.1.2).
+//
+// Messages cross the backhaul as encoded bytes: Send marshals, delivery
+// decodes. Nothing richer than what would be on the real wire flows
+// between nodes.
+package backhaul
+
+import (
+	"fmt"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/queue"
+	"wgtt/internal/sim"
+)
+
+// NodeID identifies an endpoint on the backhaul.
+type NodeID int
+
+// Handler receives a decoded message addressed to the node.
+type Handler func(from NodeID, msg packet.Message)
+
+// Config sets the backhaul's physical parameters.
+type Config struct {
+	// LinkMbps is each node's Ethernet line rate.
+	LinkMbps float64
+	// PropDelay is the one-way wire + switch latency.
+	PropDelay sim.Duration
+	// QueueFrames bounds each egress queue (0 = unbounded).
+	QueueFrames int
+}
+
+// DefaultConfig models the testbed's switched gigabit LAN.
+func DefaultConfig() Config {
+	return Config{
+		LinkMbps:    1000,
+		PropDelay:   100 * sim.Microsecond,
+		QueueFrames: 4096,
+	}
+}
+
+// encapOverhead is the per-message wire overhead: Ethernet header + FCS +
+// preamble + IFG (38) plus the IP/UDP encapsulation the implementation
+// tunnels everything in (28).
+const encapOverhead = 66
+
+// frame is one queued backhaul transmission.
+type frame struct {
+	from, to NodeID
+	data     []byte
+}
+
+type node struct {
+	handler Handler
+	control *queue.FIFO[frame]
+	data    *queue.FIFO[frame]
+	// draining reports whether an egress serialization event is
+	// scheduled.
+	draining bool
+}
+
+// Net is the backhaul network. All methods must be called from the
+// simulation loop's goroutine.
+type Net struct {
+	loop  *sim.Loop
+	cfg   Config
+	nodes map[NodeID]*node
+
+	// Stats.
+	sent      int
+	delivered int
+	bytes     int64
+	perType   map[packet.MsgType]int
+}
+
+// New returns an empty backhaul on the given loop.
+func New(loop *sim.Loop, cfg Config) *Net {
+	return &Net{
+		loop:    loop,
+		cfg:     cfg,
+		nodes:   make(map[NodeID]*node),
+		perType: make(map[packet.MsgType]int),
+	}
+}
+
+// AddNode attaches an endpoint. The handler runs on the sim loop when a
+// message addressed to id is delivered.
+func (n *Net) AddNode(id NodeID, h Handler) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("backhaul: duplicate node %d", id))
+	}
+	n.nodes[id] = &node{
+		handler: h,
+		control: queue.NewFIFO[frame](n.cfg.QueueFrames),
+		data:    queue.NewFIFO[frame](n.cfg.QueueFrames),
+	}
+}
+
+// Send transmits msg from one node to another. The message is serialized
+// immediately; mutating msg afterwards does not affect delivery. Unknown
+// destinations are silently dropped (a real switch floods then ages them
+// out — nothing would answer).
+func (n *Net) Send(from, to NodeID, msg packet.Message) {
+	src, ok := n.nodes[from]
+	if !ok {
+		panic(fmt.Sprintf("backhaul: send from unknown node %d", from))
+	}
+	f := frame{from: from, to: to, data: msg.Marshal(nil)}
+	n.sent++
+	n.perType[msg.Type()]++
+	if msg.Control() {
+		src.control.Push(f)
+	} else {
+		src.data.Push(f)
+	}
+	if !src.draining {
+		src.draining = true
+		n.drain(from, src)
+	}
+}
+
+// drain serializes the node's queued frames one at a time, control queue
+// strictly first.
+func (n *Net) drain(id NodeID, src *node) {
+	f, ok := src.control.Pop()
+	if !ok {
+		f, ok = src.data.Pop()
+	}
+	if !ok {
+		src.draining = false
+		return
+	}
+	wire := len(f.data) + encapOverhead
+	txTime := sim.Duration(float64(wire*8) / (n.cfg.LinkMbps * 1e6) * 1e9)
+	n.loop.After(txTime, func() {
+		n.deliver(f)
+		n.drain(id, src)
+	})
+}
+
+// deliver decodes the frame and hands it to the destination after the
+// propagation delay.
+func (n *Net) deliver(f frame) {
+	dst, ok := n.nodes[f.to]
+	if !ok {
+		return
+	}
+	n.loop.After(n.cfg.PropDelay, func() {
+		msg, err := packet.Decode(f.data)
+		if err != nil {
+			// Corruption is impossible by construction; a decode
+			// failure is a programming error worth crashing on.
+			panic(fmt.Sprintf("backhaul: undecodable frame: %v", err))
+		}
+		n.delivered++
+		n.bytes += int64(len(f.data) + encapOverhead)
+		n.handlerFor(dst)(f.from, msg)
+	})
+}
+
+func (n *Net) handlerFor(dst *node) Handler {
+	if dst.handler == nil {
+		return func(NodeID, packet.Message) {}
+	}
+	return dst.handler
+}
+
+// Broadcast sends msg from one node to every other attached node.
+func (n *Net) Broadcast(from NodeID, msg packet.Message) {
+	for id := range n.nodes {
+		if id != from {
+			n.Send(from, id, msg)
+		}
+	}
+}
+
+// Stats reports totals since creation.
+func (n *Net) Stats() (sent, delivered int, bytes int64) {
+	return n.sent, n.delivered, n.bytes
+}
+
+// SentByType returns how many messages of type t entered the backhaul.
+func (n *Net) SentByType(t packet.MsgType) int { return n.perType[t] }

@@ -1,0 +1,364 @@
+// Package client implements the mobile station: a single-radio 802.11n
+// client that receives downlink aggregates (answering with block ACKs),
+// transmits uplink data addressed to the network's BSSID, and emits the
+// periodic uplink frames from which the APs measure CSI.
+//
+// The same client runs under both WGTT and Enhanced 802.11r; the roaming
+// schemes differ only in the AcceptFrom filter (WGTT's APs share one
+// BSSID, so the client accepts data from any of them) and in the hooks the
+// baseline's roamer attaches to beacons.
+package client
+
+import (
+	"fmt"
+
+	"wgtt/internal/mac"
+	"wgtt/internal/mobility"
+	"wgtt/internal/packet"
+	"wgtt/internal/phy"
+	"wgtt/internal/queue"
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// Config tunes a client.
+type Config struct {
+	// KeepaliveInterval paces null/keepalive uplink frames when the
+	// uplink is otherwise idle, so APs keep measuring CSI. Zero
+	// disables.
+	KeepaliveInterval sim.Duration
+	// UplinkQueueCap bounds the uplink socket buffer (packets).
+	UplinkQueueCap int
+	// BAWaitMargin pads the block-ACK wait beyond SIFS+BA airtime.
+	BAWaitMargin sim.Duration
+}
+
+// DefaultConfig returns the standard client tuning.
+func DefaultConfig() Config {
+	return Config{
+		KeepaliveInterval: 25 * sim.Millisecond,
+		UplinkQueueCap:    1000,
+		BAWaitMargin:      60 * sim.Microsecond,
+	}
+}
+
+// Client is one mobile station.
+type Client struct {
+	ID   int
+	Addr packet.MAC
+	IP   packet.IP
+
+	loop   *sim.Loop
+	medium *mac.Medium
+	node   *mac.Node
+	traj   mobility.Trajectory
+	cfg    Config
+	rng    *sim.RNG
+
+	// AcceptFrom filters downlink data by transmitter: under WGTT every
+	// AP shares the BSSID, so it returns true for all APs; under the
+	// baseline only the associated AP's frames are accepted.
+	AcceptFrom func(tx *mac.Node) bool
+	// UplinkDst is the layer-2 destination of uplink data: the shared
+	// BSSID under WGTT (any AP takes the frame), or the associated AP's
+	// address under the baseline.
+	UplinkDst packet.MAC
+	// OnPacket delivers de-duplicated uplink-layer packets (the
+	// client's network stack).
+	OnPacket func(p packet.Packet)
+	// OnBeacon lets a roamer observe beacons (tx node, ESNR as the RSSI
+	// proxy).
+	OnBeacon func(tx *mac.Node, esnrDB float64)
+	// OnMgmt lets a roamer observe management frames addressed to us.
+	OnMgmt func(tx *mac.Node, info mac.MgmtInfo)
+
+	// Uplink transmit path.
+	upQ      *queue.FIFO[packet.Packet]
+	agg      *mac.Aggregator
+	rates    phy.Controller
+	busy     bool
+	await    *awaitBA
+	lastTxAt sim.Time
+
+	// Downlink receive path.
+	dupMAC map[dupKey]bool // recent (transmitter, seq) pairs
+	dupSeq []dupKey        // eviction ring
+	dupIP  map[packet.DedupKey]bool
+	dupIPQ []packet.DedupKey
+
+	ipid uint16
+
+	// Stats.
+	RxMPDUs        int
+	RxDuplicates   int
+	RxDupMAC       int
+	RxDupIP        int
+	RxBytes        int64
+	UplinkPPDUs    int
+	BACollisions   int
+	BATimeouts     int
+	KeepalivesSent int
+}
+
+type dupKey struct {
+	tx  *mac.Node
+	seq uint16
+}
+
+type awaitBA struct {
+	sent  []mac.MPDU
+	rate  phy.Rate
+	timer *sim.Event
+}
+
+// New creates a client and registers its radio on the medium.
+func New(id int, loop *sim.Loop, medium *mac.Medium, traj mobility.Trajectory, cfg Config, rng *sim.RNG) *Client {
+	c := &Client{
+		ID:         id,
+		Addr:       packet.ClientMAC(id),
+		IP:         packet.ClientIP(id),
+		loop:       loop,
+		medium:     medium,
+		traj:       traj,
+		cfg:        cfg,
+		rng:        rng,
+		upQ:        queue.NewFIFO[packet.Packet](cfg.UplinkQueueCap),
+		agg:        mac.NewAggregator(),
+		rates:      phy.NewMinstrel(rng.Fork("minstrel")),
+		dupMAC:     make(map[dupKey]bool),
+		dupIP:      make(map[packet.DedupKey]bool),
+		AcceptFrom: func(*mac.Node) bool { return true },
+		UplinkDst:  packet.BSSID,
+	}
+	c.node = &mac.Node{
+		Name: fmt.Sprintf("client%d", id),
+		Addr: c.Addr,
+		Pos:  func() rf.Position { return traj.Pos(loop.Now()) },
+		Recv: (*clientReceiver)(c),
+	}
+	medium.Register(c.node)
+	if cfg.KeepaliveInterval > 0 {
+		// Real clients emit DHCP/ARP traffic right after associating;
+		// that first uplink frame is what lets the controller adopt
+		// the client immediately.
+		loop.After(sim.Millisecond, c.keepalive)
+	}
+	return c
+}
+
+// Node exposes the client's radio (the core wiring needs it for channel
+// lookups).
+func (c *Client) Node() *mac.Node { return c.node }
+
+// SendUplink enqueues an IP packet for uplink transmission (the client's
+// Wire for transport endpoints). The source address and an IPID are
+// stamped here, as the client's IP stack would.
+func (c *Client) SendUplink(p packet.Packet) {
+	p.Src = c.IP
+	c.ipid++
+	p.IPID = c.ipid
+	p.Created = c.loop.Now()
+	c.upQ.Push(p)
+	c.kick()
+}
+
+// QueueLen reports the uplink backlog.
+func (c *Client) QueueLen() int { return c.upQ.Len() }
+
+// keepalive emits a tiny uplink frame when the uplink has been idle, so
+// the AP array keeps receiving CSI from this client.
+func (c *Client) keepalive() {
+	idle := c.loop.Now().Sub(c.lastTxAt) >= c.cfg.KeepaliveInterval
+	if idle && c.upQ.Len() == 0 {
+		c.ipid++
+		c.upQ.Push(packet.Packet{
+			Src: c.IP, Dst: packet.ControllerIP, Proto: packet.ProtoUDP,
+			IPID: c.ipid, SrcPort: 68, DstPort: 67, PayloadLen: 0,
+			Created: c.loop.Now(),
+		})
+		c.KeepalivesSent++
+		c.kick()
+	}
+	c.loop.After(c.cfg.KeepaliveInterval, c.keepalive)
+}
+
+// kick starts the uplink transmit loop if idle.
+func (c *Client) kick() {
+	if c.busy || c.upQ.Len() == 0 && c.agg.PendingRetries() == 0 {
+		return
+	}
+	c.busy = true
+	c.medium.Contend(c.node, phy.CWMin, c.txop)
+}
+
+// txop builds and transmits one uplink aggregate.
+func (c *Client) txop() {
+	rate := c.rates.Select(c.loop.Now())
+	mpdus := c.agg.Build(rate, func() (packet.Packet, bool) {
+		return c.upQ.Pop()
+	})
+	if len(mpdus) == 0 {
+		c.busy = false
+		return
+	}
+	t := &mac.Transmission{
+		Tx:    c.node,
+		Dst:   c.UplinkDst,
+		Type:  mac.FrameData,
+		Rate:  rate,
+		MPDUs: mpdus,
+	}
+	c.medium.Transmit(t)
+	c.UplinkPPDUs++
+	c.lastTxAt = c.loop.Now()
+	deadline := t.End.Add(phy.SIFS + phy.BlockAckAirtime + c.cfg.BAWaitMargin)
+	aw := &awaitBA{sent: mpdus, rate: rate}
+	aw.timer = c.loop.At(deadline, func() { c.baTimeout(aw) })
+	c.await = aw
+}
+
+// baTimeout fires when no block ACK arrived for the last aggregate.
+func (c *Client) baTimeout(aw *awaitBA) {
+	if c.await != aw {
+		return
+	}
+	c.await = nil
+	c.BATimeouts++
+	c.agg.Timeout(aw.sent)
+	c.rates.Feedback(c.loop.Now(), aw.rate, len(aw.sent), 0)
+	c.busy = false
+	c.kick()
+}
+
+// clientReceiver adapts Client to mac.Receiver without exporting the
+// method set on Client itself.
+type clientReceiver Client
+
+// OnReceive implements mac.Receiver.
+func (cr *clientReceiver) OnReceive(t *mac.Transmission, det mac.Detection) {
+	c := (*Client)(cr)
+	switch t.Type {
+	case mac.FrameBlockAck:
+		c.onBlockAck(t, det)
+	case mac.FrameData:
+		c.onDownlinkData(t, det)
+	case mac.FrameBeacon:
+		if c.OnBeacon != nil && !det.Collided {
+			c.OnBeacon(t.Tx, det.ESNRdB)
+		}
+	case mac.FrameMgmt:
+		if c.OnMgmt != nil && !det.Collided && t.Dst == c.Addr {
+			c.OnMgmt(t.Tx, t.Mgmt)
+		}
+	}
+}
+
+// onBlockAck processes an AP's acknowledgement of our last uplink
+// aggregate. Several APs may answer (they are all associated); the first
+// uncollided BA wins, later ones are ignored.
+func (c *Client) onBlockAck(t *mac.Transmission, det mac.Detection) {
+	if t.Dst != c.Addr || c.await == nil {
+		return
+	}
+	if det.Collided {
+		c.BACollisions++
+		return // maybe another AP's copy survives
+	}
+	aw := c.await
+	c.await = nil
+	c.loop.Cancel(aw.timer)
+	res := c.agg.ProcessBA(aw.sent, t.BA)
+	c.rates.Feedback(c.loop.Now(), aw.rate, len(aw.sent), res.AckedCount)
+	c.busy = false
+	c.kick()
+}
+
+// onDownlinkData handles an AP→client aggregate: MAC-level dedup, IP-level
+// dedup (copies can arrive via two APs around a switch), delivery to the
+// stack, and the block-ACK response.
+func (c *Client) onDownlinkData(t *mac.Transmission, det mac.Detection) {
+	if t.Dst != c.Addr {
+		return
+	}
+	if c.AcceptFrom != nil && !c.AcceptFrom(t.Tx) {
+		return // baseline: not my AP
+	}
+	if det.Collided {
+		return // nothing decodable, no BA
+	}
+	anyOK := false
+	for i := range t.MPDUs {
+		if !det.OK[i] {
+			continue
+		}
+		anyOK = true
+		m := &t.MPDUs[i]
+		k := dupKey{tx: t.Tx, seq: m.Seq}
+		if c.dupMAC[k] {
+			c.RxDuplicates++
+			c.RxDupMAC++
+			continue // MAC retransmission of a frame we already have
+		}
+		c.rememberMAC(k)
+		ik := m.Pkt.DedupKey()
+		if c.dupIP[ik] {
+			c.RxDuplicates++
+			c.RxDupIP++
+			continue // same IP packet via another AP
+		}
+		c.rememberIP(ik)
+		c.RxMPDUs++
+		c.RxBytes += int64(m.Pkt.WireLen())
+		if c.OnPacket != nil {
+			c.OnPacket(m.Pkt)
+		}
+	}
+	if anyOK {
+		// Compressed BA back to the transmitter after SIFS. The BA
+		// acknowledges decoded MPDUs even if they were duplicates:
+		// acking is about MAC receipt, not stack delivery.
+		ba := mac.BuildBitmap(t.MPDUs, det.OK)
+		c.loop.After(phy.SIFS, func() {
+			c.medium.Transmit(&mac.Transmission{
+				Tx:   c.node,
+				Dst:  t.Tx.Addr,
+				Type: mac.FrameBlockAck,
+				Rate: phy.BasicRate,
+				BA:   ba,
+			})
+		})
+	}
+}
+
+// Dedup window sizes. The MAC window MUST be well below the 4096-value
+// sequence space: the transmitter legitimately reuses a sequence number
+// every 4096 MPDUs, and a window as large as the space would mistake every
+// reuse for a retransmission. 1024 comfortably exceeds any real
+// retransmission horizon (the BA window is 64).
+const (
+	macDedupWindow = 1024
+	ipDedupWindow  = 4096
+)
+
+func (c *Client) rememberMAC(k dupKey) {
+	c.dupMAC[k] = true
+	c.dupSeq = append(c.dupSeq, k)
+	if len(c.dupSeq) > macDedupWindow {
+		delete(c.dupMAC, c.dupSeq[0])
+		c.dupSeq = c.dupSeq[1:]
+	}
+}
+
+func (c *Client) rememberIP(k packet.DedupKey) {
+	c.dupIP[k] = true
+	c.dupIPQ = append(c.dupIPQ, k)
+	if len(c.dupIPQ) > ipDedupWindow {
+		delete(c.dupIP, c.dupIPQ[0])
+		c.dupIPQ = c.dupIPQ[1:]
+	}
+}
+
+// DebugState exposes internal flags for test diagnostics.
+func (c *Client) DebugState() (busy bool, awaiting bool, qlen int, retries int) {
+	return c.busy, c.await != nil, c.upQ.Len(), c.agg.PendingRetries()
+}

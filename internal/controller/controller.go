@@ -1,0 +1,388 @@
+// Package controller implements the WGTT controller (§3.1): per-link
+// sliding-window ESNR tracking from the APs' CSI reports, the
+// median-ESNR AP selection rule with time hysteresis, the
+// stop/start/ack switch issuing state machine with 30 ms retransmission,
+// downlink index stamping and fan-out to candidate APs, and uplink packet
+// de-duplication over the 48-bit (source IP, IP-ID) key.
+package controller
+
+import (
+	"wgtt/internal/backhaul"
+	"wgtt/internal/csi"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+	"wgtt/internal/trace"
+)
+
+// SelectPolicy chooses the statistic used to rank APs; Median is the
+// paper's rule, the others exist for the ablation benches.
+type SelectPolicy int
+
+// Selection policies.
+const (
+	SelectMedian SelectPolicy = iota
+	SelectMean
+	SelectLatest
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Window is the ESNR sliding-window span W (§3.1.1, Fig. 21: 10 ms).
+	Window sim.Duration
+	// Hysteresis is the minimum spacing between switch initiations for
+	// one client (§5.3.3, Fig. 22: 40 ms default).
+	Hysteresis sim.Duration
+	// StopTimeout is the stop→ack retransmission timeout (§3.1.2: 30 ms).
+	StopTimeout sim.Duration
+	// SettleDelay batches CSI reports before a selection decision: the
+	// reports that several APs generate for the same uplink frame reach
+	// the controller spread over backhaul microseconds, and deciding on
+	// the first arrival alone would compare windows of unequal
+	// freshness.
+	SettleDelay sim.Duration
+	// MaxStopRetries bounds retransmissions before abandoning a switch.
+	MaxStopRetries int
+	// SwitchMarginDB requires a candidate AP's median ESNR to exceed
+	// the serving AP's by this much before a switch is issued. The
+	// 17 ms switching protocol must be amortized: flapping between two
+	// statistically-equal APs buys nothing and mutes the downlink for
+	// the protocol's duration each time.
+	SwitchMarginDB float64
+	// Policy is the ranking statistic.
+	Policy SelectPolicy
+	// Dedup enables uplink de-duplication (§3.2.3; ablation knob).
+	Dedup bool
+}
+
+// DefaultConfig returns the paper's controller settings.
+func DefaultConfig() Config {
+	return Config{
+		Window:         10 * sim.Millisecond,
+		Hysteresis:     40 * sim.Millisecond,
+		StopTimeout:    30 * sim.Millisecond,
+		SettleDelay:    1 * sim.Millisecond,
+		SwitchMarginDB: 2,
+		MaxStopRetries: 10,
+		Policy:         SelectMedian,
+		Dedup:          true,
+	}
+}
+
+// Fabric resolves backhaul identities for the controller.
+type Fabric interface {
+	APNode(apID uint16) backhaul.NodeID
+	Server() backhaul.NodeID
+}
+
+type switchState struct {
+	id      uint32
+	from    int // -1 when adopting a client with no serving AP
+	to      int
+	retries int
+	timer   *sim.Event
+	issued  sim.Time
+}
+
+type clientState struct {
+	addr        packet.MAC
+	windows     []*csi.Window
+	lastSeen    []sim.Time
+	haveSeen    []bool
+	serving     int // AP id, -1 = none
+	nextIndex   uint16
+	sw          *switchState
+	lastInit    sim.Time
+	everInit    bool
+	evalPending bool
+}
+
+// Controller is the WGTT controller.
+type Controller struct {
+	loop   *sim.Loop
+	bh     *backhaul.Net
+	self   backhaul.NodeID
+	fabric Fabric
+	cfg    Config
+	numAPs int
+
+	// Trace, when set, receives switch-protocol events.
+	Trace *trace.Log
+
+	clients  map[packet.MAC]*clientState
+	ipToMAC  map[packet.IP]packet.MAC
+	dedup    map[packet.DedupKey]bool
+	dedupQ   []packet.DedupKey
+	switchID uint32
+
+	// Stats.
+	SwitchesIssued  int
+	SwitchesAcked   int
+	StopRetransmits int
+	// SwitchLatencies records the stop→ack execution time of every
+	// completed switch (Table 1's measurement).
+	SwitchLatencies  []sim.Duration
+	UplinkDelivered  int
+	UplinkDuplicates int
+	DownlinkFanout   int // DownlinkData messages emitted
+	DownlinkPackets  int // distinct packets admitted
+}
+
+// New creates the controller and attaches it to the backhaul at node
+// self.
+func New(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, numAPs int, cfg Config) *Controller {
+	c := &Controller{
+		loop:    loop,
+		bh:      bh,
+		self:    self,
+		fabric:  fabric,
+		cfg:     cfg,
+		numAPs:  numAPs,
+		clients: make(map[packet.MAC]*clientState),
+		ipToMAC: make(map[packet.IP]packet.MAC),
+		dedup:   make(map[packet.DedupKey]bool),
+	}
+	bh.AddNode(self, c.OnBackhaul)
+	return c
+}
+
+// RegisterClient announces a client's addressing before any CSI arrives
+// (association time), so downlink packets can be routed to its MAC.
+func (c *Controller) RegisterClient(addr packet.MAC, ip packet.IP) {
+	c.stateFor(addr)
+	c.ipToMAC[ip] = addr
+}
+
+// ServingAP reports which AP currently serves the client (-1 none).
+func (c *Controller) ServingAP(addr packet.MAC) int {
+	cs := c.clients[addr]
+	if cs == nil {
+		return -1
+	}
+	return cs.serving
+}
+
+func (c *Controller) stateFor(addr packet.MAC) *clientState {
+	cs := c.clients[addr]
+	if cs == nil {
+		cs = &clientState{
+			addr:     addr,
+			windows:  make([]*csi.Window, c.numAPs),
+			lastSeen: make([]sim.Time, c.numAPs),
+			haveSeen: make([]bool, c.numAPs),
+			serving:  -1,
+		}
+		for i := range cs.windows {
+			cs.windows[i] = csi.NewWindow(c.cfg.Window)
+		}
+		c.clients[addr] = cs
+	}
+	return cs
+}
+
+// OnBackhaul handles AP and server messages.
+func (c *Controller) OnBackhaul(from backhaul.NodeID, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.CSIReport:
+		c.onCSI(m)
+	case *packet.UplinkData:
+		c.onUplink(m)
+	case *packet.SwitchAck:
+		c.onSwitchAck(m)
+	case *packet.ServerData:
+		c.Downlink(m.Inner)
+	case *packet.AssocState:
+		c.RegisterClient(m.Client, m.IP)
+	}
+}
+
+// onCSI folds a CSI report into the client's per-AP window and re-runs AP
+// selection.
+func (c *Controller) onCSI(m *packet.CSIReport) {
+	if int(m.APID) >= c.numAPs {
+		return
+	}
+	cs := c.stateFor(m.Client)
+	esnr := csi.EffectiveSNRdB(m.SNRsDB[:], csi.RefModulation)
+	cs.windows[m.APID].Add(m.Time, esnr)
+	cs.lastSeen[m.APID] = c.loop.Now()
+	cs.haveSeen[m.APID] = true
+	if c.cfg.SettleDelay <= 0 {
+		c.maybeSwitch(cs)
+		return
+	}
+	if !cs.evalPending {
+		cs.evalPending = true
+		c.loop.After(c.cfg.SettleDelay, func() {
+			cs.evalPending = false
+			c.maybeSwitch(cs)
+		})
+	}
+}
+
+// score evaluates one AP's window under the configured policy.
+func (c *Controller) score(cs *clientState, ap int) (float64, bool) {
+	w := cs.windows[ap]
+	switch c.cfg.Policy {
+	case SelectMean:
+		return w.MeanAt(c.loop.Now())
+	case SelectLatest:
+		r, ok := w.Latest()
+		if !ok || c.loop.Now().Sub(r.Time) > c.cfg.Window {
+			return 0, false
+		}
+		return r.ESNRdB, true
+	default:
+		return w.MedianAt(c.loop.Now())
+	}
+}
+
+// maybeSwitch applies the selection rule: pick argmax over per-AP window
+// scores, and if it differs from the serving AP (respecting hysteresis
+// and the one-outstanding-switch rule) run the switching protocol.
+func (c *Controller) maybeSwitch(cs *clientState) {
+	if cs.sw != nil {
+		return // §3.1.2 footnote: one switch at a time
+	}
+	best, bestScore, any := -1, 0.0, false
+	for ap := 0; ap < c.numAPs; ap++ {
+		s, ok := c.score(cs, ap)
+		if !ok {
+			continue
+		}
+		if !any || s > bestScore {
+			best, bestScore, any = ap, s, true
+		}
+	}
+	if !any || best == cs.serving {
+		return
+	}
+	if cs.serving >= 0 {
+		if s, ok := c.score(cs, cs.serving); ok && bestScore < s+c.cfg.SwitchMarginDB {
+			return // not convincingly better than the serving AP
+		}
+	}
+	if cs.everInit && c.loop.Now().Sub(cs.lastInit) < c.cfg.Hysteresis {
+		return
+	}
+	c.issueSwitch(cs, best)
+}
+
+// issueSwitch starts the stop/start/ack protocol moving the client to AP
+// `to`.
+func (c *Controller) issueSwitch(cs *clientState, to int) {
+	c.switchID++
+	sw := &switchState{id: c.switchID, from: cs.serving, to: to, issued: c.loop.Now()}
+	cs.sw = sw
+	cs.lastInit = c.loop.Now()
+	cs.everInit = true
+	c.SwitchesIssued++
+	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "issue #%d %s ap%d->ap%d", sw.id, cs.addr, sw.from, sw.to)
+	c.sendStop(cs, sw)
+}
+
+// sendStop transmits the protocol's first step — or, for a client with no
+// serving AP yet, skips straight to start(c, k).
+func (c *Controller) sendStop(cs *clientState, sw *switchState) {
+	if sw.from < 0 {
+		// Initial adoption: no old AP holds a backlog; tell the new
+		// AP to begin at the next index the controller will assign.
+		c.bh.Send(c.self, c.fabric.APNode(uint16(sw.to)), &packet.Start{
+			Client:   cs.addr,
+			Index:    cs.nextIndex,
+			SwitchID: sw.id,
+		})
+	} else {
+		c.bh.Send(c.self, c.fabric.APNode(uint16(sw.from)), &packet.Stop{
+			Client:   cs.addr,
+			NewAP:    packet.APMAC(sw.to),
+			NewAPID:  uint16(sw.to),
+			SwitchID: sw.id,
+		})
+	}
+	sw.timer = c.loop.After(c.cfg.StopTimeout, func() { c.stopTimeout(cs, sw) })
+}
+
+// stopTimeout retransmits the stop (or abandons the switch after too many
+// tries, so selection can start over).
+func (c *Controller) stopTimeout(cs *clientState, sw *switchState) {
+	if cs.sw != sw {
+		return
+	}
+	if sw.retries >= c.cfg.MaxStopRetries {
+		cs.sw = nil
+		return
+	}
+	sw.retries++
+	c.StopRetransmits++
+	c.sendStop(cs, sw)
+}
+
+// onSwitchAck completes the protocol: the new AP is live.
+func (c *Controller) onSwitchAck(m *packet.SwitchAck) {
+	cs := c.stateFor(m.Client)
+	sw := cs.sw
+	if sw == nil || sw.id != m.SwitchID {
+		return // stale ack from a retransmitted round
+	}
+	c.loop.Cancel(sw.timer)
+	cs.serving = int(m.APID)
+	cs.sw = nil
+	c.SwitchesAcked++
+	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "ack #%d now ap%d", sw.id, m.APID)
+	if sw.from >= 0 {
+		// Only real handoffs count toward the protocol's execution
+		// time; initial adoptions skip the stop leg.
+		c.SwitchLatencies = append(c.SwitchLatencies, c.loop.Now().Sub(sw.issued))
+	}
+}
+
+// Downlink admits one packet from the wired side: stamp the index and fan
+// out to every candidate AP (those that heard the client within the
+// selection window, plus the serving AP).
+func (c *Controller) Downlink(p packet.Packet) {
+	addr, ok := c.ipToMAC[p.Dst]
+	if !ok {
+		return // unknown destination
+	}
+	cs := c.stateFor(addr)
+	p.Index = cs.nextIndex
+	cs.nextIndex = (cs.nextIndex + 1) & (packet.IndexMod - 1)
+	c.DownlinkPackets++
+
+	now := c.loop.Now()
+	for apID := 0; apID < c.numAPs; apID++ {
+		fresh := cs.haveSeen[apID] && now.Sub(cs.lastSeen[apID]) <= c.cfg.Window
+		if !fresh && apID != cs.serving {
+			continue
+		}
+		c.DownlinkFanout++
+		c.bh.Send(c.self, c.fabric.APNode(uint16(apID)), &packet.DownlinkData{
+			Client: addr,
+			Inner:  p,
+		})
+	}
+}
+
+// onUplink de-duplicates a tunneled uplink packet and forwards it to the
+// wired server.
+func (c *Controller) onUplink(m *packet.UplinkData) {
+	if c.cfg.Dedup {
+		k := m.Inner.DedupKey()
+		if c.dedup[k] {
+			c.UplinkDuplicates++
+			return
+		}
+		c.dedup[k] = true
+		c.dedupQ = append(c.dedupQ, k)
+		if len(c.dedupQ) > dedupCap {
+			delete(c.dedup, c.dedupQ[0])
+			c.dedupQ = c.dedupQ[1:]
+		}
+	}
+	c.UplinkDelivered++
+	c.bh.Send(c.self, c.fabric.Server(), &packet.ServerData{Inner: m.Inner})
+}
+
+// dedupCap bounds the de-duplication hashset, mirroring the
+// implementation's bounded hashset (§3.2.2).
+const dedupCap = 1 << 16

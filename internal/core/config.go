@@ -1,0 +1,119 @@
+// Package core assembles a complete WGTT (or Enhanced-802.11r) roadside
+// network: the eight-AP deployment geometry of Fig. 9, per-link radio
+// channels, the shared medium, the Ethernet backhaul with controller and
+// wired server, and the mobile clients. It is the paper's testbed in
+// software and the substrate every experiment runs on.
+package core
+
+import (
+	"wgtt/internal/ap"
+	"wgtt/internal/backhaul"
+	"wgtt/internal/baseline"
+	"wgtt/internal/client"
+	"wgtt/internal/controller"
+	"wgtt/internal/rf"
+)
+
+// Scheme selects the roaming system under test.
+type Scheme int
+
+// Schemes.
+const (
+	// WGTT is the paper's system.
+	WGTT Scheme = iota
+	// Enhanced80211r is the §5.1 comparison scheme.
+	Enhanced80211r
+	// Stock80211r is the §2 motivation behaviour (5 s history,
+	// over-the-DS transition).
+	Stock80211r
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case WGTT:
+		return "WGTT"
+	case Enhanced80211r:
+		return "Enhanced 802.11r"
+	case Stock80211r:
+		return "Stock 802.11r"
+	}
+	return "Scheme(?)"
+}
+
+// Config describes a deployment.
+type Config struct {
+	Seed   int64
+	Scheme Scheme
+
+	// Geometry (§4, Fig. 9): NumAPs APs along the road at APSpacing,
+	// set back APSetback meters from the near lane (which runs at
+	// y = 0), boresights perpendicular to the road.
+	NumAPs    int
+	APSpacing float64
+	APSetback float64
+	FirstAPX  float64
+
+	RF         rf.Params
+	AP         ap.Config
+	Controller controller.Config
+	BaselineAP baseline.APConfig
+	Roamer     baseline.RoamerConfig
+	Client     client.Config
+	Backhaul   backhaul.Config
+
+	// TraceCapacity, when positive, enables the tcpdump-style event log
+	// (Network.Trace) retaining this many most-recent events.
+	TraceCapacity int
+
+	// Cross-link budgets used only for carrier sense and interference.
+	// Clients sit inside vehicles (extra penetration loss); APs hear
+	// each other along the wall.
+	ClientClientLossDB float64
+	APAPSenseSNRdB     float64
+	APAPSenseRangeM    float64
+}
+
+// DefaultConfig returns the paper's testbed configuration for a scheme.
+func DefaultConfig(scheme Scheme) Config {
+	cfg := Config{
+		Seed:       1,
+		Scheme:     scheme,
+		NumAPs:     8,
+		APSpacing:  7.5,
+		APSetback:  18,
+		FirstAPX:   0,
+		RF:         rf.DefaultParams(),
+		AP:         ap.DefaultConfig(),
+		Controller: controller.DefaultConfig(),
+		BaselineAP: baseline.DefaultAPConfig(),
+		Roamer:     baseline.DefaultRoamerConfig(),
+		Client:     client.DefaultConfig(),
+		Backhaul:   backhaul.DefaultConfig(),
+
+		ClientClientLossDB: 20,
+		APAPSenseSNRdB:     20,
+		APAPSenseRangeM:    60,
+	}
+	if scheme == Stock80211r {
+		cfg.Roamer = baseline.Stock11rConfig()
+	}
+	return cfg
+}
+
+// APPosition returns AP i's mounting position.
+func (c *Config) APPosition(i int) rf.Position {
+	return rf.Position{X: c.FirstAPX + float64(i)*c.APSpacing, Y: c.APSetback}
+}
+
+// RoadSpanX returns the x-range covered by the AP array.
+func (c *Config) RoadSpanX() (lo, hi float64) {
+	return c.FirstAPX, c.FirstAPX + float64(c.NumAPs-1)*c.APSpacing
+}
+
+const (
+	// Backhaul node ids.
+	nodeController backhaul.NodeID = 0
+	nodeServer     backhaul.NodeID = 1
+	nodeFirstAP    backhaul.NodeID = 2
+)

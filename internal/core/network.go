@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wgtt/internal/ap"
+	"wgtt/internal/backhaul"
+	"wgtt/internal/baseline"
+	"wgtt/internal/client"
+	"wgtt/internal/controller"
+	"wgtt/internal/csi"
+	"wgtt/internal/mac"
+	"wgtt/internal/mobility"
+	"wgtt/internal/packet"
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+	"wgtt/internal/trace"
+)
+
+// Client couples a mobile station with its trajectory and per-port
+// downlink demultiplexer.
+type Client struct {
+	*client.Client
+	Traj   mobility.Trajectory
+	Roamer *baseline.Roamer // baseline schemes only
+	demux  map[uint16]func(packet.Packet)
+}
+
+// Handle registers a downlink consumer for a destination port on this
+// client (a transport endpoint).
+func (c *Client) Handle(port uint16, fn func(packet.Packet)) {
+	c.demux[port] = fn
+}
+
+// Network is a fully wired deployment.
+type Network struct {
+	Cfg  Config
+	Loop *sim.Loop
+
+	Medium   *mac.Medium
+	Backhaul *backhaul.Net
+
+	// Scheme-specific planes (exactly one pair is non-nil).
+	Ctrl    *controller.Controller
+	APs     []*ap.AP
+	Bridge  *baseline.Bridge
+	BaseAPs []*baseline.AP
+
+	Clients []*Client
+
+	// Trace is the optional event log (Config.TraceCapacity > 0).
+	Trace *trace.Log
+
+	rng        *sim.RNG
+	serverIPID uint16
+	apNodes    []*mac.Node
+	// links[apIdx][clientID] is the radio channel realization.
+	links       [][]*rf.Link
+	nodeKind    map[*mac.Node]nodeRef
+	serverDemux map[uint16]func(packet.Packet)
+}
+
+type nodeRef struct {
+	isAP bool
+	idx  int
+}
+
+// NewNetwork builds and wires a deployment. Clients are added with
+// AddClient before Run.
+func NewNetwork(cfg Config) *Network {
+	loop := sim.NewLoop()
+	rng := sim.NewRNG(cfg.Seed)
+	n := &Network{
+		Cfg:         cfg,
+		Loop:        loop,
+		rng:         rng,
+		nodeKind:    make(map[*mac.Node]nodeRef),
+		serverDemux: make(map[uint16]func(packet.Packet)),
+	}
+	if cfg.TraceCapacity > 0 {
+		n.Trace = trace.New(cfg.TraceCapacity)
+	}
+	n.Medium = mac.NewMedium(loop, (*netChannel)(n), rng.Fork("medium"))
+	n.Backhaul = backhaul.New(loop, cfg.Backhaul)
+	n.Backhaul.AddNode(nodeServer, n.onServerBackhaul)
+
+	fab := &fabric{n: n}
+	switch cfg.Scheme {
+	case WGTT:
+		n.Ctrl = controller.New(loop, n.Backhaul, nodeController, fab, cfg.NumAPs, cfg.Controller)
+		n.Ctrl.Trace = n.Trace
+		for i := 0; i < cfg.NumAPs; i++ {
+			a := ap.New(uint16(i), cfg.APPosition(i), loop, n.Medium, n.Backhaul,
+				nodeFirstAP+backhaul.NodeID(i), fab, cfg.AP, rng.Fork(fmt.Sprintf("ap%d", i)))
+			a.Trace = n.Trace
+			n.APs = append(n.APs, a)
+			n.apNodes = append(n.apNodes, a.Node())
+			n.nodeKind[a.Node()] = nodeRef{isAP: true, idx: i}
+		}
+	default:
+		n.Bridge = baseline.NewBridge(loop, n.Backhaul, nodeController, fab, nodeServer, cfg.NumAPs)
+		for i := 0; i < cfg.NumAPs; i++ {
+			a := baseline.NewAP(uint16(i), cfg.APPosition(i), loop, n.Medium, n.Backhaul,
+				nodeFirstAP+backhaul.NodeID(i), fab, cfg.BaselineAP, rng.Fork(fmt.Sprintf("bap%d", i)))
+			n.BaseAPs = append(n.BaseAPs, a)
+			n.apNodes = append(n.apNodes, a.Node())
+			n.nodeKind[a.Node()] = nodeRef{isAP: true, idx: i}
+		}
+	}
+	return n
+}
+
+// AddClient attaches a mobile client following traj. Clients must be
+// added before Run; the returned handle carries the transport hookup
+// points.
+func (n *Network) AddClient(traj mobility.Trajectory) *Client {
+	id := len(n.Clients)
+	cl := client.New(id, n.Loop, n.Medium, traj, n.Cfg.Client, n.rng.Fork(fmt.Sprintf("client%d", id)))
+	c := &Client{Client: cl, Traj: traj, demux: make(map[uint16]func(packet.Packet))}
+	cl.OnPacket = func(p packet.Packet) {
+		if fn := c.demux[p.DstPort]; fn != nil {
+			fn(p)
+		}
+	}
+	n.nodeKind[cl.Node()] = nodeRef{isAP: false, idx: id}
+
+	// Per-AP radio links for this client.
+	row := make([]*rf.Link, n.Cfg.NumAPs)
+	for i := 0; i < n.Cfg.NumAPs; i++ {
+		row[i] = rf.NewLink(n.Cfg.RF, n.Cfg.APPosition(i),
+			rf.DefaultParabolic(-90), // boresight straight at the road
+			rf.Omni{},
+			n.rng.Fork(fmt.Sprintf("link-%d-%d", i, id)))
+	}
+	n.links = append(n.links, nil) // placeholder, replaced below
+	n.links[id] = row
+	n.Clients = append(n.Clients, c)
+
+	// Association: WGTT replicates state and registers with the
+	// controller; baselines force-associate with the nearest AP.
+	switch n.Cfg.Scheme {
+	case WGTT:
+		n.Ctrl.RegisterClient(cl.Addr, cl.IP)
+		// §4.3: the first AP shares sta_info with its peers.
+		n.Backhaul.Broadcast(nodeController, &packet.AssocState{
+			Client: cl.Addr, IP: cl.IP, AID: uint16(id + 1), State: packet.StateAssociated,
+		})
+	default:
+		best := n.nearestAP(traj.Pos(n.Loop.Now()))
+		n.BaseAPs[best].ForceAssociate(cl.Addr, cl.IP)
+		n.Bridge.RegisterClient(cl.Addr, cl.IP)
+		c.Roamer = baseline.NewRoamer(n.Loop, n.Medium, cl, n.apNodes[best], n.Cfg.Roamer)
+	}
+	return c
+}
+
+// nearestAP returns the AP index closest to pos.
+func (n *Network) nearestAP(pos rf.Position) int {
+	best, bestD := 0, math.Inf(1)
+	for i := 0; i < n.Cfg.NumAPs; i++ {
+		if d := n.Cfg.APPosition(i).Distance(pos); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Run advances the network to the given virtual time.
+func (n *Network) Run(until sim.Duration) { n.Loop.Run(sim.Time(until)) }
+
+// ServerHandle registers an uplink consumer for a destination port at the
+// wired server.
+func (n *Network) ServerHandle(port uint16, fn func(packet.Packet)) {
+	n.serverDemux[port] = fn
+}
+
+// SendFromServer injects a downlink packet at the wired server (the Wire
+// for server-side transport endpoints). Like a real IP stack, the server
+// host stamps the IP identification field from a single per-host counter
+// shared by all its flows — the de-duplication key downstream depends on
+// host-wide uniqueness, not per-connection uniqueness.
+func (n *Network) SendFromServer(p packet.Packet) {
+	if p.Src.IsZero() {
+		p.Src = packet.ServerIP
+	}
+	n.serverIPID++
+	p.IPID = n.serverIPID
+	n.Backhaul.Send(nodeServer, nodeController, &packet.ServerData{Inner: p})
+}
+
+// onServerBackhaul receives uplink packets at the wired server.
+func (n *Network) onServerBackhaul(from backhaul.NodeID, msg packet.Message) {
+	m, ok := msg.(*packet.ServerData)
+	if !ok {
+		return
+	}
+	if fn := n.serverDemux[m.Inner.DstPort]; fn != nil {
+		fn(m.Inner)
+	}
+}
+
+// ServingAP reports which AP currently serves/associates client id (-1
+// none).
+func (n *Network) ServingAP(clientID int) int {
+	c := n.Clients[clientID]
+	switch n.Cfg.Scheme {
+	case WGTT:
+		return n.Ctrl.ServingAP(c.Addr)
+	default:
+		if c.Roamer == nil {
+			return -1
+		}
+		ref, ok := n.nodeKind[c.Roamer.Current()]
+		if !ok || !ref.isAP {
+			return -1
+		}
+		return ref.idx
+	}
+}
+
+// LinkESNRdB returns the instantaneous effective SNR of the ap↔client
+// link at the client's current position — ground truth for oracle
+// comparisons (Table 2) and the Fig. 2 traces.
+func (n *Network) LinkESNRdB(apIdx, clientID int) float64 {
+	var snrs [rf.NumSubcarriers]float64
+	pos := n.Clients[clientID].Traj.Pos(n.Loop.Now())
+	n.links[clientID][apIdx].SubcarrierSNRsDB(pos, snrs[:])
+	return csi.EffectiveSNRdB(snrs[:], csi.RefModulation)
+}
+
+// OracleBestAP returns the AP with maximal instantaneous ESNR to the
+// client.
+func (n *Network) OracleBestAP(clientID int) int {
+	best, bestV := 0, math.Inf(-1)
+	for i := 0; i < n.Cfg.NumAPs; i++ {
+		if v := n.LinkESNRdB(i, clientID); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// fabric implements ap.Fabric, controller.Fabric and baseline.Fabric.
+type fabric struct{ n *Network }
+
+// APNode maps a WGTT AP id to its backhaul node.
+func (f *fabric) APNode(apID uint16) backhaul.NodeID {
+	return nodeFirstAP + backhaul.NodeID(apID)
+}
+
+// APByMAC resolves an AP's layer-2 address.
+func (f *fabric) APByMAC(addr packet.MAC) (backhaul.NodeID, bool) {
+	for i := 0; i < f.n.Cfg.NumAPs; i++ {
+		if packet.APMAC(i) == addr {
+			return nodeFirstAP + backhaul.NodeID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Controller returns the controller's backhaul node.
+func (f *fabric) Controller() backhaul.NodeID { return nodeController }
+
+// Server returns the wired server's backhaul node.
+func (f *fabric) Server() backhaul.NodeID { return nodeServer }
+
+// Bridge returns the baseline bridge's backhaul node.
+func (f *fabric) Bridge() backhaul.NodeID { return nodeController }
+
+// netChannel implements mac.Channel over the deployment geometry.
+type netChannel Network
+
+// SubcarrierSNRs implements mac.Channel.
+func (nc *netChannel) SubcarrierSNRs(tx, rx *mac.Node, dst []float64) bool {
+	n := (*Network)(nc)
+	tref, tok := n.nodeKind[tx]
+	rref, rok := n.nodeKind[rx]
+	if !tok || !rok {
+		return false
+	}
+	switch {
+	case tref.isAP && !rref.isAP:
+		// Downlink: AP → client.
+		pos := n.Clients[rref.idx].Traj.Pos(n.Loop.Now())
+		n.links[rref.idx][tref.idx].SubcarrierSNRsDB(pos, dst)
+		return true
+	case !tref.isAP && rref.isAP:
+		// Uplink: reciprocal channel.
+		pos := n.Clients[tref.idx].Traj.Pos(n.Loop.Now())
+		n.links[tref.idx][rref.idx].SubcarrierSNRsDB(pos, dst)
+		return true
+	case !tref.isAP && !rref.isAP:
+		snr := n.clientClientSNR(tref.idx, rref.idx)
+		if snr < -5 {
+			return false
+		}
+		for i := range dst {
+			dst[i] = snr
+		}
+		return true
+	default:
+		// AP ↔ AP: only sensing matters; give them a flat strong
+		// channel within range.
+		snr := nc.SenseSNRdB(tx, rx)
+		if snr < -5 {
+			return false
+		}
+		for i := range dst {
+			dst[i] = snr
+		}
+		return true
+	}
+}
+
+// SenseSNRdB implements mac.Channel (large-scale only).
+func (nc *netChannel) SenseSNRdB(tx, rx *mac.Node) float64 {
+	n := (*Network)(nc)
+	tref, tok := n.nodeKind[tx]
+	rref, rok := n.nodeKind[rx]
+	if !tok || !rok {
+		return -100
+	}
+	switch {
+	case tref.isAP && !rref.isAP:
+		pos := n.Clients[rref.idx].Traj.Pos(n.Loop.Now())
+		return n.links[rref.idx][tref.idx].MeanSNRdB(pos)
+	case !tref.isAP && rref.isAP:
+		pos := n.Clients[tref.idx].Traj.Pos(n.Loop.Now())
+		return n.links[tref.idx][rref.idx].MeanSNRdB(pos)
+	case !tref.isAP && !rref.isAP:
+		return n.clientClientSNR(tref.idx, rref.idx)
+	default:
+		a := n.Cfg.APPosition(tref.idx)
+		b := n.Cfg.APPosition(rref.idx)
+		if a.Distance(b) <= n.Cfg.APAPSenseRangeM {
+			return n.Cfg.APAPSenseSNRdB
+		}
+		return -10
+	}
+}
+
+// clientClientSNR is the vehicle-to-vehicle budget: omni antennas, double
+// in-vehicle penetration, log-distance path loss.
+func (n *Network) clientClientSNR(a, b int) float64 {
+	pa := n.Clients[a].Traj.Pos(n.Loop.Now())
+	pb := n.Clients[b].Traj.Pos(n.Loop.Now())
+	d := pa.Distance(pb)
+	if d < 1 {
+		d = 1
+	}
+	pl := n.Cfg.RF.RefLossDB + 10*n.Cfg.RF.PathLossExp*math.Log10(d)
+	return n.Cfg.RF.TxPowerDBm - pl - n.Cfg.ClientClientLossDB - n.Cfg.RF.NoiseDBm
+}

@@ -1,0 +1,154 @@
+// Package csi implements channel state information snapshots and the
+// Effective SNR (ESNR) metric of Halperin et al. ("Predictable 802.11
+// packet delivery from wireless channel measurements", SIGCOMM 2010),
+// which WGTT's controller uses to predict which AP can deliver a packet.
+//
+// Plain average SNR misleads on frequency-selective channels: a handful of
+// deeply-faded subcarriers dominate the error rate even when the average
+// looks healthy. ESNR fixes this by averaging in BER domain: compute each
+// subcarrier's bit error rate for a given modulation, average those, and
+// report the flat-channel SNR that would produce the same average BER.
+package csi
+
+import (
+	"fmt"
+	"math"
+
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// Modulation enumerates the 802.11n constellations.
+type Modulation int
+
+// Supported constellations.
+const (
+	BPSK Modulation = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	switch m {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	}
+	return fmt.Sprintf("Modulation(%d)", int(m))
+}
+
+// BitsPerSymbol returns the bits carried per subcarrier symbol.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	}
+	return 0
+}
+
+// qfunc is the Gaussian tail probability Q(x).
+func qfunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// BER returns the uncoded bit error rate of the modulation at a given
+// symbol SNR (linear). Formulas follow Halperin et al. §3.
+func BER(m Modulation, snr float64) float64 {
+	if snr < 0 {
+		snr = 0
+	}
+	switch m {
+	case BPSK:
+		return qfunc(math.Sqrt(2 * snr))
+	case QPSK:
+		return qfunc(math.Sqrt(snr))
+	case QAM16:
+		return 0.75 * qfunc(math.Sqrt(snr/5))
+	case QAM64:
+		return (7.0 / 12.0) * qfunc(math.Sqrt(snr/21))
+	}
+	return 1
+}
+
+// dbToLinear converts dB to a linear power ratio.
+func dbToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// linearToDB converts a linear power ratio to dB.
+func linearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// invBER returns the SNR (linear) at which the modulation's BER equals
+// target. BER is strictly decreasing in SNR, so a bisection over the dB
+// axis converges fast and is exact enough (±0.001 dB) for link selection.
+func invBER(m Modulation, target float64) float64 {
+	if target <= 0 {
+		return dbToLinear(60)
+	}
+	lo, hi := -20.0, 60.0
+	if BER(m, dbToLinear(lo)) < target {
+		return dbToLinear(lo)
+	}
+	if BER(m, dbToLinear(hi)) > target {
+		return dbToLinear(hi)
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if BER(m, dbToLinear(mid)) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return dbToLinear((lo + hi) / 2)
+}
+
+// EffectiveSNRdB computes ESNR in dB from per-subcarrier SNRs (dB) for a
+// given modulation: mean the per-subcarrier BERs, then invert.
+func EffectiveSNRdB(snrsDB []float64, m Modulation) float64 {
+	if len(snrsDB) == 0 {
+		return math.Inf(-1)
+	}
+	sum := 0.0
+	for _, s := range snrsDB {
+		sum += BER(m, dbToLinear(s))
+	}
+	return linearToDB(invBER(m, sum/float64(len(snrsDB))))
+}
+
+// Snapshot is one CSI measurement taken from a received uplink frame: the
+// per-subcarrier SNRs the Atheros CSI tool would report, stamped with the
+// reception time. APs encapsulate snapshots in UDP packets to the
+// controller (§3.1.1).
+type Snapshot struct {
+	Time   sim.Time
+	SNRsDB [rf.NumSubcarriers]float64
+}
+
+// ESNRdB evaluates the snapshot's effective SNR for modulation m. WGTT
+// uses a fixed reference modulation for AP ranking so readings from
+// different APs are comparable.
+func (s *Snapshot) ESNRdB(m Modulation) float64 {
+	return EffectiveSNRdB(s.SNRsDB[:], m)
+}
+
+// RefModulation is the reference constellation used when ranking APs. The
+// mid-range 16-QAM keeps the metric sensitive across the whole useful SNR
+// range (BPSK saturates high, 64-QAM saturates low).
+const RefModulation = QAM16

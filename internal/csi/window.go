@@ -1,0 +1,96 @@
+package csi
+
+import (
+	"sort"
+
+	"wgtt/internal/sim"
+)
+
+// Reading is one timestamped ESNR observation of a client↔AP link.
+type Reading struct {
+	Time   sim.Time
+	ESNRdB float64
+}
+
+// Window holds the short-term history of ESNR readings for one client-AP
+// link over a sliding duration W (§3.1.1). The controller keeps one Window
+// per (client, AP) pair and ranks APs by the median reading.
+//
+// The zero value is not usable; construct with NewWindow.
+type Window struct {
+	span     sim.Duration
+	readings []Reading // ordered by arrival time
+	scratch  []float64
+}
+
+// NewWindow returns a sliding window of the given span. The paper's
+// microbenchmark (Fig. 21) picks span = 10 ms.
+func NewWindow(span sim.Duration) *Window {
+	return &Window{span: span}
+}
+
+// Span returns the window duration.
+func (w *Window) Span() sim.Duration { return w.span }
+
+// Add records a reading and expires entries older than span before t.
+// Readings must arrive in nondecreasing time order (they come from a
+// single event loop).
+func (w *Window) Add(t sim.Time, esnrDB float64) {
+	w.readings = append(w.readings, Reading{Time: t, ESNRdB: esnrDB})
+	w.expire(t)
+}
+
+// expire drops readings that fell out of the window as of time t.
+func (w *Window) expire(t sim.Time) {
+	cutoff := t.Add(-w.span)
+	i := 0
+	for i < len(w.readings) && w.readings[i].Time < cutoff {
+		i++
+	}
+	if i > 0 {
+		w.readings = append(w.readings[:0], w.readings[i:]...)
+	}
+}
+
+// Len returns the number of readings currently inside the window as of the
+// last Add/MedianAt call.
+func (w *Window) Len() int { return len(w.readings) }
+
+// MedianAt returns the median ESNR of readings within the window at time
+// t, and whether any reading exists. This is the e_{⌊L/2⌋} statistic of
+// the paper's selection rule: robust to the single outlier readings that
+// deep fades and capture effects produce.
+func (w *Window) MedianAt(t sim.Time) (float64, bool) {
+	w.expire(t)
+	if len(w.readings) == 0 {
+		return 0, false
+	}
+	w.scratch = w.scratch[:0]
+	for _, r := range w.readings {
+		w.scratch = append(w.scratch, r.ESNRdB)
+	}
+	sort.Float64s(w.scratch)
+	return w.scratch[len(w.scratch)/2], true
+}
+
+// Latest returns the most recent reading, if any.
+func (w *Window) Latest() (Reading, bool) {
+	if len(w.readings) == 0 {
+		return Reading{}, false
+	}
+	return w.readings[len(w.readings)-1], true
+}
+
+// MeanAt returns the arithmetic-mean ESNR within the window at time t.
+// Used by the ablation bench comparing median vs mean selection.
+func (w *Window) MeanAt(t sim.Time) (float64, bool) {
+	w.expire(t)
+	if len(w.readings) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, r := range w.readings {
+		sum += r.ESNRdB
+	}
+	return sum / float64(len(w.readings)), true
+}

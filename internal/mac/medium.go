@@ -1,0 +1,286 @@
+package mac
+
+import (
+	"wgtt/internal/csi"
+	"wgtt/internal/packet"
+	"wgtt/internal/phy"
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// Channel supplies the instantaneous radio state between two nodes. The
+// core package implements it over rf.Link realizations; mac stays agnostic
+// of geometry.
+type Channel interface {
+	// SubcarrierSNRs fills dst (rf.NumSubcarriers long) with the
+	// per-subcarrier SNR in dB at rx for a transmission from tx, and
+	// reports whether rx can hear tx at all.
+	SubcarrierSNRs(tx, rx *Node, dst []float64) bool
+	// SenseSNRdB returns the large-scale SNR rx observes from tx, used
+	// for carrier sensing (energy detection ignores fast fading).
+	SenseSNRdB(tx, rx *Node) float64
+}
+
+// Detection is what a receiver learns from one PPDU: per-MPDU decode
+// outcomes and the CSI measured on the frame.
+type Detection struct {
+	// OK[i] reports whether MPDU i decoded (FrameData only).
+	OK []bool
+	// Collided marks the whole PPDU destroyed by an overlapping
+	// transmission.
+	Collided bool
+	// SNRsDB is the CSI snapshot measured on this reception.
+	SNRsDB [rf.NumSubcarriers]float64
+	// ESNRdB is the effective SNR at the frame's modulation.
+	ESNRdB float64
+}
+
+// Receiver consumes deliveries from the medium.
+type Receiver interface {
+	// OnReceive fires at PPDU end for every audible node except the
+	// transmitter. Frames whose preamble was undetectable are filtered
+	// before this call.
+	OnReceive(t *Transmission, det Detection)
+}
+
+// Node is one radio on the channel.
+type Node struct {
+	Name string
+	Addr packet.MAC
+	// Pos reports the node's current position (mobile for clients).
+	Pos func() rf.Position
+	// Recv handles deliveries; nil nodes only transmit.
+	Recv Receiver
+	// transmitting marks an in-flight PPDU from this node.
+	transmitting bool
+}
+
+// Thresholds (dB over noise floor).
+const (
+	// senseThresholdDB: energy above this is "channel busy" (≈ −82 dBm
+	// CCA with a −95 dBm floor).
+	senseThresholdDB = 13
+	// detectThresholdDB: below this a preamble is undetectable.
+	detectThresholdDB = 1
+	// captureMarginDB: a frame survives an overlap when it is this much
+	// stronger than the interferer (preamble capture).
+	captureMarginDB = 10
+)
+
+// Medium is the shared 2.4 GHz channel: it arbitrates access (CSMA with
+// binary-exponential-style backoff), applies the ESNR→PER error model per
+// MPDU per receiver, and resolves collisions with capture.
+type Medium struct {
+	loop    *sim.Loop
+	channel Channel
+	rng     *sim.RNG
+	nodes   []*Node
+	active  []*Transmission
+	stats   MediumStats
+}
+
+// MediumStats counts medium-level events.
+type MediumStats struct {
+	PPDUs      int
+	MPDUs      int
+	MPDULosses int
+	Collisions int
+}
+
+// NewMedium creates the channel on the given loop.
+func NewMedium(loop *sim.Loop, channel Channel, rng *sim.RNG) *Medium {
+	return &Medium{loop: loop, channel: channel, rng: rng}
+}
+
+// Register attaches a node to the channel.
+func (m *Medium) Register(n *Node) {
+	m.nodes = append(m.nodes, n)
+}
+
+// Stats returns medium counters.
+func (m *Medium) Stats() MediumStats { return m.stats }
+
+// busyUntil returns the time until which node n senses the channel busy,
+// including NAV reservations for pending block ACKs.
+func (m *Medium) busyUntil(n *Node) sim.Time {
+	var until sim.Time
+	for _, t := range m.active {
+		end := t.End
+		if t.expectsBA {
+			// NAV: the medium stays reserved for the SIFS + block
+			// ACK response of a unicast data PPDU.
+			end = end.Add(phy.SIFS + phy.BlockAckAirtime)
+		}
+		if end <= m.loop.Now() {
+			continue
+		}
+		if t.Tx == n || m.channel.SenseSNRdB(t.Tx, n) >= senseThresholdDB {
+			if end > until {
+				until = end
+			}
+		}
+	}
+	return until
+}
+
+// BlockAckOnAir reports whether a block ACK from another node is
+// currently on the air audible to n. Secondary responders (non-serving
+// APs acking an uplink frame) use this as their CCA check before sending
+// a redundant ack; BAs that started within the last microsecond are
+// invisible (the radio's CCA blind window), which is what makes the rare
+// residual ack collisions of Table 3 possible.
+func (m *Medium) BlockAckOnAir(n *Node) bool {
+	now := m.loop.Now()
+	for _, t := range m.active {
+		if t.Type != FrameBlockAck || t.Tx == n {
+			continue
+		}
+		if t.End <= now || t.Start > now.Add(-500*sim.Nanosecond) {
+			continue
+		}
+		if m.channel.SenseSNRdB(t.Tx, n) >= senseThresholdDB {
+			return true
+		}
+	}
+	return false
+}
+
+// Contend schedules cb to run when node n wins a transmit opportunity:
+// wait for the channel to go idle (as n senses it), then DIFS plus a
+// random backoff in [0, cw) slots, re-deferring if the channel got busy
+// meanwhile. cw ≤ 0 uses CWMin.
+func (m *Medium) Contend(n *Node, cw int, cb func()) {
+	if cw <= 0 {
+		cw = 16
+	}
+	slots := m.rng.Intn(cw)
+	m.contendAfter(n, slots, cb)
+}
+
+func (m *Medium) contendAfter(n *Node, slots int, cb func()) {
+	start := m.loop.Now()
+	if bu := m.busyUntil(n); bu > start {
+		start = bu
+	}
+	grant := start.Add(phy.DIFS + sim.Duration(slots)*phy.Slot)
+	m.loop.At(grant, func() {
+		// The channel may have become busy again; freeze the backoff
+		// and resume after it clears (approximating 802.11's counter
+		// freeze with a single remaining-slot re-draw).
+		if m.busyUntil(n) > m.loop.Now() {
+			m.contendAfter(n, m.rng.Intn(4), cb)
+			return
+		}
+		cb()
+	})
+}
+
+// Transmit puts t on the air now. The caller must not reuse t. Deliveries
+// fire at PPDU end for every audible registered node.
+func (m *Medium) Transmit(t *Transmission) {
+	t.Start = m.loop.Now()
+	t.End = t.Start.Add(t.Airtime())
+	t.expectsBA = t.Type == FrameData && t.Dst != Broadcast
+	t.Tx.transmitting = true
+	m.active = append(m.active, t)
+	m.stats.PPDUs++
+	m.stats.MPDUs += len(t.MPDUs)
+
+	m.loop.At(t.End, func() {
+		t.Tx.transmitting = false
+		m.deliverAll(t)
+		m.prune()
+	})
+}
+
+// deliverAll evaluates t at every potential receiver.
+func (m *Medium) deliverAll(t *Transmission) {
+	var snrs [rf.NumSubcarriers]float64
+	for _, n := range m.nodes {
+		if n == t.Tx || n.Recv == nil {
+			continue
+		}
+		if !m.channel.SubcarrierSNRs(t.Tx, n, snrs[:]) {
+			continue
+		}
+		esnr := csi.EffectiveSNRdB(snrs[:], t.Rate.Modulation)
+		if esnr < detectThresholdDB {
+			continue
+		}
+		det := Detection{ESNRdB: esnr, SNRsDB: snrs}
+		if m.collided(t, n, esnr) {
+			det.Collided = true
+			if len(t.MPDUs) > 0 {
+				det.OK = make([]bool, len(t.MPDUs))
+				m.stats.MPDULosses += len(t.MPDUs)
+			}
+			m.stats.Collisions++
+			n.Recv.OnReceive(t, det)
+			continue
+		}
+		if t.Type == FrameData {
+			det.OK = make([]bool, len(t.MPDUs))
+			for i := range t.MPDUs {
+				per := phy.PER(t.Rate, esnr, t.MPDUs[i].Pkt.WireLen())
+				ok := m.rng.Float64() >= per
+				det.OK[i] = ok
+				if !ok {
+					m.stats.MPDULosses++
+				}
+			}
+		} else {
+			// Control/management frames succeed or fail whole.
+			per := phy.PER(t.Rate, esnr, frameBytes(t))
+			if m.rng.Float64() < per {
+				continue // undecodable: receiver never sees it
+			}
+		}
+		n.Recv.OnReceive(t, det)
+	}
+}
+
+// collided reports whether an overlapping transmission destroys t at
+// receiver n (interferer within captureMarginDB of t's signal).
+func (m *Medium) collided(t *Transmission, n *Node, esnrT float64) bool {
+	for _, o := range m.active {
+		if o == t || o.Tx == t.Tx || o.Tx == n {
+			continue
+		}
+		if o.End <= t.Start || o.Start >= t.End {
+			continue
+		}
+		inter := m.channel.SenseSNRdB(o.Tx, n)
+		if inter > esnrT-captureMarginDB {
+			return true
+		}
+	}
+	return false
+}
+
+// prune drops transmissions that ended long ago from the overlap window.
+func (m *Medium) prune() {
+	cutoff := m.loop.Now().Add(-10 * sim.Millisecond)
+	out := m.active[:0]
+	for _, t := range m.active {
+		if t.End >= cutoff {
+			out = append(out, t)
+		}
+	}
+	for i := len(out); i < len(m.active); i++ {
+		m.active[i] = nil
+	}
+	m.active = out
+}
+
+// frameBytes returns the decodable body size of a non-data frame.
+func frameBytes(t *Transmission) int {
+	switch t.Type {
+	case FrameBlockAck:
+		return 32
+	case FrameBeacon:
+		return beaconBytes
+	case FrameMgmt:
+		return mgmtFrameBytes
+	}
+	return 0
+}

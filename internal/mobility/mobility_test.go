@@ -1,0 +1,186 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+func sec(s float64) sim.Time { return sim.Time(s * float64(sim.Second)) }
+
+func TestMPHConversion(t *testing.T) {
+	if v := MPHToMps(25); math.Abs(v-11.176) > 0.001 {
+		t.Errorf("25 mph = %v m/s, want 11.176", v)
+	}
+	if MPHToMps(0) != 0 {
+		t.Error("0 mph != 0")
+	}
+}
+
+func TestStationary(t *testing.T) {
+	s := Stationary{X: 3, Y: 4}
+	if s.Pos(sec(100)) != s.Pos(0) {
+		t.Error("stationary moved")
+	}
+	if s.SpeedMps() != 0 {
+		t.Error("stationary speed nonzero")
+	}
+}
+
+func TestLinearDrive(t *testing.T) {
+	d := Drive(-10, 0, 25) // 25 mph from x=-10
+	p0 := d.Pos(0)
+	if p0.X != -10 || p0.Y != 0 {
+		t.Errorf("start = %+v", p0)
+	}
+	p1 := d.Pos(sec(1))
+	if math.Abs(p1.X-(-10+11.176)) > 0.001 {
+		t.Errorf("x after 1 s = %v", p1.X)
+	}
+	if math.Abs(d.SpeedMps()-11.176) > 0.001 {
+		t.Errorf("speed = %v", d.SpeedMps())
+	}
+	// The paper's Fig. 3 arithmetic: at 25 mph a car spends ~460 ms in
+	// a 5.2 m cell.
+	cellTime := 5.2 / d.SpeedMps()
+	if math.Abs(cellTime-0.465) > 0.01 {
+		t.Errorf("cell dwell = %v s, want ≈0.465", cellTime)
+	}
+}
+
+func TestOpposingDirection(t *testing.T) {
+	d := DriveOpposing(60, -3, 15)
+	if d.Pos(sec(1)).X >= 60 {
+		t.Error("opposing car not moving in -X")
+	}
+	if d.SpeedMps() <= 0 {
+		t.Error("speed should be positive magnitude")
+	}
+}
+
+func TestScenarioFollowing(t *testing.T) {
+	trajs := Scenario(Following, 3, 0, 0, 15)
+	if len(trajs) != 3 {
+		t.Fatalf("%d trajectories", len(trajs))
+	}
+	// Same lane, 3 m gaps, same speed.
+	for i, tr := range trajs {
+		p := tr.Pos(0)
+		if p.Y != 0 {
+			t.Errorf("car %d lane %v", i, p.Y)
+		}
+		if math.Abs(p.X-(-3*float64(i))) > 1e-9 {
+			t.Errorf("car %d x %v", i, p.X)
+		}
+	}
+	// Gap stays constant over time.
+	g0 := trajs[0].Pos(sec(2)).X - trajs[1].Pos(sec(2)).X
+	if math.Abs(g0-3) > 1e-9 {
+		t.Errorf("gap = %v", g0)
+	}
+}
+
+func TestScenarioParallel(t *testing.T) {
+	trajs := Scenario(Parallel, 2, 0, 0, 15)
+	a, b := trajs[0].Pos(sec(1)), trajs[1].Pos(sec(1))
+	if a.X != b.X {
+		t.Error("parallel cars not abreast")
+	}
+	if a.Y == b.Y {
+		t.Error("parallel cars share a lane")
+	}
+}
+
+func TestScenarioOpposing(t *testing.T) {
+	trajs := Scenario(Opposing, 2, 0, 0, 15)
+	a0, b0 := trajs[0].Pos(0), trajs[1].Pos(0)
+	a1, b1 := trajs[0].Pos(sec(1)), trajs[1].Pos(sec(1))
+	if (a1.X-a0.X)*(b1.X-b0.X) >= 0 {
+		t.Error("opposing cars move in the same direction")
+	}
+	// They approach each other before they pass.
+	d0 := math.Abs(a0.X - b0.X)
+	d1 := math.Abs(a1.X - b1.X)
+	if d1 >= d0 {
+		t.Errorf("cars not approaching: %v → %v", d0, d1)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Following.String() != "following" || Parallel.String() != "parallel" || Opposing.String() != "opposing" {
+		t.Error("pattern strings wrong")
+	}
+}
+
+func TestWaypointsInterpolation(t *testing.T) {
+	w := NewWaypoints([]Waypoint{
+		{At: 0, Pos: rfPos(0, 0)},
+		{At: 10 * sim.Second, Pos: rfPos(100, 0)},
+		{At: 20 * sim.Second, Pos: rfPos(100, 10)},
+	})
+	if p := w.Pos(sec(-1)); p.X != 0 {
+		t.Errorf("before start = %+v", p)
+	}
+	if p := w.Pos(sec(5)); math.Abs(p.X-50) > 1e-9 {
+		t.Errorf("midpoint = %+v", p)
+	}
+	if p := w.Pos(sec(15)); math.Abs(p.Y-5) > 1e-9 || p.X != 100 {
+		t.Errorf("second segment = %+v", p)
+	}
+	if p := w.Pos(sec(99)); p.X != 100 || p.Y != 10 {
+		t.Errorf("after end = %+v", p)
+	}
+	// Mean speed: 110 m over 20 s.
+	if v := w.SpeedMps(); math.Abs(v-5.5) > 1e-9 {
+		t.Errorf("mean speed = %v", v)
+	}
+	if w.Duration() != 20*sim.Second {
+		t.Errorf("duration = %v", w.Duration())
+	}
+}
+
+func TestWaypointsSortsInput(t *testing.T) {
+	w := NewWaypoints([]Waypoint{
+		{At: 10 * sim.Second, Pos: rfPos(10, 0)},
+		{At: 0, Pos: rfPos(0, 0)},
+	})
+	if p := w.Pos(sec(0)); p.X != 0 {
+		t.Errorf("unsorted input mishandled: %+v", p)
+	}
+}
+
+func TestStopAndGo(t *testing.T) {
+	// 15 mph cruise, one 5 s stop at x=20, from 0 to 40 m.
+	w := StopAndGo(0, 0, 15, []float64{20}, 5*sim.Second, 40)
+	v := MPHToMps(15)
+	tArrive := 20 / v
+	// Just before the stop the car is moving; during the stop it is
+	// pinned at x=20.
+	during := w.Pos(sim.Time((tArrive + 2.0) * 1e9))
+	if math.Abs(during.X-20) > 1e-6 {
+		t.Errorf("during stop x = %v, want 20", during.X)
+	}
+	after := w.Pos(sim.Time((tArrive + 5.0 + 1.0) * 1e9))
+	if after.X <= 20.01 {
+		t.Errorf("after stop x = %v, should be moving again", after.X)
+	}
+	// Total time = drive time + stop.
+	wantDur := sim.Duration((40/v+5)*1e9) * sim.Nanosecond
+	if d := w.Duration(); d < wantDur-sim.Millisecond || d > wantDur+sim.Millisecond {
+		t.Errorf("duration = %v, want ≈%v", d, wantDur)
+	}
+}
+
+func TestWaypointsEmpty(t *testing.T) {
+	w := NewWaypoints(nil)
+	if p := w.Pos(sec(1)); p != (rf.Position{}) {
+		t.Errorf("empty waypoints pos = %+v", p)
+	}
+	if w.SpeedMps() != 0 || w.Duration() != 0 {
+		t.Error("empty waypoints not inert")
+	}
+}
+
+func rfPos(x, y float64) rf.Position { return rf.Position{X: x, Y: y} }

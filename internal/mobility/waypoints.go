@@ -1,0 +1,113 @@
+package mobility
+
+import (
+	"sort"
+
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// Waypoints is a piecewise-linear trajectory through timestamped
+// positions: the car accelerates, brakes, and stops exactly as the
+// waypoint spacing dictates. It extends the paper's constant-speed drives
+// to the stop-and-go traffic a real transit corridor sees.
+type Waypoints struct {
+	times []sim.Time
+	pos   []rf.Position
+}
+
+// Waypoint is one (time, position) sample.
+type Waypoint struct {
+	At  sim.Duration
+	Pos rf.Position
+}
+
+// NewWaypoints builds a trajectory from samples; they are sorted by time.
+// Before the first waypoint the client sits at the first position; after
+// the last it sits at the last.
+func NewWaypoints(points []Waypoint) *Waypoints {
+	sorted := make([]Waypoint, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	w := &Waypoints{}
+	for _, p := range sorted {
+		w.times = append(w.times, sim.Time(p.At))
+		w.pos = append(w.pos, p.Pos)
+	}
+	return w
+}
+
+// Pos implements Trajectory.
+func (w *Waypoints) Pos(t sim.Time) rf.Position {
+	n := len(w.times)
+	if n == 0 {
+		return rf.Position{}
+	}
+	if t <= w.times[0] {
+		return w.pos[0]
+	}
+	if t >= w.times[n-1] {
+		return w.pos[n-1]
+	}
+	// Binary search for the segment containing t.
+	i := sort.Search(n, func(i int) bool { return w.times[i] > t }) - 1
+	t0, t1 := w.times[i], w.times[i+1]
+	frac := float64(t-t0) / float64(t1-t0)
+	a, b := w.pos[i], w.pos[i+1]
+	return rf.Position{
+		X: a.X + (b.X-a.X)*frac,
+		Y: a.Y + (b.Y-a.Y)*frac,
+	}
+}
+
+// SpeedMps implements Trajectory with the mean speed over the whole
+// trajectory (components that need instantaneous speed sample Pos).
+func (w *Waypoints) SpeedMps() float64 {
+	n := len(w.times)
+	if n < 2 {
+		return 0
+	}
+	dist := 0.0
+	for i := 1; i < n; i++ {
+		dist += w.pos[i].Distance(w.pos[i-1])
+	}
+	secs := (w.times[n-1] - w.times[0]).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return dist / secs
+}
+
+// StopAndGo builds a transit-style trajectory along the road: drive at
+// cruiseMph, stop for stopDur at each of the given x positions (bus
+// stops / lights), then continue. The ride starts at startX at time 0.
+func StopAndGo(startX, laneY, cruiseMph float64, stops []float64, stopDur sim.Duration, endX float64) *Waypoints {
+	v := MPHToMps(cruiseMph)
+	var pts []Waypoint
+	t := sim.Duration(0)
+	x := startX
+	add := func(nx float64) {
+		if nx <= x {
+			return
+		}
+		t += sim.Duration(float64(sim.Second) * (nx - x) / v)
+		x = nx
+		pts = append(pts, Waypoint{At: t, Pos: rf.Position{X: x, Y: laneY}})
+	}
+	pts = append(pts, Waypoint{At: 0, Pos: rf.Position{X: startX, Y: laneY}})
+	for _, s := range stops {
+		add(s)
+		t += stopDur
+		pts = append(pts, Waypoint{At: t, Pos: rf.Position{X: x, Y: laneY}})
+	}
+	add(endX)
+	return NewWaypoints(pts)
+}
+
+// Duration returns the total trajectory time.
+func (w *Waypoints) Duration() sim.Duration {
+	if len(w.times) == 0 {
+		return 0
+	}
+	return sim.Duration(w.times[len(w.times)-1] - w.times[0])
+}

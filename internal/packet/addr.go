@@ -1,0 +1,73 @@
+// Package packet defines the data units that move through a WGTT network
+// and the binary wire protocol spoken over the Ethernet backhaul between
+// controller and APs: tunneled data packets, the stop/start/ack switching
+// control messages, CSI reports, forwarded block ACKs, and association
+// state replication.
+//
+// Backhaul messages are real bytes (encode/decode round-trips are tested),
+// preserving the paper's property that the controller and APs coordinate
+// only through what is actually on the wire.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit layer-2 address.
+type MAC [6]byte
+
+// String formats the address in the usual colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsZero reports whether the address is all zeroes.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// ClientMAC returns a deterministic client address for index i.
+func ClientMAC(i int) MAC {
+	return MAC{0x02, 0xc1, 0x1e, 0x00, byte(i >> 8), byte(i)}
+}
+
+// APMAC returns a deterministic AP address for index i.
+func APMAC(i int) MAC {
+	return MAC{0x02, 0xa9, 0x00, 0x00, byte(i >> 8), byte(i)}
+}
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+// String formats the address in dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IsZero reports whether the address is 0.0.0.0.
+func (ip IP) IsZero() bool { return ip == IP{} }
+
+// ClientIP returns the deterministic address 10.0.1.i for client i.
+func ClientIP(i int) IP { return IP{10, 0, 1, byte(i + 1)} }
+
+// APIP returns the deterministic address 10.0.0.i for AP i.
+func APIP(i int) IP { return IP{10, 0, 0, byte(i + 10)} }
+
+// BSSID is the single basic-service-set identifier every WGTT AP
+// advertises (§4.3): the array appears to clients as one AP.
+var BSSID = MAC{0x02, 0xb5, 0x51, 0xd0, 0x00, 0x01}
+
+// ControllerIP is the controller's backhaul address.
+var ControllerIP = IP{10, 0, 0, 1}
+
+// ServerIP is the wired server endpoint behind the controller (the local
+// content server of §5's case studies).
+var ServerIP = IP{10, 0, 2, 1}
+
+// DedupKey is the 48-bit uplink de-duplication key of §3.2.2: the source
+// IP concatenated with the 16-bit IP identification field.
+type DedupKey uint64
+
+// NewDedupKey builds the key from a packet's source address and IP ID.
+func NewDedupKey(src IP, ipid uint16) DedupKey {
+	return DedupKey(uint64(binary.BigEndian.Uint32(src[:]))<<16 | uint64(ipid))
+}

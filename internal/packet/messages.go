@@ -1,0 +1,469 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// MsgType tags a backhaul message.
+type MsgType uint8
+
+// Backhaul message types.
+const (
+	MsgInvalid MsgType = iota
+	// MsgDownlinkData tunnels a client-addressed packet from the
+	// controller to an AP (§3.1.3).
+	MsgDownlinkData
+	// MsgUplinkData reverse-tunnels a client packet an AP received over
+	// the air up to the controller (§3.2.2).
+	MsgUplinkData
+	// MsgStop orders an AP to cease transmitting to a client (§3.1.2
+	// step 1).
+	MsgStop
+	// MsgStart hands a client off to the next AP with the index of the
+	// first unsent packet (§3.1.2 step 2).
+	MsgStart
+	// MsgSwitchAck confirms switch completion back to the controller
+	// (§3.1.2 step 3).
+	MsgSwitchAck
+	// MsgCSIReport carries one uplink frame's CSI from AP to controller
+	// (§3.1.1).
+	MsgCSIReport
+	// MsgBAForward relays an overheard block ACK to the serving AP
+	// (§3.2.1).
+	MsgBAForward
+	// MsgAssocState replicates a freshly-associated client's station
+	// state to all APs (§4.3).
+	MsgAssocState
+	// MsgServerData carries a packet between the controller and the
+	// wired server (WAN side).
+	MsgServerData
+	// MsgReassocRelay carries an over-the-DS 802.11r fast-transition
+	// request from the client's current AP to the target AP.
+	MsgReassocRelay
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgDownlinkData:
+		return "DownlinkData"
+	case MsgUplinkData:
+		return "UplinkData"
+	case MsgStop:
+		return "Stop"
+	case MsgStart:
+		return "Start"
+	case MsgSwitchAck:
+		return "SwitchAck"
+	case MsgCSIReport:
+		return "CSIReport"
+	case MsgBAForward:
+		return "BAForward"
+	case MsgAssocState:
+		return "AssocState"
+	case MsgServerData:
+		return "ServerData"
+	case MsgReassocRelay:
+		return "ReassocRelay"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is any backhaul message. Marshal appends the full wire form,
+// including the leading type byte.
+type Message interface {
+	Type() MsgType
+	Marshal(b []byte) []byte
+	// WireLen is the encoded size in bytes (for backhaul serialization
+	// delay).
+	WireLen() int
+	// Control reports whether the message rides the prioritised control
+	// path that bypasses data queues (§3.1.2).
+	Control() bool
+}
+
+// DownlinkData tunnels one indexed client packet to an AP.
+type DownlinkData struct {
+	Client MAC
+	Inner  Packet
+}
+
+// Type implements Message.
+func (*DownlinkData) Type() MsgType { return MsgDownlinkData }
+
+// Control implements Message.
+func (*DownlinkData) Control() bool { return false }
+
+// WireLen implements Message.
+func (*DownlinkData) WireLen() int { return 1 + 6 + packetWireSize }
+
+// Marshal implements Message.
+func (m *DownlinkData) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgDownlinkData))
+	b = append(b, m.Client[:]...)
+	return appendPacket(b, &m.Inner)
+}
+
+// UplinkData reverse-tunnels a received client packet to the controller.
+type UplinkData struct {
+	APID   uint16
+	Client MAC
+	Inner  Packet
+}
+
+// Type implements Message.
+func (*UplinkData) Type() MsgType { return MsgUplinkData }
+
+// Control implements Message.
+func (*UplinkData) Control() bool { return false }
+
+// WireLen implements Message.
+func (*UplinkData) WireLen() int { return 1 + 2 + 6 + packetWireSize }
+
+// Marshal implements Message.
+func (m *UplinkData) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgUplinkData))
+	b = binary.BigEndian.AppendUint16(b, m.APID)
+	b = append(b, m.Client[:]...)
+	return appendPacket(b, &m.Inner)
+}
+
+// Stop is the controller's order to the serving AP: cease sending to
+// Client and hand off to NewAP. SwitchID correlates retransmissions.
+type Stop struct {
+	Client   MAC
+	NewAP    MAC
+	NewAPID  uint16
+	SwitchID uint32
+}
+
+// Type implements Message.
+func (*Stop) Type() MsgType { return MsgStop }
+
+// Control implements Message.
+func (*Stop) Control() bool { return true }
+
+// WireLen implements Message.
+func (*Stop) WireLen() int { return 1 + 6 + 6 + 2 + 4 }
+
+// Marshal implements Message.
+func (m *Stop) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgStop))
+	b = append(b, m.Client[:]...)
+	b = append(b, m.NewAP[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.NewAPID)
+	return binary.BigEndian.AppendUint32(b, m.SwitchID)
+}
+
+// Start is AP1→AP2: begin transmitting to Client from cyclic-queue index
+// Index.
+type Start struct {
+	Client   MAC
+	Index    uint16
+	SwitchID uint32
+}
+
+// Type implements Message.
+func (*Start) Type() MsgType { return MsgStart }
+
+// Control implements Message.
+func (*Start) Control() bool { return true }
+
+// WireLen implements Message.
+func (*Start) WireLen() int { return 1 + 6 + 2 + 4 }
+
+// Marshal implements Message.
+func (m *Start) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgStart))
+	b = append(b, m.Client[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.Index)
+	return binary.BigEndian.AppendUint32(b, m.SwitchID)
+}
+
+// SwitchAck is AP2→controller: the switch identified by SwitchID is live.
+type SwitchAck struct {
+	Client   MAC
+	APID     uint16
+	SwitchID uint32
+}
+
+// Type implements Message.
+func (*SwitchAck) Type() MsgType { return MsgSwitchAck }
+
+// Control implements Message.
+func (*SwitchAck) Control() bool { return true }
+
+// WireLen implements Message.
+func (*SwitchAck) WireLen() int { return 1 + 6 + 2 + 4 }
+
+// Marshal implements Message.
+func (m *SwitchAck) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgSwitchAck))
+	b = append(b, m.Client[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.APID)
+	return binary.BigEndian.AppendUint32(b, m.SwitchID)
+}
+
+// CSIReport carries the per-subcarrier SNRs (centi-dB, clamped to
+// ±327 dB) measured on one uplink frame.
+type CSIReport struct {
+	Client MAC
+	APID   uint16
+	Time   sim.Time
+	SNRsDB [rf.NumSubcarriers]float64
+}
+
+// Type implements Message.
+func (*CSIReport) Type() MsgType { return MsgCSIReport }
+
+// Control implements Message.
+func (*CSIReport) Control() bool { return false }
+
+// WireLen implements Message.
+func (*CSIReport) WireLen() int { return 1 + 6 + 2 + 8 + 2*rf.NumSubcarriers }
+
+// Marshal implements Message.
+func (m *CSIReport) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgCSIReport))
+	b = append(b, m.Client[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.APID)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Time))
+	for _, s := range m.SNRsDB {
+		b = binary.BigEndian.AppendUint16(b, uint16(int16(clampCentiDB(s))))
+	}
+	return b
+}
+
+// clampCentiDB quantizes dB to int16 centi-dB.
+func clampCentiDB(db float64) int16 {
+	v := db * 100
+	if v > 32767 {
+		v = 32767
+	}
+	if v < -32768 {
+		v = -32768
+	}
+	return int16(v)
+}
+
+// BAForward relays an overheard block ACK: the acknowledged window start
+// sequence and the 64-bit bitmap (§3.2.1).
+type BAForward struct {
+	Client   MAC
+	FromAPID uint16
+	StartSeq uint16
+	Bitmap   uint64
+}
+
+// Type implements Message.
+func (*BAForward) Type() MsgType { return MsgBAForward }
+
+// Control implements Message.
+func (*BAForward) Control() bool { return true }
+
+// WireLen implements Message.
+func (*BAForward) WireLen() int { return 1 + 6 + 2 + 2 + 8 }
+
+// Marshal implements Message.
+func (m *BAForward) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgBAForward))
+	b = append(b, m.Client[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.FromAPID)
+	b = binary.BigEndian.AppendUint16(b, m.StartSeq)
+	return binary.BigEndian.AppendUint64(b, m.Bitmap)
+}
+
+// AssocState replicates the sta_info of a newly associated client to the
+// other APs (§4.3), so all APs can serve it under the shared BSSID.
+type AssocState struct {
+	Client MAC
+	IP     IP
+	AID    uint16
+	State  uint8
+}
+
+// Association states carried in AssocState.State.
+const (
+	StateAuthenticated = 1
+	StateAssociated    = 2
+)
+
+// Type implements Message.
+func (*AssocState) Type() MsgType { return MsgAssocState }
+
+// Control implements Message.
+func (*AssocState) Control() bool { return true }
+
+// WireLen implements Message.
+func (*AssocState) WireLen() int { return 1 + 6 + 4 + 2 + 1 }
+
+// Marshal implements Message.
+func (m *AssocState) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgAssocState))
+	b = append(b, m.Client[:]...)
+	b = append(b, m.IP[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.AID)
+	return append(b, m.State)
+}
+
+// ServerData carries a packet between controller and wired server.
+type ServerData struct {
+	Inner Packet
+}
+
+// Type implements Message.
+func (*ServerData) Type() MsgType { return MsgServerData }
+
+// Control implements Message.
+func (*ServerData) Control() bool { return false }
+
+// WireLen implements Message.
+func (*ServerData) WireLen() int { return 1 + packetWireSize }
+
+// Marshal implements Message.
+func (m *ServerData) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgServerData))
+	return appendPacket(b, &m.Inner)
+}
+
+// ReassocRelay forwards an 802.11r over-the-DS fast-transition request
+// from the current AP toward the target AP via the wired backbone.
+type ReassocRelay struct {
+	Client      MAC
+	TargetAPID  uint16
+	CurrentAPID uint16
+}
+
+// Type implements Message.
+func (*ReassocRelay) Type() MsgType { return MsgReassocRelay }
+
+// Control implements Message.
+func (*ReassocRelay) Control() bool { return true }
+
+// WireLen implements Message.
+func (*ReassocRelay) WireLen() int { return 1 + 6 + 2 + 2 }
+
+// Marshal implements Message.
+func (m *ReassocRelay) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgReassocRelay))
+	b = append(b, m.Client[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.TargetAPID)
+	return binary.BigEndian.AppendUint16(b, m.CurrentAPID)
+}
+
+// Decode parses one message from b. It returns an error on truncated
+// input or an unknown type byte.
+func Decode(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, errShort
+	}
+	t, rest := MsgType(b[0]), b[1:]
+	switch t {
+	case MsgDownlinkData:
+		var m DownlinkData
+		if len(rest) < 6 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		p, _, err := decodePacket(rest[6:])
+		if err != nil {
+			return nil, err
+		}
+		m.Inner = p
+		return &m, nil
+	case MsgUplinkData:
+		var m UplinkData
+		if len(rest) < 8 {
+			return nil, errShort
+		}
+		m.APID = binary.BigEndian.Uint16(rest[:2])
+		copy(m.Client[:], rest[2:8])
+		p, _, err := decodePacket(rest[8:])
+		if err != nil {
+			return nil, err
+		}
+		m.Inner = p
+		return &m, nil
+	case MsgStop:
+		var m Stop
+		if len(rest) < 18 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		copy(m.NewAP[:], rest[6:12])
+		m.NewAPID = binary.BigEndian.Uint16(rest[12:14])
+		m.SwitchID = binary.BigEndian.Uint32(rest[14:18])
+		return &m, nil
+	case MsgStart:
+		var m Start
+		if len(rest) < 12 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		m.Index = binary.BigEndian.Uint16(rest[6:8])
+		m.SwitchID = binary.BigEndian.Uint32(rest[8:12])
+		return &m, nil
+	case MsgSwitchAck:
+		var m SwitchAck
+		if len(rest) < 12 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		m.APID = binary.BigEndian.Uint16(rest[6:8])
+		m.SwitchID = binary.BigEndian.Uint32(rest[8:12])
+		return &m, nil
+	case MsgCSIReport:
+		var m CSIReport
+		if len(rest) < 16+2*rf.NumSubcarriers {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		m.APID = binary.BigEndian.Uint16(rest[6:8])
+		m.Time = sim.Time(binary.BigEndian.Uint64(rest[8:16]))
+		for i := 0; i < rf.NumSubcarriers; i++ {
+			v := int16(binary.BigEndian.Uint16(rest[16+2*i : 18+2*i]))
+			m.SNRsDB[i] = float64(v) / 100
+		}
+		return &m, nil
+	case MsgBAForward:
+		var m BAForward
+		if len(rest) < 18 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		m.FromAPID = binary.BigEndian.Uint16(rest[6:8])
+		m.StartSeq = binary.BigEndian.Uint16(rest[8:10])
+		m.Bitmap = binary.BigEndian.Uint64(rest[10:18])
+		return &m, nil
+	case MsgAssocState:
+		var m AssocState
+		if len(rest) < 13 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		copy(m.IP[:], rest[6:10])
+		m.AID = binary.BigEndian.Uint16(rest[10:12])
+		m.State = rest[12]
+		return &m, nil
+	case MsgServerData:
+		p, _, err := decodePacket(rest)
+		if err != nil {
+			return nil, err
+		}
+		return &ServerData{Inner: p}, nil
+	case MsgReassocRelay:
+		var m ReassocRelay
+		if len(rest) < 10 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		m.TargetAPID = binary.BigEndian.Uint16(rest[6:8])
+		m.CurrentAPID = binary.BigEndian.Uint16(rest[8:10])
+		return &m, nil
+	}
+	return nil, fmt.Errorf("packet: unknown message type %d", t)
+}

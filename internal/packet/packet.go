@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"wgtt/internal/sim"
+)
+
+// Proto identifies the transport protocol of a data packet.
+type Proto uint8
+
+// Transport protocols carried by the network.
+const (
+	ProtoUDP Proto = 17
+	ProtoTCP Proto = 6
+)
+
+// String implements fmt.Stringer.
+func (p Proto) String() string {
+	switch p {
+	case ProtoUDP:
+		return "UDP"
+	case ProtoTCP:
+		return "TCP"
+	}
+	return fmt.Sprintf("Proto(%d)", uint8(p))
+}
+
+// TCP header flags (subset used by the simplified transport).
+const (
+	FlagSYN = 1 << 0
+	FlagACK = 1 << 1
+	FlagFIN = 1 << 2
+)
+
+// Packet is one IP datagram moving through the system — the unit the
+// controller indexes, fans out, and switches between APs. Fields mirror
+// the real headers the implementation inspects: the IP addresses and the
+// identification field feed the de-duplication key; the transport header
+// drives the TCP/UDP endpoints; Index is WGTT's m-bit cyclic index number
+// stamped by the controller (§3.1.2).
+type Packet struct {
+	Src, Dst   IP
+	Proto      Proto
+	IPID       uint16
+	SrcPort    uint16
+	DstPort    uint16
+	Seq, Ack   uint32
+	Flags      uint8
+	PayloadLen uint16
+	Index      uint16 // 12-bit WGTT index; valid on downlink only
+	Created    sim.Time
+}
+
+// IndexBits is the width m of the WGTT index number; 12 bits guarantees
+// uniqueness within a cyclic buffer (§3.1.2).
+const IndexBits = 12
+
+// IndexMod is the index wrap modulus (4096).
+const IndexMod = 1 << IndexBits
+
+// ipHeader + transport header sizes used for airtime/throughput math.
+const (
+	ipHeaderLen  = 20
+	udpHeaderLen = 8
+	tcpHeaderLen = 20
+)
+
+// WireLen returns the packet's on-the-wire size in bytes (IP header +
+// transport header + payload), the size that airtime and throughput are
+// charged for.
+func (p *Packet) WireLen() int {
+	h := ipHeaderLen + udpHeaderLen
+	if p.Proto == ProtoTCP {
+		h = ipHeaderLen + tcpHeaderLen
+	}
+	return h + int(p.PayloadLen)
+}
+
+// DedupKey returns the packet's uplink de-duplication key.
+func (p *Packet) DedupKey() DedupKey { return NewDedupKey(p.Src, p.IPID) }
+
+// String renders a compact trace line.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %s:%d>%s:%d seq=%d len=%d idx=%d",
+		p.Proto, p.Src, p.SrcPort, p.Dst, p.DstPort, p.Seq, p.PayloadLen, p.Index)
+}
+
+// packetWireSize is the encoded size of a Packet header block.
+const packetWireSize = 4 + 4 + 1 + 2 + 2 + 2 + 4 + 4 + 1 + 2 + 2 + 8
+
+// errShort is returned when a buffer is too small to decode.
+var errShort = errors.New("packet: short buffer")
+
+// appendPacket serializes p onto b.
+func appendPacket(b []byte, p *Packet) []byte {
+	b = append(b, p.Src[:]...)
+	b = append(b, p.Dst[:]...)
+	b = append(b, byte(p.Proto))
+	b = binary.BigEndian.AppendUint16(b, p.IPID)
+	b = binary.BigEndian.AppendUint16(b, p.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, p.DstPort)
+	b = binary.BigEndian.AppendUint32(b, p.Seq)
+	b = binary.BigEndian.AppendUint32(b, p.Ack)
+	b = append(b, p.Flags)
+	b = binary.BigEndian.AppendUint16(b, p.PayloadLen)
+	b = binary.BigEndian.AppendUint16(b, p.Index)
+	b = binary.BigEndian.AppendUint64(b, uint64(p.Created))
+	return b
+}
+
+// decodePacket parses a Packet from the front of b, returning the rest.
+func decodePacket(b []byte) (Packet, []byte, error) {
+	var p Packet
+	if len(b) < packetWireSize {
+		return p, nil, errShort
+	}
+	copy(p.Src[:], b[0:4])
+	copy(p.Dst[:], b[4:8])
+	p.Proto = Proto(b[8])
+	p.IPID = binary.BigEndian.Uint16(b[9:11])
+	p.SrcPort = binary.BigEndian.Uint16(b[11:13])
+	p.DstPort = binary.BigEndian.Uint16(b[13:15])
+	p.Seq = binary.BigEndian.Uint32(b[15:19])
+	p.Ack = binary.BigEndian.Uint32(b[19:23])
+	p.Flags = b[23]
+	p.PayloadLen = binary.BigEndian.Uint16(b[24:26])
+	p.Index = binary.BigEndian.Uint16(b[26:28])
+	p.Created = sim.Time(binary.BigEndian.Uint64(b[28:36]))
+	return p, b[packetWireSize:], nil
+}

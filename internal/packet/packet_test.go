@@ -1,0 +1,246 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wgtt/internal/sim"
+)
+
+func TestAddressFormatting(t *testing.T) {
+	m := MAC{0x02, 0xc1, 0x1e, 0x00, 0x00, 0x07}
+	if m.String() != "02:c1:1e:00:00:07" {
+		t.Errorf("MAC.String = %q", m.String())
+	}
+	ip := IP{10, 0, 1, 3}
+	if ip.String() != "10.0.1.3" {
+		t.Errorf("IP.String = %q", ip.String())
+	}
+	if !(MAC{}).IsZero() || (ClientMAC(0)).IsZero() {
+		t.Error("MAC.IsZero wrong")
+	}
+	if !(IP{}).IsZero() || ClientIP(0).IsZero() {
+		t.Error("IP.IsZero wrong")
+	}
+}
+
+func TestDeterministicAddressesUnique(t *testing.T) {
+	seenM := map[MAC]bool{}
+	seenIP := map[IP]bool{}
+	for i := 0; i < 50; i++ {
+		cm, am := ClientMAC(i), APMAC(i)
+		if seenM[cm] || seenM[am] || cm == am {
+			t.Fatalf("duplicate MAC at %d", i)
+		}
+		seenM[cm], seenM[am] = true, true
+		ci, ai := ClientIP(i), APIP(i)
+		if seenIP[ci] || seenIP[ai] {
+			t.Fatalf("duplicate IP at %d", i)
+		}
+		seenIP[ci], seenIP[ai] = true, true
+	}
+}
+
+func TestDedupKey(t *testing.T) {
+	a := NewDedupKey(IP{10, 0, 1, 1}, 7)
+	b := NewDedupKey(IP{10, 0, 1, 1}, 8)
+	c := NewDedupKey(IP{10, 0, 1, 2}, 7)
+	if a == b || a == c || b == c {
+		t.Error("distinct packets share dedup keys")
+	}
+	// Key is exactly srcIP<<16 | ipid (48 bits).
+	if a != DedupKey(uint64(0x0a000101)<<16|7) {
+		t.Errorf("key layout = %x", uint64(a))
+	}
+}
+
+func TestPacketWireLen(t *testing.T) {
+	u := Packet{Proto: ProtoUDP, PayloadLen: 1000}
+	if u.WireLen() != 20+8+1000 {
+		t.Errorf("UDP WireLen = %d", u.WireLen())
+	}
+	c := Packet{Proto: ProtoTCP, PayloadLen: 1000}
+	if c.WireLen() != 20+20+1000 {
+		t.Errorf("TCP WireLen = %d", c.WireLen())
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoUDP.String() != "UDP" || ProtoTCP.String() != "TCP" {
+		t.Error("proto strings wrong")
+	}
+	if Proto(99).String() != "Proto(99)" {
+		t.Error("unknown proto string wrong")
+	}
+}
+
+func samplePacket() Packet {
+	return Packet{
+		Src: ServerIP, Dst: ClientIP(2), Proto: ProtoTCP,
+		IPID: 0xBEEF, SrcPort: 80, DstPort: 50123,
+		Seq: 123456789, Ack: 987654321, Flags: FlagACK,
+		PayloadLen: 1448, Index: 4001,
+		Created: sim.Time(5 * sim.Millisecond),
+	}
+}
+
+func TestPacketEncodeDecodeRoundTrip(t *testing.T) {
+	p := samplePacket()
+	b := appendPacket(nil, &p)
+	if len(b) != packetWireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), packetWireSize)
+	}
+	got, rest, err := decodePacket(append(b, 0xAA)) // trailing byte survives
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	if len(rest) != 1 || rest[0] != 0xAA {
+		t.Errorf("rest = %x", rest)
+	}
+	if _, _, err := decodePacket(b[:10]); err == nil {
+		t.Error("short decode did not fail")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	var snrs [56]float64
+	for i := range snrs {
+		snrs[i] = float64(i) - 10.25
+	}
+	msgs := []Message{
+		&DownlinkData{Client: ClientMAC(1), Inner: samplePacket()},
+		&UplinkData{APID: 3, Client: ClientMAC(1), Inner: samplePacket()},
+		&Stop{Client: ClientMAC(1), NewAP: APMAC(4), NewAPID: 4, SwitchID: 77},
+		&Start{Client: ClientMAC(1), Index: 4001, SwitchID: 77},
+		&SwitchAck{Client: ClientMAC(1), APID: 4, SwitchID: 77},
+		&CSIReport{Client: ClientMAC(1), APID: 2, Time: sim.Time(9 * sim.Millisecond), SNRsDB: snrs},
+		&BAForward{Client: ClientMAC(1), FromAPID: 5, StartSeq: 1000, Bitmap: 0xDEADBEEFCAFEF00D},
+		&AssocState{Client: ClientMAC(1), IP: ClientIP(1), AID: 1, State: StateAssociated},
+		&ServerData{Inner: samplePacket()},
+		&ReassocRelay{Client: ClientMAC(1), TargetAPID: 3, CurrentAPID: 1},
+	}
+	for _, m := range msgs {
+		b := m.Marshal(nil)
+		if len(b) != m.WireLen() {
+			t.Errorf("%v: encoded %d bytes, WireLen says %d", m.Type(), len(b), m.WireLen())
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type(), err)
+		}
+		if got.Type() != m.Type() {
+			t.Fatalf("%v: decoded type %v", m.Type(), got.Type())
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%v round trip mismatch:\n got %+v\nwant %+v", m.Type(), got, m)
+		}
+	}
+}
+
+func TestControlFlag(t *testing.T) {
+	// Exactly the switching/association/BA control path is prioritized.
+	control := []Message{&Stop{}, &Start{}, &SwitchAck{}, &BAForward{}, &AssocState{}, &ReassocRelay{}}
+	data := []Message{&DownlinkData{}, &UplinkData{}, &CSIReport{}, &ServerData{}}
+	for _, m := range control {
+		if !m.Control() {
+			t.Errorf("%v should be control-priority", m.Type())
+		}
+	}
+	for _, m := range data {
+		if m.Control() {
+			t.Errorf("%v should not be control-priority", m.Type())
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty decode did not fail")
+	}
+	if _, err := Decode([]byte{0xFF, 1, 2, 3}); err == nil {
+		t.Error("unknown type did not fail")
+	}
+	// Every message type must fail cleanly when truncated at any point.
+	var snrs [56]float64
+	msgs := []Message{
+		&DownlinkData{Inner: samplePacket()},
+		&UplinkData{Inner: samplePacket()},
+		&Stop{}, &Start{}, &SwitchAck{},
+		&CSIReport{SNRsDB: snrs},
+		&BAForward{}, &AssocState{}, &ServerData{Inner: samplePacket()},
+		&ReassocRelay{},
+	}
+	for _, m := range msgs {
+		b := m.Marshal(nil)
+		for cut := 1; cut < len(b); cut++ {
+			if _, err := Decode(b[:cut]); err == nil {
+				t.Errorf("%v: truncation at %d/%d decoded successfully", m.Type(), cut, len(b))
+				break
+			}
+		}
+	}
+}
+
+func TestCSIReportQuantization(t *testing.T) {
+	m := &CSIReport{}
+	m.SNRsDB[0] = 23.456
+	m.SNRsDB[1] = -3.2
+	m.SNRsDB[2] = 1e9 // clamps
+	got, err := Decode(m.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.(*CSIReport)
+	if d := r.SNRsDB[0] - 23.456; d > 0.01 || d < -0.01 {
+		t.Errorf("quantized SNR = %v, want ≈23.456", r.SNRsDB[0])
+	}
+	if d := r.SNRsDB[1] + 3.2; d > 0.01 || d < -0.01 {
+		t.Errorf("negative SNR = %v, want ≈-3.2", r.SNRsDB[1])
+	}
+	if r.SNRsDB[2] > 400 {
+		t.Errorf("unclamped SNR %v", r.SNRsDB[2])
+	}
+}
+
+// Property: packet encode/decode is the identity for arbitrary field
+// values.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(src, dst [4]byte, ipid, sp, dp, plen, idx uint16, seq, ack uint32, flags uint8, proto bool, created int64) bool {
+		p := Packet{
+			Src: IP(src), Dst: IP(dst), IPID: ipid,
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack,
+			Flags: flags, PayloadLen: plen, Index: idx,
+			Created: sim.Time(created),
+		}
+		if proto {
+			p.Proto = ProtoTCP
+		} else {
+			p.Proto = ProtoUDP
+		}
+		got, _, err := decodePacket(appendPacket(nil, &p))
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary bytes.
+func TestDecodeNoPanicProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("Decode panicked")
+			}
+		}()
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

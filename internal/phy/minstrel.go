@@ -1,0 +1,170 @@
+package phy
+
+import (
+	"wgtt/internal/sim"
+)
+
+// Minstrel is a compact model of the mac80211 minstrel_ht rate controller
+// the testbed APs run unmodified (§4): it tracks an EWMA of per-rate MPDU
+// delivery probability from block-ACK feedback, transmits at the rate with
+// the best expected throughput, and periodically spends a small fraction
+// of frames sampling other rates so it can climb back up after fades.
+type Minstrel struct {
+	stats [NumRates]rateStats
+	// sampleCounter spaces probe transmissions.
+	sampleCounter int
+	sampleIdx     int
+	lastDecay     sim.Time
+	rng           *sim.RNG
+}
+
+type rateStats struct {
+	ewmaProb float64 // EWMA of delivery probability
+	attempts int     // since last decay interval
+	success  int
+	ever     bool
+}
+
+// Minstrel tuning; values mirror the mac80211 defaults where they exist.
+const (
+	minstrelEWMAWeight    = 0.75                 // weight of history on update
+	minstrelInterval      = 50 * sim.Millisecond // stats update cadence
+	minstrelSampleSpacing = 16                   // one probe per N aggregates
+	minstrelOptimismProb  = 0.5                  // initial prob for untried rates
+)
+
+// NewMinstrel returns a controller with graded priors: robust rates start
+// near-certain, fast rates skeptical. minstrel_ht similarly begins its
+// sampling from the bottom of the table, so a cold link starts at a
+// mid-table rate instead of blindly blasting MCS7 — essential when an AP
+// adopts a client mid-drive with no history.
+func NewMinstrel(rng *sim.RNG) *Minstrel {
+	m := &Minstrel{rng: rng}
+	for i := range m.stats {
+		m.stats[i].ewmaProb = 1.0 - 0.11*float64(i)
+	}
+	return m
+}
+
+// Select returns the rate for the next aggregate. Every
+// minstrelSampleSpacing-th call probes a neighbouring rate instead of the
+// current best, exactly once, so sampling costs stay bounded.
+func (m *Minstrel) Select(now sim.Time) Rate {
+	m.maybeDecay(now)
+	best := m.bestIdx()
+	m.sampleCounter++
+	if m.sampleCounter >= minstrelSampleSpacing {
+		m.sampleCounter = 0
+		// Alternate probes above and below the current best.
+		probe := best + 1
+		if m.sampleIdx%2 == 1 {
+			probe = best - 1
+		}
+		m.sampleIdx++
+		if probe >= 0 && probe < NumRates {
+			return Rates[probe]
+		}
+	}
+	return Rates[best]
+}
+
+// bestIdx returns the index of the rate with maximal expected throughput,
+// breaking ties toward the lower (more robust) rate.
+func (m *Minstrel) bestIdx() int {
+	best, bestTput := 0, -1.0
+	for i, s := range m.stats {
+		tput := Rates[i].Mbps * s.ewmaProb
+		// Rates whose success probability collapsed are useless even
+		// if nominally fast.
+		if s.ewmaProb < 0.1 {
+			tput = Rates[i].Mbps * s.ewmaProb * s.ewmaProb
+		}
+		if tput > bestTput {
+			best, bestTput = i, tput
+		}
+	}
+	return best
+}
+
+// Feedback reports block-ACK results for an aggregate sent at rate r:
+// attempted subframes and how many were acknowledged.
+func (m *Minstrel) Feedback(now sim.Time, r Rate, attempted, acked int) {
+	if attempted <= 0 {
+		return
+	}
+	s := &m.stats[r.MCS]
+	s.attempts += attempted
+	s.success += acked
+	s.ever = true
+	// React immediately to unambiguous outcomes instead of waiting for
+	// the periodic fold: a fully-failed aggregate halves the rate's
+	// estimate at once (minstrel_ht's retry chain reacts within one
+	// frame; this is our equivalent), and a clean sweep pulls it up.
+	if acked == 0 {
+		s.ewmaProb *= 0.5
+		if s.ewmaProb < 0.01 {
+			s.ewmaProb = 0.01
+		}
+	} else if acked == attempted && attempted >= 4 {
+		s.ewmaProb = minstrelEWMAWeight*s.ewmaProb + (1 - minstrelEWMAWeight)
+	}
+	m.maybeDecay(now)
+}
+
+// maybeDecay folds accumulated counters into the EWMA once per interval.
+func (m *Minstrel) maybeDecay(now sim.Time) {
+	if now.Sub(m.lastDecay) < minstrelInterval {
+		return
+	}
+	m.lastDecay = now
+	for i := range m.stats {
+		s := &m.stats[i]
+		if s.attempts == 0 {
+			continue
+		}
+		p := float64(s.success) / float64(s.attempts)
+		s.ewmaProb = minstrelEWMAWeight*s.ewmaProb + (1-minstrelEWMAWeight)*p
+		s.attempts, s.success = 0, 0
+	}
+}
+
+// Prob returns the controller's current delivery estimate for an MCS,
+// exposed for tests and stats.
+func (m *Minstrel) Prob(mcs int) float64 { return m.stats[mcs].ewmaProb }
+
+// Seed initializes the per-rate delivery estimates from a channel
+// measurement: each rate's probability becomes the PER-model prediction
+// for a 1500-byte MPDU at the given effective SNR. This is the
+// CSI-informed rate adaptation the paper leaves as future work (§8) — a
+// WGTT AP adopting a client mid-drive knows the client's ESNR from the
+// CSI path and need not rediscover the rate floor frame by frame.
+func (m *Minstrel) Seed(esnrDB float64) {
+	for i := range m.stats {
+		p := 1 - PER(Rates[i], esnrDB, 1500)
+		if p < 0.01 {
+			p = 0.01
+		}
+		m.stats[i].ewmaProb = p
+	}
+}
+
+// FixedRate is a trivial controller pinned to one MCS, used by unit tests
+// and by the baseline's management exchanges.
+type FixedRate struct{ Rate Rate }
+
+// Select implements the controller interface.
+func (f FixedRate) Select(sim.Time) Rate { return f.Rate }
+
+// Feedback implements the controller interface (no adaptation).
+func (f FixedRate) Feedback(sim.Time, Rate, int, int) {}
+
+// Controller selects transmit rates and learns from block-ACK feedback.
+type Controller interface {
+	Select(now sim.Time) Rate
+	Feedback(now sim.Time, r Rate, attempted, acked int)
+}
+
+var (
+	_ Controller = (*Minstrel)(nil)
+	_ Controller = FixedRate{}
+)

@@ -1,0 +1,286 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wgtt/internal/sim"
+)
+
+func TestRateTableShape(t *testing.T) {
+	if len(Rates) != NumRates {
+		t.Fatalf("table has %d rates, want %d", len(Rates), NumRates)
+	}
+	for i, r := range Rates {
+		if r.MCS != i {
+			t.Errorf("Rates[%d].MCS = %d", i, r.MCS)
+		}
+		if i > 0 {
+			if r.Mbps <= Rates[i-1].Mbps {
+				t.Errorf("rate not increasing at MCS%d", i)
+			}
+			if r.ThresholdDB <= Rates[i-1].ThresholdDB {
+				t.Errorf("threshold not increasing at MCS%d", i)
+			}
+		}
+	}
+	if Rates[7].Mbps != 72.2 {
+		t.Errorf("top rate = %v, want 72.2 (HT20 SGI MCS7)", Rates[7].Mbps)
+	}
+	if s := Rates[7].String(); s != "MCS7(64-QAM 5/6, 72.2 Mb/s)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPERAnchoredAtThreshold(t *testing.T) {
+	// At the threshold a 1500-byte MPDU loses ≈10%.
+	for _, r := range Rates {
+		per := PER(r, r.ThresholdDB, 1500)
+		if per < 0.03 || per > 0.25 {
+			t.Errorf("MCS%d PER at threshold = %v, want ≈0.1", r.MCS, per)
+		}
+	}
+}
+
+func TestPERWaterfall(t *testing.T) {
+	r := Rates[4]
+	// Well above threshold: negligible loss.
+	if per := PER(r, r.ThresholdDB+8, 1500); per > 0.01 {
+		t.Errorf("PER at +8 dB = %v, want <1%%", per)
+	}
+	// Well below: near-certain loss.
+	if per := PER(r, r.ThresholdDB-5, 1500); per < 0.99 {
+		t.Errorf("PER at -5 dB = %v, want ≈1", per)
+	}
+	// Monotone in ESNR.
+	prev := 1.1
+	for db := -10.0; db <= 40; db += 0.5 {
+		per := PER(r, db, 1500)
+		if per > prev+1e-12 {
+			t.Fatalf("PER increased with ESNR at %v dB", db)
+		}
+		prev = per
+	}
+	// Monotone in length: longer frames fail more.
+	if PER(r, r.ThresholdDB+2, 300) >= PER(r, r.ThresholdDB+2, 3000) {
+		t.Error("PER not increasing with frame length")
+	}
+	// Degenerate inputs.
+	if PER(r, 20, 0) != 0 {
+		t.Error("zero-length PER should be 0")
+	}
+	if p := PER(r, -40, 1500); p < 0.999 || math.IsNaN(p) {
+		t.Errorf("deep-fade PER = %v", p)
+	}
+}
+
+// Property: PER is always a probability.
+func TestPERRangeProperty(t *testing.T) {
+	f := func(mcs uint8, esnrRaw int16, lenRaw uint16) bool {
+		r := Rates[int(mcs)%NumRates]
+		esnr := float64(esnrRaw%60) - 10
+		n := int(lenRaw % 4000)
+		p := PER(r, esnr, n)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestRateFor(t *testing.T) {
+	if r := BestRateFor(30, 0); r.MCS != 7 {
+		t.Errorf("BestRateFor(30) = MCS%d, want 7", r.MCS)
+	}
+	if r := BestRateFor(-10, 0); r.MCS != 0 {
+		t.Errorf("BestRateFor(-10) = MCS%d, want 0 fallback", r.MCS)
+	}
+	if r := BestRateFor(18, 0); r.MCS != 4 {
+		t.Errorf("BestRateFor(18) = MCS%d, want 4", r.MCS)
+	}
+	// Margin pushes selection down.
+	if r := BestRateFor(18, 3); r.MCS != 3 {
+		t.Errorf("BestRateFor(18, margin 3) = MCS%d, want 3", r.MCS)
+	}
+}
+
+func TestAirtimeAccounting(t *testing.T) {
+	r := Rates[7] // 72.2 Mb/s
+	// 1500 bytes at 72.2 Mb/s = 166.2 µs of payload airtime.
+	at := PayloadAirtime(r, 1500)
+	want := 166.2
+	if got := float64(at) / 1e3; math.Abs(got-want) > 1 {
+		t.Errorf("payload airtime = %v µs, want ≈%v", got, want)
+	}
+	if PayloadAirtime(r, 0) != 0 {
+		t.Error("zero bytes should take zero airtime")
+	}
+	// Aggregation amortizes the preamble: 32 MPDUs in one PPDU must be
+	// far cheaper than 32 singleton PPDUs.
+	agg := AMPDUAirtime(r, 32, 1500)
+	var singles sim.Duration
+	for i := 0; i < 32; i++ {
+		singles += AMPDUAirtime(r, 1, 1500) + ExchangeOverhead(8)
+	}
+	if float64(agg) > 0.8*float64(singles) {
+		t.Errorf("aggregation saves too little: %v vs %v", agg, singles)
+	}
+	if AMPDUAirtime(r, 0, 1500) != 0 {
+		t.Error("empty aggregate should take zero airtime")
+	}
+}
+
+func TestMaxMPDUsForAirtime(t *testing.T) {
+	// At the top rate the 4 ms TXOP fits more frames than at MCS0, and
+	// the result is always within [1, MaxAMPDUFrames].
+	hi := MaxMPDUsForAirtime(Rates[7], 1500)
+	lo := MaxMPDUsForAirtime(Rates[0], 1500)
+	if hi <= lo {
+		t.Errorf("top rate fits %d MPDUs, MCS0 fits %d; want more at top rate", hi, lo)
+	}
+	if lo < 1 || hi > MaxAMPDUFrames {
+		t.Errorf("results out of range: lo=%d hi=%d", lo, hi)
+	}
+	// At 72.2 Mb/s a 1542-byte subframe is ≈171 µs, so ≈23 fit in 4 ms.
+	if hi < 15 || hi > 30 {
+		t.Errorf("top-rate MPDU count = %d, want ≈23", hi)
+	}
+	// Tiny payloads hit the 64-frame BA window cap.
+	if n := MaxMPDUsForAirtime(Rates[7], 40); n != MaxAMPDUFrames {
+		t.Errorf("small-payload count = %d, want cap %d", n, MaxAMPDUFrames)
+	}
+}
+
+func TestMinstrelConvergesToSustainableRate(t *testing.T) {
+	// Feed feedback as if the channel supports MCS4 (43.3 Mb/s) well but
+	// MCS5+ fails 70% of the time; minstrel must settle on MCS4.
+	rng := sim.NewRNG(21)
+	m := NewMinstrel(rng)
+	now := sim.Time(0)
+	for i := 0; i < 3000; i++ {
+		now = now.Add(2 * sim.Millisecond)
+		r := m.Select(now)
+		acked := 0
+		attempted := 20
+		if r.MCS <= 4 {
+			acked = 19
+		} else {
+			acked = 6
+		}
+		m.Feedback(now, r, attempted, acked)
+	}
+	// Count selections over a further window.
+	picks := map[int]int{}
+	for i := 0; i < 300; i++ {
+		now = now.Add(2 * sim.Millisecond)
+		r := m.Select(now)
+		picks[r.MCS]++
+		acked := 19
+		if r.MCS > 4 {
+			acked = 6
+		}
+		m.Feedback(now, r, 20, acked)
+	}
+	if picks[4] < 200 {
+		t.Errorf("minstrel picked MCS4 only %d/300 times: %v", picks[4], picks)
+	}
+}
+
+func TestMinstrelRecoversAfterFade(t *testing.T) {
+	rng := sim.NewRNG(22)
+	m := NewMinstrel(rng)
+	now := sim.Time(0)
+	run := func(goodUpTo int, iters int) {
+		for i := 0; i < iters; i++ {
+			now = now.Add(2 * sim.Millisecond)
+			r := m.Select(now)
+			acked := 1
+			if r.MCS <= goodUpTo {
+				acked = 20
+			}
+			m.Feedback(now, r, 20, acked)
+		}
+	}
+	run(7, 2000) // pristine channel: learns MCS7
+	run(2, 2000) // deep fade: must fall to MCS2
+	picks := map[int]int{}
+	for i := 0; i < 200; i++ {
+		now = now.Add(2 * sim.Millisecond)
+		r := m.Select(now)
+		picks[r.MCS]++
+		acked := 1
+		if r.MCS <= 2 {
+			acked = 20
+		}
+		m.Feedback(now, r, 20, acked)
+	}
+	if picks[2] < 120 {
+		t.Errorf("after fade minstrel picked MCS2 only %d/200: %v", picks[2], picks)
+	}
+	run(7, 3000) // channel recovers: must climb again
+	picks = map[int]int{}
+	for i := 0; i < 200; i++ {
+		now = now.Add(2 * sim.Millisecond)
+		r := m.Select(now)
+		picks[r.MCS]++
+		m.Feedback(now, r, 20, 20)
+	}
+	best := 0
+	for mcs, n := range picks {
+		if n > picks[best] {
+			best = mcs
+		}
+	}
+	if best < 6 {
+		t.Errorf("after recovery minstrel mostly picks MCS%d: %v", best, picks)
+	}
+}
+
+func TestMinstrelProbesOccasionally(t *testing.T) {
+	m := NewMinstrel(sim.NewRNG(23))
+	now := sim.Time(0)
+	// Converge on MCS4.
+	for i := 0; i < 2000; i++ {
+		now = now.Add(sim.Millisecond)
+		r := m.Select(now)
+		acked := 19
+		if r.MCS > 4 {
+			acked = 2
+		}
+		m.Feedback(now, r, 20, acked)
+	}
+	other := 0
+	for i := 0; i < 320; i++ {
+		now = now.Add(sim.Millisecond)
+		if m.Select(now).MCS != 4 {
+			other++
+		}
+	}
+	if other == 0 {
+		t.Error("minstrel never probes away from the best rate")
+	}
+	if other > 80 {
+		t.Errorf("minstrel probes too often: %d/320", other)
+	}
+}
+
+func TestMinstrelIgnoresEmptyFeedback(t *testing.T) {
+	m := NewMinstrel(sim.NewRNG(24))
+	before := m.Prob(3)
+	m.Feedback(sim.Time(0), Rates[3], 0, 0)
+	if m.Prob(3) != before {
+		t.Error("zero-attempt feedback mutated stats")
+	}
+}
+
+func TestFixedRate(t *testing.T) {
+	f := FixedRate{Rate: Rates[2]}
+	if f.Select(0).MCS != 2 {
+		t.Error("FixedRate did not return pinned rate")
+	}
+	f.Feedback(0, Rates[2], 10, 0) // must not panic or adapt
+	if f.Select(0).MCS != 2 {
+		t.Error("FixedRate adapted")
+	}
+}

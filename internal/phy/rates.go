@@ -1,0 +1,165 @@
+// Package phy models the 802.11n physical layer of the TP-Link N750 APs:
+// the single-stream MCS table, an ESNR-driven packet error model, airtime
+// accounting for A-MPDU aggregates, and a Minstrel-style rate controller
+// (the stock OpenWrt algorithm the paper runs unmodified).
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"wgtt/internal/csi"
+	"wgtt/internal/sim"
+)
+
+// Rate is one row of the 802.11n single-spatial-stream, 20 MHz, short-GI
+// MCS table.
+type Rate struct {
+	MCS        int
+	Mbps       float64
+	Modulation csi.Modulation
+	CodeRate   string
+	// ThresholdDB is the ESNR at which a 1500-byte MPDU is delivered
+	// with ≈90% probability; the PER waterfall is anchored here.
+	ThresholdDB float64
+}
+
+// String implements fmt.Stringer.
+func (r Rate) String() string {
+	return fmt.Sprintf("MCS%d(%s %s, %.1f Mb/s)", r.MCS, r.Modulation, r.CodeRate, r.Mbps)
+}
+
+// Rates is the HT20 short-GI single-stream table. Thresholds follow the
+// usual receiver-sensitivity ladder (≈3 dB per step, wider at the QAM-64
+// steps), consistent with the ESNR validation in Halperin et al.
+var Rates = []Rate{
+	{0, 7.2, csi.BPSK, "1/2", 4},
+	{1, 14.4, csi.QPSK, "1/2", 7},
+	{2, 21.7, csi.QPSK, "3/4", 10},
+	{3, 28.9, csi.QAM16, "1/2", 13},
+	{4, 43.3, csi.QAM16, "3/4", 17},
+	{5, 57.8, csi.QAM64, "2/3", 21.5},
+	{6, 65.0, csi.QAM64, "3/4", 23},
+	{7, 72.2, csi.QAM64, "5/6", 25},
+}
+
+// BasicRate is the robust rate used for beacons, management frames and
+// block ACKs. Its effective threshold sits below MCS0 because such frames
+// are short.
+var BasicRate = Rates[0]
+
+// NumRates is the size of the MCS table.
+const NumRates = 8
+
+// PER returns the probability that an MPDU of the given size fails at rate
+// r under effective SNR esnrDB. The model is the standard waterfall used
+// by link simulators: a post-coding residual bit error probability that
+// falls one decade per 1.5 dB, anchored so that a 1500-byte MPDU at the
+// rate's threshold sees ≈10% loss, compounded over the frame's bits.
+// It is monotone in both ESNR and frame length.
+func PER(r Rate, esnrDB float64, bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	delta := esnrDB - r.ThresholdDB
+	// Residual post-coding BER: 10^(−5.05 − δ/1.5), capped at 0.5.
+	pb := math.Pow(10, -5.05-delta/1.5)
+	if pb > 0.5 {
+		pb = 0.5
+	}
+	bits := float64(8 * bytes)
+	// 1 − (1−pb)^bits, computed stably in log domain.
+	return -math.Expm1(bits * math.Log1p(-pb))
+}
+
+// BestRateFor returns the highest rate whose threshold is at or below the
+// given ESNR with margin marginDB, falling back to MCS0. This is the
+// "ideal CSI-driven" selector used in ablations; the live system runs
+// Minstrel.
+func BestRateFor(esnrDB, marginDB float64) Rate {
+	best := Rates[0]
+	for _, r := range Rates {
+		if esnrDB >= r.ThresholdDB+marginDB {
+			best = r
+		}
+	}
+	return best
+}
+
+// 802.11g/n 2.4 GHz MAC/PHY timing constants.
+const (
+	// SIFS separates a data frame from its (block) acknowledgement.
+	SIFS = 10 * sim.Microsecond
+	// Slot is the ERP short slot time.
+	Slot = 9 * sim.Microsecond
+	// DIFS is the idle period before contention backoff starts.
+	DIFS = SIFS + 2*Slot
+	// PLCPPreamble is the HT-mixed preamble + PLCP header airtime spent
+	// before the first payload bit of any PPDU.
+	PLCPPreamble = 36 * sim.Microsecond
+	// BlockAckAirtime is the airtime of a compressed Block ACK frame
+	// (32 bytes at a legacy rate) including its preamble.
+	BlockAckAirtime = 32 * sim.Microsecond
+	// CWMin is the minimum contention window (slots).
+	CWMin = 16
+	// CWMax is the maximum contention window (slots).
+	CWMax = 1024
+	// MPDUDelimiter is the per-subframe A-MPDU overhead: 4-byte
+	// delimiter plus padding.
+	MPDUDelimiter = 8
+	// MACHeader is the 802.11 data header + FCS in bytes.
+	MACHeader = 34
+	// MaxAMPDUFrames caps the subframes in one aggregate (BA window).
+	MaxAMPDUFrames = 64
+	// MaxAMPDUAirtime caps one aggregate's duration (TXOP limit).
+	MaxAMPDUAirtime = 4 * sim.Millisecond
+)
+
+// PayloadAirtime returns the on-air time of n payload bytes at rate r,
+// excluding preamble.
+func PayloadAirtime(r Rate, bytes int) sim.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	ns := float64(bytes*8) / (r.Mbps * 1e6) * 1e9
+	return sim.Duration(math.Ceil(ns))
+}
+
+// AMPDUAirtime returns the full PPDU airtime of an aggregate of mpdus
+// subframes carrying payloadBytes each: preamble plus per-subframe
+// (delimiter + MAC header + payload) at rate r.
+func AMPDUAirtime(r Rate, mpdus, payloadBytes int) sim.Duration {
+	if mpdus <= 0 {
+		return 0
+	}
+	perMPDU := MPDUDelimiter + MACHeader + payloadBytes
+	return PLCPPreamble + PayloadAirtime(r, mpdus*perMPDU)
+}
+
+// MaxMPDUsForAirtime returns how many subframes of payloadBytes fit inside
+// the TXOP airtime cap at rate r, clamped to the BA window.
+func MaxMPDUsForAirtime(r Rate, payloadBytes int) int {
+	perMPDU := MPDUDelimiter + MACHeader + payloadBytes
+	budget := MaxAMPDUAirtime - PLCPPreamble
+	if budget <= 0 {
+		return 1
+	}
+	per := PayloadAirtime(r, perMPDU)
+	if per <= 0 {
+		return MaxAMPDUFrames
+	}
+	n := int(budget / per)
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxAMPDUFrames {
+		n = MaxAMPDUFrames
+	}
+	return n
+}
+
+// ExchangeOverhead is the fixed per-exchange cost around an A-MPDU:
+// DIFS + expected backoff + SIFS + Block ACK.
+func ExchangeOverhead(backoffSlots int) sim.Duration {
+	return DIFS + sim.Duration(backoffSlots)*Slot + SIFS + BlockAckAirtime
+}

@@ -1,0 +1,89 @@
+package queue
+
+// FIFO is a bounded first-in-first-out buffer. It models the
+// non-recallable queues in the transmit path — most importantly the NIC
+// hardware queue, whose contents AP1 still drains onto the air after
+// receiving stop(c) (the ~6 ms the paper accepts as minimal capacity
+// loss) — and the backhaul interface queues.
+type FIFO[T any] struct {
+	items []T
+	cap   int
+	drops int
+}
+
+// NewFIFO returns a FIFO holding at most capacity items. capacity <= 0
+// means unbounded.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	return &FIFO[T]{cap: capacity}
+}
+
+// Push appends v. It reports false (and counts a tail drop) when full.
+func (f *FIFO[T]) Push(v T) bool {
+	if f.cap > 0 && len(f.items) >= f.cap {
+		f.drops++
+		return false
+	}
+	f.items = append(f.items, v)
+	return true
+}
+
+// Pop removes and returns the oldest item.
+func (f *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if len(f.items) == 0 {
+		return zero, false
+	}
+	v := f.items[0]
+	f.items[0] = zero
+	f.items = f.items[1:]
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if len(f.items) == 0 {
+		return zero, false
+	}
+	return f.items[0], true
+}
+
+// Len returns the number of queued items.
+func (f *FIFO[T]) Len() int { return len(f.items) }
+
+// Cap returns the capacity (0 = unbounded).
+func (f *FIFO[T]) Cap() int { return f.cap }
+
+// Drops returns the number of items rejected because the queue was full.
+func (f *FIFO[T]) Drops() int { return f.drops }
+
+// Filter removes every item for which keep returns false and returns how
+// many were removed. Used by the driver-queue hook that filters out a
+// stopped client's packets.
+func (f *FIFO[T]) Filter(keep func(T) bool) int {
+	out := f.items[:0]
+	removed := 0
+	for _, v := range f.items {
+		if keep(v) {
+			out = append(out, v)
+		} else {
+			removed++
+		}
+	}
+	// Zero the tail so removed items don't pin memory.
+	var zero T
+	for i := len(out); i < len(f.items); i++ {
+		f.items[i] = zero
+	}
+	f.items = out
+	return removed
+}
+
+// Clear empties the queue.
+func (f *FIFO[T]) Clear() {
+	var zero T
+	for i := range f.items {
+		f.items[i] = zero
+	}
+	f.items = f.items[:0]
+}

@@ -1,0 +1,374 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wgtt/internal/packet"
+)
+
+func pkt(idx uint16) packet.Packet {
+	return packet.Packet{Index: idx, Seq: uint32(idx), Proto: packet.ProtoUDP, PayloadLen: 1400}
+}
+
+func TestIndexDist(t *testing.T) {
+	cases := []struct {
+		a, b uint16
+		want int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, -1},
+		{4095, 0, 1},  // wrap forward
+		{0, 4095, -1}, // wrap backward
+		{0, 2047, 2047},
+		{0, 2048, -2048},
+		{100, 4000, -196},
+	}
+	for _, c := range cases {
+		if got := IndexDist(c.a, c.b); got != c.want {
+			t.Errorf("IndexDist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: IndexDist is antisymmetric except at the half-way point.
+func TestIndexDistAntisymmetryProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		a &= packet.IndexMod - 1
+		b &= packet.IndexMod - 1
+		d1, d2 := IndexDist(a, b), IndexDist(b, a)
+		if d1 == -packet.IndexMod/2 {
+			return d2 == -packet.IndexMod/2
+		}
+		return d1 == -d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclicInOrder(t *testing.T) {
+	c := NewCyclic()
+	for i := uint16(0); i < 10; i++ {
+		c.Insert(pkt(i))
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := uint16(0); i < 10; i++ {
+		p, ok := c.Pop()
+		if !ok || p.Index != i {
+			t.Fatalf("Pop %d = %v,%v", i, p.Index, ok)
+		}
+	}
+	if _, ok := c.Pop(); ok {
+		t.Error("Pop from empty succeeded")
+	}
+}
+
+func TestCyclicHeadTracksFirstUnsent(t *testing.T) {
+	c := NewCyclic()
+	for i := uint16(100); i < 110; i++ {
+		c.Insert(pkt(i))
+	}
+	if c.Head() != 100 {
+		t.Errorf("Head = %d, want 100", c.Head())
+	}
+	c.Pop()
+	c.Pop()
+	if c.Head() != 102 {
+		t.Errorf("Head after 2 pops = %d, want 102", c.Head())
+	}
+}
+
+func TestCyclicSetHeadDiscardsPrefix(t *testing.T) {
+	// The start(c,k) semantics: packets before k are discarded, the
+	// first Pop returns exactly index k.
+	c := NewCyclic()
+	for i := uint16(0); i < 50; i++ {
+		c.Insert(pkt(i))
+	}
+	c.SetHead(30)
+	if c.Len() != 20 {
+		t.Errorf("Len after SetHead = %d, want 20", c.Len())
+	}
+	p, ok := c.Pop()
+	if !ok || p.Index != 30 {
+		t.Errorf("first Pop after SetHead = %v,%v; want 30", p.Index, ok)
+	}
+}
+
+func TestCyclicSetHeadForwardOfEverything(t *testing.T) {
+	c := NewCyclic()
+	for i := uint16(0); i < 5; i++ {
+		c.Insert(pkt(i))
+	}
+	c.SetHead(100)
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+	if _, ok := c.Pop(); ok {
+		t.Error("Pop succeeded past all content")
+	}
+	// New inserts after the jump still work.
+	c.Insert(pkt(100))
+	p, ok := c.Pop()
+	if !ok || p.Index != 100 {
+		t.Errorf("Pop = %v,%v; want 100", p.Index, ok)
+	}
+}
+
+func TestCyclicStaleInsertDropped(t *testing.T) {
+	c := NewCyclic()
+	for i := uint16(10); i < 20; i++ {
+		c.Insert(pkt(i))
+	}
+	c.SetHead(15)
+	c.Insert(pkt(12)) // behind head: must not resurrect
+	p, ok := c.Pop()
+	if !ok || p.Index != 15 {
+		t.Errorf("Pop = %v, want 15 (stale insert resurrected?)", p.Index)
+	}
+}
+
+func TestCyclicGapsAreSkipped(t *testing.T) {
+	c := NewCyclic()
+	c.Insert(pkt(5))
+	c.Insert(pkt(9)) // gap 6,7,8 never arrives
+	p, _ := c.Pop()
+	if p.Index != 5 {
+		t.Fatalf("first pop = %d", p.Index)
+	}
+	p, ok := c.Pop()
+	if !ok || p.Index != 9 {
+		t.Errorf("gap skip pop = %v,%v; want 9", p.Index, ok)
+	}
+}
+
+func TestCyclicWrapAround(t *testing.T) {
+	c := NewCyclic()
+	// Straddle the 4095→0 wrap.
+	for i := 0; i < 20; i++ {
+		c.Insert(pkt(uint16((4090 + i) & (packet.IndexMod - 1))))
+	}
+	if c.Len() != 20 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	want := uint16(4090)
+	for i := 0; i < 20; i++ {
+		p, ok := c.Pop()
+		if !ok || p.Index != want {
+			t.Fatalf("wrap pop %d = %v,%v; want %d", i, p.Index, ok, want)
+		}
+		want = (want + 1) & (packet.IndexMod - 1)
+	}
+	// SetHead across the wrap (fresh queue: index space restarts).
+	c = NewCyclic()
+	for i := 0; i < 20; i++ {
+		c.Insert(pkt(uint16((4090 + i) & (packet.IndexMod - 1))))
+	}
+	c.SetHead(2) // discards 4090..4095,0,1
+	p, ok := c.Pop()
+	if !ok || p.Index != 2 {
+		t.Errorf("wrap SetHead pop = %v,%v; want 2", p.Index, ok)
+	}
+}
+
+func TestCyclicPeek(t *testing.T) {
+	c := NewCyclic()
+	if _, ok := c.Peek(); ok {
+		t.Error("Peek on empty succeeded")
+	}
+	c.Insert(pkt(7))
+	p, ok := c.Peek()
+	if !ok || p.Index != 7 || c.Len() != 1 {
+		t.Errorf("Peek = %v,%v len=%d", p.Index, ok, c.Len())
+	}
+}
+
+func TestCyclicClear(t *testing.T) {
+	c := NewCyclic()
+	for i := uint16(0); i < 10; i++ {
+		c.Insert(pkt(i))
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("Len after Clear = %d", c.Len())
+	}
+	if _, ok := c.Pop(); ok {
+		t.Error("Pop after Clear succeeded")
+	}
+	c.Insert(pkt(3000))
+	if p, ok := c.Pop(); !ok || p.Index != 3000 {
+		t.Error("reuse after Clear broken")
+	}
+}
+
+func TestCyclicOverwriteSameIndex(t *testing.T) {
+	c := NewCyclic()
+	p1 := pkt(5)
+	p1.Seq = 111
+	p2 := pkt(5)
+	p2.Seq = 222
+	c.Insert(p1)
+	c.Insert(p2)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (overwrite)", c.Len())
+	}
+	got, _ := c.Pop()
+	if got.Seq != 222 {
+		t.Errorf("Seq = %d, want newest 222", got.Seq)
+	}
+}
+
+// Property: popping a cyclic queue always yields indexes in increasing
+// modular order from the head, regardless of insert order.
+func TestCyclicPopOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		c := NewCyclic()
+		seen := map[uint16]bool{}
+		for _, r := range raw {
+			idx := r % 200 // confined range: no ambiguous wrap
+			c.Insert(pkt(idx))
+			seen[idx] = true
+		}
+		prev := -1
+		for {
+			p, ok := c.Pop()
+			if !ok {
+				break
+			}
+			if int(p.Index) <= prev {
+				return false
+			}
+			if !seen[p.Index] {
+				return false
+			}
+			prev = int(p.Index)
+		}
+		return c.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFOBasics(t *testing.T) {
+	f := NewFIFO[int](3)
+	if !f.Push(1) || !f.Push(2) || !f.Push(3) {
+		t.Fatal("pushes within capacity failed")
+	}
+	if f.Push(4) {
+		t.Error("push beyond capacity succeeded")
+	}
+	if f.Drops() != 1 {
+		t.Errorf("Drops = %d", f.Drops())
+	}
+	if v, ok := f.Peek(); !ok || v != 1 {
+		t.Errorf("Peek = %v,%v", v, ok)
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := f.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %v,%v; want %d", v, ok, want)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("Pop on empty succeeded")
+	}
+	if _, ok := f.Peek(); ok {
+		t.Error("Peek on empty succeeded")
+	}
+}
+
+func TestFIFOUnbounded(t *testing.T) {
+	f := NewFIFO[int](0)
+	for i := 0; i < 10000; i++ {
+		if !f.Push(i) {
+			t.Fatal("unbounded push failed")
+		}
+	}
+	if f.Len() != 10000 || f.Cap() != 0 {
+		t.Errorf("Len=%d Cap=%d", f.Len(), f.Cap())
+	}
+}
+
+func TestFIFOFilter(t *testing.T) {
+	f := NewFIFO[int](0)
+	for i := 0; i < 10; i++ {
+		f.Push(i)
+	}
+	removed := f.Filter(func(v int) bool { return v%2 == 0 })
+	if removed != 5 {
+		t.Errorf("removed = %d", removed)
+	}
+	want := []int{0, 2, 4, 6, 8}
+	for _, w := range want {
+		v, ok := f.Pop()
+		if !ok || v != w {
+			t.Fatalf("after filter Pop = %v, want %d", v, w)
+		}
+	}
+}
+
+func TestFIFOClear(t *testing.T) {
+	f := NewFIFO[string](0)
+	f.Push("a")
+	f.Push("b")
+	f.Clear()
+	if f.Len() != 0 {
+		t.Error("Clear left items")
+	}
+	f.Push("c")
+	if v, _ := f.Pop(); v != "c" {
+		t.Error("reuse after Clear broken")
+	}
+}
+
+// Property: FIFO preserves order and never exceeds capacity.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(vals []int8, capRaw uint8) bool {
+		capacity := int(capRaw%10) + 1
+		q := NewFIFO[int8](capacity)
+		var accepted []int8
+		for _, v := range vals {
+			if q.Len() > capacity {
+				return false
+			}
+			if q.Push(v) {
+				accepted = append(accepted, v)
+			}
+		}
+		for _, want := range accepted {
+			got, ok := q.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclicNeverPoppedKeepsNewest(t *testing.T) {
+	// A non-serving AP inserts far more than the index space without
+	// ever popping; the buffer must retain a recent suffix rather than
+	// rejecting new inserts after wrap.
+	c := NewCyclic()
+	last := uint16(0)
+	for i := 0; i < 3*packet.IndexMod; i++ {
+		last = uint16(i & (packet.IndexMod - 1))
+		c.Insert(pkt(last))
+	}
+	if c.Len() == 0 || c.Len() > packet.IndexMod/4+1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// A switch handoff to a recent index must find the packet.
+	c.SetHead(last)
+	p, ok := c.Pop()
+	if !ok || p.Index != last {
+		t.Errorf("Pop after long run = %v,%v; want %d", p.Index, ok, last)
+	}
+}

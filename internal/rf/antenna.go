@@ -1,0 +1,51 @@
+package rf
+
+// Antenna describes a transmit or receive antenna's directivity. GainDB
+// reports gain in dBi toward a bearing measured in degrees from the +X
+// axis (same convention as Position.AngleTo).
+type Antenna interface {
+	GainDB(bearingDeg float64) float64
+}
+
+// Omni is an omnidirectional antenna with a flat gain, used for the mobile
+// clients (laptop / phone antennas).
+type Omni struct {
+	Gain float64 // dBi
+}
+
+// GainDB implements Antenna.
+func (o Omni) GainDB(float64) float64 { return o.Gain }
+
+// Parabolic models the Laird GD24BP-style grid parabolic used on each WGTT
+// AP: 14 dBi peak with a 21° half-power beamwidth. The main lobe follows
+// the standard quadratic approximation G(θ) = peak − 12·(θ/HPBW)² dB, which
+// puts the −3 dB points at ±HPBW/2; beyond that the gain floors at the
+// side-lobe level. The paper leans on those side lobes: they are what lets
+// a non-serving AP overhear block ACKs (§3.2.1) and what keeps simultaneous
+// link-layer acks from colliding destructively (§5.3.2).
+type Parabolic struct {
+	PeakGain     float64 // dBi at boresight
+	BeamwidthDeg float64 // half-power (−3 dB) full beamwidth
+	SideLobeDB   float64 // side-lobe level relative to peak (negative, e.g. −20)
+	BoresightDeg float64 // pointing direction, degrees from +X axis
+}
+
+// DefaultParabolic returns the paper's AP antenna aimed at boresightDeg.
+func DefaultParabolic(boresightDeg float64) Parabolic {
+	return Parabolic{
+		PeakGain:     14,
+		BeamwidthDeg: 21,
+		SideLobeDB:   -28,
+		BoresightDeg: boresightDeg,
+	}
+}
+
+// GainDB implements Antenna.
+func (p Parabolic) GainDB(bearingDeg float64) float64 {
+	off := normalizeAngle(bearingDeg - p.BoresightDeg)
+	loss := 12 * (off / p.BeamwidthDeg) * (off / p.BeamwidthDeg)
+	if loss > -p.SideLobeDB {
+		loss = -p.SideLobeDB
+	}
+	return p.PeakGain - loss
+}

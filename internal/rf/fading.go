@@ -1,0 +1,206 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+
+	"wgtt/internal/sim"
+)
+
+// NumSubcarriers is the number of data/pilot subcarriers the Atheros CSI
+// tool reports for a 20 MHz 802.11n channel, and hence the resolution at
+// which WGTT sees the channel.
+const NumSubcarriers = 56
+
+// SubcarrierSpacingHz is the 802.11 OFDM subcarrier spacing (312.5 kHz).
+const SubcarrierSpacingHz = 312.5e3
+
+// subcarrierOffsetHz returns the baseband frequency offset of subcarrier
+// index i (0..55), mapping onto the HT20 occupied set −28..−1, +1..+28.
+func subcarrierOffsetHz(i int) float64 {
+	k := i - NumSubcarriers/2 // −28..27
+	if k >= 0 {
+		k++ // skip DC
+	}
+	return float64(k) * SubcarrierSpacingHz
+}
+
+// tap is one resolvable multipath cluster: a delay plus a sum of planar
+// scattered waves whose phases rotate with client position.
+type tap struct {
+	delaySec    float64
+	ampl        float64 // linear amplitude weight (sqrt of tap power)
+	scatterAmpl float64 // per-wave scattered amplitude incl. 1/√N
+	// Scattered-wave parameters: unit arrival directions and phases.
+	dirX, dirY []float64
+	phase      []float64
+	// los is the deterministic (Rician) component amplitude; zero for
+	// pure Rayleigh taps.
+	los      float64
+	losDirX  float64
+	losDirY  float64
+	losPhase float64
+}
+
+// Fader produces the small-scale complex channel gain of one AP↔client
+// link, per subcarrier, as a function of client position. It implements a
+// spatial sum-of-sinusoids (Jakes/Clarke) model over a tapped delay line:
+//
+//	h_l(pos) = a_l · [ sqrt(K/(K+1))·e^{j(k·d_los·pos+φ)} +
+//	                   sqrt(1/(K+1))·(1/√N)·Σ_n e^{j(k·d_n·pos + φ_n)} ]
+//	H_i(pos) = Σ_l h_l(pos) · e^{−j2π f_i τ_l}
+//
+// with k = 2π/λ. The envelope of each tap is Rayleigh (or Rician with
+// factor K), spatially correlated with coherence distance ≈ λ/2, and the
+// delay spread across taps makes the response frequency-selective — the
+// property ESNR exists to capture.
+type Fader struct {
+	waveNumber float64 // 2π/λ
+	taps       []tap
+}
+
+// FadingParams configures a Fader.
+type FadingParams struct {
+	FreqHz float64 // carrier frequency
+	// NumTaps is the number of resolvable multipath clusters. The paper
+	// notes WGTT's small cells keep delay spread indoor-like, so a few
+	// taps with ~100 ns spacing suffice.
+	NumTaps int
+	// TapSpacingSec is the excess delay between consecutive taps.
+	TapSpacingSec float64
+	// DecayDB is the per-tap power decay of the exponential power delay
+	// profile.
+	DecayDB float64
+	// NumWaves is the number of scattered plane waves per tap.
+	NumWaves int
+	// RicianK is the K-factor (linear) of the first tap; 0 = Rayleigh.
+	RicianK float64
+}
+
+// DefaultFadingParams models the roadside testbed: three clusters 100 ns
+// apart decaying 3 dB per tap, Rayleigh (the street-level path to a car is
+// dominated by reflections off vehicles and facades).
+func DefaultFadingParams(freqHz float64) FadingParams {
+	return FadingParams{
+		FreqHz:        freqHz,
+		NumTaps:       3,
+		TapSpacingSec: 100e-9,
+		DecayDB:       3,
+		NumWaves:      12,
+		RicianK:       0,
+	}
+}
+
+// NewFader draws a random multipath realization for one link. The same RNG
+// fork always yields the same realization, so experiment runs are
+// reproducible.
+func NewFader(p FadingParams, rng *sim.RNG) *Fader {
+	if p.NumTaps < 1 {
+		p.NumTaps = 1
+	}
+	if p.NumWaves < 1 {
+		p.NumWaves = 1
+	}
+	lambda := SpeedOfLight / p.FreqHz
+	f := &Fader{waveNumber: 2 * math.Pi / lambda}
+
+	// Exponential power delay profile, normalized to unit total power.
+	powers := make([]float64, p.NumTaps)
+	total := 0.0
+	for l := range powers {
+		powers[l] = math.Pow(10, -p.DecayDB*float64(l)/10)
+		total += powers[l]
+	}
+	for l := range powers {
+		powers[l] /= total
+	}
+
+	for l := 0; l < p.NumTaps; l++ {
+		t := tap{
+			delaySec: float64(l) * p.TapSpacingSec,
+			ampl:     math.Sqrt(powers[l]),
+		}
+		k := 0.0
+		if l == 0 {
+			k = p.RicianK
+		}
+		scatter := math.Sqrt(1 / (k + 1))
+		t.los = math.Sqrt(k / (k + 1))
+		if t.los > 0 {
+			ang := 2 * math.Pi * rng.Float64()
+			t.losDirX, t.losDirY = math.Cos(ang), math.Sin(ang)
+			t.losPhase = 2 * math.Pi * rng.Float64()
+		}
+		for n := 0; n < p.NumWaves; n++ {
+			ang := 2 * math.Pi * rng.Float64()
+			t.dirX = append(t.dirX, math.Cos(ang))
+			t.dirY = append(t.dirY, math.Sin(ang))
+			t.phase = append(t.phase, 2*math.Pi*rng.Float64())
+		}
+		t.los *= t.ampl
+		t.amplScatter(scatter, p.NumWaves)
+		f.taps = append(f.taps, t)
+	}
+	return f
+}
+
+// amplScatter folds the Rician scatter fraction and the 1/√N wave
+// normalization into the tap's scattered amplitude.
+func (t *tap) amplScatter(scatter float64, numWaves int) {
+	t.scatterAmpl = t.ampl * scatter / math.Sqrt(float64(numWaves))
+}
+
+// tapGain evaluates the tap's complex gain at a client position.
+func (t *tap) gain(k float64, pos Position) complex128 {
+	var re, im float64
+	for n := range t.phase {
+		ph := k*(t.dirX[n]*pos.X+t.dirY[n]*pos.Y) + t.phase[n]
+		s, c := math.Sincos(ph)
+		re += c
+		im += s
+	}
+	g := complex(re*t.scatterAmpl, im*t.scatterAmpl)
+	if t.los > 0 {
+		ph := k*(t.losDirX*pos.X+t.losDirY*pos.Y) + t.losPhase
+		g += cmplx.Rect(t.los, ph)
+	}
+	return g
+}
+
+// Gains fills dst with the complex channel gain of every subcarrier at the
+// given client position. dst must have length NumSubcarriers. The mean
+// square of the gains over positions and realizations is 1, so large-scale
+// power is untouched on average.
+func (f *Fader) Gains(pos Position, dst []complex128) {
+	if len(dst) != NumSubcarriers {
+		panic("rf: Gains dst must have NumSubcarriers elements")
+	}
+	// Evaluate each tap once, then rotate per subcarrier by its delay.
+	tapGains := make([]complex128, len(f.taps))
+	for l := range f.taps {
+		tapGains[l] = f.taps[l].gain(f.waveNumber, pos)
+	}
+	for i := range dst {
+		fi := subcarrierOffsetHz(i)
+		var sum complex128
+		for l := range f.taps {
+			ph := -2 * math.Pi * fi * f.taps[l].delaySec
+			s, c := math.Sincos(ph)
+			sum += tapGains[l] * complex(c, s)
+		}
+		dst[i] = sum
+	}
+}
+
+// PowerDB returns the wideband (subcarrier-averaged) fading power in dB at
+// a position: 10·log10(mean |H_i|²).
+func (f *Fader) PowerDB(pos Position) float64 {
+	var gains [NumSubcarriers]complex128
+	f.Gains(pos, gains[:])
+	sum := 0.0
+	for _, g := range gains {
+		re, im := real(g), imag(g)
+		sum += re*re + im*im
+	}
+	return 10 * math.Log10(sum/NumSubcarriers)
+}

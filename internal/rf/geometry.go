@@ -1,0 +1,50 @@
+// Package rf models the roadside radio environment of the WGTT testbed:
+// log-distance path loss, the 14 dBi / 21° parabolic AP antennas, smooth
+// log-normal shadowing, and spatially-correlated Rayleigh (optionally
+// Rician) multipath fading resolved per OFDM subcarrier.
+//
+// Fading is a function of *client position*, not of time: multipath fades
+// repeat on the spatial scale of a wavelength (12 cm at 2.4 GHz), so a car
+// moving twice as fast sweeps through the same fades twice as quickly —
+// exactly the mechanism that defines the paper's vehicular picocell regime
+// (Fig. 2). A stationary client therefore sees a constant channel, and the
+// Doppler rate emerges from the mobility model rather than being a separate
+// knob that could drift out of sync with it.
+package rf
+
+import "math"
+
+// Position is a point in the 2-D road plane, in meters. X runs along the
+// road; Y runs across it (APs sit at positive Y, the road near Y≈0).
+type Position struct {
+	X, Y float64
+}
+
+// Sub returns the vector p-q.
+func (p Position) Sub(q Position) Position { return Position{p.X - q.X, p.Y - q.Y} }
+
+// Distance returns the Euclidean distance between p and q in meters.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// AngleTo returns the bearing from p to q in degrees, measured
+// counter-clockwise from the +X axis, in (-180, 180].
+func (p Position) AngleTo(q Position) float64 {
+	return math.Atan2(q.Y-p.Y, q.X-p.X) * 180 / math.Pi
+}
+
+// normalizeAngle folds an angle in degrees into (-180, 180].
+func normalizeAngle(deg float64) float64 {
+	for deg > 180 {
+		deg -= 360
+	}
+	for deg <= -180 {
+		deg += 360
+	}
+	return deg
+}
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to fire at a virtual time. Events with the
+// same firing time execute in scheduling order, which keeps runs
+// deterministic regardless of heap internals.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	// index is the event's position in the heap, or -1 once fired/canceled.
+	index int
+}
+
+// Canceled reports whether the event has been canceled or already fired.
+func (e *Event) Canceled() bool { return e.index < 0 }
+
+// When returns the virtual time the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is the discrete-event scheduler. The zero value is not usable; call
+// NewLoop.
+type Loop struct {
+	now     Time
+	events  eventHeap
+	nextSeq uint64
+	running bool
+	stopped bool
+}
+
+// NewLoop returns a scheduler positioned at virtual time zero.
+func NewLoop() *Loop {
+	return &Loop{}
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() Time { return l.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it is always a logic error in a discrete-event model, and silently
+// clamping would hide causality bugs.
+func (l *Loop) At(t Time, fn func()) *Event {
+	if t < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
+	}
+	e := &Event{when: t, seq: l.nextSeq, fn: fn}
+	l.nextSeq++
+	heap.Push(&l.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (l *Loop) After(d Duration, fn func()) *Event {
+	return l.At(l.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Canceling an event that already fired or
+// was already canceled is a no-op, so callers can cancel unconditionally.
+func (l *Loop) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&l.events, e.index)
+	e.index = -1
+}
+
+// Run executes events in timestamp order until the queue drains or the
+// virtual clock passes until. The clock is left at min(until, last event
+// time); events scheduled after until remain pending so Run can be resumed.
+func (l *Loop) Run(until Time) {
+	if l.running {
+		panic("sim: re-entrant Run")
+	}
+	l.running = true
+	l.stopped = false
+	defer func() { l.running = false }()
+	for len(l.events) > 0 && !l.stopped {
+		next := l.events[0]
+		if next.when > until {
+			break
+		}
+		heap.Pop(&l.events)
+		l.now = next.when
+		next.fn()
+	}
+	if l.now < until {
+		l.now = until
+	}
+}
+
+// RunFor advances the simulation by d from the current virtual time.
+func (l *Loop) RunFor(d Duration) { l.Run(l.now.Add(d)) }
+
+// Stop makes the current Run call return after the in-flight event
+// completes. Pending events remain queued.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Pending returns the number of events still queued.
+func (l *Loop) Pending() int { return len(l.events) }

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLoopRunsEventsInOrder(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	l.At(Time(30), func() { got = append(got, 3) })
+	l.At(Time(10), func() { got = append(got, 1) })
+	l.At(Time(20), func() { got = append(got, 2) })
+	l.Run(Time(100))
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLoopSameTimeFIFO(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(Time(5), func() { got = append(got, i) })
+	}
+	l.Run(Time(10))
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events ran out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestLoopClockAdvancesToEventTime(t *testing.T) {
+	l := NewLoop()
+	var at Time
+	l.At(Time(42), func() { at = l.Now() })
+	l.Run(Time(100))
+	if at != Time(42) {
+		t.Errorf("Now() inside event = %v, want 42", at)
+	}
+	if l.Now() != Time(100) {
+		t.Errorf("Now() after Run = %v, want 100 (run horizon)", l.Now())
+	}
+}
+
+func TestLoopEventsBeyondHorizonStayPending(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	l.At(Time(200), func() { fired = true })
+	l.Run(Time(100))
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", l.Pending())
+	}
+	l.Run(Time(300))
+	if !fired {
+		t.Fatal("event did not fire on resumed Run")
+	}
+}
+
+func TestLoopAfterUsesCurrentTime(t *testing.T) {
+	l := NewLoop()
+	var firedAt Time
+	l.At(Time(50), func() {
+		l.After(25*Nanosecond, func() { firedAt = l.Now() })
+	})
+	l.Run(Time(1000))
+	if firedAt != Time(75) {
+		t.Errorf("chained After fired at %v, want 75", firedAt)
+	}
+}
+
+func TestLoopCancel(t *testing.T) {
+	l := NewLoop()
+	fired := false
+	e := l.At(Time(10), func() { fired = true })
+	l.Cancel(e)
+	l.Run(Time(100))
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	// Double cancel and cancel-after-fire must be safe no-ops.
+	l.Cancel(e)
+	e2 := l.At(Time(200), func() {})
+	l.Run(Time(300))
+	l.Cancel(e2)
+}
+
+func TestLoopCancelMiddleOfHeap(t *testing.T) {
+	l := NewLoop()
+	var got []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, l.At(Time(i*10), func() { got = append(got, i) }))
+	}
+	// Cancel every third event, including ones in the middle of the heap.
+	for i := 0; i < 20; i += 3 {
+		l.Cancel(events[i])
+	}
+	l.Run(Time(1000))
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+	}
+	if len(got) != 13 {
+		t.Fatalf("ran %d events, want 13", len(got))
+	}
+}
+
+func TestLoopStop(t *testing.T) {
+	l := NewLoop()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		l.At(Time(i), func() {
+			count++
+			if count == 3 {
+				l.Stop()
+			}
+		})
+	}
+	l.Run(Time(100))
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if l.Pending() != 7 {
+		t.Fatalf("Pending = %d after Stop, want 7", l.Pending())
+	}
+}
+
+func TestLoopPastSchedulingPanics(t *testing.T) {
+	l := NewLoop()
+	l.At(Time(50), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		l.At(Time(10), func() {})
+	})
+	l.Run(Time(100))
+}
+
+func TestLoopReentrantRunPanics(t *testing.T) {
+	l := NewLoop()
+	l.At(Time(1), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		l.Run(Time(2))
+	})
+	l.Run(Time(10))
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	ts := Time(0).Add(1500 * Millisecond)
+	if ts.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", ts.Seconds())
+	}
+	if ts.Milliseconds() != 1500 {
+		t.Errorf("Milliseconds = %v, want 1500", ts.Milliseconds())
+	}
+	if d := ts.Sub(Time(0).Add(500 * Millisecond)); d != time.Second {
+		t.Errorf("Sub = %v, want 1s", d)
+	}
+	if !Time(1).Before(Time(2)) || !Time(2).After(Time(1)) {
+		t.Error("Before/After comparisons wrong")
+	}
+	if s := Time(3201456 * 1000).String(); s != "3.201456s" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and none fire after the horizon.
+func TestLoopOrderProperty(t *testing.T) {
+	f := func(offsets []uint16, horizon uint16) bool {
+		l := NewLoop()
+		var fired []Time
+		for _, o := range offsets {
+			o := Time(o)
+			l.At(o, func() { fired = append(fired, o) })
+		}
+		l.Run(Time(horizon))
+		last := Time(-1)
+		for _, ts := range fired {
+			if ts < last || ts > Time(horizon) {
+				return false
+			}
+			last = ts
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("adjacent seeds produced identical first draw")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	// Forks with different labels from identically-seeded parents differ.
+	a := NewRNG(1).Fork("rf")
+	b := NewRNG(1).Fork("mac")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams coincide on %d/64 draws", same)
+	}
+	// Same label, same parent seed: identical streams.
+	c := NewRNG(1).Fork("rf")
+	d := NewRNG(1).Fork("rf")
+	for i := 0; i < 64; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("same fork label produced different streams")
+		}
+	}
+}
+
+func TestRNGBasicStatistics(t *testing.T) {
+	g := NewRNG(42)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Float64()
+	}
+	mean := sum / float64(n)
+	if mean < 0.48 || mean > 0.52 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += g.NormFloat64()
+	}
+	if m := sum / float64(n); m < -0.03 || m > 0.03 {
+		t.Errorf("normal mean = %v, want ~0", m)
+	}
+}

@@ -1,0 +1,56 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that every other subsystem runs on: a virtual clock, an event heap with
+// cancelable timers, and seeded random-number streams.
+//
+// All of WGTT's mechanisms operate at millisecond granularity, far below
+// what a wall-clock test harness could reproduce deterministically, so the
+// whole network (radio, MAC, backhaul, transport) advances on this single
+// virtual clock. One goroutine owns the loop; components interact purely
+// through scheduled callbacks.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It is intentionally not time.Time: there is no calendar, no
+// wall clock, and no monotonic ambiguity — just a count of elapsed virtual
+// nanoseconds.
+type Time int64
+
+// Duration mirrors time.Duration for virtual intervals.
+type Duration = time.Duration
+
+// Common interval constants re-exported for call-site brevity.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the interval t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns t expressed in milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String formats the timestamp as seconds with microsecond precision,
+// which reads naturally in traces ("3.201456s").
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}

@@ -1,0 +1,190 @@
+// Package stats provides the measurement instruments the evaluation
+// harness uses: binned throughput timeseries, empirical CDFs, and the
+// switching-accuracy tracker of Table 2.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"wgtt/internal/sim"
+)
+
+// Throughput accumulates received bytes into fixed-width time bins,
+// producing the Mbit/s-vs-time curves of Figs. 14/15 and overall averages
+// for Figs. 13/17.
+type Throughput struct {
+	bin   sim.Duration
+	bytes []int64
+	first sim.Time
+	last  sim.Time
+	total int64
+	began bool
+}
+
+// NewThroughput returns a meter with the given bin width.
+func NewThroughput(bin sim.Duration) *Throughput {
+	if bin <= 0 {
+		bin = 100 * sim.Millisecond
+	}
+	return &Throughput{bin: bin}
+}
+
+// Add records n bytes received at time t. Times must be nondecreasing.
+func (m *Throughput) Add(t sim.Time, n int) {
+	if !m.began {
+		m.first = t
+		m.began = true
+	}
+	idx := int(t.Sub(m.first) / m.bin)
+	for len(m.bytes) <= idx {
+		m.bytes = append(m.bytes, 0)
+	}
+	m.bytes[idx] += int64(n)
+	m.total += int64(n)
+	m.last = t
+}
+
+// TotalBytes returns all bytes recorded.
+func (m *Throughput) TotalBytes() int64 { return m.total }
+
+// MeanMbps returns the average rate between the first record and horizon.
+// If horizon precedes the first record the result is 0.
+func (m *Throughput) MeanMbps(horizon sim.Time) float64 {
+	if !m.began || horizon <= m.first {
+		return 0
+	}
+	sec := horizon.Sub(m.first).Seconds()
+	return float64(m.total) * 8 / 1e6 / sec
+}
+
+// Series returns (time offset seconds, Mbit/s) pairs, one per bin.
+func (m *Throughput) Series() (ts []float64, mbps []float64) {
+	sec := m.bin.Seconds()
+	for i, b := range m.bytes {
+		ts = append(ts, float64(i)*sec)
+		mbps = append(mbps, float64(b)*8/1e6/sec)
+	}
+	return ts, mbps
+}
+
+// CDF collects samples and reports quantiles.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.samples) }
+
+// Quantile returns the q-th (0..1) empirical quantile, or NaN when empty.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	idx := q * float64(len(c.samples)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(c.samples) {
+		return c.samples[lo]
+	}
+	return c.samples[lo]*(1-frac) + c.samples[lo+1]*frac
+}
+
+// Mean returns the sample mean, or NaN when empty.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Points returns up to n evenly-spaced (value, cumulative fraction)
+// points for plotting.
+func (c *CDF) Points(n int) (vals, fracs []float64) {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+	step := len(c.samples) / n
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(c.samples); i += step {
+		vals = append(vals, c.samples[i])
+		fracs = append(fracs, float64(i+1)/float64(len(c.samples)))
+	}
+	return vals, fracs
+}
+
+// Accuracy tracks how often a handover scheme's serving AP matches the
+// oracle-optimal AP, weighted by time (Table 2's switching accuracy).
+type Accuracy struct {
+	lastT       sim.Time
+	lastCorrect bool
+	started     bool
+	correct     sim.Duration
+	total       sim.Duration
+}
+
+// Observe records that at time t the scheme's choice equals the oracle's
+// (correct). Call at every evaluation instant in time order; intervals
+// are attributed to the preceding observation.
+func (a *Accuracy) Observe(t sim.Time, correct bool) {
+	if a.started {
+		dt := t.Sub(a.lastT)
+		a.total += dt
+		if a.lastCorrect {
+			a.correct += dt
+		}
+	}
+	a.lastT = t
+	a.lastCorrect = correct
+	a.started = true
+}
+
+// Value returns the fraction of time the scheme was optimal (0..1), or
+// NaN before two observations.
+func (a *Accuracy) Value() float64 {
+	if a.total == 0 {
+		return math.NaN()
+	}
+	return float64(a.correct) / float64(a.total)
+}
+
+// Counter is a labeled event tally with a rate helper.
+type Counter struct {
+	Events int
+	OutOf  int
+}
+
+// Rate returns Events/OutOf, or 0 when empty.
+func (c Counter) Rate() float64 {
+	if c.OutOf == 0 {
+		return 0
+	}
+	return float64(c.Events) / float64(c.OutOf)
+}

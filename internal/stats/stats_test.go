@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wgtt/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(n) * sim.Time(sim.Millisecond) }
+
+func TestThroughputMean(t *testing.T) {
+	m := NewThroughput(100 * sim.Millisecond)
+	// 1 MB over 1 second = 8 Mbit/s.
+	for i := 0; i < 10; i++ {
+		m.Add(ms(i*100), 100_000)
+	}
+	got := m.MeanMbps(ms(1000))
+	if math.Abs(got-8) > 0.01 {
+		t.Errorf("MeanMbps = %v, want 8", got)
+	}
+	if m.TotalBytes() != 1_000_000 {
+		t.Errorf("TotalBytes = %d", m.TotalBytes())
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	m := NewThroughput(100 * sim.Millisecond)
+	m.Add(ms(0), 125_000)   // bin 0: 10 Mbit/s
+	m.Add(ms(250), 250_000) // bin 2: 20 Mbit/s
+	ts, mbps := m.Series()
+	if len(ts) != 3 {
+		t.Fatalf("series length %d", len(ts))
+	}
+	if math.Abs(mbps[0]-10) > 0.01 || mbps[1] != 0 || math.Abs(mbps[2]-20) > 0.01 {
+		t.Errorf("series = %v", mbps)
+	}
+	if ts[2] != 0.2 {
+		t.Errorf("timestamps = %v", ts)
+	}
+}
+
+func TestThroughputEmptyAndEarlyHorizon(t *testing.T) {
+	m := NewThroughput(0) // default bin
+	if m.MeanMbps(ms(1000)) != 0 {
+		t.Error("empty meter nonzero")
+	}
+	m.Add(ms(500), 100)
+	if m.MeanMbps(ms(100)) != 0 {
+		t.Error("horizon before first sample should be 0")
+	}
+}
+
+func TestCDFQuantiles(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.9, 90.1},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.q); math.Abs(got-tc.want) > 0.2 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if math.Abs(c.Mean()-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", c.Mean())
+	}
+	if c.N() != 100 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Error("empty CDF should be NaN")
+	}
+	v, f := c.Points(10)
+	if v != nil || f != nil {
+		t.Error("empty Points should be nil")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for i := 0; i < 1000; i++ {
+		c.Add(float64(i))
+	}
+	vals, fracs := c.Points(10)
+	if len(vals) < 10 || len(vals) != len(fracs) {
+		t.Fatalf("points = %d", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] || fracs[i] < fracs[i-1] {
+			t.Fatal("points not nondecreasing")
+		}
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestCDFQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, q1, q2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var c CDF
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			c.Add(v)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		a := float64(q1%101) / 100
+		b := float64(q2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := c.Quantile(a), c.Quantile(b)
+		return qa <= qb+1e-9 && qa >= lo-1e-9 && qb <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	if !math.IsNaN(a.Value()) {
+		t.Error("no-observation accuracy should be NaN")
+	}
+	// Correct for 80 ms, wrong for 20 ms.
+	a.Observe(ms(0), true)
+	a.Observe(ms(80), false)
+	a.Observe(ms(100), true)
+	if got := a.Value(); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0.8", got)
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	c := Counter{Events: 3, OutOf: 1000}
+	if c.Rate() != 0.003 {
+		t.Errorf("Rate = %v", c.Rate())
+	}
+	if (Counter{}).Rate() != 0 {
+		t.Error("empty counter rate nonzero")
+	}
+}

@@ -1,0 +1,161 @@
+// Package trace provides the tcpdump-style packet logging the paper's
+// methodology relies on (§5.1: "we log packet flows sent to and from both
+// the controller and the client using tcpdump"). Components append typed
+// events to a bounded ring; experiments and the wgtt-sim binary dump or
+// filter them afterwards.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"wgtt/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// Downlink is an over-the-air AP→client data delivery.
+	Downlink Kind = iota
+	// Uplink is an over-the-air client→AP data delivery.
+	Uplink
+	// Switch is a controller switch decision (stop/start/ack round).
+	Switch
+	// Control is any backhaul control message.
+	Control
+	// Drop is a packet lost (queue overflow, retry exhaustion).
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Downlink:
+		return "DL"
+	case Uplink:
+		return "UL"
+	case Switch:
+		return "SW"
+	case Control:
+		return "CTL"
+	case Drop:
+		return "DROP"
+	}
+	return "?"
+}
+
+// Event is one logged occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	// Node names the component that logged the event ("ap3", "ctrl",
+	// "client0").
+	Node string
+	// Detail is a short free-form description ("idx=4012 seq=88").
+	Detail string
+}
+
+// Log is a bounded in-memory event ring. The zero value discards
+// everything (tracing off); construct with New to record.
+type Log struct {
+	events []Event
+	next   int
+	filled bool
+	cap    int
+	total  int
+}
+
+// New returns a log retaining the most recent capacity events.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Log{events: make([]Event, capacity), cap: capacity}
+}
+
+// Add appends an event. A nil log is a no-op, so call sites can hold an
+// optional *Log without branching.
+func (l *Log) Add(at sim.Time, kind Kind, node, detail string) {
+	if l == nil || l.cap == 0 {
+		return
+	}
+	l.events[l.next] = Event{At: at, Kind: kind, Node: node, Detail: detail}
+	l.next++
+	l.total++
+	if l.next == l.cap {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// Addf formats and appends.
+func (l *Log) Addf(at sim.Time, kind Kind, node, format string, args ...any) {
+	if l == nil || l.cap == 0 {
+		return
+	}
+	l.Add(at, kind, node, fmt.Sprintf(format, args...))
+}
+
+// Len reports retained events; Total reports all ever added.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	if l.filled {
+		return l.cap
+	}
+	return l.next
+}
+
+// Total reports all events ever added (including evicted ones).
+func (l *Log) Total() int {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Events returns retained events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	if !l.filled {
+		out := make([]Event, l.next)
+		copy(out, l.events[:l.next])
+		return out
+	}
+	out := make([]Event, 0, l.cap)
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// Filter returns retained events matching kind (or all for kind < 0) and
+// node substring (or all for "").
+func (l *Log) Filter(kind Kind, nodeSub string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if kind >= 0 && e.Kind != kind {
+			continue
+		}
+		if nodeSub != "" && !strings.Contains(e.Node, nodeSub) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump writes the retained events, one per line, tcpdump-style.
+func (l *Log) Dump(w io.Writer) error {
+	for _, e := range l.Events() {
+		if _, err := fmt.Fprintf(w, "%s %-4s %-8s %s\n", e.At, e.Kind, e.Node, e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wgtt/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(n) * sim.Time(sim.Millisecond) }
+
+func TestLogRecordsInOrder(t *testing.T) {
+	l := New(10)
+	l.Add(ms(1), Downlink, "ap0", "idx=1")
+	l.Addf(ms(2), Switch, "ctrl", "ap%d->ap%d", 0, 1)
+	l.Add(ms(3), Drop, "ap0", "retry limit")
+	ev := l.Events()
+	if len(ev) != 3 || l.Len() != 3 || l.Total() != 3 {
+		t.Fatalf("len=%d total=%d", l.Len(), l.Total())
+	}
+	if ev[1].Detail != "ap0->ap1" || ev[1].Kind != Switch {
+		t.Errorf("event = %+v", ev[1])
+	}
+}
+
+func TestLogRingEviction(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Add(ms(i), Uplink, "client0", "")
+	}
+	ev := l.Events()
+	if len(ev) != 4 || l.Total() != 10 {
+		t.Fatalf("len=%d total=%d", len(ev), l.Total())
+	}
+	// The oldest retained is event 6 and order is chronological.
+	for i, e := range ev {
+		if e.At != ms(6+i) {
+			t.Fatalf("events out of order: %v", ev)
+		}
+	}
+}
+
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Add(ms(1), Downlink, "x", "y") // must not panic
+	l.Addf(ms(1), Downlink, "x", "%d", 1)
+	if l.Len() != 0 || l.Total() != 0 || l.Events() != nil {
+		t.Error("nil log not inert")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(16)
+	l.Add(ms(1), Downlink, "ap0", "")
+	l.Add(ms(2), Downlink, "ap1", "")
+	l.Add(ms(3), Switch, "ctrl", "")
+	if got := len(l.Filter(Downlink, "")); got != 2 {
+		t.Errorf("kind filter = %d", got)
+	}
+	if got := len(l.Filter(-1, "ap")); got != 2 {
+		t.Errorf("node filter = %d", got)
+	}
+	if got := len(l.Filter(Switch, "ctrl")); got != 1 {
+		t.Errorf("combined filter = %d", got)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	l := New(4)
+	l.Add(ms(1500), Switch, "ctrl", "ap2->ap3")
+	var b strings.Builder
+	if err := l.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "SW") || !strings.Contains(out, "ap2->ap3") || !strings.Contains(out, "1.500000s") {
+		t.Errorf("dump = %q", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Downlink, Uplink, Switch, Control, Drop} {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no string", k)
+		}
+	}
+	if Kind(99).String() != "?" {
+		t.Error("unknown kind string")
+	}
+}
+
+// Property: a ring of capacity c retains exactly min(n, c) events and
+// Events() is chronologically nondecreasing.
+func TestRingProperty(t *testing.T) {
+	f := func(n uint8, capRaw uint8) bool {
+		c := int(capRaw%16) + 1
+		l := New(c)
+		for i := 0; i < int(n); i++ {
+			l.Add(ms(i), Uplink, "x", "")
+		}
+		ev := l.Events()
+		want := int(n)
+		if want > c {
+			want = c
+		}
+		if len(ev) != want {
+			return false
+		}
+		for i := 1; i < len(ev); i++ {
+			if ev[i].At < ev[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,361 @@
+package transport
+
+import (
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// TCP constants.
+const (
+	// MSS is the segment payload size.
+	MSS = 1448
+	// Timing follows the Linux defaults the testbed machines ran.
+	initialRTO = 1 * sim.Second
+	minRTO     = 200 * sim.Millisecond
+	// maxRTO caps exponential backoff. Classic Reno backs off to
+	// minutes; modern stacks (tail-loss probe, RACK) re-probe within
+	// seconds, which is what a 2017 Linux sender effectively did.
+	maxRTO    = 2 * sim.Second
+	dupThresh = 3
+	initCwnd  = 10
+	// maxCwnd models the receiver's advertised window (a few hundred KB
+	// of socket buffer), bounding how far slow start can inflate over a
+	// short fat path.
+	maxCwnd = 256
+)
+
+// TCPSender is the data-sending half of a simplified Reno connection.
+// Sequence numbers count segments, not bytes; every segment carries MSS
+// payload bytes.
+type TCPSender struct {
+	loop    *sim.Loop
+	out     Wire
+	src     packet.IP
+	dst     packet.IP
+	srcPort uint16
+	dstPort uint16
+
+	nextSeq uint32 // next new segment to send
+	sndUna  uint32 // oldest unacknowledged
+	maxSent uint32 // highest segment ever transmitted + 1
+	limit   uint32 // app data limit in segments; 0 = unlimited (bulk)
+
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+	inFR     bool // fast recovery
+
+	srtt    sim.Duration
+	rttvar  sim.Duration
+	rto     sim.Duration
+	hasSRTT bool
+	rtoEv   *sim.Event
+
+	sendTime map[uint32]sim.Time // first-transmission times for RTT
+	retx     map[uint32]bool     // segments ever retransmitted (Karn)
+
+	ipid uint16
+
+	// Stats.
+	SegmentsSent  int
+	Retransmits   int
+	Timeouts      int
+	LastRTOFiring sim.Time
+}
+
+// NewTCPSender creates a bulk sender. If totalSegments > 0 the connection
+// carries exactly that much data (web page, video file); otherwise it is
+// an unbounded iperf-style flow.
+func NewTCPSender(loop *sim.Loop, out Wire, src, dst packet.IP, srcPort, dstPort uint16, totalSegments uint32) *TCPSender {
+	return &TCPSender{
+		loop: loop, out: out, src: src, dst: dst,
+		srcPort: srcPort, dstPort: dstPort,
+		limit:    totalSegments,
+		cwnd:     initCwnd,
+		ssthresh: 1 << 20,
+		rto:      initialRTO,
+		sendTime: make(map[uint32]sim.Time),
+		retx:     make(map[uint32]bool),
+	}
+}
+
+// Start opens the flow (we skip the handshake: the paper's flows are
+// long-lived and the handshake adds nothing to the phenomena under
+// study).
+func (t *TCPSender) Start() { t.trySend() }
+
+// Extend raises a finite sender's data limit by n segments (application
+// pacing: a streaming server feeding its socket at the media rate).
+func (t *TCPSender) Extend(n uint32) {
+	if t.limit == 0 {
+		return
+	}
+	t.limit += n
+	t.trySend()
+}
+
+// Done reports whether a finite transfer is fully acknowledged.
+func (t *TCPSender) Done() bool {
+	return t.limit > 0 && t.sndUna >= t.limit
+}
+
+// Inflight returns the number of unacknowledged segments.
+func (t *TCPSender) Inflight() uint32 { return t.nextSeq - t.sndUna }
+
+// trySend transmits as many new segments as cwnd allows. The
+// retransmission timer restarts only when something was actually sent (or
+// was never armed): a no-op trySend — e.g. an application-pacing tick on
+// a full window — must not keep pushing the RTO into the future.
+func (t *TCPSender) trySend() {
+	sent := false
+	for float64(t.Inflight()) < t.cwnd {
+		if t.limit > 0 && t.nextSeq >= t.limit {
+			break
+		}
+		t.sendSeg(t.nextSeq, false)
+		t.nextSeq++
+		sent = true
+	}
+	if sent || t.rtoEv == nil {
+		t.armRTO()
+	}
+}
+
+func (t *TCPSender) sendSeg(seq uint32, isRetx bool) {
+	t.ipid++
+	t.SegmentsSent++
+	if seq+1 > t.maxSent {
+		t.maxSent = seq + 1
+	}
+	if isRetx {
+		t.Retransmits++
+		t.retx[seq] = true
+	} else if _, dup := t.sendTime[seq]; !dup {
+		t.sendTime[seq] = t.loop.Now()
+	}
+	t.out(packet.Packet{
+		Src: t.src, Dst: t.dst, Proto: packet.ProtoTCP,
+		IPID: t.ipid, SrcPort: t.srcPort, DstPort: t.dstPort,
+		Seq: seq, Flags: 0, PayloadLen: MSS,
+		Created: t.loop.Now(),
+	})
+}
+
+// armRTO (re)starts the retransmission timer if data is outstanding.
+func (t *TCPSender) armRTO() {
+	if t.rtoEv != nil {
+		t.loop.Cancel(t.rtoEv)
+		t.rtoEv = nil
+	}
+	if t.Inflight() == 0 {
+		return
+	}
+	t.rtoEv = t.loop.After(t.rto, t.onRTO)
+}
+
+// onRTO is the retransmission timeout: collapse to slow start and go-back-N.
+func (t *TCPSender) onRTO() {
+	t.rtoEv = nil
+	if t.Inflight() == 0 {
+		return
+	}
+	t.Timeouts++
+	t.LastRTOFiring = t.loop.Now()
+	t.ssthresh = maxf(float64(t.Inflight())/2, 2)
+	t.cwnd = 1
+	t.dupAcks = 0
+	t.inFR = false
+	// Go-back-N: retransmit from the oldest hole; later segments will
+	// be resent as cwnd regrows.
+	t.nextSeq = t.sndUna
+	t.sendSeg(t.nextSeq, true)
+	t.nextSeq++
+	// Exponential backoff.
+	t.rto *= 2
+	if t.rto > maxRTO {
+		t.rto = maxRTO
+	}
+	t.armRTO()
+}
+
+// OnAck processes an acknowledgement from the receiver. p.Ack carries the
+// cumulative next-expected segment.
+func (t *TCPSender) OnAck(p packet.Packet) {
+	ack := p.Ack
+	if ack > t.maxSent {
+		return // corrupt: acks data never sent
+	}
+	if ack > t.nextSeq {
+		// A late cumulative ack for data sent before a go-back-N
+		// reset: everything below it is delivered, so snap forward.
+		t.nextSeq = ack
+	}
+	if ack > t.sndUna {
+		newly := ack - t.sndUna
+		// RTT sample from the newest cleanly-acked segment (Karn's
+		// rule: never from retransmitted ones).
+		if ts, ok := t.sendTime[ack-1]; ok && !t.retx[ack-1] {
+			t.updateRTT(t.loop.Now().Sub(ts))
+		}
+		for s := t.sndUna; s < ack; s++ {
+			delete(t.sendTime, s)
+			delete(t.retx, s)
+		}
+		t.sndUna = ack
+		t.dupAcks = 0
+		if t.inFR {
+			// New ACK ends fast recovery (Reno deflate).
+			t.cwnd = t.ssthresh
+			t.inFR = false
+		} else if t.cwnd < t.ssthresh {
+			t.cwnd += float64(newly) // slow start
+		} else {
+			t.cwnd += float64(newly) / t.cwnd // congestion avoidance
+		}
+		if t.cwnd > maxCwnd {
+			t.cwnd = maxCwnd
+		}
+		t.armRTO()
+		t.trySend()
+		return
+	}
+	if ack == t.sndUna && t.Inflight() > 0 {
+		t.dupAcks++
+		if t.inFR {
+			t.cwnd++ // inflation per extra dup
+			t.trySend()
+			return
+		}
+		if t.dupAcks == dupThresh {
+			// Fast retransmit.
+			t.ssthresh = maxf(float64(t.Inflight())/2, 2)
+			t.cwnd = t.ssthresh + dupThresh
+			t.inFR = true
+			t.sendSeg(t.sndUna, true)
+			t.armRTO()
+		}
+	}
+}
+
+func (t *TCPSender) updateRTT(sample sim.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if !t.hasSRTT {
+		t.srtt = sample
+		t.rttvar = sample / 2
+		t.hasSRTT = true
+	} else {
+		d := t.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		t.rttvar = (3*t.rttvar + d) / 4
+		t.srtt = (7*t.srtt + sample) / 8
+	}
+	t.rto = t.srtt + 4*t.rttvar
+	if t.rto < minRTO {
+		t.rto = minRTO
+	}
+	if t.rto > maxRTO {
+		t.rto = maxRTO
+	}
+}
+
+// SRTT exposes the smoothed RTT estimate (0 until measured).
+func (t *TCPSender) SRTT() sim.Duration { return t.srtt }
+
+// RTO exposes the current retransmission timeout.
+func (t *TCPSender) RTO() sim.Duration { return t.rto }
+
+// Cwnd exposes the congestion window in segments.
+func (t *TCPSender) Cwnd() float64 { return t.cwnd }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TCPReceiver is the ACK-generating half: it tracks the cumulative
+// in-order point, buffers out-of-order segments, and acknowledges every
+// arrival.
+type TCPReceiver struct {
+	loop    *sim.Loop
+	out     Wire
+	src     packet.IP
+	dst     packet.IP
+	srcPort uint16
+	dstPort uint16
+
+	expected uint32
+	ooo      map[uint32]bool
+	ipid     uint16
+
+	// OnData fires for every segment delivered in order, with its
+	// payload size.
+	OnData func(seq uint32, bytes int, now sim.Time)
+
+	// Stats.
+	SegmentsReceived int
+	DupSegments      int
+	AcksSent         int
+}
+
+// NewTCPReceiver creates the receiving half; out carries its ACKs back
+// toward the sender.
+func NewTCPReceiver(loop *sim.Loop, out Wire, src, dst packet.IP, srcPort, dstPort uint16) *TCPReceiver {
+	return &TCPReceiver{
+		loop: loop, out: out, src: src, dst: dst,
+		srcPort: srcPort, dstPort: dstPort,
+		ooo: make(map[uint32]bool),
+	}
+}
+
+// InOrderSegments returns the cumulative in-order segment count.
+func (r *TCPReceiver) InOrderSegments() uint32 { return r.expected }
+
+// Receive consumes one data segment from the network.
+func (r *TCPReceiver) Receive(p packet.Packet) {
+	r.SegmentsReceived++
+	switch {
+	case p.Seq == r.expected:
+		r.deliver(p.Seq, int(p.PayloadLen))
+		r.expected++
+		// Drain contiguous out-of-order backlog.
+		for r.ooo[r.expected] {
+			delete(r.ooo, r.expected)
+			r.deliver(r.expected, MSS)
+			r.expected++
+		}
+	case p.Seq > r.expected:
+		r.ooo[p.Seq] = true
+	default:
+		r.DupSegments++
+	}
+	r.sendAck()
+}
+
+func (r *TCPReceiver) deliver(seq uint32, bytes int) {
+	if r.OnData != nil {
+		r.OnData(seq, bytes, r.loop.Now())
+	}
+}
+
+func (r *TCPReceiver) sendAck() {
+	r.ipid++
+	r.AcksSent++
+	r.out(packet.Packet{
+		Src: r.src, Dst: r.dst, Proto: packet.ProtoTCP,
+		IPID: r.ipid, SrcPort: r.srcPort, DstPort: r.dstPort,
+		Ack: r.expected, Flags: packet.FlagACK, PayloadLen: 0,
+		Created: r.loop.Now(),
+	})
+}
+
+// SndUna exposes the oldest unacknowledged segment (diagnostics).
+func (t *TCPSender) SndUna() uint32 { return t.sndUna }
+
+// NextSeq exposes the next new segment number (diagnostics).
+func (t *TCPSender) NextSeq() uint32 { return t.nextSeq }

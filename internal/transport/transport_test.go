@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// pipe is a bidirectional lossy network: it delivers sender→receiver data
+// and receiver→sender ACKs after a delay, dropping a configurable
+// fraction via a deterministic counter (every Nth packet).
+type pipe struct {
+	loop      *sim.Loop
+	delay     sim.Duration
+	dropEvery int // drop every Nth data packet; 0 = lossless
+	count     int
+	blocked   bool // simulate total outage
+
+	toReceiver func(packet.Packet)
+	toSender   func(packet.Packet)
+}
+
+func (p *pipe) sendData(pkt packet.Packet) {
+	if p.blocked {
+		return
+	}
+	p.count++
+	if p.dropEvery > 0 && p.count%p.dropEvery == 0 {
+		return
+	}
+	p.loop.After(p.delay, func() { p.toReceiver(pkt) })
+}
+
+func (p *pipe) sendAck(pkt packet.Packet) {
+	if p.blocked {
+		return
+	}
+	p.loop.After(p.delay, func() { p.toSender(pkt) })
+}
+
+func newTCPPair(loop *sim.Loop, delay sim.Duration, dropEvery int, total uint32) (*TCPSender, *TCPReceiver, *pipe) {
+	p := &pipe{loop: loop, delay: delay, dropEvery: dropEvery}
+	snd := NewTCPSender(loop, p.sendData, packet.ServerIP, packet.ClientIP(0), 80, 5000, total)
+	rcv := NewTCPReceiver(loop, p.sendAck, packet.ClientIP(0), packet.ServerIP, 5000, 80)
+	p.toReceiver = rcv.Receive
+	p.toSender = snd.OnAck
+	return snd, rcv, p
+}
+
+func sec(s float64) sim.Time { return sim.Time(s * float64(sim.Second)) }
+
+func TestTCPLosslessBulkTransfer(t *testing.T) {
+	loop := sim.NewLoop()
+	snd, rcv, _ := newTCPPair(loop, 5*sim.Millisecond, 0, 0)
+	snd.Start()
+	loop.Run(sec(5))
+	// 10 ms RTT, unlimited flow: should move thousands of segments.
+	if rcv.InOrderSegments() < 2000 {
+		t.Errorf("delivered %d segments in 5 s over lossless pipe", rcv.InOrderSegments())
+	}
+	if snd.Retransmits > 0 {
+		t.Errorf("%d retransmits on a lossless pipe", snd.Retransmits)
+	}
+	if snd.Timeouts > 0 {
+		t.Errorf("%d timeouts on a lossless pipe", snd.Timeouts)
+	}
+	// RTT estimate near 10 ms.
+	if rtt := snd.SRTT(); rtt < 8*sim.Millisecond || rtt > 40*sim.Millisecond {
+		t.Errorf("SRTT = %v, want ≈10 ms", rtt)
+	}
+}
+
+func TestTCPFiniteTransferCompletes(t *testing.T) {
+	loop := sim.NewLoop()
+	var delivered int
+	snd, rcv, _ := newTCPPair(loop, 2*sim.Millisecond, 0, 100)
+	rcv.OnData = func(seq uint32, bytes int, now sim.Time) { delivered += bytes }
+	snd.Start()
+	loop.Run(sec(5))
+	if !snd.Done() {
+		t.Fatal("finite transfer not done")
+	}
+	if delivered != 100*MSS {
+		t.Errorf("delivered %d bytes, want %d", delivered, 100*MSS)
+	}
+}
+
+func TestTCPFastRetransmitRecoversLoss(t *testing.T) {
+	loop := sim.NewLoop()
+	snd, rcv, _ := newTCPPair(loop, 5*sim.Millisecond, 50, 0) // 2% loss
+	snd.Start()
+	loop.Run(sec(5))
+	if rcv.InOrderSegments() < 500 {
+		t.Errorf("only %d segments through 2%% loss", rcv.InOrderSegments())
+	}
+	if snd.Retransmits == 0 {
+		t.Error("no retransmits despite loss")
+	}
+	// Fast retransmit should handle most losses without RTO.
+	if snd.Timeouts > snd.Retransmits/2 {
+		t.Errorf("timeouts %d vs retransmits %d: fast retransmit not working", snd.Timeouts, snd.Retransmits)
+	}
+}
+
+func TestTCPOutageCollapsesThenRecovers(t *testing.T) {
+	// The Fig. 14 baseline scenario: the path dies mid-flow. The sender
+	// must hit RTO with exponential backoff; when the path returns the
+	// flow must resume.
+	loop := sim.NewLoop()
+	snd, rcv, p := newTCPPair(loop, 5*sim.Millisecond, 0, 0)
+	snd.Start()
+	loop.At(sec(1), func() { p.blocked = true })
+	loop.Run(sec(4))
+	inDark := rcv.InOrderSegments()
+	timeoutsDuringOutage := snd.Timeouts
+	if timeoutsDuringOutage == 0 {
+		t.Fatal("no RTO during 3 s outage")
+	}
+	// Exponential backoff: far fewer timeouts than outage/minRTO.
+	if timeoutsDuringOutage > 8 {
+		t.Errorf("timeouts = %d, backoff not exponential", timeoutsDuringOutage)
+	}
+	if snd.Cwnd() != 1 {
+		t.Errorf("cwnd = %v during outage, want 1", snd.Cwnd())
+	}
+	p.blocked = false
+	loop.Run(sec(10))
+	if rcv.InOrderSegments() <= inDark+100 {
+		t.Errorf("flow did not recover after outage: %d → %d", inDark, rcv.InOrderSegments())
+	}
+}
+
+func TestTCPReceiverReordersAndAcks(t *testing.T) {
+	loop := sim.NewLoop()
+	var acks []uint32
+	var order []uint32
+	rcv := NewTCPReceiver(loop, func(p packet.Packet) { acks = append(acks, p.Ack) },
+		packet.ClientIP(0), packet.ServerIP, 5000, 80)
+	rcv.OnData = func(seq uint32, _ int, _ sim.Time) { order = append(order, seq) }
+
+	seg := func(s uint32) packet.Packet {
+		return packet.Packet{Proto: packet.ProtoTCP, Seq: s, PayloadLen: MSS}
+	}
+	rcv.Receive(seg(0))
+	rcv.Receive(seg(2)) // hole at 1
+	rcv.Receive(seg(3))
+	rcv.Receive(seg(1)) // fills hole → 1,2,3 deliver in order
+	rcv.Receive(seg(1)) // duplicate
+
+	wantAcks := []uint32{1, 1, 1, 4, 4}
+	if len(acks) != len(wantAcks) {
+		t.Fatalf("acks = %v", acks)
+	}
+	for i := range wantAcks {
+		if acks[i] != wantAcks[i] {
+			t.Fatalf("acks = %v, want %v", acks, wantAcks)
+		}
+	}
+	wantOrder := []uint32{0, 1, 2, 3}
+	if len(order) != 4 {
+		t.Fatalf("deliveries = %v", order)
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("deliveries = %v", order)
+		}
+	}
+	if rcv.DupSegments != 1 {
+		t.Errorf("DupSegments = %d", rcv.DupSegments)
+	}
+}
+
+func TestTCPDupAckTriggersExactlyOnThreshold(t *testing.T) {
+	loop := sim.NewLoop()
+	var sentSeqs []uint32
+	snd := NewTCPSender(loop, func(p packet.Packet) { sentSeqs = append(sentSeqs, p.Seq) },
+		packet.ServerIP, packet.ClientIP(0), 80, 5000, 0)
+	snd.Start() // sends initCwnd segments
+	n := len(sentSeqs)
+	if n != initCwnd {
+		t.Fatalf("initial burst = %d", n)
+	}
+	dup := packet.Packet{Proto: packet.ProtoTCP, Ack: 0, Flags: packet.FlagACK}
+	snd.OnAck(dup)
+	snd.OnAck(dup)
+	if snd.Retransmits != 0 {
+		t.Fatal("retransmitted before third dup ack")
+	}
+	snd.OnAck(dup)
+	if snd.Retransmits != 1 {
+		t.Fatalf("Retransmits = %d after third dup ack", snd.Retransmits)
+	}
+	if sentSeqs[len(sentSeqs)-1] != 0 {
+		t.Errorf("fast retransmit sent seq %d, want 0", sentSeqs[len(sentSeqs)-1])
+	}
+	loop.Run(sec(0)) // no pending panics
+}
+
+func TestUDPSourceRate(t *testing.T) {
+	loop := sim.NewLoop()
+	sink := NewUDPSink(loop)
+	src := NewUDPSource(loop, func(p packet.Packet) { sink.Receive(p) },
+		packet.ServerIP, packet.ClientIP(0), 9000, 9001, 10, 1400)
+	src.Start()
+	loop.Run(sec(1))
+	// 10 Mbit/s of 1428-byte wire packets ≈ 875 packets/s.
+	gotMbps := float64(sink.Bytes) * 8 / 1e6
+	if math.Abs(gotMbps-10) > 0.5 {
+		t.Errorf("offered rate = %v Mbit/s, want 10", gotMbps)
+	}
+	if sink.LossRate() != 0 {
+		t.Errorf("loss = %v on lossless path", sink.LossRate())
+	}
+	// Stop halts emission.
+	src.Stop()
+	before := sink.Received
+	loop.Run(sec(2))
+	if sink.Received != before {
+		t.Error("source kept sending after Stop")
+	}
+}
+
+func TestUDPSinkLossRate(t *testing.T) {
+	loop := sim.NewLoop()
+	sink := NewUDPSink(loop)
+	for seq := uint32(0); seq < 100; seq++ {
+		if seq%10 == 0 {
+			continue // drop every 10th
+		}
+		sink.Receive(packet.Packet{Proto: packet.ProtoUDP, Seq: seq, PayloadLen: 100})
+	}
+	if l := sink.LossRate(); math.Abs(l-0.1) > 0.02 {
+		t.Errorf("LossRate = %v, want ≈0.1", l)
+	}
+	empty := NewUDPSink(loop)
+	if empty.LossRate() != 0 {
+		t.Error("empty sink loss nonzero")
+	}
+}
+
+func TestUDPSinkCallback(t *testing.T) {
+	loop := sim.NewLoop()
+	sink := NewUDPSink(loop)
+	var got []uint32
+	sink.OnPacket = func(p packet.Packet, _ sim.Time) { got = append(got, p.Seq) }
+	sink.Receive(packet.Packet{Seq: 7})
+	if len(got) != 1 || got[0] != 7 {
+		t.Error("OnPacket not invoked")
+	}
+}

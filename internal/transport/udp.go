@@ -1,0 +1,133 @@
+// Package transport implements the simplified end-to-end protocols the
+// evaluation drives over the network: a constant-bit-rate UDP source/sink
+// pair (the iperf3 analogue) and a Reno-style TCP with slow start,
+// congestion avoidance, fast retransmit and exponential-backoff RTO —
+// enough fidelity to reproduce the paper's transport-level behaviour,
+// most importantly the TCP timeout collapse when Enhanced 802.11r strands
+// the client (Fig. 14).
+package transport
+
+import (
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// Wire is the attachment point between an endpoint and the network: Send
+// injects a packet toward the peer. The network delivers return packets
+// by calling the endpoint's receive methods.
+type Wire func(p packet.Packet)
+
+// UDPSource emits fixed-size datagrams at a constant bit rate.
+type UDPSource struct {
+	loop    *sim.Loop
+	out     Wire
+	src     packet.IP
+	dst     packet.IP
+	srcPort uint16
+	dstPort uint16
+
+	payload  int
+	interval sim.Duration
+
+	seq     uint32
+	ipid    uint16
+	running bool
+	ev      *sim.Event
+
+	Sent int
+}
+
+// NewUDPSource builds a CBR source sending payload-byte datagrams at
+// rateMbps (counting IP+UDP headers against the rate, as iperf does).
+func NewUDPSource(loop *sim.Loop, out Wire, src, dst packet.IP, srcPort, dstPort uint16, rateMbps float64, payload int) *UDPSource {
+	proto := packet.Packet{Proto: packet.ProtoUDP, PayloadLen: uint16(payload)}
+	wire := proto.WireLen()
+	interval := sim.Duration(float64(wire*8) / (rateMbps * 1e6) * 1e9)
+	if interval <= 0 {
+		interval = sim.Microsecond
+	}
+	return &UDPSource{
+		loop: loop, out: out, src: src, dst: dst,
+		srcPort: srcPort, dstPort: dstPort,
+		payload: payload, interval: interval,
+	}
+}
+
+// Start begins emission; safe to call once.
+func (u *UDPSource) Start() {
+	if u.running {
+		return
+	}
+	u.running = true
+	u.emit()
+}
+
+// Stop halts emission.
+func (u *UDPSource) Stop() {
+	u.running = false
+	if u.ev != nil {
+		u.loop.Cancel(u.ev)
+		u.ev = nil
+	}
+}
+
+func (u *UDPSource) emit() {
+	if !u.running {
+		return
+	}
+	u.ipid++
+	p := packet.Packet{
+		Src: u.src, Dst: u.dst, Proto: packet.ProtoUDP,
+		IPID: u.ipid, SrcPort: u.srcPort, DstPort: u.dstPort,
+		Seq: u.seq, PayloadLen: uint16(u.payload),
+		Created: u.loop.Now(),
+	}
+	u.seq++
+	u.Sent++
+	u.out(p)
+	u.ev = u.loop.After(u.interval, u.emit)
+}
+
+// UDPSink counts received datagrams and estimates loss from sequence
+// numbers.
+type UDPSink struct {
+	Received int
+	Bytes    int64
+	maxSeq   uint32
+	seen     bool
+	// OnPacket, when set, observes each arrival.
+	OnPacket func(p packet.Packet, now sim.Time)
+	loop     *sim.Loop
+}
+
+// NewUDPSink returns a sink on the loop.
+func NewUDPSink(loop *sim.Loop) *UDPSink {
+	return &UDPSink{loop: loop}
+}
+
+// Receive consumes one datagram from the network.
+func (s *UDPSink) Receive(p packet.Packet) {
+	s.Received++
+	s.Bytes += int64(p.WireLen())
+	if !s.seen || p.Seq > s.maxSeq {
+		s.maxSeq = p.Seq
+		s.seen = true
+	}
+	if s.OnPacket != nil {
+		s.OnPacket(p, s.loop.Now())
+	}
+}
+
+// LossRate estimates the fraction of datagrams lost, assuming in-order
+// generation: 1 − received/(maxSeq+1).
+func (s *UDPSink) LossRate() float64 {
+	if !s.seen {
+		return 0
+	}
+	expected := float64(s.maxSeq) + 1
+	loss := 1 - float64(s.Received)/expected
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"wgtt/internal/core"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+	"wgtt/internal/stats"
+	"wgtt/internal/transport"
+)
+
+// Conference models the Fig. 24 case study: a two-party video call with
+// one party in the moving car. Both directions carry real-time video
+// frames over UDP; the metric is the downlink frames-per-second the
+// mobile side renders, sampled every second (the paper reads fps off the
+// app UI with scrot once per second).
+type Conference struct {
+	loop *sim.Loop
+	fps  float64
+
+	// Frame reassembly: a frame is rendered when all its fragments
+	// arrive.
+	fragsPerFrame  int
+	recvFrags      map[uint32]int
+	renderedInBin  int
+	binStart       sim.Time
+	FPSSamples     stats.CDF
+	framesSent     int
+	framesRendered int
+
+	down *transport.UDPSource
+	up   *transport.UDPSource
+}
+
+// ConferenceConfig tunes the call.
+type ConferenceConfig struct {
+	// TargetFPS is the encoder frame rate: ≈30 for the Skype-like
+	// high-resolution call, ≈60 for the Hangouts-like low-resolution
+	// one.
+	TargetFPS float64
+	// BitrateMbps is the video bitrate each direction carries.
+	BitrateMbps float64
+}
+
+// SkypeLike matches the paper's Skype measurements (high resolution,
+// fewer frames delivered under loss).
+func SkypeLike() ConferenceConfig { return ConferenceConfig{TargetFPS: 30, BitrateMbps: 1.5} }
+
+// HangoutsLike matches Google Hangouts' behaviour of shrinking resolution
+// to keep frame rate high.
+func HangoutsLike() ConferenceConfig { return ConferenceConfig{TargetFPS: 60, BitrateMbps: 1.0} }
+
+// NewConference attaches a bidirectional call between the server party
+// and client c.
+func NewConference(n *core.Network, c *core.Client, cfg ConferenceConfig) *Conference {
+	conf := &Conference{
+		loop:      n.Loop,
+		fps:       cfg.TargetFPS,
+		recvFrags: make(map[uint32]int),
+	}
+	frameBytes := cfg.BitrateMbps * 1e6 / 8 / cfg.TargetFPS
+	payload := 1200
+	conf.fragsPerFrame = int(frameBytes/float64(payload)) + 1
+
+	// Downlink video: server → client, fragment stream. Sequence
+	// numbers map to (frame, fragment).
+	sink := transport.NewUDPSink(n.Loop)
+	sink.OnPacket = func(p packet.Packet, now sim.Time) { conf.onFragment(p, now) }
+	c.Handle(PortConfDown, sink.Receive)
+	conf.down = transport.NewUDPSource(n.Loop, n.SendFromServer,
+		packet.ServerIP, c.IP, PortConfDown-1, PortConfDown,
+		cfg.BitrateMbps, payload)
+
+	// Uplink video: client → server (its delivery matters for realism
+	// of the contention, not for the fps metric). Per-client server
+	// port keeps concurrent calls apart.
+	upPort := uint16(PortConfUp + 100*c.ID)
+	upSink := transport.NewUDPSink(n.Loop)
+	n.ServerHandle(upPort, upSink.Receive)
+	conf.up = transport.NewUDPSource(n.Loop, c.SendUplink,
+		c.IP, packet.ServerIP, upPort+1000, upPort,
+		cfg.BitrateMbps, payload)
+	return conf
+}
+
+// Start begins both directions and the per-second fps sampling.
+func (c *Conference) Start() {
+	c.down.Start()
+	c.up.Start()
+	c.binStart = c.loop.Now()
+	c.loop.After(sim.Second, c.sample)
+}
+
+// onFragment reassembles frames from the fragment stream.
+func (c *Conference) onFragment(p packet.Packet, now sim.Time) {
+	frame := p.Seq / uint32(c.fragsPerFrame)
+	c.recvFrags[frame]++
+	if c.recvFrags[frame] == c.fragsPerFrame {
+		delete(c.recvFrags, frame)
+		c.renderedInBin++
+		c.framesRendered++
+	}
+	// Old incomplete frames are abandoned (real-time video does not
+	// wait): prune anything two frames behind the newest.
+	for f := range c.recvFrags {
+		if f+2 < frame {
+			delete(c.recvFrags, f)
+		}
+	}
+}
+
+// sample closes a one-second bin and records its fps.
+func (c *Conference) sample() {
+	c.FPSSamples.Add(float64(c.renderedInBin))
+	c.renderedInBin = 0
+	c.loop.After(sim.Second, c.sample)
+}
+
+// FramesRendered returns the total complete frames delivered.
+func (c *Conference) FramesRendered() int { return c.framesRendered }

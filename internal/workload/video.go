@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"wgtt/internal/core"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+	"wgtt/internal/transport"
+)
+
+// Video models the Table 4 case study: a locally-cached HD video (1280×720)
+// streamed over TCP into a playback buffer with a fixed prebuffer, playing
+// through VLC as the client drives past the AP array. The metric is the
+// rebuffer ratio — the fraction of the transit spent stalled.
+type Video struct {
+	loop     *sim.Loop
+	bitrate  float64 // bits per second of the encoded video
+	prebuf   sim.Duration
+	pacing   float64
+	paceFrac float64 // fractional segment carry
+	flow     *TCPDownlink
+	buffered float64 // seconds of video in the buffer
+	playing  bool
+	started  bool
+
+	lastTick     sim.Time
+	stallTime    sim.Duration
+	totalTime    sim.Duration
+	rebuffers    int
+	sessionStart sim.Time
+	firstStart   sim.Time
+	everPlayed   bool
+}
+
+// VideoConfig tunes the session.
+type VideoConfig struct {
+	BitrateMbps  float64      // encoded rate (720p HD ≈ 2.5 Mbit/s)
+	Prebuffer    sim.Duration // §5.4: 1500 ms
+	TickInterval sim.Duration
+	// PacingFactor is how much faster than real time the server feeds
+	// the stream (streaming servers pace; they do not dump the file).
+	PacingFactor float64
+}
+
+// DefaultVideoConfig matches the paper's case study.
+func DefaultVideoConfig() VideoConfig {
+	return VideoConfig{
+		BitrateMbps:  2.5,
+		Prebuffer:    1500 * sim.Millisecond,
+		TickInterval: 50 * sim.Millisecond,
+		PacingFactor: 1.25,
+	}
+}
+
+// NewVideo attaches a video streaming session to client c.
+func NewVideo(n *core.Network, c *core.Client, cfg VideoConfig) *Video {
+	v := &Video{
+		loop:    n.Loop,
+		bitrate: cfg.BitrateMbps * 1e6,
+		prebuf:  cfg.Prebuffer,
+		pacing:  cfg.PacingFactor,
+	}
+	// The server paces the stream a little faster than real time (as
+	// streaming servers do); the client-side buffer turns bytes into
+	// video time.
+	ackPort := uint16(PortVideoAcks + 100*c.ID)
+	v.flow = &TCPDownlink{Meter: nil}
+	v.flow.Receiver = transport.NewTCPReceiver(n.Loop, c.SendUplink,
+		c.IP, packet.ServerIP, PortVideo, ackPort)
+	v.flow.Receiver.OnData = func(seq uint32, bytes int, now sim.Time) {
+		v.buffered += float64(bytes*8) / v.bitrate
+	}
+	c.Handle(PortVideo, v.flow.Receiver.Receive)
+	// Start with the prebuffer's worth of segments available, then
+	// extend at the paced rate from each tick.
+	if v.pacing <= 0 {
+		v.pacing = 2
+	}
+	initial := uint32(cfg.Prebuffer.Seconds()*v.bitrate/8/transport.MSS) + 1
+	v.flow.Sender = transport.NewTCPSender(n.Loop, n.SendFromServer,
+		packet.ServerIP, c.IP, ackPort, PortVideo, initial)
+	n.ServerHandle(ackPort, v.flow.Sender.OnAck)
+
+	tick := cfg.TickInterval
+	if tick <= 0 {
+		tick = 50 * sim.Millisecond
+	}
+	n.Loop.After(tick, func() { v.tick(tick) })
+	return v
+}
+
+// Start begins streaming.
+func (v *Video) Start() {
+	v.started = true
+	v.sessionStart = v.loop.Now()
+	v.lastTick = v.loop.Now()
+	v.flow.Sender.Start()
+}
+
+// tick advances playback: consume buffered seconds while playing, stall
+// when the buffer empties, resume after the prebuffer refills.
+func (v *Video) tick(interval sim.Duration) {
+	now := v.loop.Now()
+	if v.started {
+		dt := now.Sub(v.lastTick)
+		v.totalTime += dt
+		// Paced server feed.
+		segs := v.pacing*dt.Seconds()*v.bitrate/8/float64(transportMSS) + v.paceFrac
+		whole := uint32(segs)
+		v.paceFrac = segs - float64(whole)
+		if whole > 0 {
+			v.flow.Sender.Extend(whole)
+		}
+		if v.playing {
+			v.buffered -= dt.Seconds()
+			if v.buffered <= 0 {
+				v.buffered = 0
+				v.playing = false
+				v.rebuffers++
+			}
+		} else {
+			v.stallTime += dt
+			if v.buffered >= v.prebuf.Seconds() {
+				v.playing = true
+				if !v.everPlayed {
+					v.everPlayed = true
+					v.firstStart = now
+				}
+			}
+		}
+	}
+	v.lastTick = now
+	v.loop.After(interval, func() { v.tick(interval) })
+}
+
+// transportMSS mirrors transport.MSS for pacing arithmetic.
+const transportMSS = transport.MSS
+
+// RebufferRatio is the fraction of the session spent not playing after
+// the initial prebuffer (the paper's QoE metric).
+func (v *Video) RebufferRatio() float64 {
+	if v.totalTime == 0 {
+		return 0
+	}
+	// A session that never reached playback stalled throughout.
+	if !v.everPlayed {
+		return 1
+	}
+	// The initial prebuffer period is not a rebuffer; subtract the time
+	// before playback first started.
+	initial := v.firstStart.Sub(v.sessionStart)
+	stall := v.stallTime - initial
+	if stall < 0 {
+		stall = 0
+	}
+	denom := v.totalTime - initial
+	if denom <= 0 {
+		return 0
+	}
+	r := float64(stall) / float64(denom)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Rebuffers returns how many times playback stalled after starting.
+func (v *Video) Rebuffers() int { return v.rebuffers }
+
+// BufferedSeconds returns the current playback buffer depth.
+func (v *Video) BufferedSeconds() float64 { return v.buffered }

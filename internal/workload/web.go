@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+
+	"wgtt/internal/core"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+	"wgtt/internal/transport"
+)
+
+// PageLoad models the Table 5 case study: loading the locally-cached eBay
+// home page (2.1 MB) over TCP while driving past the array. The metric is
+// the wall-clock (virtual) time from navigation to the last byte, or +Inf
+// if the page never completes during the run.
+type PageLoad struct {
+	loop     *sim.Loop
+	flow     *TCPDownlink
+	started  sim.Time
+	finished sim.Time
+	done     bool
+	segments uint32
+	// OnDone, when set, fires once when the last byte arrives.
+	OnDone func()
+}
+
+// PageBytes is the page weight (§5.4: 2.1 MB).
+const PageBytes = 2_100_000
+
+// NewPageLoad attaches a page fetch to client c.
+func NewPageLoad(n *core.Network, c *core.Client) *PageLoad {
+	w := &PageLoad{loop: n.Loop}
+	w.segments = uint32(math.Ceil(float64(PageBytes) / float64(transport.MSS)))
+	w.flow = &TCPDownlink{}
+	received := 0
+	ackPort := uint16(PortWebAcks + 100*c.ID)
+	w.flow.Receiver = transport.NewTCPReceiver(n.Loop, c.SendUplink,
+		c.IP, packet.ServerIP, PortWeb, ackPort)
+	w.flow.Receiver.OnData = func(seq uint32, bytes int, now sim.Time) {
+		received += bytes
+		if !w.done && received >= PageBytes {
+			w.done = true
+			w.finished = now
+			if w.OnDone != nil {
+				w.OnDone()
+			}
+		}
+	}
+	c.Handle(PortWeb, w.flow.Receiver.Receive)
+	w.flow.Sender = transport.NewTCPSender(n.Loop, n.SendFromServer,
+		packet.ServerIP, c.IP, ackPort, PortWeb, w.segments)
+	n.ServerHandle(ackPort, w.flow.Sender.OnAck)
+	return w
+}
+
+// Start begins the fetch.
+func (w *PageLoad) Start() {
+	w.started = w.loop.Now()
+	w.flow.Sender.Start()
+}
+
+// Browser models a passenger browsing during the whole drive: it fetches
+// the page, thinks, and fetches again, so that loads land in every part
+// of the AP array — including the baseline's handover dead zones, which
+// is what makes Table 5's Enhanced-802.11r column blow up at speed.
+type Browser struct {
+	loop  *sim.Loop
+	n     netw
+	c     cli
+	think sim.Duration
+	cur   *PageLoad
+	curAt sim.Time
+	// LoadTimesSeconds records one entry per completed fetch; a fetch
+	// still unfinished when the run ends is recorded by Finish as +Inf.
+	LoadTimesSeconds []float64
+}
+
+// netw and cli are the narrow constructor dependencies (avoiding an
+// import cycle on core in the signature is not needed; aliases keep the
+// Browser testable).
+type (
+	netw = *core.Network
+	cli  = *core.Client
+)
+
+// NewBrowser creates a repeated-fetch browser with the given think time
+// between loads.
+func NewBrowser(n *core.Network, c *core.Client, think sim.Duration) *Browser {
+	return &Browser{loop: n.Loop, n: n, c: c, think: think}
+}
+
+// Start begins the first fetch.
+func (b *Browser) Start() { b.fetch() }
+
+func (b *Browser) fetch() {
+	w := NewPageLoad(b.n, b.c)
+	b.cur = w
+	b.curAt = b.loop.Now()
+	w.OnDone = func() {
+		b.LoadTimesSeconds = append(b.LoadTimesSeconds, w.LoadTimeSeconds())
+		b.cur = nil
+		b.loop.After(b.think, b.fetch)
+	}
+	w.Start()
+}
+
+// stuckAfter is how long an in-flight fetch must have been outstanding at
+// the end of the run to count as "never loads" (the paper's ∞) rather
+// than as merely truncated by the end of the drive.
+const stuckAfter = 4 * sim.Second
+
+// Finish closes the books at the end of the run: a final in-flight fetch
+// is dropped if the drive simply ended, but counts as ∞ when it had
+// clearly stalled out.
+func (b *Browser) Finish() {
+	if b.cur != nil && !b.cur.Done() {
+		if b.loop.Now().Sub(b.curAt) >= stuckAfter {
+			b.LoadTimesSeconds = append(b.LoadTimesSeconds, math.Inf(1))
+		}
+		b.cur = nil
+	}
+}
+
+// MeanLoadSeconds returns the mean load time; no completions or any ∞
+// entry makes the mean ∞.
+func (b *Browser) MeanLoadSeconds() float64 {
+	if len(b.LoadTimesSeconds) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, v := range b.LoadTimesSeconds {
+		if math.IsInf(v, 1) {
+			return math.Inf(1)
+		}
+		sum += v
+	}
+	return sum / float64(len(b.LoadTimesSeconds))
+}
+
+// Done reports whether the page finished loading.
+func (w *PageLoad) Done() bool { return w.done }
+
+// LoadTimeSeconds returns the page load time in seconds, or +Inf if the
+// load never completed (the paper's "∞" cells).
+func (w *PageLoad) LoadTimeSeconds() float64 {
+	if !w.done {
+		return math.Inf(1)
+	}
+	return w.finished.Sub(w.started).Seconds()
+}

@@ -1,0 +1,116 @@
+// Package workload implements the application traffic of the paper's
+// evaluation: iperf-style bulk TCP/UDP flows (§5.2), HD video streaming
+// with a playback buffer and rebuffer accounting (Table 4), two-way video
+// conferencing with per-second frame-rate measurement (Fig. 24), and web
+// page loads (Table 5).
+package workload
+
+import (
+	"wgtt/internal/core"
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+	"wgtt/internal/stats"
+	"wgtt/internal/transport"
+)
+
+// Port allocation for workload endpoints. Each client uses the same ports
+// (they are demultiplexed per client).
+const (
+	PortUDPBulk   = 9001
+	PortTCPBulk   = 9002
+	PortTCPAcks   = 80
+	PortVideo     = 9003
+	PortVideoAcks = 81
+	PortConfDown  = 9004
+	PortConfUp    = 9005
+	PortWeb       = 9006
+	PortWebAcks   = 82
+	PortUplink    = 9007
+)
+
+// UDPDownlink is a constant-rate downlink datagram flow to one client.
+type UDPDownlink struct {
+	Source *transport.UDPSource
+	Sink   *transport.UDPSink
+	Meter  *stats.Throughput
+}
+
+// NewUDPDownlink attaches a CBR UDP flow from the wired server to client
+// c at rateMbps with 1400-byte payloads.
+func NewUDPDownlink(n *core.Network, c *core.Client, rateMbps float64) *UDPDownlink {
+	w := &UDPDownlink{
+		Sink:  transport.NewUDPSink(n.Loop),
+		Meter: stats.NewThroughput(100 * sim.Millisecond),
+	}
+	w.Sink.OnPacket = func(p packet.Packet, now sim.Time) {
+		w.Meter.Add(now, p.WireLen())
+	}
+	c.Handle(PortUDPBulk, w.Sink.Receive)
+	w.Source = transport.NewUDPSource(n.Loop, n.SendFromServer,
+		packet.ServerIP, c.IP, PortUDPBulk-1, PortUDPBulk, rateMbps, 1400)
+	return w
+}
+
+// Start begins the flow.
+func (w *UDPDownlink) Start() { w.Source.Start() }
+
+// Mbps returns goodput up to the horizon.
+func (w *UDPDownlink) Mbps(horizon sim.Time) float64 { return w.Meter.MeanMbps(horizon) }
+
+// UDPUplink is a constant-rate uplink datagram flow from one client.
+type UDPUplink struct {
+	Source *transport.UDPSource
+	Sink   *transport.UDPSink
+	Meter  *stats.Throughput
+}
+
+// NewUDPUplink attaches a CBR UDP flow from client c to the wired server.
+// Distinct dstPort per client keeps server-side demux separate.
+func NewUDPUplink(n *core.Network, c *core.Client, dstPort uint16, rateMbps float64) *UDPUplink {
+	w := &UDPUplink{
+		Sink:  transport.NewUDPSink(n.Loop),
+		Meter: stats.NewThroughput(100 * sim.Millisecond),
+	}
+	w.Sink.OnPacket = func(p packet.Packet, now sim.Time) {
+		w.Meter.Add(now, p.WireLen())
+	}
+	n.ServerHandle(dstPort, w.Sink.Receive)
+	w.Source = transport.NewUDPSource(n.Loop, c.SendUplink,
+		c.IP, packet.ServerIP, dstPort+1000, dstPort, rateMbps, 1400)
+	return w
+}
+
+// Start begins the flow.
+func (w *UDPUplink) Start() { w.Source.Start() }
+
+// TCPDownlink is a bulk TCP flow from the server to one client.
+type TCPDownlink struct {
+	Sender   *transport.TCPSender
+	Receiver *transport.TCPReceiver
+	Meter    *stats.Throughput
+}
+
+// NewTCPDownlink attaches a bulk (or finite, if totalSegments > 0) TCP
+// flow from the wired server to client c. Server-side ack ports are
+// per-client: a server runs one socket per connection, and the demux at
+// the wired host must keep the flows apart.
+func NewTCPDownlink(n *core.Network, c *core.Client, totalSegments uint32) *TCPDownlink {
+	ackPort := uint16(PortTCPAcks + 100*c.ID)
+	w := &TCPDownlink{Meter: stats.NewThroughput(100 * sim.Millisecond)}
+	w.Receiver = transport.NewTCPReceiver(n.Loop, c.SendUplink,
+		c.IP, packet.ServerIP, PortTCPBulk, ackPort)
+	w.Receiver.OnData = func(seq uint32, bytes int, now sim.Time) {
+		w.Meter.Add(now, bytes)
+	}
+	c.Handle(PortTCPBulk, w.Receiver.Receive)
+	w.Sender = transport.NewTCPSender(n.Loop, n.SendFromServer,
+		packet.ServerIP, c.IP, ackPort, PortTCPBulk, totalSegments)
+	n.ServerHandle(ackPort, w.Sender.OnAck)
+	return w
+}
+
+// Start begins the flow.
+func (w *TCPDownlink) Start() { w.Sender.Start() }
+
+// Mbps returns in-order goodput up to the horizon.
+func (w *TCPDownlink) Mbps(horizon sim.Time) float64 { return w.Meter.MeanMbps(horizon) }

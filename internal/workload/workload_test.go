@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"wgtt/internal/core"
+	"wgtt/internal/mobility"
+	"wgtt/internal/sim"
+)
+
+func staticNet(t *testing.T) (*core.Network, *core.Client) {
+	t.Helper()
+	cfg := core.DefaultConfig(core.WGTT)
+	cfg.NumAPs = 4
+	n := core.NewNetwork(cfg)
+	c := n.AddClient(mobility.Stationary{X: 7.5, Y: 0})
+	return n, c
+}
+
+func TestUDPDownlinkDelivers(t *testing.T) {
+	n, c := staticNet(t)
+	w := NewUDPDownlink(n, c, 10)
+	w.Start()
+	n.Run(3 * sim.Second)
+	if got := w.Mbps(n.Loop.Now()); got < 8 {
+		t.Errorf("UDP goodput = %.2f, want ≥8 of 10 offered", got)
+	}
+	if w.Sink.LossRate() > 0.05 {
+		t.Errorf("loss = %.3f", w.Sink.LossRate())
+	}
+}
+
+func TestUDPUplinkDelivers(t *testing.T) {
+	n, c := staticNet(t)
+	w := NewUDPUplink(n, c, PortUplink, 5)
+	w.Start()
+	n.Run(3 * sim.Second)
+	if w.Sink.Received < 1000 {
+		t.Errorf("uplink delivered %d packets", w.Sink.Received)
+	}
+}
+
+func TestTCPDownlinkBulk(t *testing.T) {
+	n, c := staticNet(t)
+	w := NewTCPDownlink(n, c, 0)
+	w.Start()
+	n.Run(3 * sim.Second)
+	if got := w.Mbps(n.Loop.Now()); got < 10 {
+		t.Errorf("TCP goodput = %.2f on a parked pristine link", got)
+	}
+}
+
+func TestVideoSmoothOnGoodLink(t *testing.T) {
+	n, c := staticNet(t)
+	v := NewVideo(n, c, DefaultVideoConfig())
+	v.Start()
+	n.Run(8 * sim.Second)
+	if r := v.RebufferRatio(); r > 0.01 {
+		t.Errorf("rebuffer ratio = %.3f on a parked link, want 0", r)
+	}
+	if v.BufferedSeconds() <= 0 {
+		t.Error("no video buffered")
+	}
+}
+
+func TestVideoStallsWithoutNetwork(t *testing.T) {
+	// A video over a dead path never plays: ratio 1.
+	cfg := core.DefaultConfig(core.WGTT)
+	cfg.NumAPs = 2
+	n := core.NewNetwork(cfg)
+	c := n.AddClient(mobility.Stationary{X: 500, Y: 0}) // far out of range
+	v := NewVideo(n, c, DefaultVideoConfig())
+	v.Start()
+	n.Run(5 * sim.Second)
+	if r := v.RebufferRatio(); r < 0.99 {
+		t.Errorf("rebuffer ratio = %.3f with no connectivity, want 1", r)
+	}
+}
+
+func TestConferenceFPSOnGoodLink(t *testing.T) {
+	n, c := staticNet(t)
+	conf := NewConference(n, c, SkypeLike())
+	conf.Start()
+	n.Run(8 * sim.Second)
+	if conf.FPSSamples.N() < 5 {
+		t.Fatalf("only %d fps samples", conf.FPSSamples.N())
+	}
+	med := conf.FPSSamples.Quantile(0.5)
+	if med < 25 || med > 35 {
+		t.Errorf("median fps = %v, want ≈30 on a parked link", med)
+	}
+}
+
+func TestConferenceHangoutsHigherFPS(t *testing.T) {
+	n, c := staticNet(t)
+	h := NewConference(n, c, HangoutsLike())
+	h.Start()
+	n.Run(6 * sim.Second)
+	if med := h.FPSSamples.Quantile(0.5); med < 50 {
+		t.Errorf("Hangouts-like median fps = %v, want ≈60", med)
+	}
+}
+
+func TestPageLoadCompletes(t *testing.T) {
+	n, c := staticNet(t)
+	w := NewPageLoad(n, c)
+	w.Start()
+	n.Run(20 * sim.Second)
+	if !w.Done() {
+		t.Fatal("2.1 MB page did not load in 20 s on a parked link")
+	}
+	lt := w.LoadTimeSeconds()
+	if lt <= 0 || lt > 10 {
+		t.Errorf("load time = %.2f s", lt)
+	}
+}
+
+func TestPageLoadNeverFinishesIsInf(t *testing.T) {
+	cfg := core.DefaultConfig(core.WGTT)
+	cfg.NumAPs = 2
+	n := core.NewNetwork(cfg)
+	c := n.AddClient(mobility.Stationary{X: 500, Y: 0})
+	w := NewPageLoad(n, c)
+	w.Start()
+	n.Run(3 * sim.Second)
+	if !math.IsInf(w.LoadTimeSeconds(), 1) {
+		t.Error("unfinished load should report +Inf")
+	}
+}
