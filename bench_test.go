@@ -15,6 +15,19 @@ import (
 
 func benchOpts(i int) Options { return Options{Seed: int64(i + 1)} }
 
+// BenchmarkMeanPerClientMbps times one full 15 mph UDP drive-by — the
+// unit of work every end-to-end figure fans out over the runner.
+func BenchmarkMeanPerClientMbps(b *testing.B) {
+	cfg := DefaultConfig(SchemeWGTT)
+	traj, dur := driveAcross(&cfg, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mbps := meanPerClientMbps(SchemeWGTT, benchOpts(i), []Trajectory{traj}, dur, false)
+		b.ReportMetric(mbps, "Mbps")
+	}
+}
+
 func BenchmarkFig02BestAPSwitching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := Fig2BestAPSwitching(benchOpts(i))

@@ -1,0 +1,28 @@
+// Command wgtt-benchjson converts `go test -bench` output on stdin into
+// JSON on stdout, for committing benchmark baselines:
+//
+//	go test -bench=. -benchtime=1x ./... | go run ./cmd/wgtt-benchjson > BENCH_baseline.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wgtt/internal/stats"
+)
+
+func main() {
+	results, err := stats.ParseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wgtt-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "wgtt-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if err := stats.WriteBenchJSON(os.Stdout, results); err != nil {
+		fmt.Fprintf(os.Stderr, "wgtt-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

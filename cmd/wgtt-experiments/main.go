@@ -1,87 +1,39 @@
 // Command wgtt-experiments regenerates any table or figure from the
 // paper's evaluation (§5) against the simulated testbed.
 //
+// The independent runs inside each experiment fan out across CPU cores
+// by default; results are bit-identical to -serial.
+//
 // Usage:
 //
 //	wgtt-experiments -list
-//	wgtt-experiments -exp fig13 [-seed 7]
-//	wgtt-experiments -exp all
+//	wgtt-experiments -exp fig13 [-seed 7] [-workers 4]
+//	wgtt-experiments -exp all -serial
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"wgtt"
 )
 
-var experiments = map[string]struct {
-	desc string
-	run  func(wgtt.Options) fmt.Stringer
-}{
-	"fig2": {"best-AP flips at ms timescale (vehicular picocell regime)",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig2BestAPSwitching(o) }},
-	"fig4": {"stock 802.11r handover failure at driving speed",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig4RoamingFailure(o) }},
-	"fig10": {"ESNR heatmap of the deployment",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig10ESNRHeatmap(o) }},
-	"table1": {"switching protocol execution time vs offered load",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Table1SwitchTime(o, nil) }},
-	"fig13": {"TCP/UDP throughput vs client speed",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig13ThroughputVsSpeed(o, nil) }},
-	"fig14": {"TCP throughput timeseries at 15 mph",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig14TCPTimeseries(o) }},
-	"fig15": {"UDP throughput timeseries at 15 mph",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig15UDPTimeseries(o) }},
-	"fig16": {"link bit-rate CDF at 15 mph",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig16BitrateCDF(o) }},
-	"table2": {"switching accuracy vs the oracle-optimal AP",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Table2SwitchingAccuracy(o) }},
-	"fig17": {"per-client throughput with 1-3 clients",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig17MultiClient(o) }},
-	"fig18": {"uplink loss with multi-AP vs single-AP reception",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig18UplinkLoss(o) }},
-	"fig20": {"two-client driving patterns",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig20DrivingPatterns(o) }},
-	"fig21": {"capacity loss vs AP-selection window W",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig21WindowSize(o, nil) }},
-	"table3": {"link-layer ACK collision rate",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Table3AckCollisions(o, nil) }},
-	"fig22": {"TCP throughput vs switching hysteresis",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig22Hysteresis(o, nil) }},
-	"fig23": {"UDP throughput vs AP density",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig23APDensity(o, nil) }},
-	"table4": {"video rebuffer ratio",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Table4VideoRebuffer(o, nil) }},
-	"fig24": {"video conferencing fps",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Fig24ConferencingFPS(o, nil) }},
-	"table5": {"web page load time",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Table5WebPageLoad(o, nil) }},
-	"ablations": {"mechanism ablations (BA fwd, queue flush, dedup, selection)",
-		func(o wgtt.Options) fmt.Stringer { return wgtt.Ablations(o) }},
-}
-
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		seed = flag.Int64("seed", 1, "simulation seed")
-		list = flag.Bool("list", false, "list experiments")
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		list    = flag.Bool("list", false, "list experiments")
+		serial  = flag.Bool("serial", false, "run each experiment's runs serially (bit-identical, for debugging/profiling)")
+		workers = flag.Int("workers", 0, "cap parallel workers per experiment (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	names := make([]string, 0, len(experiments))
-	for k := range experiments {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
-		for _, k := range names {
-			fmt.Printf("  %-10s %s\n", k, experiments[k].desc)
+		for _, e := range wgtt.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
 		}
 		if *exp == "" && !*list {
 			os.Exit(2)
@@ -89,19 +41,19 @@ func main() {
 		return
 	}
 
-	opt := wgtt.Options{Seed: *seed}
+	opt := wgtt.Options{Seed: *seed, Serial: *serial, Workers: *workers}
 	run := func(name string) {
-		e, ok := experiments[name]
+		e, ok := wgtt.FindExperiment(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
 		}
 		fmt.Println(strings.Repeat("=", 64))
-		fmt.Println(e.run(opt))
+		fmt.Println(e.Run(opt))
 	}
 	if *exp == "all" {
-		for _, k := range names {
-			run(k)
+		for _, e := range wgtt.Experiments() {
+			run(e.Name)
 		}
 		return
 	}

@@ -3,6 +3,7 @@ package wgtt
 import (
 	"fmt"
 
+	"wgtt/internal/runner"
 	"wgtt/internal/workload"
 )
 
@@ -29,9 +30,16 @@ func Table4VideoRebuffer(opt Options, speeds []float64) Table4Result {
 		n.Run(dur)
 		return v.RebufferRatio()
 	}
+	jobs := make([]func() float64, 0, 2*len(speeds))
 	for _, mph := range speeds {
-		res.WGTT = append(res.WGTT, run(SchemeWGTT, mph))
-		res.Baseline = append(res.Baseline, run(SchemeEnhanced80211r, mph))
+		jobs = append(jobs,
+			func() float64 { return run(SchemeWGTT, mph) },
+			func() float64 { return run(SchemeEnhanced80211r, mph) })
+	}
+	out := runAll(opt, jobs)
+	for i := range speeds {
+		res.WGTT = append(res.WGTT, out[2*i])
+		res.Baseline = append(res.Baseline, out[2*i+1])
 	}
 	return res
 }
@@ -79,13 +87,19 @@ func Fig24ConferencingFPS(opt Options, speeds []float64) Fig24Result {
 		// per-second readings fall.
 		return conf.FPSSamples.Quantile(0.85), conf.FPSSamples.Quantile(0.5)
 	}
+	type fps struct{ p85, med float64 }
+	jobs := make([]func() fps, 0, 2*len(speeds))
 	for _, mph := range speeds {
-		s85, sMed := run(workload.SkypeLike(), mph)
-		h85, hMed := run(workload.HangoutsLike(), mph)
-		res.Skype85th = append(res.Skype85th, s85)
-		res.SkypeMedian = append(res.SkypeMedian, sMed)
-		res.Hangouts85th = append(res.Hangouts85th, h85)
-		res.HangoutsMedian = append(res.HangoutsMedian, hMed)
+		jobs = append(jobs,
+			func() fps { p, m := run(workload.SkypeLike(), mph); return fps{p, m} },
+			func() fps { p, m := run(workload.HangoutsLike(), mph); return fps{p, m} })
+	}
+	out := runAll(opt, jobs)
+	for i := range speeds {
+		res.Skype85th = append(res.Skype85th, out[2*i].p85)
+		res.SkypeMedian = append(res.SkypeMedian, out[2*i].med)
+		res.Hangouts85th = append(res.Hangouts85th, out[2*i+1].p85)
+		res.HangoutsMedian = append(res.HangoutsMedian, out[2*i+1].med)
 	}
 	return res
 }
@@ -132,9 +146,16 @@ func Table5WebPageLoad(opt Options, speeds []float64) Table5Result {
 		b.Finish()
 		return b.MeanLoadSeconds()
 	}
+	jobs := make([]func() float64, 0, 2*len(speeds))
 	for _, mph := range speeds {
-		res.WGTT = append(res.WGTT, run(SchemeWGTT, mph))
-		res.Baseline = append(res.Baseline, run(SchemeEnhanced80211r, mph))
+		jobs = append(jobs,
+			func() float64 { return run(SchemeWGTT, mph) },
+			func() float64 { return run(SchemeEnhanced80211r, mph) })
+	}
+	out := runAll(opt, jobs)
+	for i := range speeds {
+		res.WGTT = append(res.WGTT, out[2*i])
+		res.Baseline = append(res.Baseline, out[2*i+1])
 	}
 	return res
 }
@@ -160,6 +181,12 @@ type AblationResult struct {
 
 // Ablations runs the 15 mph drive with each mechanism disabled in turn.
 func Ablations(opt Options) AblationResult {
+	return ablations(opt, nil)
+}
+
+// ablations is the parameterized form; a non-nil only slice restricts the
+// run to the named variants.
+func ablations(opt Options, only []string) AblationResult {
 	cases := []struct {
 		label  string
 		mutate func(*Config)
@@ -172,14 +199,33 @@ func Ablations(opt Options) AblationResult {
 		{"mean-ESNR selection", func(c *Config) { c.Controller.Policy = 1 /* SelectMean */ }},
 		{"latest-sample selection", func(c *Config) { c.Controller.Policy = 2 /* SelectLatest */ }},
 	}
+	if only != nil {
+		keep := cases[:0]
+		for _, tc := range cases {
+			for _, want := range only {
+				if tc.label == want {
+					keep = append(keep, tc)
+					break
+				}
+			}
+		}
+		cases = keep
+	}
 	var res AblationResult
 	cfg := DefaultConfig(SchemeWGTT)
 	traj, dur := driveAcross(&cfg, 15)
+	var specs []runner.RunSpec
 	for _, tc := range cases {
-		o := Options{Seed: opt.Seed, Mutate: tc.mutate}
+		o := Options{Seed: opt.Seed, Mutate: tc.mutate, Serial: opt.Serial, Workers: opt.Workers}
 		res.Labels = append(res.Labels, tc.label)
-		res.UDPMbps = append(res.UDPMbps, meanPerClientMbps(SchemeWGTT, o, []Trajectory{traj}, dur, false))
-		res.TCPMbps = append(res.TCPMbps, meanPerClientMbps(SchemeWGTT, o, []Trajectory{traj}, dur, true))
+		specs = append(specs,
+			throughputSpec(SchemeWGTT, o, []Trajectory{traj}, dur, false),
+			throughputSpec(SchemeWGTT, o, []Trajectory{traj}, dur, true))
+	}
+	mbps := runSpecs(opt, specs)
+	for i := range cases {
+		res.UDPMbps = append(res.UDPMbps, mbps[2*i])
+		res.TCPMbps = append(res.TCPMbps, mbps[2*i+1])
 	}
 	return res
 }

@@ -3,6 +3,7 @@ package wgtt
 import (
 	"fmt"
 
+	"wgtt/internal/runner"
 	"wgtt/internal/stats"
 	"wgtt/internal/workload"
 )
@@ -25,6 +26,7 @@ func Fig13ThroughputVsSpeed(opt Options, speeds []float64) Fig13Result {
 	}
 	res := Fig13Result{SpeedsMPH: speeds}
 	cfg := DefaultConfig(SchemeWGTT)
+	var specs []runner.RunSpec
 	for _, mph := range speeds {
 		var trajs []Trajectory
 		var dur Duration
@@ -36,10 +38,18 @@ func Fig13ThroughputVsSpeed(opt Options, speeds []float64) Fig13Result {
 			traj, d := driveAcross(&cfg, mph)
 			trajs, dur = []Trajectory{traj}, d
 		}
-		res.WGTTTCP = append(res.WGTTTCP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, true))
-		res.WGTTUDP = append(res.WGTTUDP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, false))
-		res.BaselineTCP = append(res.BaselineTCP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, true))
-		res.BaselineUDP = append(res.BaselineUDP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, false))
+		specs = append(specs,
+			throughputSpec(SchemeWGTT, opt, trajs, dur, true),
+			throughputSpec(SchemeWGTT, opt, trajs, dur, false),
+			throughputSpec(SchemeEnhanced80211r, opt, trajs, dur, true),
+			throughputSpec(SchemeEnhanced80211r, opt, trajs, dur, false))
+	}
+	mbps := runSpecs(opt, specs)
+	for i := range speeds {
+		res.WGTTTCP = append(res.WGTTTCP, mbps[4*i])
+		res.WGTTUDP = append(res.WGTTUDP, mbps[4*i+1])
+		res.BaselineTCP = append(res.BaselineTCP, mbps[4*i+2])
+		res.BaselineUDP = append(res.BaselineUDP, mbps[4*i+3])
 	}
 	return res
 }
@@ -110,24 +120,26 @@ func figTimeseries(scheme Scheme, opt Options, tcp bool) SchemeSeries {
 	return s
 }
 
+// figTimeseriesBoth runs the WGTT and baseline timeseries as two
+// independent runs on the experiment runner.
+func figTimeseriesBoth(opt Options, tcp bool) (wgttS, base SchemeSeries) {
+	out := runAll(opt, []func() SchemeSeries{
+		func() SchemeSeries { return figTimeseries(SchemeWGTT, opt, tcp) },
+		func() SchemeSeries { return figTimeseries(SchemeEnhanced80211r, opt, tcp) },
+	})
+	return out[0], out[1]
+}
+
 // Fig14TCPTimeseries reproduces Fig. 14 (TCP during a 15 mph drive).
 func Fig14TCPTimeseries(opt Options) TimeseriesResult {
-	return TimeseriesResult{
-		Proto:      "TCP",
-		BinSeconds: 0.1,
-		WGTT:       figTimeseries(SchemeWGTT, opt, true),
-		Baseline:   figTimeseries(SchemeEnhanced80211r, opt, true),
-	}
+	w, b := figTimeseriesBoth(opt, true)
+	return TimeseriesResult{Proto: "TCP", BinSeconds: 0.1, WGTT: w, Baseline: b}
 }
 
 // Fig15UDPTimeseries reproduces Fig. 15 (UDP during a 15 mph drive).
 func Fig15UDPTimeseries(opt Options) TimeseriesResult {
-	return TimeseriesResult{
-		Proto:      "UDP",
-		BinSeconds: 0.1,
-		WGTT:       figTimeseries(SchemeWGTT, opt, false),
-		Baseline:   figTimeseries(SchemeEnhanced80211r, opt, false),
-	}
+	w, b := figTimeseriesBoth(opt, false)
+	return TimeseriesResult{Proto: "UDP", BinSeconds: 0.1, WGTT: w, Baseline: b}
 }
 
 // String summarizes the two curves.
@@ -152,13 +164,23 @@ type Fig16Result struct {
 // Fig16BitrateCDF measures the PHY rate distribution (per transmitted
 // MPDU) during 15 mph drives under both schemes.
 func Fig16BitrateCDF(opt Options) Fig16Result {
-	collect := func(scheme Scheme) ([]int, float64) {
-		counts := make([]int, 8)
-		for _, tcp := range []bool{true, false} {
-			n := buildNetwork(scheme, opt)
+	// One independent run per scheme × transport; each reports its MPDU
+	// counts per MCS, combined per scheme afterwards.
+	type runKey struct {
+		scheme Scheme
+		tcp    bool
+	}
+	keys := []runKey{
+		{SchemeWGTT, true}, {SchemeWGTT, false},
+		{SchemeEnhanced80211r, true}, {SchemeEnhanced80211r, false},
+	}
+	jobs := make([]func() [8]int, len(keys))
+	for i, k := range keys {
+		jobs[i] = func() (counts [8]int) {
+			n := buildNetwork(k.scheme, opt)
 			traj, dur := driveAcross(&n.Cfg, 15)
 			c := n.AddClient(traj)
-			if tcp {
+			if k.tcp {
 				f := NewTCPDownlink(n, c, 0)
 				startAfterWarmup(n, f.Start)
 			} else {
@@ -177,10 +199,16 @@ func Fig16BitrateCDF(opt Options) Fig16Result {
 					}
 				}
 			}
+			return counts
 		}
+	}
+	perRun := runAll(opt, jobs)
+	reduce := func(a, b [8]int) ([]int, float64) {
+		counts := make([]int, 8)
 		var cdf stats.CDF
-		for mcs, cnt := range counts {
-			for i := 0; i < cnt; i += 8 { // decimate: CDF shape only
+		for mcs := range counts {
+			counts[mcs] = a[mcs] + b[mcs]
+			for i := 0; i < counts[mcs]; i += 8 { // decimate: CDF shape only
 				cdf.Add(rateMbpsOf(mcs))
 			}
 		}
@@ -191,8 +219,8 @@ func Fig16BitrateCDF(opt Options) Fig16Result {
 		r.WGTTRateMbps = append(r.WGTTRateMbps, rateMbpsOf(mcs))
 		r.BaselineRateMbps = append(r.BaselineRateMbps, rateMbpsOf(mcs))
 	}
-	r.WGTTCount, r.WGTT90th = collect(SchemeWGTT)
-	r.BaselineCount, r.Baseline90th = collect(SchemeEnhanced80211r)
+	r.WGTTCount, r.WGTT90th = reduce(perRun[0], perRun[1])
+	r.BaselineCount, r.Baseline90th = reduce(perRun[2], perRun[3])
 	return r
 }
 
@@ -230,11 +258,17 @@ func Table2SwitchingAccuracy(opt Options) Table2Result {
 		n.Run(dur)
 		return 100 * acc.Value()
 	}
+	out := runAll(opt, []func() float64{
+		func() float64 { return measure(SchemeWGTT, true) },
+		func() float64 { return measure(SchemeWGTT, false) },
+		func() float64 { return measure(SchemeEnhanced80211r, true) },
+		func() float64 { return measure(SchemeEnhanced80211r, false) },
+	})
 	return Table2Result{
-		WGTTTCP:     measure(SchemeWGTT, true),
-		WGTTUDP:     measure(SchemeWGTT, false),
-		BaselineTCP: measure(SchemeEnhanced80211r, true),
-		BaselineUDP: measure(SchemeEnhanced80211r, false),
+		WGTTTCP:     out[0],
+		WGTTUDP:     out[1],
+		BaselineTCP: out[2],
+		BaselineUDP: out[3],
 	}
 }
 
@@ -258,16 +292,34 @@ type Fig17Result struct {
 // Fig17MultiClient runs 1–3 clients driving in the Following pattern at
 // 15 mph and reports mean per-client goodput.
 func Fig17MultiClient(opt Options) Fig17Result {
-	res := Fig17Result{Clients: []int{1, 2, 3}}
+	return fig17MultiClient(opt, nil)
+}
+
+// fig17MultiClient is the parameterized form; nil clients means the
+// paper's 1–3.
+func fig17MultiClient(opt Options, clients []int) Fig17Result {
+	if len(clients) == 0 {
+		clients = []int{1, 2, 3}
+	}
+	res := Fig17Result{Clients: clients}
 	cfg := DefaultConfig(SchemeWGTT)
 	_, dur := driveAcross(&cfg, 15)
 	lo, _ := cfg.RoadSpanX()
+	var specs []runner.RunSpec
 	for _, k := range res.Clients {
 		trajs := Scenario(Following, k, lo-5, 0, 15)
-		res.WGTTTCP = append(res.WGTTTCP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, true))
-		res.WGTTUDP = append(res.WGTTUDP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, false))
-		res.BaselineTCP = append(res.BaselineTCP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, true))
-		res.BaselineUDP = append(res.BaselineUDP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, false))
+		specs = append(specs,
+			throughputSpec(SchemeWGTT, opt, trajs, dur, true),
+			throughputSpec(SchemeWGTT, opt, trajs, dur, false),
+			throughputSpec(SchemeEnhanced80211r, opt, trajs, dur, true),
+			throughputSpec(SchemeEnhanced80211r, opt, trajs, dur, false))
+	}
+	mbps := runSpecs(opt, specs)
+	for i := range res.Clients {
+		res.WGTTTCP = append(res.WGTTTCP, mbps[4*i])
+		res.WGTTUDP = append(res.WGTTUDP, mbps[4*i+1])
+		res.BaselineTCP = append(res.BaselineTCP, mbps[4*i+2])
+		res.BaselineUDP = append(res.BaselineUDP, mbps[4*i+3])
 	}
 	return res
 }
@@ -315,10 +367,11 @@ func Fig18UplinkLoss(opt Options) Fig18Result {
 		}
 		return out
 	}
-	return Fig18Result{
-		MultiAP:  run(SchemeWGTT),
-		SingleAP: run(SchemeEnhanced80211r),
-	}
+	out := runAll(opt, []func() []float64{
+		func() []float64 { return run(SchemeWGTT) },
+		func() []float64 { return run(SchemeEnhanced80211r) },
+	})
+	return Fig18Result{MultiAP: out[0], SingleAP: out[1]}
 }
 
 // String renders per-client loss.
@@ -345,16 +398,34 @@ type Fig20Result struct {
 // Fig20DrivingPatterns runs two clients at 15 mph in following, parallel,
 // and opposing patterns.
 func Fig20DrivingPatterns(opt Options) Fig20Result {
-	res := Fig20Result{Patterns: []Pattern{Following, Parallel, Opposing}}
+	return fig20DrivingPatterns(opt, nil)
+}
+
+// fig20DrivingPatterns is the parameterized form; nil patterns means all
+// three of Fig. 19.
+func fig20DrivingPatterns(opt Options, patterns []Pattern) Fig20Result {
+	if len(patterns) == 0 {
+		patterns = []Pattern{Following, Parallel, Opposing}
+	}
+	res := Fig20Result{Patterns: patterns}
 	cfg := DefaultConfig(SchemeWGTT)
 	_, dur := driveAcross(&cfg, 15)
 	lo, _ := cfg.RoadSpanX()
+	var specs []runner.RunSpec
 	for _, p := range res.Patterns {
 		trajs := Scenario(p, 2, lo-5, 0, 15)
-		res.WGTTTCP = append(res.WGTTTCP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, true))
-		res.WGTTUDP = append(res.WGTTUDP, meanPerClientMbps(SchemeWGTT, opt, trajs, dur, false))
-		res.BaselineTCP = append(res.BaselineTCP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, true))
-		res.BaselineUDP = append(res.BaselineUDP, meanPerClientMbps(SchemeEnhanced80211r, opt, trajs, dur, false))
+		specs = append(specs,
+			throughputSpec(SchemeWGTT, opt, trajs, dur, true),
+			throughputSpec(SchemeWGTT, opt, trajs, dur, false),
+			throughputSpec(SchemeEnhanced80211r, opt, trajs, dur, true),
+			throughputSpec(SchemeEnhanced80211r, opt, trajs, dur, false))
+	}
+	mbps := runSpecs(opt, specs)
+	for i := range res.Patterns {
+		res.WGTTTCP = append(res.WGTTTCP, mbps[4*i])
+		res.WGTTUDP = append(res.WGTTUDP, mbps[4*i+1])
+		res.BaselineTCP = append(res.BaselineTCP, mbps[4*i+2])
+		res.BaselineUDP = append(res.BaselineUDP, mbps[4*i+3])
 	}
 	return res
 }

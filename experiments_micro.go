@@ -91,28 +91,40 @@ type Fig4Result struct {
 // Fig4RoamingFailure drives a client past two stock-802.11r APs.
 func Fig4RoamingFailure(opt Options) Fig4Result {
 	res := Fig4Result{SpeedsMPH: []float64{20, 5}}
-	for _, mph := range res.SpeedsMPH {
-		cfg := DefaultConfig(SchemeStock80211r)
-		cfg.Seed = opt.Seed
-		cfg.NumAPs = 2
-		if opt.Mutate != nil {
-			opt.Mutate(&cfg)
+	type outcome struct {
+		handover           bool
+		delivered, potential float64
+	}
+	jobs := make([]func() outcome, len(res.SpeedsMPH))
+	for i, mph := range res.SpeedsMPH {
+		jobs[i] = func() outcome {
+			cfg := DefaultConfig(SchemeStock80211r)
+			cfg.Seed = opt.Seed
+			cfg.NumAPs = 2
+			if opt.Mutate != nil {
+				opt.Mutate(&cfg)
+			}
+			n := NewNetwork(cfg)
+			traj, dur := driveAcross(&n.Cfg, mph)
+			c := n.AddClient(traj)
+			f := NewUDPDownlink(n, c, offeredUDPMbps)
+			startAfterWarmup(n, f.Start)
+			var pot []float64
+			sampleEvery(n, 20*Millisecond, potentialMbps(n, 0, &pot))
+			startAP := n.ServingAP(0)
+			n.Run(dur)
+			return outcome{
+				handover:  n.ServingAP(0) != startAP,
+				delivered: f.Mbps(n.Loop.Now()),
+				potential: mean(pot),
+			}
 		}
-		n := NewNetwork(cfg)
-		traj, dur := driveAcross(&n.Cfg, mph)
-		c := n.AddClient(traj)
-		f := NewUDPDownlink(n, c, offeredUDPMbps)
-		startAfterWarmup(n, f.Start)
-		var pot []float64
-		sampleEvery(n, 20*Millisecond, potentialMbps(n, 0, &pot))
-		startAP := n.ServingAP(0)
-		n.Run(dur)
-		potMean := mean(pot)
-		del := f.Mbps(n.Loop.Now())
-		res.HandoverCompleted = append(res.HandoverCompleted, n.ServingAP(0) != startAP)
-		res.DeliveredMbps = append(res.DeliveredMbps, del)
-		res.PotentialMbps = append(res.PotentialMbps, potMean)
-		res.CapacityLossMbps = append(res.CapacityLossMbps, potMean-del)
+	}
+	for _, o := range runAll(opt, jobs) {
+		res.HandoverCompleted = append(res.HandoverCompleted, o.handover)
+		res.DeliveredMbps = append(res.DeliveredMbps, o.delivered)
+		res.PotentialMbps = append(res.PotentialMbps, o.potential)
+		res.CapacityLossMbps = append(res.CapacityLossMbps, o.potential-o.delivered)
 	}
 	return res
 }
@@ -233,18 +245,28 @@ func Table1SwitchTime(opt Options, rates []float64) Table1Result {
 	}
 	var res Table1Result
 	res.RatesMbps = rates
-	for _, rate := range rates {
-		n := buildNetwork(SchemeWGTT, opt)
-		traj, dur := driveAcross(&n.Cfg, 15)
-		c := n.AddClient(traj)
-		f := NewUDPDownlink(n, c, rate)
-		startAfterWarmup(n, f.Start)
-		n.Run(dur)
-		lats := n.Ctrl.SwitchLatencies
-		m, s := meanStdMs(lats)
-		res.MeanMs = append(res.MeanMs, m)
-		res.StdMs = append(res.StdMs, s)
-		res.Switches = append(res.Switches, len(lats))
+	type outcome struct {
+		meanMs, stdMs float64
+		switches      int
+	}
+	jobs := make([]func() outcome, len(rates))
+	for i, rate := range rates {
+		jobs[i] = func() outcome {
+			n := buildNetwork(SchemeWGTT, opt)
+			traj, dur := driveAcross(&n.Cfg, 15)
+			c := n.AddClient(traj)
+			f := NewUDPDownlink(n, c, rate)
+			startAfterWarmup(n, f.Start)
+			n.Run(dur)
+			lats := n.Ctrl.SwitchLatencies
+			m, s := meanStdMs(lats)
+			return outcome{meanMs: m, stdMs: s, switches: len(lats)}
+		}
+	}
+	for _, o := range runAll(opt, jobs) {
+		res.MeanMs = append(res.MeanMs, o.meanMs)
+		res.StdMs = append(res.StdMs, o.stdMs)
+		res.Switches = append(res.Switches, o.switches)
 	}
 	return res
 }
@@ -277,19 +299,22 @@ func Table3AckCollisions(opt Options, rates []float64) Table3Result {
 	}
 	var res Table3Result
 	res.RatesMbps = rates
-	for _, rate := range rates {
-		n := buildNetwork(SchemeWGTT, opt)
-		traj, dur := driveAcross(&n.Cfg, 15)
-		c := n.AddClient(traj)
-		f := NewUDPUplink(n, c, 9100, rate)
-		startAfterWarmup(n, f.Start)
-		n.Run(dur)
-		pct := 0.0
-		if c.UplinkPPDUs > 0 {
-			pct = 100 * float64(c.BACollisions) / float64(c.UplinkPPDUs)
+	jobs := make([]func() float64, len(rates))
+	for i, rate := range rates {
+		jobs[i] = func() float64 {
+			n := buildNetwork(SchemeWGTT, opt)
+			traj, dur := driveAcross(&n.Cfg, 15)
+			c := n.AddClient(traj)
+			f := NewUDPUplink(n, c, 9100, rate)
+			startAfterWarmup(n, f.Start)
+			n.Run(dur)
+			if c.UplinkPPDUs == 0 {
+				return 0
+			}
+			return 100 * float64(c.BACollisions) / float64(c.UplinkPPDUs)
 		}
-		res.CollisionPct = append(res.CollisionPct, pct)
 	}
+	res.CollisionPct = runAll(opt, jobs)
 	return res
 }
 
@@ -318,32 +343,35 @@ func Fig21WindowSize(opt Options, windowsMs []float64) Fig21Result {
 	}
 	var res Fig21Result
 	res.WindowsMs = windowsMs
-	for _, w := range windowsMs {
-		w := w
-		n := buildNetwork(SchemeWGTT, Options{
-			Seed: opt.Seed,
-			Mutate: func(c *Config) {
-				c.Controller.Window = Duration(w * float64(Millisecond))
-				if opt.Mutate != nil {
-					opt.Mutate(c)
-				}
-			},
-		})
-		traj, dur := driveAcross(&n.Cfg, 15)
-		c := n.AddClient(traj)
-		f := NewUDPDownlink(n, c, offeredUDPMbps)
-		startAfterWarmup(n, f.Start)
-		var pot []float64
-		sampleEvery(n, 20*Millisecond, potentialMbps(n, 0, &pot))
-		n.Run(dur)
-		potMean := mean(pot)
-		cap := math.Min(potMean, offeredUDPMbps)
-		loss := 1 - f.Mbps(n.Loop.Now())/cap
-		if loss < 0 {
-			loss = 0
+	jobs := make([]func() float64, len(windowsMs))
+	for i, w := range windowsMs {
+		jobs[i] = func() float64 {
+			n := buildNetwork(SchemeWGTT, Options{
+				Seed: opt.Seed,
+				Mutate: func(c *Config) {
+					c.Controller.Window = Duration(w * float64(Millisecond))
+					if opt.Mutate != nil {
+						opt.Mutate(c)
+					}
+				},
+			})
+			traj, dur := driveAcross(&n.Cfg, 15)
+			c := n.AddClient(traj)
+			f := NewUDPDownlink(n, c, offeredUDPMbps)
+			startAfterWarmup(n, f.Start)
+			var pot []float64
+			sampleEvery(n, 20*Millisecond, potentialMbps(n, 0, &pot))
+			n.Run(dur)
+			potMean := mean(pot)
+			cap := math.Min(potMean, offeredUDPMbps)
+			loss := 1 - f.Mbps(n.Loop.Now())/cap
+			if loss < 0 {
+				loss = 0
+			}
+			return loss
 		}
-		res.LossRate = append(res.LossRate, loss)
 	}
+	res.LossRate = runAll(opt, jobs)
 	return res
 }
 
@@ -372,24 +400,33 @@ func Fig22Hysteresis(opt Options, hystMs []float64) Fig22Result {
 	}
 	var res Fig22Result
 	res.HysteresisMs = hystMs
-	for _, h := range hystMs {
-		h := h
-		n := buildNetwork(SchemeWGTT, Options{
-			Seed: opt.Seed,
-			Mutate: func(c *Config) {
-				c.Controller.Hysteresis = Duration(h * float64(Millisecond))
-				if opt.Mutate != nil {
-					opt.Mutate(c)
-				}
-			},
-		})
-		traj, dur := driveAcross(&n.Cfg, 15)
-		c := n.AddClient(traj)
-		f := NewTCPDownlink(n, c, 0)
-		startAfterWarmup(n, f.Start)
-		n.Run(dur)
-		res.TCPMbps = append(res.TCPMbps, f.Mbps(n.Loop.Now()))
-		res.Switches = append(res.Switches, n.Ctrl.SwitchesAcked)
+	type outcome struct {
+		mbps     float64
+		switches int
+	}
+	jobs := make([]func() outcome, len(hystMs))
+	for i, h := range hystMs {
+		jobs[i] = func() outcome {
+			n := buildNetwork(SchemeWGTT, Options{
+				Seed: opt.Seed,
+				Mutate: func(c *Config) {
+					c.Controller.Hysteresis = Duration(h * float64(Millisecond))
+					if opt.Mutate != nil {
+						opt.Mutate(c)
+					}
+				},
+			})
+			traj, dur := driveAcross(&n.Cfg, 15)
+			c := n.AddClient(traj)
+			f := NewTCPDownlink(n, c, 0)
+			startAfterWarmup(n, f.Start)
+			n.Run(dur)
+			return outcome{mbps: f.Mbps(n.Loop.Now()), switches: n.Ctrl.SwitchesAcked}
+		}
+	}
+	for _, o := range runAll(opt, jobs) {
+		res.TCPMbps = append(res.TCPMbps, o.mbps)
+		res.Switches = append(res.Switches, o.switches)
 	}
 	return res
 }
@@ -437,9 +474,16 @@ func Fig23APDensity(opt Options, speeds []float64) Fig23Result {
 		n.Run(dur)
 		return f.Mbps(n.Loop.Now())
 	}
+	jobs := make([]func() float64, 0, 2*len(speeds))
 	for _, mph := range speeds {
-		res.DenseMbps = append(res.DenseMbps, run(res.DenseSpacing, mph))
-		res.SparseMbps = append(res.SparseMbps, run(res.SparseSpace, mph))
+		jobs = append(jobs,
+			func() float64 { return run(res.DenseSpacing, mph) },
+			func() float64 { return run(res.SparseSpace, mph) })
+	}
+	out := runAll(opt, jobs)
+	for i := range speeds {
+		res.DenseMbps = append(res.DenseMbps, out[2*i])
+		res.SparseMbps = append(res.SparseMbps, out[2*i+1])
 	}
 	return res
 }

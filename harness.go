@@ -8,6 +8,7 @@ import (
 	"wgtt/internal/core"
 	"wgtt/internal/csi"
 	"wgtt/internal/phy"
+	"wgtt/internal/runner"
 	"wgtt/internal/sim"
 	"wgtt/internal/stats"
 	"wgtt/internal/workload"
@@ -21,6 +22,48 @@ type Options struct {
 	// Mutate, when non-nil, adjusts the network config before building
 	// (used by ablation benches).
 	Mutate func(*Config)
+	// Serial forces the independent runs inside each experiment to
+	// execute one after another on the calling goroutine instead of
+	// fanning out across CPU cores. Results are bit-identical either
+	// way; the flag exists for debugging and single-core profiling.
+	Serial bool
+	// Workers caps the parallel fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// runnerOpts translates experiment options for the parallel runner.
+func runnerOpts(opt Options) runner.Options {
+	return runner.Options{Workers: opt.Workers, Serial: opt.Serial}
+}
+
+// runSpecs executes a batch of drive-by throughput runs on the runner and
+// returns goodputs in spec order.
+func runSpecs(opt Options, specs []runner.RunSpec) []float64 {
+	return runner.RunAll(runnerOpts(opt), specs)
+}
+
+// runAll executes arbitrary independent experiment jobs (each building its
+// own network) on the runner, returning results in job order.
+func runAll[R any](opt Options, jobs []func() R) []R {
+	return runner.Map(runnerOpts(opt), jobs, func(_ int, job func() R) R { return job() })
+}
+
+// throughputSpec describes one bulk-flow drive-by as a runner spec.
+func throughputSpec(scheme Scheme, opt Options, trajs []Trajectory, dur Duration, tcp bool) runner.RunSpec {
+	tr := runner.UDP
+	if tcp {
+		tr = runner.TCP
+	}
+	return runner.RunSpec{
+		Scheme:      scheme,
+		Seed:        opt.Seed,
+		Mutate:      opt.Mutate,
+		Trajs:       trajs,
+		Duration:    dur,
+		Transport:   tr,
+		OfferedMbps: offeredUDPMbps,
+		Warmup:      warmup,
+	}
 }
 
 // DefaultOptions returns the options used throughout EXPERIMENTS.md.
@@ -67,26 +110,7 @@ func driveAcross(cfg *Config, mph float64) (Linear, Duration) {
 // scheme, with either TCP or UDP bulk downlink to every client, and
 // returns the average per-client goodput.
 func meanPerClientMbps(scheme Scheme, opt Options, trajs []Trajectory, dur Duration, tcp bool) float64 {
-	n := buildNetwork(scheme, opt)
-	var flows []interface{ Mbps(Time) float64 }
-	for _, traj := range trajs {
-		c := n.AddClient(traj)
-		if tcp {
-			f := NewTCPDownlink(n, c, 0)
-			startAfterWarmup(n, f.Start)
-			flows = append(flows, f)
-		} else {
-			f := NewUDPDownlink(n, c, offeredUDPMbps)
-			startAfterWarmup(n, f.Start)
-			flows = append(flows, f)
-		}
-	}
-	n.Run(dur)
-	sum := 0.0
-	for _, f := range flows {
-		sum += f.Mbps(n.Loop.Now())
-	}
-	return sum / float64(len(flows))
+	return runner.Run(throughputSpec(scheme, opt, trajs, dur, tcp))
 }
 
 // potentialMbps integrates the oracle link capacity over a drive: at

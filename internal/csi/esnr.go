@@ -94,14 +94,105 @@ func linearToDB(lin float64) float64 {
 	return 10 * math.Log10(lin)
 }
 
-// invBER returns the SNR (linear) at which the modulation's BER equals
-// target. BER is strictly decreasing in SNR, so a bisection over the dB
-// axis converges fast and is exact enough (±0.001 dB) for link selection.
-func invBER(m Modulation, target float64) float64 {
-	if target <= 0 {
-		return dbToLinear(60)
+// The ESNR computation is the innermost kernel of the whole simulation:
+// every transmitted PPDU and every controller CSI report evaluates it, and
+// the naive form costs one math.Pow plus one math.Erfc per subcarrier plus
+// a 60-step bisection (each step another Pow+Erfc). Since BER(m, ·) is a
+// fixed, strictly monotone function of SNR, we sample it once per
+// modulation on a fine dB grid and serve both the forward map (dB → BER)
+// and its inverse (BER → dB) from that shared table with linear
+// interpolation. Grid resolution is 1/128 dB, giving interpolation error
+// well under the ±0.001 dB the bisection targeted.
+const (
+	berTblMinDB   = -40.0
+	berTblMaxDB   = 80.0
+	berTblStep    = 1.0 / 128
+	berTblInvStep = 128.0
+)
+
+// invBER's historical saturation bracket: targets outside the BER values
+// reachable in [-20, 60] dB clamp to the bracket edge.
+const (
+	invBERLoDB = -20.0
+	invBERHiDB = 60.0
+)
+
+var (
+	berTables [4][]float64
+	// Grid indices of the inverse-search bracket endpoints.
+	berIdxLo = int((invBERLoDB - berTblMinDB) * berTblInvStep)
+	berIdxHi = int((invBERHiDB - berTblMinDB) * berTblInvStep)
+)
+
+func init() {
+	n := int((berTblMaxDB-berTblMinDB)*berTblInvStep) + 1
+	for m := BPSK; m <= QAM64; m++ {
+		t := make([]float64, n)
+		for i := range t {
+			t[i] = BER(m, dbToLinear(berTblMinDB+float64(i)*berTblStep))
+		}
+		berTables[m] = t
 	}
-	lo, hi := -20.0, 60.0
+}
+
+// berAtDB evaluates the tabulated BER of m at an SNR in dB, linearly
+// interpolated. Inputs outside the table clamp to its edges, where BER has
+// already saturated (max at the low end, underflowed to 0 at the high end).
+func berAtDB(m Modulation, snrDB float64) float64 {
+	t := berTables[m]
+	x := (snrDB - berTblMinDB) * berTblInvStep
+	if x <= 0 || math.IsNaN(x) {
+		return t[0]
+	}
+	if x >= float64(len(t)-1) {
+		return t[len(t)-1]
+	}
+	i := int(x)
+	return t[i] + (t[i+1]-t[i])*(x-float64(i))
+}
+
+// esnrDBFromBER inverts the tabulated BER curve: the SNR in dB at which
+// modulation m's BER equals target. The table is monotone non-increasing,
+// so a binary search brackets the crossing and linear interpolation
+// recovers the dB value. Saturation matches the bisection it replaced:
+// targets below BER(60 dB) report 60, targets above BER(−20 dB) report −20.
+func esnrDBFromBER(m Modulation, target float64) float64 {
+	if target <= 0 {
+		return invBERHiDB
+	}
+	t := berTables[m]
+	if t[berIdxLo] <= target {
+		return invBERLoDB
+	}
+	// Smallest index in (berIdxLo, berIdxHi] with t[i] <= target; the
+	// invariant t[lo] > target >= t[hi] holds throughout.
+	lo, hi := berIdxLo, berIdxHi
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if t[mid] <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	frac := (t[lo] - target) / (t[lo] - t[hi])
+	return berTblMinDB + (float64(lo)+frac)*berTblStep
+}
+
+// invBER returns the SNR (linear) at which the modulation's BER equals
+// target, served from the shared monotone lookup table.
+func invBER(m Modulation, target float64) float64 {
+	return dbToLinear(esnrDBFromBER(m, target))
+}
+
+// invBERBisect is the reference implementation invBER replaced: a
+// bisection over the dB axis, exact to ±0.001 dB. Kept for accuracy
+// cross-checks in tests.
+func invBERBisect(m Modulation, target float64) float64 {
+	if target <= 0 {
+		return dbToLinear(invBERHiDB)
+	}
+	lo, hi := invBERLoDB, invBERHiDB
 	if BER(m, dbToLinear(lo)) < target {
 		return dbToLinear(lo)
 	}
@@ -120,8 +211,27 @@ func invBER(m Modulation, target float64) float64 {
 }
 
 // EffectiveSNRdB computes ESNR in dB from per-subcarrier SNRs (dB) for a
-// given modulation: mean the per-subcarrier BERs, then invert.
+// given modulation: mean the per-subcarrier BERs, then invert. Both
+// directions are served from the per-modulation lookup table, so the call
+// is allocation-free and costs a handful of table interpolations instead
+// of dozens of Pow/Erfc evaluations.
 func EffectiveSNRdB(snrsDB []float64, m Modulation) float64 {
+	if len(snrsDB) == 0 {
+		return math.Inf(-1)
+	}
+	if m < BPSK || m > QAM64 {
+		return effectiveSNRdBSlow(snrsDB, m)
+	}
+	sum := 0.0
+	for _, s := range snrsDB {
+		sum += berAtDB(m, s)
+	}
+	return esnrDBFromBER(m, sum/float64(len(snrsDB)))
+}
+
+// effectiveSNRdBSlow is the direct (table-free) computation, used for
+// modulations outside the tabulated set and as a test oracle.
+func effectiveSNRdBSlow(snrsDB []float64, m Modulation) float64 {
 	if len(snrsDB) == 0 {
 		return math.Inf(-1)
 	}
@@ -129,7 +239,7 @@ func EffectiveSNRdB(snrsDB []float64, m Modulation) float64 {
 	for _, s := range snrsDB {
 		sum += BER(m, dbToLinear(s))
 	}
-	return linearToDB(invBER(m, sum/float64(len(snrsDB))))
+	return linearToDB(invBERBisect(m, sum/float64(len(snrsDB))))
 }
 
 // Snapshot is one CSI measurement taken from a received uplink frame: the

@@ -1,0 +1,93 @@
+package csi
+
+import (
+	"math"
+	"testing"
+
+	"wgtt/internal/rf"
+)
+
+// TestTableMatchesBisection pins the lookup-table ESNR pipeline to the
+// reference bisection within the ±0.001 dB-class tolerance the bisection
+// itself targeted.
+func TestTableMatchesBisection(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		for db := -10.0; db <= 45; db += 0.37 {
+			target := BER(m, dbToLinear(db))
+			if target <= 0 {
+				continue
+			}
+			got := linearToDB(invBER(m, target))
+			want := linearToDB(invBERBisect(m, target))
+			if math.Abs(got-want) > 0.005 {
+				t.Fatalf("%v invBER at %v dB: table %v, bisection %v", m, db, got, want)
+			}
+		}
+	}
+}
+
+// TestEffectiveSNRTableMatchesSlow pins the table-driven EffectiveSNRdB to
+// the direct computation on frequency-selective inputs.
+func TestEffectiveSNRTableMatchesSlow(t *testing.T) {
+	snrs := make([]float64, rf.NumSubcarriers)
+	for trial := 0; trial < 50; trial++ {
+		for i := range snrs {
+			// Deterministic pseudo-selective channel spanning −5..40 dB.
+			snrs[i] = 17 + 22*math.Sin(float64(trial)*0.7+float64(i)*0.41) - 5*math.Cos(float64(i)*1.3)
+		}
+		for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+			got := EffectiveSNRdB(snrs, m)
+			want := effectiveSNRdBSlow(snrs, m)
+			if math.Abs(got-want) > 0.01 {
+				t.Fatalf("%v trial %d: table ESNR %v, slow %v", m, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestEffectiveSNRSaturation covers the inverse's clamp paths.
+func TestEffectiveSNRSaturation(t *testing.T) {
+	snrs := make([]float64, rf.NumSubcarriers)
+	for i := range snrs {
+		snrs[i] = -35 // hopeless channel: BER at its max everywhere
+	}
+	if e := EffectiveSNRdB(snrs, QAM16); e > invBERLoDB+0.5 {
+		t.Errorf("hopeless channel ESNR = %v, want ≈%v", e, invBERLoDB)
+	}
+	for i := range snrs {
+		snrs[i] = 75 // BER underflows to exactly 0 everywhere
+	}
+	if e := EffectiveSNRdB(snrs, QAM16); e != invBERHiDB {
+		t.Errorf("perfect channel ESNR = %v, want %v", e, invBERHiDB)
+	}
+	// Out-of-range modulations fall back to the slow path.
+	if e := EffectiveSNRdB(snrs, Modulation(9)); math.IsNaN(e) {
+		t.Error("unknown modulation ESNR is NaN")
+	}
+}
+
+var sinkF float64
+
+func BenchmarkEffectiveSNRdB(b *testing.B) {
+	snrs := make([]float64, rf.NumSubcarriers)
+	for i := range snrs {
+		snrs[i] = 17 + 12*math.Sin(float64(i)*0.41)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = EffectiveSNRdB(snrs, QAM16)
+	}
+}
+
+func BenchmarkEffectiveSNRdBSlow(b *testing.B) {
+	snrs := make([]float64, rf.NumSubcarriers)
+	for i := range snrs {
+		snrs[i] = 17 + 12*math.Sin(float64(i)*0.41)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF = effectiveSNRdBSlow(snrs, QAM16)
+	}
+}

@@ -54,9 +54,21 @@ type tap struct {
 // factor K), spatially correlated with coherence distance ≈ λ/2, and the
 // delay spread across taps makes the response frequency-selective — the
 // property ESNR exists to capture.
+//
+// A Fader is NOT safe for concurrent use: Gains writes into a scratch
+// buffer owned by the Fader. Each simulation run builds its own network
+// (and hence its own Faders) from a per-run forked RNG, so the parallel
+// experiment runner never shares a Fader across goroutines.
 type Fader struct {
 	waveNumber float64 // 2π/λ
 	taps       []tap
+	// rot holds each tap's per-subcarrier delay rotation
+	// e^{−j2π f_i τ_l}, precomputed once in NewFader since tap delays
+	// never change: rot[l*NumSubcarriers+i].
+	rot []complex128
+	// tapGains is the per-call scratch for the taps' spatial gains,
+	// kept on the Fader so Gains is allocation-free.
+	tapGains []complex128
 }
 
 // FadingParams configures a Fader.
@@ -141,6 +153,15 @@ func NewFader(p FadingParams, rng *sim.RNG) *Fader {
 		t.amplScatter(scatter, p.NumWaves)
 		f.taps = append(f.taps, t)
 	}
+	f.rot = make([]complex128, len(f.taps)*NumSubcarriers)
+	for l := range f.taps {
+		for i := 0; i < NumSubcarriers; i++ {
+			ph := -2 * math.Pi * subcarrierOffsetHz(i) * f.taps[l].delaySec
+			s, c := math.Sincos(ph)
+			f.rot[l*NumSubcarriers+i] = complex(c, s)
+		}
+	}
+	f.tapGains = make([]complex128, len(f.taps))
 	return f
 }
 
@@ -171,22 +192,22 @@ func (t *tap) gain(k float64, pos Position) complex128 {
 // given client position. dst must have length NumSubcarriers. The mean
 // square of the gains over positions and realizations is 1, so large-scale
 // power is untouched on average.
+//
+// Gains reuses the Fader's scratch buffer and precomputed delay
+// rotations, so it performs no allocation; see the Fader doc comment for
+// the resulting (single-goroutine) ownership rule.
 func (f *Fader) Gains(pos Position, dst []complex128) {
 	if len(dst) != NumSubcarriers {
 		panic("rf: Gains dst must have NumSubcarriers elements")
 	}
 	// Evaluate each tap once, then rotate per subcarrier by its delay.
-	tapGains := make([]complex128, len(f.taps))
 	for l := range f.taps {
-		tapGains[l] = f.taps[l].gain(f.waveNumber, pos)
+		f.tapGains[l] = f.taps[l].gain(f.waveNumber, pos)
 	}
 	for i := range dst {
-		fi := subcarrierOffsetHz(i)
 		var sum complex128
 		for l := range f.taps {
-			ph := -2 * math.Pi * fi * f.taps[l].delaySec
-			s, c := math.Sincos(ph)
-			sum += tapGains[l] * complex(c, s)
+			sum += f.tapGains[l] * f.rot[l*NumSubcarriers+i]
 		}
 		dst[i] = sum
 	}

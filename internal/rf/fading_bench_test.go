@@ -1,0 +1,20 @@
+package rf
+
+import (
+	"testing"
+
+	"wgtt/internal/sim"
+)
+
+var gainsSink [NumSubcarriers]complex128
+
+func BenchmarkFaderGains(b *testing.B) {
+	f := NewFader(DefaultFadingParams(2.462e9), sim.NewRNG(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the position so the spatial sum is actually evaluated.
+		pos := Position{X: float64(i%512) * 0.01, Y: 1.5}
+		f.Gains(pos, gainsSink[:])
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !simcheck
+
+package sim
+
+// ownerCheckEnabled is false in normal builds; the guard code compiles
+// away entirely. Build with -tags simcheck to enable it.
+const ownerCheckEnabled = false
+
+func goid() uint64 { return 0 }

@@ -1,0 +1,31 @@
+//go:build simcheck
+
+package sim
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+)
+
+// ownerCheckEnabled gates the Loop goroutine-ownership guard. Build with
+// -tags simcheck (scripts/ci.sh does) to catch cross-goroutine misuse of a
+// Loop — e.g. an experiment closure captured by one run's network but
+// invoked from another worker of the parallel runner.
+const ownerCheckEnabled = true
+
+// goid returns the current goroutine's id by parsing the first line of the
+// runtime stack ("goroutine 18 [running]:"). It is far too slow for
+// production paths, which is exactly why the guard hides behind a build
+// tag.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, _ := strconv.ParseUint(string(s), 10, 64)
+	return id
+}

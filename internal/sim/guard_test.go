@@ -1,0 +1,50 @@
+//go:build simcheck
+
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOwnerGuardPanicsCrossGoroutine verifies that, under the simcheck
+// build tag, scheduling against a Loop mid-Run from a foreign goroutine
+// panics with an explanatory message.
+func TestOwnerGuardPanicsCrossGoroutine(t *testing.T) {
+	l := NewLoop()
+	got := make(chan any, 1)
+	l.After(Millisecond, func() {
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				got <- recover()
+				close(done)
+			}()
+			l.After(Millisecond, func() {})
+		}()
+		<-done
+	})
+	l.Run(Time(Second))
+	v := <-got
+	s, ok := v.(string)
+	if !ok || !strings.Contains(s, "single-goroutine") {
+		t.Fatalf("cross-goroutine At: recovered %v, want ownership panic", v)
+	}
+}
+
+// TestOwnerGuardAllowsOwner verifies the guard stays silent for the
+// legitimate patterns: scheduling before Run and from within callbacks.
+func TestOwnerGuardAllowsOwner(t *testing.T) {
+	l := NewLoop()
+	fired := 0
+	var ev *Event
+	l.After(Millisecond, func() {
+		fired++
+		ev = l.After(Millisecond, func() { fired++ })
+		l.Cancel(ev)
+	})
+	l.Run(Time(Second))
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1 (second canceled)", fired)
+	}
+}

@@ -53,12 +53,36 @@ func (h *eventHeap) Pop() any {
 
 // Loop is the discrete-event scheduler. The zero value is not usable; call
 // NewLoop.
+//
+// A Loop is single-goroutine: all scheduling must happen either before Run
+// or from within event callbacks on the goroutine executing Run. The
+// parallel experiment runner relies on this by giving every run its own
+// Loop. Builds tagged `simcheck` verify the rule at runtime and panic on
+// cross-goroutine At/Cancel calls.
 type Loop struct {
 	now     Time
 	events  eventHeap
 	nextSeq uint64
 	running bool
 	stopped bool
+	// owner is the id of the goroutine executing Run; only tracked when
+	// ownerCheckEnabled (build tag simcheck).
+	owner uint64
+}
+
+// checkOwner panics if the caller is scheduling against a Loop that is
+// mid-Run on a different goroutine. Compiled away unless the simcheck
+// build tag is set.
+func (l *Loop) checkOwner(op string) {
+	if !ownerCheckEnabled || !l.running {
+		return
+	}
+	if g := goid(); g != l.owner {
+		panic(fmt.Sprintf(
+			"sim: Loop.%s called from goroutine %d while Run executes on goroutine %d; "+
+				"a Loop is single-goroutine — each parallel run must own its Loop",
+			op, g, l.owner))
+	}
 }
 
 // NewLoop returns a scheduler positioned at virtual time zero.
@@ -73,6 +97,7 @@ func (l *Loop) Now() Time { return l.now }
 // it is always a logic error in a discrete-event model, and silently
 // clamping would hide causality bugs.
 func (l *Loop) At(t Time, fn func()) *Event {
+	l.checkOwner("At")
 	if t < l.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
 	}
@@ -90,6 +115,7 @@ func (l *Loop) After(d Duration, fn func()) *Event {
 // Cancel removes a pending event. Canceling an event that already fired or
 // was already canceled is a no-op, so callers can cancel unconditionally.
 func (l *Loop) Cancel(e *Event) {
+	l.checkOwner("Cancel")
 	if e == nil || e.index < 0 {
 		return
 	}
@@ -106,6 +132,9 @@ func (l *Loop) Run(until Time) {
 	}
 	l.running = true
 	l.stopped = false
+	if ownerCheckEnabled {
+		l.owner = goid()
+	}
 	defer func() { l.running = false }()
 	for len(l.events) > 0 && !l.stopped {
 		next := l.events[0]

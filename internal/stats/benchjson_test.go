@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: wgtt
+cpu: AMD EPYC
+BenchmarkMeanPerClientMbps
+BenchmarkMeanPerClientMbps-4   	       3	 412345678 ns/op	        21.50 Mbps	  123456 B/op	    7890 allocs/op
+BenchmarkEffectiveSNRdB       	 7345210	       158.8 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	wgtt	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(got), got)
+	}
+	r := got[0]
+	if r.Name != "BenchmarkMeanPerClientMbps" || r.Procs != 4 || r.Runs != 3 {
+		t.Errorf("first record header = %q/%d/%d", r.Name, r.Procs, r.Runs)
+	}
+	if r.NsPerOp != 412345678 || r.BytesPerOp != 123456 || r.AllocsPerOp != 7890 {
+		t.Errorf("first record values = %+v", r)
+	}
+	if r.Metrics["Mbps"] != 21.50 {
+		t.Errorf("custom metric Mbps = %v", r.Metrics["Mbps"])
+	}
+	r = got[1]
+	if r.Name != "BenchmarkEffectiveSNRdB" || r.Procs != 1 {
+		t.Errorf("second record header = %q/%d", r.Name, r.Procs)
+	}
+	if r.NsPerOp != 158.8 || r.AllocsPerOp != 0 {
+		t.Errorf("second record values = %+v", r)
+	}
+}
+
+func TestWriteBenchJSONRoundTrip(t *testing.T) {
+	in, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out []BenchResult
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}

@@ -1,0 +1,61 @@
+package wgtt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// render formats a result for bit-level comparison. %#v never calls
+// String(), prints floats in round-trip form, and renders NaN as a
+// stable token (reflect.DeepEqual would report NaN != NaN).
+func render(v fmt.Stringer) string {
+	return fmt.Sprintf("%#v", v)
+}
+
+// firstDiff returns a short window around the first differing byte, so a
+// parity failure on a large result (e.g. the fig10 heatmap) stays
+// readable.
+func firstDiff(a, b string) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	win := func(s string) string {
+		hi := i + 40
+		if hi > len(s) {
+			hi = len(s)
+		}
+		return s[lo:hi]
+	}
+	return fmt.Sprintf("at byte %d:\n  serial:   …%s…\n  parallel: …%s…", i, win(a), win(b))
+}
+
+// TestParallelSerialParity pins the tentpole guarantee: every figure the
+// parallel runner produces must be bit-identical to the serial runner's,
+// for several seeds. Quick variants keep the sweep bounded; they exercise
+// the same fan-out/reassembly path as the full figures.
+func TestParallelSerialParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every figure twice per seed")
+	}
+	for _, e := range Experiments() {
+		run := e.Quick
+		if run == nil {
+			run = e.Run
+		}
+		t.Run(e.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				serial := render(run(Options{Seed: seed, Serial: true}))
+				parallel := render(run(Options{Seed: seed, Workers: 4}))
+				if serial != parallel {
+					t.Errorf("seed %d: parallel result differs from serial\n%s",
+						seed, firstDiff(serial, parallel))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo gate: vet, build, race-test the concurrency-bearing packages,
+# then the full test suite (including the simcheck-tagged loop guard).
+# Run from the repo root: ./scripts/ci.sh
+set -eux
+
+go vet ./...
+go build ./...
+
+# The runner and the sim loop carry the concurrency invariants; shake
+# them under the race detector first.
+go test -race ./internal/runner/ ./internal/sim/
+
+# Loop owner-guard diagnostics only compile under the simcheck tag.
+go test -tags simcheck ./internal/sim/
+
+go test ./...
