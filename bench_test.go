@@ -164,6 +164,17 @@ func BenchmarkFig23APDensity(b *testing.B) {
 	}
 }
 
+// BenchmarkFig23APDensitySegmented isolates the multi-segment column of
+// Fig 23: the same 15 mph ride across a dense 7.5 m segment trunked to a
+// sparse 15 m segment, each with its own controller, so the measurement
+// includes one cross-segment controller handoff per drive.
+func BenchmarkFig23APDensitySegmented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := Fig23APDensity(benchOpts(i), []float64{15})
+		b.ReportMetric(r.SegmentedMbps[0], "segmented_Mbps")
+	}
+}
+
 func BenchmarkTable4VideoRebuffer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := Table4VideoRebuffer(benchOpts(i), []float64{5, 20})

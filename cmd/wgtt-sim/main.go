@@ -4,15 +4,42 @@
 //
 //	wgtt-sim -scheme wgtt -mph 15 -clients 1 -workload udp -rate 30
 //	wgtt-sim -scheme 11r -mph 25 -workload tcp -series
+//	wgtt-sim -segments 8x7.5,8x7.5,8x7.5 -mph 25 -workload tcp
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"wgtt"
 )
+
+// parseSegments parses the -segments syntax: comma-separated NUMxSPACING
+// entries ("8x7.5,4x15"); a bare NUM inherits the default AP spacing.
+func parseSegments(s string) ([]wgtt.SegmentSpec, error) {
+	var specs []wgtt.SegmentSpec
+	for _, part := range strings.Split(s, ",") {
+		var spec wgtt.SegmentSpec
+		num, spacing, found := strings.Cut(part, "x")
+		n, err := strconv.Atoi(strings.TrimSpace(num))
+		if err != nil {
+			return nil, fmt.Errorf("bad segment %q: %v", part, err)
+		}
+		spec.NumAPs = n
+		if found {
+			sp, err := strconv.ParseFloat(strings.TrimSpace(spacing), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad segment %q: %v", part, err)
+			}
+			spec.APSpacing = sp
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
 
 func main() {
 	var (
@@ -22,27 +49,33 @@ func main() {
 		workloadN  = flag.String("workload", "udp", "udp | tcp | video | web | conference")
 		rate       = flag.Float64("rate", 30, "UDP offered load, Mbit/s")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		segments   = flag.String("segments", "", "multi-segment roadway, e.g. 8x7.5,4x15 (NUMxSPACING per segment)")
 		series     = flag.Bool("series", false, "print 100 ms throughput series for client 0")
 		traceN     = flag.Int("trace", 0, "dump the last N switch-protocol events (tcpdump-style)")
 	)
 	flag.Parse()
 
-	var scheme wgtt.Scheme
-	switch *schemeName {
-	case "wgtt":
-		scheme = wgtt.SchemeWGTT
-	case "11r":
-		scheme = wgtt.SchemeEnhanced80211r
-	case "stock11r":
-		scheme = wgtt.SchemeStock80211r
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *schemeName)
+	scheme, err := wgtt.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	cfg := wgtt.DefaultConfig(scheme)
 	cfg.Seed = *seed
 	cfg.TraceCapacity = *traceN
+	if *segments != "" {
+		specs, err := parseSegments(*segments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Segments = specs
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	n := wgtt.NewNetwork(cfg)
 	lo, hi := cfg.RoadSpanX()
 
@@ -117,8 +150,19 @@ func main() {
 			cf.FPSSamples.Quantile(0.5), cf.FPSSamples.Quantile(0.85))
 	}
 	if scheme == wgtt.SchemeWGTT {
+		var issued, acked, dups, exported, imported int
+		for _, ctrl := range n.Controllers() {
+			issued += ctrl.SwitchesIssued
+			acked += ctrl.SwitchesAcked
+			dups += ctrl.UplinkDuplicates
+			exported += ctrl.HandoffsExported
+			imported += ctrl.HandoffsImported
+		}
 		fmt.Printf("\nswitches: %d issued, %d completed; uplink dups removed: %d\n",
-			n.Ctrl.SwitchesIssued, n.Ctrl.SwitchesAcked, n.Ctrl.UplinkDuplicates)
+			issued, acked, dups)
+		if len(n.Controllers()) > 1 {
+			fmt.Printf("cross-segment handoffs: %d exported, %d imported\n", exported, imported)
+		}
 	}
 	if *traceN > 0 && n.Trace != nil {
 		fmt.Println("\nevent trace (most recent):")

@@ -92,7 +92,7 @@ type Fig4Result struct {
 func Fig4RoamingFailure(opt Options) Fig4Result {
 	res := Fig4Result{SpeedsMPH: []float64{20, 5}}
 	type outcome struct {
-		handover           bool
+		handover             bool
 		delivered, potential float64
 	}
 	jobs := make([]func() outcome, len(res.SpeedsMPH))
@@ -441,13 +441,17 @@ func (r Fig22Result) String() string {
 		[]string{"hysteresis ms", "TCP Mb/s", "switches"}, rows)
 }
 
-// Fig23Result reproduces the AP-density comparison.
+// Fig23Result reproduces the AP-density comparison, extended with a
+// segmented deployment: a dense town-center segment chained to a sparse
+// outskirts segment, each behind its own controller, with the client
+// handed off between them mid-ride.
 type Fig23Result struct {
-	SpeedsMPH    []float64
-	DenseMbps    []float64 // 7.5 m spacing
-	SparseMbps   []float64 // 15 m spacing
-	DenseSpacing float64
-	SparseSpace  float64
+	SpeedsMPH     []float64
+	DenseMbps     []float64 // 7.5 m spacing
+	SparseMbps    []float64 // 15 m spacing
+	SegmentedMbps []float64 // dense 7.5 m segment -> sparse 15 m segment
+	DenseSpacing  float64
+	SparseSpace   float64
 }
 
 // Fig23APDensity measures UDP throughput across speeds in a dense and a
@@ -457,11 +461,11 @@ func Fig23APDensity(opt Options, speeds []float64) Fig23Result {
 		speeds = []float64{5, 15, 25}
 	}
 	res := Fig23Result{SpeedsMPH: speeds, DenseSpacing: 7.5, SparseSpace: 15}
-	run := func(spacing float64, mph float64) float64 {
+	run := func(mutate func(*Config), mph float64) float64 {
 		n := buildNetwork(SchemeWGTT, Options{
 			Seed: opt.Seed,
 			Mutate: func(c *Config) {
-				c.APSpacing = spacing
+				mutate(c)
 				if opt.Mutate != nil {
 					opt.Mutate(c)
 				}
@@ -474,16 +478,27 @@ func Fig23APDensity(opt Options, speeds []float64) Fig23Result {
 		n.Run(dur)
 		return f.Mbps(n.Loop.Now())
 	}
-	jobs := make([]func() float64, 0, 2*len(speeds))
+	uniform := func(spacing float64) func(*Config) {
+		return func(c *Config) { c.APSpacing = spacing }
+	}
+	segmented := func(c *Config) {
+		c.Segments = []SegmentSpec{
+			{NumAPs: c.NumAPs, APSpacing: res.DenseSpacing},
+			{NumAPs: c.NumAPs, APSpacing: res.SparseSpace},
+		}
+	}
+	jobs := make([]func() float64, 0, 3*len(speeds))
 	for _, mph := range speeds {
 		jobs = append(jobs,
-			func() float64 { return run(res.DenseSpacing, mph) },
-			func() float64 { return run(res.SparseSpace, mph) })
+			func() float64 { return run(uniform(res.DenseSpacing), mph) },
+			func() float64 { return run(uniform(res.SparseSpace), mph) },
+			func() float64 { return run(segmented, mph) })
 	}
 	out := runAll(opt, jobs)
 	for i := range speeds {
-		res.DenseMbps = append(res.DenseMbps, out[2*i])
-		res.SparseMbps = append(res.SparseMbps, out[2*i+1])
+		res.DenseMbps = append(res.DenseMbps, out[3*i])
+		res.SparseMbps = append(res.SparseMbps, out[3*i+1])
+		res.SegmentedMbps = append(res.SegmentedMbps, out[3*i+2])
 	}
 	return res
 }
@@ -492,10 +507,11 @@ func Fig23APDensity(opt Options, speeds []float64) Fig23Result {
 func (r Fig23Result) String() string {
 	rows := make([][]string, len(r.SpeedsMPH))
 	for i := range r.SpeedsMPH {
-		rows[i] = []string{f1(r.SpeedsMPH[i]), f1(r.DenseMbps[i]), f1(r.SparseMbps[i])}
+		rows[i] = []string{f1(r.SpeedsMPH[i]), f1(r.DenseMbps[i]), f1(r.SparseMbps[i]),
+			f1(r.SegmentedMbps[i])}
 	}
 	return "Fig 23 — UDP throughput vs AP density (Mbit/s)\n" + fmtTable(
-		[]string{"mph", "dense 7.5 m", "sparse 15 m"}, rows)
+		[]string{"mph", "dense 7.5 m", "sparse 15 m", "dense+sparse segments"}, rows)
 }
 
 // mean of a slice.

@@ -1,0 +1,42 @@
+package wgtt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// goldenFig13 and goldenFig23 pin the headline figures, rendered with
+// %#v for bit-level float round-tripping, at 15 mph for seeds 1–3.
+// The multi-segment deployment refactor routes every single-segment
+// experiment through deploy.New, and these values guard that path: any
+// change to geometry resolution, RNG fork order, node numbering, or the
+// switching protocol that perturbs a single bit of a figure fails here.
+var goldenFig13 = map[int64]string{
+	1: `wgtt.Fig13Result{SpeedsMPH:[]float64{15}, WGTTTCP:[]float64{15.012046515093783}, WGTTUDP:[]float64{19.45795295118249}, BaselineTCP:[]float64{4.140686838514366}, BaselineUDP:[]float64{4.51631235833483}}`,
+	2: `wgtt.Fig13Result{SpeedsMPH:[]float64{15}, WGTTTCP:[]float64{12.811631984380487}, WGTTUDP:[]float64{20.463419614238457}, BaselineTCP:[]float64{4.249307811023623}, BaselineUDP:[]float64{7.88448055666783}}`,
+	3: `wgtt.Fig13Result{SpeedsMPH:[]float64{15}, WGTTTCP:[]float64{13.823179770809068}, WGTTUDP:[]float64{20.787346114863627}, BaselineTCP:[]float64{3.712152094815453}, BaselineUDP:[]float64{4.135909955976324}}`,
+}
+
+var goldenFig23 = map[int64]string{
+	1: `wgtt.Fig23Result{SpeedsMPH:[]float64{15}, DenseMbps:[]float64{19.45795295118249}, SparseMbps:[]float64{17.33034617526013}, SegmentedMbps:[]float64{17.414766142051548}, DenseSpacing:7.5, SparseSpace:15}`,
+	2: `wgtt.Fig23Result{SpeedsMPH:[]float64{15}, DenseMbps:[]float64{20.463419614238457}, SparseMbps:[]float64{18.77728909298629}, SegmentedMbps:[]float64{18.236006739287507}, DenseSpacing:7.5, SparseSpace:15}`,
+	3: `wgtt.Fig23Result{SpeedsMPH:[]float64{15}, DenseMbps:[]float64{20.787346114863627}, SparseMbps:[]float64{20.038087561858852}, SegmentedMbps:[]float64{19.106770915058256}, DenseSpacing:7.5, SparseSpace:15}`,
+}
+
+func TestGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several end-to-end rides per seed")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if got := render(Fig13ThroughputVsSpeed(Options{Seed: seed}, []float64{15})); got != goldenFig13[seed] {
+				t.Errorf("fig13 drifted\n%s", firstDiffLabeled("want", "got", goldenFig13[seed], got))
+			}
+			if got := render(Fig23APDensity(Options{Seed: seed}, []float64{15})); got != goldenFig23[seed] {
+				t.Errorf("fig23 drifted\n%s", firstDiffLabeled("want", "got", goldenFig23[seed], got))
+			}
+		})
+	}
+}

@@ -120,7 +120,7 @@ func meanPerClientMbps(scheme Scheme, opt Options, trajs []Trajectory, dur Durat
 func potentialMbps(n *Network, clientID int, samples *[]float64) func() {
 	return func() {
 		best := 0.0
-		for ap := 0; ap < n.Cfg.NumAPs; ap++ {
+		for ap := 0; ap < n.TotalAPs(); ap++ {
 			esnr := n.LinkESNRdB(ap, clientID)
 			r := phy.BestRateFor(esnr, 0)
 			if esnr < phy.Rates[0].ThresholdDB {

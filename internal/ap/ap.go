@@ -237,6 +237,30 @@ func (a *AP) onStop(m *packet.Stop) {
 	}
 	a.loop.After(delay, func() {
 		k := cs.cyclic.Head()
+		if m.NewAPID == packet.RemoteAPID {
+			// The successor AP is in another segment: report start(c,k)
+			// to our controller for trunk forwarding, then drain the
+			// remaining backlog up the backhaul so the next segment's
+			// APs can buffer it. The Start rides the control class and
+			// overtakes the drained data frames.
+			a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "start #%d k=%d -> remote", m.SwitchID, k)
+			a.bh.Send(a.self, a.fabric.Controller(), &packet.Start{
+				Client:   m.Client,
+				Index:    k,
+				SwitchID: m.SwitchID,
+			})
+			for {
+				p, ok := cs.cyclic.Pop()
+				if !ok {
+					break
+				}
+				a.bh.Send(a.self, a.fabric.Controller(), &packet.DownlinkData{
+					Client: m.Client,
+					Inner:  p,
+				})
+			}
+			return
+		}
 		a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "start #%d k=%d -> ap%d", m.SwitchID, k, m.NewAPID)
 		a.bh.Send(a.self, a.fabric.APNode(m.NewAPID), &packet.Start{
 			Client:   m.Client,

@@ -74,7 +74,7 @@ func newRig(t *testing.T, numAPs int) *rig {
 	r.bh = backhaul.New(r.loop, backhaul.DefaultConfig())
 	r.ch = &flatChannel{snr: 30}
 	r.medium = mac.NewMedium(r.loop, r.ch, sim.NewRNG(7))
-	r.bridge = NewBridge(r.loop, r.bh, nodeBridge, fakeFabric{}, nodeServer, numAPs)
+	r.bridge = NewBridge(r.loop, r.bh, nodeBridge, fakeFabric{}, nodeServer, 0, numAPs)
 	r.bh.AddNode(nodeServer, func(_ backhaul.NodeID, m packet.Message) {
 		r.server = append(r.server, m)
 	})

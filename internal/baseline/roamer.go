@@ -274,36 +274,60 @@ type Bridge struct {
 	self   backhaul.NodeID
 	fabric Fabric
 	server backhaul.NodeID
+	apBase int // global id of this segment's first AP
 	numAPs int
+	peers  []Peer
 
 	assoc   map[packet.MAC]uint16
 	ipToMAC map[packet.IP]packet.MAC
+	macToIP map[packet.MAC]packet.IP
 
 	// Stats.
 	DownlinkPackets int
 	UplinkPackets   int
 	NoRoutePackets  int
+	// Cross-segment re-association stats.
+	HandoffClaims    int // claims sent toward the previous segment
+	HandoffTransfers int // wired state received from a neighbour
 }
 
-// NewBridge creates the baseline bridge at backhaul node self.
-func NewBridge(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, server backhaul.NodeID, numAPs int) *Bridge {
+// Peer is the sending half of a trunk toward an adjacent segment's
+// bridge.
+type Peer interface {
+	Deliver(msg packet.Message)
+}
+
+// NewBridge creates the baseline bridge at backhaul node self. apBase is
+// the global deployment id of this segment's first AP (0 when the
+// deployment is a single segment).
+func NewBridge(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, server backhaul.NodeID, apBase, numAPs int) *Bridge {
 	b := &Bridge{
 		loop:    loop,
 		bh:      bh,
 		self:    self,
 		fabric:  fabric,
 		server:  server,
+		apBase:  apBase,
 		numAPs:  numAPs,
 		assoc:   make(map[packet.MAC]uint16),
 		ipToMAC: make(map[packet.IP]packet.MAC),
+		macToIP: make(map[packet.MAC]packet.IP),
 	}
 	bh.AddNode(self, b.OnBackhaul)
 	return b
 }
 
+// ConnectPeer attaches a trunk toward an adjacent segment's bridge and
+// returns its peer index.
+func (b *Bridge) ConnectPeer(p Peer) int {
+	b.peers = append(b.peers, p)
+	return len(b.peers) - 1
+}
+
 // RegisterClient announces client addressing.
 func (b *Bridge) RegisterClient(addr packet.MAC, ip packet.IP) {
 	b.ipToMAC[ip] = addr
+	b.macToIP[addr] = ip
 }
 
 // AssociatedAP reports the AP id the client is attached to (-1 none).
@@ -322,14 +346,31 @@ func (b *Bridge) OnBackhaul(from backhaul.NodeID, msg packet.Message) {
 		b.assoc[m.Client] = m.AID - 1
 		if !m.IP.IsZero() {
 			b.ipToMAC[m.IP] = m.Client
+			b.macToIP[m.Client] = m.IP
 		}
 		// Replicate to every other AP so the previous one releases
 		// the client.
-		for id := 0; id < b.numAPs; id++ {
+		for id := b.apBase; id < b.apBase+b.numAPs; id++ {
 			if uint16(id) == m.AID-1 {
 				continue
 			}
 			b.bh.Send(b.self, b.fabric.APNode(uint16(id)), m)
+		}
+		// A reassociation by a client whose wired state we don't hold:
+		// it roamed in from an adjacent segment — claim its IP binding
+		// from the previous bridge.
+		if _, known := b.macToIP[m.Client]; !known && len(b.peers) > 0 {
+			b.HandoffClaims++
+			for _, p := range b.peers {
+				p.Deliver(&packet.Handoff{Kind: packet.HandoffBridgeClaim, Client: m.Client})
+			}
+		}
+	case *packet.ReassocRelay:
+		// An over-the-DS fast transition whose target AP lives in
+		// another segment: relay across the trunks; the owning bridge
+		// delivers it.
+		for _, p := range b.peers {
+			p.Deliver(m)
 		}
 	case *packet.UplinkData:
 		b.UplinkPackets++
@@ -337,6 +378,59 @@ func (b *Bridge) OnBackhaul(from backhaul.NodeID, msg packet.Message) {
 	case *packet.ServerData:
 		b.Downlink(m.Inner)
 	}
+}
+
+// OnTrunk handles traffic from the adjacent bridge at peer index `peer`.
+func (b *Bridge) OnTrunk(peer int, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.Handoff:
+		switch m.Kind {
+		case packet.HandoffBridgeClaim:
+			b.onBridgeClaim(peer, m)
+		case packet.HandoffBridgeTransfer:
+			b.onBridgeTransfer(m)
+		}
+	case *packet.ReassocRelay:
+		if int(m.TargetAPID) >= b.apBase && int(m.TargetAPID) < b.apBase+b.numAPs {
+			b.bh.Send(b.self, b.fabric.APNode(m.TargetAPID), m)
+		}
+	}
+}
+
+// onBridgeClaim releases a client that reassociated onto the claiming
+// segment and transfers its IP binding.
+func (b *Bridge) onBridgeClaim(peer int, m *packet.Handoff) {
+	ip, known := b.macToIP[m.Client]
+	if !known {
+		return // not ours — some other neighbour owns it
+	}
+	delete(b.assoc, m.Client)
+	delete(b.macToIP, m.Client)
+	// AID 0 mismatches every local AP, so all of them release the
+	// client and drop its stale backlog.
+	for id := b.apBase; id < b.apBase+b.numAPs; id++ {
+		b.bh.Send(b.self, b.fabric.APNode(uint16(id)), &packet.AssocState{
+			Client: m.Client, State: packet.StateAssociated,
+		})
+	}
+	b.peers[peer].Deliver(&packet.Handoff{
+		Kind: packet.HandoffBridgeTransfer, Client: m.Client, IP: ip,
+	})
+}
+
+// onBridgeTransfer installs the IP binding handed over by the previous
+// segment's bridge and updates the wired server's route.
+func (b *Bridge) onBridgeTransfer(m *packet.Handoff) {
+	b.ipToMAC[m.IP] = m.Client
+	b.macToIP[m.Client] = m.IP
+	b.HandoffTransfers++
+	apID, ok := b.assoc[m.Client]
+	if !ok {
+		return // released again before the transfer landed
+	}
+	b.bh.Send(b.self, b.server, &packet.AssocState{
+		Client: m.Client, IP: m.IP, AID: apID + 1, State: packet.StateAssociated,
+	})
 }
 
 // Downlink forwards one wired packet toward the client's AP.

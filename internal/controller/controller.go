@@ -52,48 +52,77 @@ type Config struct {
 	Policy SelectPolicy
 	// Dedup enables uplink de-duplication (§3.2.3; ablation knob).
 	Dedup bool
+	// ClaimThresholdDB is the minimum median ESNR at which a controller
+	// that does not own a client asks the owner to hand it over
+	// (cross-segment handoff). Only consulted when trunks are connected.
+	ClaimThresholdDB float64
 }
 
 // DefaultConfig returns the paper's controller settings.
 func DefaultConfig() Config {
 	return Config{
-		Window:         10 * sim.Millisecond,
-		Hysteresis:     40 * sim.Millisecond,
-		StopTimeout:    30 * sim.Millisecond,
-		SettleDelay:    1 * sim.Millisecond,
-		SwitchMarginDB: 2,
-		MaxStopRetries: 10,
-		Policy:         SelectMedian,
-		Dedup:          true,
+		Window:           10 * sim.Millisecond,
+		Hysteresis:       40 * sim.Millisecond,
+		StopTimeout:      30 * sim.Millisecond,
+		SettleDelay:      1 * sim.Millisecond,
+		SwitchMarginDB:   2,
+		MaxStopRetries:   10,
+		Policy:           SelectMedian,
+		Dedup:            true,
+		ClaimThresholdDB: 5,
 	}
 }
 
-// Fabric resolves backhaul identities for the controller.
+// Fabric resolves backhaul identities for the controller. AP ids are
+// global deployment ids; the fabric maps them onto this segment's
+// backhaul (ids outside the segment resolve to an unattached node, which
+// the backhaul silently drops).
 type Fabric interface {
 	APNode(apID uint16) backhaul.NodeID
 	Server() backhaul.NodeID
+}
+
+// Peer is the sending half of a point-to-point trunk toward an adjacent
+// segment's controller. Deliveries are reliable, FIFO, and delayed by
+// the trunk's serialization + propagation model.
+type Peer interface {
+	Deliver(msg packet.Message)
 }
 
 type switchState struct {
 	id      uint32
 	from    int // -1 when adopting a client with no serving AP
 	to      int
+	remote  int // peer index for a cross-segment handoff, -1 local
 	retries int
 	timer   *sim.Event
 	issued  sim.Time
+	held    []packet.Packet // downlink held unstamped during a remote stop
 }
 
 type clientState struct {
 	addr        packet.MAC
+	ip          packet.IP
 	windows     []*csi.Window
 	lastSeen    []sim.Time
 	haveSeen    []bool
-	serving     int // AP id, -1 = none
+	serving     int // local AP index, -1 = none
 	nextIndex   uint16
 	sw          *switchState
 	lastInit    sim.Time
 	everInit    bool
 	evalPending bool
+	// Cross-segment state. owned marks this controller as the client's
+	// home; states created purely from overheard CSI in a multi-segment
+	// deployment stay unowned until an export arrives.
+	owned      bool
+	exportedTo int // peer index after export, -1 otherwise
+	adoptAt    uint16
+	hasAdoptAt bool
+	lastClaim  sim.Time
+	everClaim  bool
+	importedAt sim.Time
+	everImport bool
 }
 
 // Controller is the WGTT controller.
@@ -104,6 +133,8 @@ type Controller struct {
 	fabric Fabric
 	cfg    Config
 	numAPs int
+	apBase int // global id of this segment's first AP
+	peers  []Peer
 
 	// Trace, when set, receives switch-protocol events.
 	Trace *trace.Log
@@ -125,11 +156,18 @@ type Controller struct {
 	UplinkDuplicates int
 	DownlinkFanout   int // DownlinkData messages emitted
 	DownlinkPackets  int // distinct packets admitted
+	// Cross-segment handoff stats.
+	HandoffClaims    int // claims sent toward adjacent owners
+	HandoffsExported int // clients handed to an adjacent segment
+	HandoffsImported int // clients adopted from an adjacent segment
 }
 
 // New creates the controller and attaches it to the backhaul at node
-// self.
-func New(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, numAPs int, cfg Config) *Controller {
+// self. apBase is the global deployment id of this segment's first AP
+// (0 for a single-segment deployment); the controller's internal state
+// is indexed by local AP position, with translation at every message
+// boundary.
+func New(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, apBase, numAPs int, cfg Config) *Controller {
 	c := &Controller{
 		loop:    loop,
 		bh:      bh,
@@ -137,6 +175,7 @@ func New(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, 
 		fabric:  fabric,
 		cfg:     cfg,
 		numAPs:  numAPs,
+		apBase:  apBase,
 		clients: make(map[packet.MAC]*clientState),
 		ipToMAC: make(map[packet.IP]packet.MAC),
 		dedup:   make(map[packet.DedupKey]bool),
@@ -145,20 +184,44 @@ func New(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, 
 	return c
 }
 
+// ConnectPeer attaches the sending half of a trunk toward an adjacent
+// segment's controller and returns its peer index. Incoming trunk
+// traffic is delivered by the remote side via OnTrunk with that index.
+func (c *Controller) ConnectPeer(p Peer) int {
+	c.peers = append(c.peers, p)
+	return len(c.peers) - 1
+}
+
 // RegisterClient announces a client's addressing before any CSI arrives
 // (association time), so downlink packets can be routed to its MAC.
 func (c *Controller) RegisterClient(addr packet.MAC, ip packet.IP) {
-	c.stateFor(addr)
+	cs := c.stateFor(addr)
+	cs.owned = true
+	cs.ip = ip
 	c.ipToMAC[ip] = addr
 }
 
-// ServingAP reports which AP currently serves the client (-1 none).
+// ServingAP reports which AP currently serves the client as a global
+// deployment id (-1 none).
 func (c *Controller) ServingAP(addr packet.MAC) int {
 	cs := c.clients[addr]
-	if cs == nil {
+	if cs == nil || cs.serving < 0 {
 		return -1
 	}
-	return cs.serving
+	return c.apBase + cs.serving
+}
+
+// Owns reports whether this controller is the client's home.
+func (c *Controller) Owns(addr packet.MAC) bool {
+	cs := c.clients[addr]
+	return cs != nil && cs.owned
+}
+
+// SwitchPending reports whether a switch (local or cross-segment) is in
+// flight for the client.
+func (c *Controller) SwitchPending(addr packet.MAC) bool {
+	cs := c.clients[addr]
+	return cs != nil && cs.sw != nil
 }
 
 func (c *Controller) stateFor(addr packet.MAC) *clientState {
@@ -170,6 +233,11 @@ func (c *Controller) stateFor(addr packet.MAC) *clientState {
 			lastSeen: make([]sim.Time, c.numAPs),
 			haveSeen: make([]bool, c.numAPs),
 			serving:  -1,
+			// Without trunks every overheard client is ours (the
+			// single-controller deployment); with trunks, ownership
+			// arrives only by registration or import.
+			owned:      len(c.peers) == 0,
+			exportedTo: -1,
 		}
 		for i := range cs.windows {
 			cs.windows[i] = csi.NewWindow(c.cfg.Window)
@@ -192,20 +260,27 @@ func (c *Controller) OnBackhaul(from backhaul.NodeID, msg packet.Message) {
 		c.Downlink(m.Inner)
 	case *packet.AssocState:
 		c.RegisterClient(m.Client, m.IP)
+	case *packet.Start:
+		c.onHandoffStart(m)
+	case *packet.DownlinkData:
+		c.onReturnedBacklog(m)
 	}
 }
 
 // onCSI folds a CSI report into the client's per-AP window and re-runs AP
-// selection.
+// selection. Report AP ids are global; reports from APs outside this
+// segment are impossible (each AP reports to its own controller), but
+// the range guard stays as a defensive boundary.
 func (c *Controller) onCSI(m *packet.CSIReport) {
-	if int(m.APID) >= c.numAPs {
+	local := int(m.APID) - c.apBase
+	if local < 0 || local >= c.numAPs {
 		return
 	}
 	cs := c.stateFor(m.Client)
 	esnr := csi.EffectiveSNRdB(m.SNRsDB[:], csi.RefModulation)
-	cs.windows[m.APID].Add(m.Time, esnr)
-	cs.lastSeen[m.APID] = c.loop.Now()
-	cs.haveSeen[m.APID] = true
+	cs.windows[local].Add(m.Time, esnr)
+	cs.lastSeen[local] = c.loop.Now()
+	cs.haveSeen[local] = true
 	if c.cfg.SettleDelay <= 0 {
 		c.maybeSwitch(cs)
 		return
@@ -243,6 +318,12 @@ func (c *Controller) maybeSwitch(cs *clientState) {
 	if cs.sw != nil {
 		return // §3.1.2 footnote: one switch at a time
 	}
+	if !cs.owned {
+		// Not ours: instead of adopting locally, ask the neighbour that
+		// owns the client to hand it over.
+		c.maybeClaim(cs)
+		return
+	}
 	best, bestScore, any := -1, 0.0, false
 	for ap := 0; ap < c.numAPs; ap++ {
 		s, ok := c.score(cs, ap)
@@ -271,31 +352,56 @@ func (c *Controller) maybeSwitch(cs *clientState) {
 // `to`.
 func (c *Controller) issueSwitch(cs *clientState, to int) {
 	c.switchID++
-	sw := &switchState{id: c.switchID, from: cs.serving, to: to, issued: c.loop.Now()}
+	sw := &switchState{id: c.switchID, from: cs.serving, to: to, remote: -1, issued: c.loop.Now()}
 	cs.sw = sw
 	cs.lastInit = c.loop.Now()
 	cs.everInit = true
 	c.SwitchesIssued++
-	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "issue #%d %s ap%d->ap%d", sw.id, cs.addr, sw.from, sw.to)
+	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "issue #%d %s ap%d->ap%d",
+		sw.id, cs.addr, c.traceAP(sw.from), c.traceAP(sw.to))
 	c.sendStop(cs, sw)
 }
 
+// traceAP renders a local AP index as its global id for trace lines (-1
+// stays -1).
+func (c *Controller) traceAP(local int) int {
+	if local < 0 {
+		return local
+	}
+	return c.apBase + local
+}
+
 // sendStop transmits the protocol's first step — or, for a client with no
-// serving AP yet, skips straight to start(c, k).
+// serving AP yet, skips straight to start(c, k). A cross-segment handoff
+// uses the RemoteAPID sentinel so the stopped AP returns start(c,k) to us
+// instead of a local peer.
 func (c *Controller) sendStop(cs *clientState, sw *switchState) {
-	if sw.from < 0 {
-		// Initial adoption: no old AP holds a backlog; tell the new
-		// AP to begin at the next index the controller will assign.
-		c.bh.Send(c.self, c.fabric.APNode(uint16(sw.to)), &packet.Start{
+	switch {
+	case sw.remote >= 0:
+		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+sw.from)), &packet.Stop{
 			Client:   cs.addr,
-			Index:    cs.nextIndex,
+			NewAPID:  packet.RemoteAPID,
 			SwitchID: sw.id,
 		})
-	} else {
-		c.bh.Send(c.self, c.fabric.APNode(uint16(sw.from)), &packet.Stop{
+	case sw.from < 0:
+		// Initial adoption: no old AP holds a backlog; tell the new
+		// AP to begin at the next index the controller will assign —
+		// or, after an import, at the index the previous segment's
+		// serving AP stopped at.
+		idx := cs.nextIndex
+		if cs.hasAdoptAt {
+			idx = cs.adoptAt
+		}
+		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+sw.to)), &packet.Start{
 			Client:   cs.addr,
-			NewAP:    packet.APMAC(sw.to),
-			NewAPID:  uint16(sw.to),
+			Index:    idx,
+			SwitchID: sw.id,
+		})
+	default:
+		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+sw.from)), &packet.Stop{
+			Client:   cs.addr,
+			NewAP:    packet.APMAC(c.apBase + sw.to),
+			NewAPID:  uint16(c.apBase + sw.to),
 			SwitchID: sw.id,
 		})
 	}
@@ -310,6 +416,11 @@ func (c *Controller) stopTimeout(cs *clientState, sw *switchState) {
 	}
 	if sw.retries >= c.cfg.MaxStopRetries {
 		cs.sw = nil
+		// An abandoned cross-segment handoff re-admits the downlink
+		// packets held while the stop was in flight.
+		for _, p := range sw.held {
+			c.Downlink(p)
+		}
 		return
 	}
 	sw.retries++
@@ -325,7 +436,8 @@ func (c *Controller) onSwitchAck(m *packet.SwitchAck) {
 		return // stale ack from a retransmitted round
 	}
 	c.loop.Cancel(sw.timer)
-	cs.serving = int(m.APID)
+	cs.serving = int(m.APID) - c.apBase
+	cs.hasAdoptAt = false
 	cs.sw = nil
 	c.SwitchesAcked++
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "ack #%d now ap%d", sw.id, m.APID)
@@ -338,29 +450,217 @@ func (c *Controller) onSwitchAck(m *packet.SwitchAck) {
 
 // Downlink admits one packet from the wired side: stamp the index and fan
 // out to every candidate AP (those that heard the client within the
-// selection window, plus the serving AP).
+// selection window, plus the serving AP). Packets for a client exported
+// to a neighbour are forwarded unstamped over the trunk (the wired
+// server's route update races the export); packets arriving while a
+// cross-segment stop is in flight are held so the importer stamps them.
 func (c *Controller) Downlink(p packet.Packet) {
 	addr, ok := c.ipToMAC[p.Dst]
 	if !ok {
 		return // unknown destination
 	}
 	cs := c.stateFor(addr)
+	if !cs.owned {
+		if cs.exportedTo >= 0 {
+			c.peers[cs.exportedTo].Deliver(&packet.ServerData{Inner: p})
+		}
+		return
+	}
+	if cs.sw != nil && cs.sw.remote >= 0 {
+		if len(cs.sw.held) < heldCap {
+			cs.sw.held = append(cs.sw.held, p)
+		}
+		return
+	}
 	p.Index = cs.nextIndex
 	cs.nextIndex = (cs.nextIndex + 1) & (packet.IndexMod - 1)
 	c.DownlinkPackets++
+	c.fanOut(cs, p)
+}
 
+// fanOut replicates one stamped packet to the candidate APs.
+func (c *Controller) fanOut(cs *clientState, p packet.Packet) {
 	now := c.loop.Now()
-	for apID := 0; apID < c.numAPs; apID++ {
-		fresh := cs.haveSeen[apID] && now.Sub(cs.lastSeen[apID]) <= c.cfg.Window
-		if !fresh && apID != cs.serving {
+	for ap := 0; ap < c.numAPs; ap++ {
+		fresh := cs.haveSeen[ap] && now.Sub(cs.lastSeen[ap]) <= c.cfg.Window
+		if !fresh && ap != cs.serving {
 			continue
 		}
 		c.DownlinkFanout++
-		c.bh.Send(c.self, c.fabric.APNode(uint16(apID)), &packet.DownlinkData{
-			Client: addr,
+		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+ap)), &packet.DownlinkData{
+			Client: cs.addr,
 			Inner:  p,
 		})
 	}
+}
+
+// heldCap bounds the packets held during a cross-segment stop; beyond it
+// the transport's own loss recovery takes over.
+const heldCap = 1024
+
+// maybeClaim asks the owning neighbour for a client this controller
+// hears convincingly. Claims are rate-limited by the switch hysteresis
+// and broadcast to all trunks — only the owner reacts.
+func (c *Controller) maybeClaim(cs *clientState) {
+	if len(c.peers) == 0 || cs.exportedTo >= 0 {
+		return
+	}
+	now := c.loop.Now()
+	if cs.everClaim && now.Sub(cs.lastClaim) < c.cfg.Hysteresis {
+		return
+	}
+	best, any := 0.0, false
+	for ap := 0; ap < c.numAPs; ap++ {
+		if s, ok := c.score(cs, ap); ok && (!any || s > best) {
+			best, any = s, true
+		}
+	}
+	if !any || best < c.cfg.ClaimThresholdDB {
+		return
+	}
+	cs.lastClaim, cs.everClaim = now, true
+	c.HandoffClaims++
+	c.Trace.Addf(now, trace.Switch, "ctrl", "claim %s score %.1f dB", cs.addr, best)
+	for _, p := range c.peers {
+		p.Deliver(&packet.Handoff{Kind: packet.HandoffClaim, Client: cs.addr, Score: best})
+	}
+}
+
+// OnTrunk handles traffic from the adjacent controller at peer index
+// `peer`: handoff control, the stopped AP's pre-stamped backlog
+// (re-fanned as-is), and late unstamped downlink (stamped here).
+func (c *Controller) OnTrunk(peer int, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.Handoff:
+		switch m.Kind {
+		case packet.HandoffClaim:
+			c.onClaim(peer, m)
+		case packet.HandoffExport:
+			c.importClient(peer, m)
+		case packet.HandoffAck:
+			c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "handoff ack #%d %s", m.SwitchID, m.Client)
+		}
+	case *packet.DownlinkData:
+		if cs := c.clients[m.Client]; cs != nil && cs.owned {
+			c.fanOut(cs, m.Inner)
+		}
+	case *packet.ServerData:
+		c.Downlink(m.Inner)
+	}
+}
+
+// onClaim decides whether to hand a client to the claiming neighbour:
+// the remote score must beat the serving AP's by the switch margin, and
+// the usual hysteresis / one-switch-at-a-time rules apply.
+func (c *Controller) onClaim(peer int, m *packet.Handoff) {
+	cs := c.clients[m.Client]
+	if cs == nil || !cs.owned || cs.sw != nil {
+		return
+	}
+	now := c.loop.Now()
+	if cs.everInit && now.Sub(cs.lastInit) < c.cfg.Hysteresis {
+		return
+	}
+	if cs.everImport && now.Sub(cs.importedAt) < c.cfg.Hysteresis {
+		return
+	}
+	if cs.serving >= 0 {
+		if s, ok := c.score(cs, cs.serving); ok && m.Score < s+c.cfg.SwitchMarginDB {
+			return
+		}
+	}
+	c.switchID++
+	sw := &switchState{id: c.switchID, from: cs.serving, to: -1, remote: peer, issued: now}
+	cs.sw = sw
+	cs.lastInit, cs.everInit = now, true
+	c.SwitchesIssued++
+	c.Trace.Addf(now, trace.Switch, "ctrl", "handoff #%d %s ap%d->peer%d (score %.1f)",
+		sw.id, cs.addr, c.traceAP(sw.from), peer, m.Score)
+	if cs.serving < 0 {
+		// Nothing to stop locally: export immediately, resuming at the
+		// next index this controller would have stamped.
+		c.exportTo(cs, sw, cs.nextIndex)
+		return
+	}
+	c.sendStop(cs, sw)
+}
+
+// onHandoffStart receives start(c,k) from the AP a cross-segment stop
+// froze, and completes the export.
+func (c *Controller) onHandoffStart(m *packet.Start) {
+	cs := c.clients[m.Client]
+	if cs == nil || cs.sw == nil || cs.sw.remote < 0 || cs.sw.id != m.SwitchID {
+		return
+	}
+	c.loop.Cancel(cs.sw.timer)
+	c.exportTo(cs, cs.sw, m.Index)
+}
+
+// exportTo ships association + queue state to the claiming neighbour.
+// The Export leads; held downlink follows unstamped; the stopped AP's
+// backlog (data-class behind its control-class Start) trails and is
+// forwarded by onReturnedBacklog once ownership has flipped.
+func (c *Controller) exportTo(cs *clientState, sw *switchState, k uint16) {
+	peer := sw.remote
+	c.peers[peer].Deliver(&packet.Handoff{
+		Kind:     packet.HandoffExport,
+		Client:   cs.addr,
+		IP:       cs.ip,
+		Index:    k,
+		NextIdx:  cs.nextIndex,
+		SwitchID: sw.id,
+	})
+	for _, p := range sw.held {
+		c.peers[peer].Deliver(&packet.ServerData{Inner: p})
+	}
+	cs.sw = nil
+	cs.owned = false
+	cs.exportedTo = peer
+	cs.serving = -1
+	c.HandoffsExported++
+	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "export #%d %s k=%d -> peer%d", sw.id, cs.addr, k, peer)
+}
+
+// onReturnedBacklog forwards the stopped AP's drained cyclic backlog to
+// the client's new segment.
+func (c *Controller) onReturnedBacklog(m *packet.DownlinkData) {
+	cs := c.clients[m.Client]
+	if cs == nil || cs.owned || cs.exportedTo < 0 {
+		return
+	}
+	c.peers[cs.exportedTo].Deliver(m)
+}
+
+// importClient adopts a client exported by a neighbour: install its
+// addressing, resume the stamping cursor, replicate sta_info to this
+// segment's APs (and the wired server, which re-routes the downlink),
+// ack, and immediately evaluate AP selection so an edge AP adopts the
+// client at index k.
+func (c *Controller) importClient(peer int, m *packet.Handoff) {
+	cs := c.stateFor(m.Client)
+	if cs.owned {
+		return
+	}
+	cs.owned = true
+	cs.exportedTo = -1
+	cs.ip = m.IP
+	c.ipToMAC[m.IP] = m.Client
+	cs.nextIndex = m.NextIdx
+	cs.adoptAt, cs.hasAdoptAt = m.Index, true
+	cs.serving = -1
+	// A fresh import gets the hysteresis grace before a counter-claim
+	// can bounce the client straight back (tracked separately from
+	// lastInit so the adoption switch below fires immediately).
+	cs.importedAt, cs.everImport = c.loop.Now(), true
+	c.HandoffsImported++
+	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "import #%d %s k=%d", m.SwitchID, m.Client, m.Index)
+	c.bh.Broadcast(c.self, &packet.AssocState{
+		Client: m.Client,
+		IP:     m.IP,
+		State:  packet.StateAssociated,
+	})
+	c.peers[peer].Deliver(&packet.Handoff{Kind: packet.HandoffAck, Client: m.Client, SwitchID: m.SwitchID})
+	c.maybeSwitch(cs)
 }
 
 // onUplink de-duplicates a tunneled uplink packet and forwards it to the

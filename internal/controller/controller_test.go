@@ -34,7 +34,7 @@ func newRig(t *testing.T, cfg Config) *rig {
 	t.Helper()
 	r := &rig{loop: sim.NewLoop()}
 	r.bh = backhaul.New(r.loop, backhaul.DefaultConfig())
-	r.ctrl = New(r.loop, r.bh, nodeCtrl, fakeFabric{}, 4, cfg)
+	r.ctrl = New(r.loop, r.bh, nodeCtrl, fakeFabric{}, 0, 4, cfg)
 	for i := 0; i < 4; i++ {
 		i := i
 		r.bh.AddNode(nodeAP0+backhaul.NodeID(i), func(_ backhaul.NodeID, m packet.Message) {

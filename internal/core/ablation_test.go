@@ -17,7 +17,7 @@ func drive(t *testing.T, mutate func(*Config)) (*Network, *transport.UDPSink) {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	c := n.AddClient(mobility.Drive(-5, 0, 15))
 	src, sink := udpDownlink(n, c, 20)
 	n.Loop.After(100*sim.Millisecond, src.Start)
@@ -31,7 +31,7 @@ func TestDedupOffDeliversDuplicatesToServer(t *testing.T) {
 	run := func(dedup bool) (received, sent int) {
 		cfg := DefaultConfig(WGTT)
 		cfg.Controller.Dedup = dedup
-		n := NewNetwork(cfg)
+		n := MustNewNetwork(cfg)
 		c := n.AddClient(mobility.Drive(-5, 0, 15))
 		sink := transport.NewUDPSink(n.Loop)
 		n.ServerHandle(7001, func(p packet.Packet) { sink.Receive(p) })
@@ -79,7 +79,7 @@ func TestMultiClientFairness(t *testing.T) {
 	// Two following cars with identical offered load should see
 	// broadly similar goodput (round-robin at the APs).
 	cfg := DefaultConfig(WGTT)
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	lo, _ := cfg.RoadSpanX()
 	trajs := mobility.Scenario(mobility.Following, 2, lo-5, 0, 15)
 	var sinks []*transport.UDPSink
@@ -120,7 +120,7 @@ func TestKeepalivesSustainSelectionWithoutTraffic(t *testing.T) {
 	// With no data flows at all, the controller must still track the
 	// driving client (keepalive CSI) and hand it across the array.
 	cfg := DefaultConfig(WGTT)
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	n.AddClient(mobility.Drive(-5, 0, 15))
 	n.Run(9 * sim.Second)
 	if n.Ctrl.SwitchesAcked < 5 {

@@ -6,11 +6,15 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"wgtt/internal/ap"
 	"wgtt/internal/backhaul"
 	"wgtt/internal/baseline"
 	"wgtt/internal/client"
 	"wgtt/internal/controller"
+	"wgtt/internal/deploy"
 	"wgtt/internal/rf"
 )
 
@@ -41,6 +45,21 @@ func (s Scheme) String() string {
 	return "Scheme(?)"
 }
 
+// ParseScheme inverts the command-line scheme names. It accepts the
+// short flag forms ("wgtt", "11r", "stock11r") and the String() forms,
+// case-insensitively.
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "wgtt":
+		return WGTT, nil
+	case "11r", "enhanced11r", "enhanced 802.11r":
+		return Enhanced80211r, nil
+	case "stock11r", "stock 802.11r":
+		return Stock80211r, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want wgtt | 11r | stock11r)", name)
+}
+
 // Config describes a deployment.
 type Config struct {
 	Seed   int64
@@ -53,6 +72,16 @@ type Config struct {
 	APSpacing float64
 	APSetback float64
 	FirstAPX  float64
+
+	// Segments, when non-empty, shards the road into chained segments,
+	// each with its own controller (or bridge) and backhaul domain;
+	// NumAPs is then ignored and the fields above act as defaults for
+	// unset per-segment values. Empty Segments is the classic
+	// single-segment deployment.
+	Segments []deploy.SegmentSpec
+
+	// Trunk sets the inter-segment controller-to-controller link.
+	Trunk deploy.TrunkConfig
 
 	RF         rf.Params
 	AP         ap.Config
@@ -90,6 +119,7 @@ func DefaultConfig(scheme Scheme) Config {
 		Roamer:     baseline.DefaultRoamerConfig(),
 		Client:     client.DefaultConfig(),
 		Backhaul:   backhaul.DefaultConfig(),
+		Trunk:      deploy.DefaultTrunkConfig(),
 
 		ClientClientLossDB: 20,
 		APAPSenseSNRdB:     20,
@@ -101,19 +131,82 @@ func DefaultConfig(scheme Scheme) Config {
 	return cfg
 }
 
-// APPosition returns AP i's mounting position.
+// Validate rejects configurations the simulator would silently
+// mis-handle: empty deployments, degenerate geometry, a zero controller
+// selection window, or zero-value RF parameters.
+func (c *Config) Validate() error {
+	if len(c.Segments) == 0 {
+		if c.NumAPs <= 0 {
+			return fmt.Errorf("core: NumAPs must be positive, got %d", c.NumAPs)
+		}
+		if c.APSpacing <= 0 {
+			return fmt.Errorf("core: APSpacing must be positive, got %g", c.APSpacing)
+		}
+	}
+	for i, s := range c.Segments {
+		if s.NumAPs <= 0 {
+			return fmt.Errorf("core: segment %d NumAPs must be positive, got %d", i, s.NumAPs)
+		}
+		if s.APSpacing < 0 || (s.APSpacing == 0 && c.APSpacing <= 0) {
+			return fmt.Errorf("core: segment %d has no positive APSpacing (own %g, default %g)",
+				i, s.APSpacing, c.APSpacing)
+		}
+	}
+	if c.Scheme == WGTT && c.Controller.Window <= 0 {
+		return fmt.Errorf("core: controller ESNR window must be positive, got %v", c.Controller.Window)
+	}
+	if c.RF.FreqHz <= 0 || c.RF.NoiseDBm >= 0 {
+		return fmt.Errorf("core: RF params look unset (FreqHz %g, NoiseDBm %g); start from rf.DefaultParams",
+			c.RF.FreqHz, c.RF.NoiseDBm)
+	}
+	return nil
+}
+
+// segmentGeoms resolves the deployment's per-segment geometry; an empty
+// Segments list is the classic single segment.
+func (c *Config) segmentGeoms() []deploy.Geometry {
+	if len(c.Segments) == 0 {
+		return []deploy.Geometry{{
+			NumAPs: c.NumAPs, APSpacing: c.APSpacing,
+			APSetback: c.APSetback, FirstAPX: c.FirstAPX,
+		}}
+	}
+	return deploy.Resolve(c.Segments, c.FirstAPX, c.APSpacing, c.APSetback)
+}
+
+// TotalAPs returns the deployment-wide AP count.
+func (c *Config) TotalAPs() int {
+	if len(c.Segments) == 0 {
+		return c.NumAPs
+	}
+	n := 0
+	for _, s := range c.Segments {
+		n += s.NumAPs
+	}
+	return n
+}
+
+// APPosition returns the mounting position of the AP with global id i.
 func (c *Config) APPosition(i int) rf.Position {
-	return rf.Position{X: c.FirstAPX + float64(i)*c.APSpacing, Y: c.APSetback}
+	if len(c.Segments) == 0 {
+		return rf.Position{X: c.FirstAPX + float64(i)*c.APSpacing, Y: c.APSetback}
+	}
+	geoms := c.segmentGeoms()
+	for s, g := range geoms {
+		if i < g.NumAPs || s == len(geoms)-1 {
+			return rf.Position{X: g.FirstAPX + float64(i)*g.APSpacing, Y: g.APSetback}
+		}
+		i -= g.NumAPs
+	}
+	return rf.Position{} // unreachable
 }
 
 // RoadSpanX returns the x-range covered by the AP array.
 func (c *Config) RoadSpanX() (lo, hi float64) {
-	return c.FirstAPX, c.FirstAPX + float64(c.NumAPs-1)*c.APSpacing
+	if len(c.Segments) == 0 {
+		return c.FirstAPX, c.FirstAPX + float64(c.NumAPs-1)*c.APSpacing
+	}
+	geoms := c.segmentGeoms()
+	last := geoms[len(geoms)-1]
+	return geoms[0].FirstAPX, last.FirstAPX + float64(last.NumAPs-1)*last.APSpacing
 }
-
-const (
-	// Backhaul node ids.
-	nodeController backhaul.NodeID = 0
-	nodeServer     backhaul.NodeID = 1
-	nodeFirstAP    backhaul.NodeID = 2
-)

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"wgtt/internal/deploy"
+)
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero NumAPs", func(c *Config) { c.NumAPs = 0 }, "NumAPs"},
+		{"negative NumAPs", func(c *Config) { c.NumAPs = -3 }, "NumAPs"},
+		{"zero APSpacing", func(c *Config) { c.APSpacing = 0 }, "APSpacing"},
+		{"negative APSpacing", func(c *Config) { c.APSpacing = -7.5 }, "APSpacing"},
+		{"segment zero NumAPs", func(c *Config) {
+			c.Segments = []deploy.SegmentSpec{{NumAPs: 8}, {NumAPs: 0}}
+		}, "segment 1 NumAPs"},
+		{"segment negative spacing", func(c *Config) {
+			c.Segments = []deploy.SegmentSpec{{NumAPs: 8, APSpacing: -1}}
+		}, "APSpacing"},
+		{"segment no inheritable spacing", func(c *Config) {
+			c.APSpacing = 0
+			c.Segments = []deploy.SegmentSpec{{NumAPs: 8}}
+		}, "APSpacing"},
+		{"zero controller window", func(c *Config) { c.Controller.Window = 0 }, "window"},
+		{"unset RF params", func(c *Config) { c.RF.FreqHz = 0 }, "RF params"},
+		{"positive noise floor", func(c *Config) { c.RF.NoiseDBm = 3 }, "RF params"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(WGTT)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid config")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.want)) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := NewNetwork(cfg); err == nil {
+				t.Error("NewNetwork accepted an invalid config")
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	for _, s := range []Scheme{WGTT, Enhanced80211r, Stock80211r} {
+		cfg := DefaultConfig(s)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v default config rejected: %v", s, err)
+		}
+	}
+	// A zero controller window only matters for WGTT.
+	cfg := DefaultConfig(Enhanced80211r)
+	cfg.Controller.Window = 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("baseline config rejected for WGTT-only knob: %v", err)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Scheme
+	}{
+		{"wgtt", WGTT}, {"WGTT", WGTT}, {" wgtt ", WGTT},
+		{"11r", Enhanced80211r}, {"enhanced11r", Enhanced80211r},
+		{"Enhanced 802.11r", Enhanced80211r},
+		{"stock11r", Stock80211r}, {"Stock 802.11r", Stock80211r},
+	}
+	for _, tc := range cases {
+		got, err := ParseScheme(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseScheme("wimax"); err == nil {
+		t.Error("ParseScheme accepted an unknown scheme")
+	}
+	for _, s := range []Scheme{WGTT, Enhanced80211r, Stock80211r} {
+		if got, err := ParseScheme(s.String()); err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v; want round-trip", s.String(), got, err)
+		}
+	}
+}
+
+func TestSegmentGeometry(t *testing.T) {
+	cfg := DefaultConfig(WGTT)
+	cfg.Segments = []deploy.SegmentSpec{
+		{NumAPs: 4},                                // inherits 7.5 m spacing
+		{NumAPs: 4, APSpacing: 15, Gap: 30},        // sparse, wide gap
+		{NumAPs: 2, APSpacing: 7.5, APSetback: 25}, // default gap = own spacing
+	}
+	if got := cfg.TotalAPs(); got != 10 {
+		t.Fatalf("TotalAPs = %d, want 10", got)
+	}
+	// Segment 0: x = 0, 7.5, 15, 22.5. Segment 1 starts at 22.5+30.
+	if p := cfg.APPosition(4); p.X != 52.5 {
+		t.Errorf("AP4 at x=%g, want 52.5", p.X)
+	}
+	if p := cfg.APPosition(7); p.X != 52.5+3*15 {
+		t.Errorf("AP7 at x=%g, want 97.5", p.X)
+	}
+	// Segment 2 starts one own-spacing after AP7, with its own setback.
+	if p := cfg.APPosition(8); p.X != 97.5+7.5 || p.Y != 25 {
+		t.Errorf("AP8 at (%g,%g), want (105,25)", p.X, p.Y)
+	}
+	lo, hi := cfg.RoadSpanX()
+	if lo != 0 || hi != 112.5 {
+		t.Errorf("road span [%g,%g], want [0,112.5]", lo, hi)
+	}
+}

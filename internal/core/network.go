@@ -10,6 +10,7 @@ import (
 	"wgtt/internal/client"
 	"wgtt/internal/controller"
 	"wgtt/internal/csi"
+	"wgtt/internal/deploy"
 	"wgtt/internal/mac"
 	"wgtt/internal/mobility"
 	"wgtt/internal/packet"
@@ -33,15 +34,21 @@ func (c *Client) Handle(port uint16, fn func(packet.Packet)) {
 	c.demux[port] = fn
 }
 
-// Network is a fully wired deployment.
+// Network is a fully wired deployment: the shared radio medium and
+// clients on one side, and an ordered chain of road segments (each with
+// its own controller/bridge, APs, and backhaul domain) on the other.
 type Network struct {
 	Cfg  Config
 	Loop *sim.Loop
 
-	Medium   *mac.Medium
+	Medium *mac.Medium
+	// Deploy is the segment chain. Backhaul, Ctrl, APs, Bridge, and
+	// BaseAPs below are convenience views over it: Backhaul/Ctrl/Bridge
+	// are segment 0's (the only segment in the classic deployment), and
+	// the AP slices aggregate every segment in global-id order.
+	Deploy   *deploy.Deployment
 	Backhaul *backhaul.Net
 
-	// Scheme-specific planes (exactly one pair is non-nil).
 	Ctrl    *controller.Controller
 	APs     []*ap.AP
 	Bridge  *baseline.Bridge
@@ -55,10 +62,17 @@ type Network struct {
 	rng        *sim.RNG
 	serverIPID uint16
 	apNodes    []*mac.Node
-	// links[apIdx][clientID] is the radio channel realization.
+	// links[clientID][apIdx] is the radio channel realization.
 	links       [][]*rf.Link
 	nodeKind    map[*mac.Node]nodeRef
 	serverDemux map[uint16]func(packet.Packet)
+	// Wired-server routing and de-duplication across segments.
+	route        map[packet.IP]int
+	serverDedup  map[packet.DedupKey]bool
+	serverDedupQ []packet.DedupKey
+	// ServerDuplicates counts uplink packets that reached the wired
+	// server through more than one segment's controller.
+	ServerDuplicates int
 }
 
 type nodeRef struct {
@@ -67,8 +81,12 @@ type nodeRef struct {
 }
 
 // NewNetwork builds and wires a deployment. Clients are added with
-// AddClient before Run.
-func NewNetwork(cfg Config) *Network {
+// AddClient before Run. The configuration is validated first; an
+// invalid one returns a descriptive error.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	loop := sim.NewLoop()
 	rng := sim.NewRNG(cfg.Seed)
 	n := &Network{
@@ -77,38 +95,89 @@ func NewNetwork(cfg Config) *Network {
 		rng:         rng,
 		nodeKind:    make(map[*mac.Node]nodeRef),
 		serverDemux: make(map[uint16]func(packet.Packet)),
+		route:       make(map[packet.IP]int),
+		serverDedup: make(map[packet.DedupKey]bool),
 	}
 	if cfg.TraceCapacity > 0 {
 		n.Trace = trace.New(cfg.TraceCapacity)
 	}
 	n.Medium = mac.NewMedium(loop, (*netChannel)(n), rng.Fork("medium"))
-	n.Backhaul = backhaul.New(loop, cfg.Backhaul)
-	n.Backhaul.AddNode(nodeServer, n.onServerBackhaul)
 
-	fab := &fabric{n: n}
-	switch cfg.Scheme {
-	case WGTT:
-		n.Ctrl = controller.New(loop, n.Backhaul, nodeController, fab, cfg.NumAPs, cfg.Controller)
-		n.Ctrl.Trace = n.Trace
-		for i := 0; i < cfg.NumAPs; i++ {
-			a := ap.New(uint16(i), cfg.APPosition(i), loop, n.Medium, n.Backhaul,
-				nodeFirstAP+backhaul.NodeID(i), fab, cfg.AP, rng.Fork(fmt.Sprintf("ap%d", i)))
-			a.Trace = n.Trace
-			n.APs = append(n.APs, a)
-			n.apNodes = append(n.apNodes, a.Node())
-			n.nodeKind[a.Node()] = nodeRef{isAP: true, idx: i}
-		}
-	default:
-		n.Bridge = baseline.NewBridge(loop, n.Backhaul, nodeController, fab, nodeServer, cfg.NumAPs)
-		for i := 0; i < cfg.NumAPs; i++ {
-			a := baseline.NewAP(uint16(i), cfg.APPosition(i), loop, n.Medium, n.Backhaul,
-				nodeFirstAP+backhaul.NodeID(i), fab, cfg.BaselineAP, rng.Fork(fmt.Sprintf("bap%d", i)))
-			n.BaseAPs = append(n.BaseAPs, a)
-			n.apNodes = append(n.apNodes, a.Node())
-			n.nodeKind[a.Node()] = nodeRef{isAP: true, idx: i}
-		}
+	d, err := deploy.New(loop, cfg.segmentGeoms(), cfg.Backhaul, cfg.Trunk,
+		func(si int) backhaul.Handler {
+			return func(from backhaul.NodeID, msg packet.Message) {
+				n.onServerBackhaul(si, from, msg)
+			}
+		},
+		func(seg *deploy.Segment) deploy.Plane {
+			// The only scheme switch in the network: pick the plane.
+			switch cfg.Scheme {
+			case WGTT:
+				p := deploy.NewWGTTPlane(seg, loop, n.Medium, n.Trace, rng, cfg.AP, cfg.Controller)
+				if n.Ctrl == nil {
+					n.Ctrl = p.Ctrl
+				}
+				for _, a := range p.APs {
+					n.APs = append(n.APs, a)
+					n.apNodes = append(n.apNodes, a.Node())
+					n.nodeKind[a.Node()] = nodeRef{isAP: true, idx: int(a.ID)}
+				}
+				return p
+			default:
+				p := deploy.NewBaselinePlane(seg, loop, n.Medium, rng, cfg.BaselineAP)
+				if n.Bridge == nil {
+					n.Bridge = p.Bridge
+				}
+				for _, a := range p.APs {
+					n.BaseAPs = append(n.BaseAPs, a)
+					n.apNodes = append(n.apNodes, a.Node())
+					n.nodeKind[a.Node()] = nodeRef{isAP: true, idx: int(a.ID)}
+				}
+				return p
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	n.Deploy = d
+	n.Backhaul = d.Segments[0].Backhaul
+	return n, nil
+}
+
+// MustNewNetwork is NewNetwork for callers holding an
+// already-validated configuration; it panics on error.
+func MustNewNetwork(cfg Config) *Network {
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return n
+}
+
+// TotalAPs is the deployment-wide AP count.
+func (n *Network) TotalAPs() int { return len(n.apNodes) }
+
+// Controllers returns every segment's controller (WGTT only; nil
+// entries never occur — baselines return an empty slice).
+func (n *Network) Controllers() []*controller.Controller {
+	var cs []*controller.Controller
+	for _, s := range n.Deploy.Segments {
+		if p, ok := s.Plane.(*deploy.WGTTPlane); ok {
+			cs = append(cs, p.Ctrl)
+		}
+	}
+	return cs
+}
+
+// Bridges returns every segment's baseline bridge.
+func (n *Network) Bridges() []*baseline.Bridge {
+	var bs []*baseline.Bridge
+	for _, s := range n.Deploy.Segments {
+		if p, ok := s.Plane.(*deploy.BaselinePlane); ok {
+			bs = append(bs, p.Bridge)
+		}
+	}
+	return bs
 }
 
 // AddClient attaches a mobile client following traj. Clients must be
@@ -125,9 +194,10 @@ func (n *Network) AddClient(traj mobility.Trajectory) *Client {
 	}
 	n.nodeKind[cl.Node()] = nodeRef{isAP: false, idx: id}
 
-	// Per-AP radio links for this client.
-	row := make([]*rf.Link, n.Cfg.NumAPs)
-	for i := 0; i < n.Cfg.NumAPs; i++ {
+	// Per-AP radio links for this client, in global AP order.
+	total := n.TotalAPs()
+	row := make([]*rf.Link, total)
+	for i := 0; i < total; i++ {
 		row[i] = rf.NewLink(n.Cfg.RF, n.Cfg.APPosition(i),
 			rf.DefaultParabolic(-90), // boresight straight at the road
 			rf.Omni{},
@@ -137,28 +207,23 @@ func (n *Network) AddClient(traj mobility.Trajectory) *Client {
 	n.links[id] = row
 	n.Clients = append(n.Clients, c)
 
-	// Association: WGTT replicates state and registers with the
-	// controller; baselines force-associate with the nearest AP.
-	switch n.Cfg.Scheme {
-	case WGTT:
-		n.Ctrl.RegisterClient(cl.Addr, cl.IP)
-		// §4.3: the first AP shares sta_info with its peers.
-		n.Backhaul.Broadcast(nodeController, &packet.AssocState{
-			Client: cl.Addr, IP: cl.IP, AID: uint16(id + 1), State: packet.StateAssociated,
-		})
-	default:
-		best := n.nearestAP(traj.Pos(n.Loop.Now()))
-		n.BaseAPs[best].ForceAssociate(cl.Addr, cl.IP)
-		n.Bridge.RegisterClient(cl.Addr, cl.IP)
-		c.Roamer = baseline.NewRoamer(n.Loop, n.Medium, cl, n.apNodes[best], n.Cfg.Roamer)
+	// Association: the segment whose AP is nearest the client's start
+	// owns it first; its plane registers the state (WGTT replicates
+	// sta_info, baselines force-associate and return the roamer's
+	// initial AP).
+	pos := traj.Pos(n.Loop.Now())
+	seg := n.Deploy.SegmentOfAP(n.nearestAP(pos))
+	if node := seg.Plane.Associate(id, cl.Addr, cl.IP, pos); node != nil {
+		c.Roamer = baseline.NewRoamer(n.Loop, n.Medium, cl, node, n.Cfg.Roamer)
 	}
+	n.route[cl.IP] = seg.Index
 	return c
 }
 
-// nearestAP returns the AP index closest to pos.
+// nearestAP returns the global AP id closest to pos.
 func (n *Network) nearestAP(pos rf.Position) int {
 	best, bestD := 0, math.Inf(1)
-	for i := 0; i < n.Cfg.NumAPs; i++ {
+	for i := 0; i < n.TotalAPs(); i++ {
 		if d := n.Cfg.APPosition(i).Distance(pos); d < bestD {
 			best, bestD = i, d
 		}
@@ -179,44 +244,73 @@ func (n *Network) ServerHandle(port uint16, fn func(packet.Packet)) {
 // for server-side transport endpoints). Like a real IP stack, the server
 // host stamps the IP identification field from a single per-host counter
 // shared by all its flows — the de-duplication key downstream depends on
-// host-wide uniqueness, not per-connection uniqueness.
+// host-wide uniqueness, not per-connection uniqueness. The packet enters
+// the backhaul of the segment currently routing the destination client.
 func (n *Network) SendFromServer(p packet.Packet) {
 	if p.Src.IsZero() {
 		p.Src = packet.ServerIP
 	}
 	n.serverIPID++
 	p.IPID = n.serverIPID
-	n.Backhaul.Send(nodeServer, nodeController, &packet.ServerData{Inner: p})
+	si := 0
+	if s, ok := n.route[p.Dst]; ok {
+		si = s
+	}
+	n.Deploy.Segments[si].Backhaul.Send(deploy.NodeServer, deploy.NodeController,
+		&packet.ServerData{Inner: p})
 }
 
-// onServerBackhaul receives uplink packets at the wired server.
-func (n *Network) onServerBackhaul(from backhaul.NodeID, msg packet.Message) {
-	m, ok := msg.(*packet.ServerData)
-	if !ok {
-		return
-	}
-	if fn := n.serverDemux[m.Inner.DstPort]; fn != nil {
-		fn(m.Inner)
+// onServerBackhaul receives uplink packets at the wired server's tap on
+// segment si, and association updates that re-route a handed-off
+// client's downlink. With several segments, a packet relayed by more
+// than one controller is de-duplicated here on its (src IP, IP-ID) key.
+func (n *Network) onServerBackhaul(si int, from backhaul.NodeID, msg packet.Message) {
+	switch m := msg.(type) {
+	case *packet.ServerData:
+		if len(n.Deploy.Segments) > 1 {
+			k := m.Inner.DedupKey()
+			if n.serverDedup[k] {
+				n.ServerDuplicates++
+				return
+			}
+			n.serverDedup[k] = true
+			n.serverDedupQ = append(n.serverDedupQ, k)
+			if len(n.serverDedupQ) > serverDedupCap {
+				delete(n.serverDedup, n.serverDedupQ[0])
+				n.serverDedupQ = n.serverDedupQ[1:]
+			}
+		}
+		if fn := n.serverDemux[m.Inner.DstPort]; fn != nil {
+			fn(m.Inner)
+		}
+	case *packet.AssocState:
+		if !m.IP.IsZero() {
+			n.route[m.IP] = si
+		}
 	}
 }
+
+// serverDedupCap bounds the server-side de-duplication hashset.
+const serverDedupCap = 1 << 16
 
 // ServingAP reports which AP currently serves/associates client id (-1
-// none).
+// none), as a global AP id.
 func (n *Network) ServingAP(clientID int) int {
 	c := n.Clients[clientID]
-	switch n.Cfg.Scheme {
-	case WGTT:
-		return n.Ctrl.ServingAP(c.Addr)
-	default:
-		if c.Roamer == nil {
-			return -1
-		}
+	if c.Roamer != nil {
+		// Baselines: the client-side view of the association.
 		ref, ok := n.nodeKind[c.Roamer.Current()]
 		if !ok || !ref.isAP {
 			return -1
 		}
 		return ref.idx
 	}
+	for _, s := range n.Deploy.Segments {
+		if id := s.Plane.ServingAP(c.Addr); id >= 0 {
+			return id
+		}
+	}
+	return -1
 }
 
 // LinkESNRdB returns the instantaneous effective SNR of the ap↔client
@@ -233,40 +327,13 @@ func (n *Network) LinkESNRdB(apIdx, clientID int) float64 {
 // client.
 func (n *Network) OracleBestAP(clientID int) int {
 	best, bestV := 0, math.Inf(-1)
-	for i := 0; i < n.Cfg.NumAPs; i++ {
+	for i := 0; i < n.TotalAPs(); i++ {
 		if v := n.LinkESNRdB(i, clientID); v > bestV {
 			best, bestV = i, v
 		}
 	}
 	return best
 }
-
-// fabric implements ap.Fabric, controller.Fabric and baseline.Fabric.
-type fabric struct{ n *Network }
-
-// APNode maps a WGTT AP id to its backhaul node.
-func (f *fabric) APNode(apID uint16) backhaul.NodeID {
-	return nodeFirstAP + backhaul.NodeID(apID)
-}
-
-// APByMAC resolves an AP's layer-2 address.
-func (f *fabric) APByMAC(addr packet.MAC) (backhaul.NodeID, bool) {
-	for i := 0; i < f.n.Cfg.NumAPs; i++ {
-		if packet.APMAC(i) == addr {
-			return nodeFirstAP + backhaul.NodeID(i), true
-		}
-	}
-	return 0, false
-}
-
-// Controller returns the controller's backhaul node.
-func (f *fabric) Controller() backhaul.NodeID { return nodeController }
-
-// Server returns the wired server's backhaul node.
-func (f *fabric) Server() backhaul.NodeID { return nodeServer }
-
-// Bridge returns the baseline bridge's backhaul node.
-func (f *fabric) Bridge() backhaul.NodeID { return nodeController }
 
 // netChannel implements mac.Channel over the deployment geometry.
 type netChannel Network

@@ -22,7 +22,7 @@ func udpDownlink(n *Network, c *Client, rateMbps float64) (*transport.UDPSource,
 func TestWGTTStaticClientUDPDownlink(t *testing.T) {
 	cfg := DefaultConfig(WGTT)
 	cfg.NumAPs = 4
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	// Parked right under AP1's beam.
 	c := n.AddClient(mobility.Stationary{X: 7.5, Y: 0})
 	src, sink := udpDownlink(n, c, 10)
@@ -43,7 +43,7 @@ func TestWGTTStaticClientUDPDownlink(t *testing.T) {
 
 func TestWGTTDrivingClientSwitchesAndDelivers(t *testing.T) {
 	cfg := DefaultConfig(WGTT)
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	// 15 mph drive across the whole array (52.5 m + margins).
 	c := n.AddClient(mobility.Drive(-5, 0, 15))
 	src, sink := udpDownlink(n, c, 10)
@@ -66,7 +66,7 @@ func TestWGTTDrivingClientSwitchesAndDelivers(t *testing.T) {
 
 func TestWGTTDrivingClientTCP(t *testing.T) {
 	cfg := DefaultConfig(WGTT)
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	c := n.AddClient(mobility.Drive(-5, 0, 15))
 
 	rcv := transport.NewTCPReceiver(n.Loop, c.SendUplink, c.IP, packet.ServerIP, 5001, 80)
@@ -95,7 +95,7 @@ func TestEnhanced80211rDrivingClientDegrades(t *testing.T) {
 	// WGTT (Fig. 13's gap).
 	run := func(scheme Scheme) float64 {
 		cfg := DefaultConfig(scheme)
-		n := NewNetwork(cfg)
+		n := MustNewNetwork(cfg)
 		c := n.AddClient(mobility.Drive(-5, 0, 15))
 		// Saturating offered load, as in the paper's iperf runs: the
 		// buffering pathologies only appear when queues backlog.
@@ -116,7 +116,7 @@ func TestEnhanced80211rDrivingClientDegrades(t *testing.T) {
 
 func TestUplinkDiversityDedup(t *testing.T) {
 	cfg := DefaultConfig(WGTT)
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	c := n.AddClient(mobility.Drive(-5, 0, 15))
 	// Uplink CBR from the client to the server.
 	sink := transport.NewUDPSink(n.Loop)
@@ -143,7 +143,7 @@ func TestUplinkDiversityDedup(t *testing.T) {
 
 func TestBAForwardingRecoversAcks(t *testing.T) {
 	cfg := DefaultConfig(WGTT)
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	c := n.AddClient(mobility.Drive(-5, 0, 15))
 	src, _ := udpDownlink(n, c, 10)
 	src.Start()
@@ -171,7 +171,7 @@ func TestSchemeStrings(t *testing.T) {
 
 func TestOracleAndLinkESNR(t *testing.T) {
 	cfg := DefaultConfig(WGTT)
-	n := NewNetwork(cfg)
+	n := MustNewNetwork(cfg)
 	n.AddClient(mobility.Stationary{X: 22.5, Y: 0}) // under AP3
 	best := n.OracleBestAP(0)
 	if best != 3 {

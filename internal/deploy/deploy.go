@@ -1,0 +1,210 @@
+// Package deploy composes road segments into a deployment: each Segment
+// owns one controller (or baseline bridge), its APs, and its own
+// backhaul domain, while the Deployment chains segments along the road
+// behind a shared sim loop, radio medium, and wired server. Adjacent
+// segments are linked by point-to-point trunks over which the
+// controllers run the cross-segment client handoff (the paper's §3.1.2
+// stop/start/ack generalized across controller domains) and the
+// baseline bridges run bridge-to-bridge re-association.
+package deploy
+
+import (
+	"fmt"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/packet"
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// Backhaul node ids within one segment's domain. Every segment numbers
+// its nodes identically: the controller (or bridge) at 0, the wired
+// server's tap at 1, and the segment's APs from 2 upward in local
+// order.
+const (
+	NodeController backhaul.NodeID = 0
+	NodeServer     backhaul.NodeID = 1
+	NodeFirstAP    backhaul.NodeID = 2
+)
+
+// nodeInvalid is a node id no segment ever attaches; the backhaul
+// silently drops frames addressed to it, which is how a fabric lookup
+// for an AP outside the segment resolves.
+const nodeInvalid backhaul.NodeID = -1
+
+// SegmentSpec describes one road segment's geometry in a deployment
+// configuration. Zero fields inherit the deployment defaults.
+type SegmentSpec struct {
+	// NumAPs is the segment's AP count.
+	NumAPs int
+	// APSpacing is the AP pitch in meters.
+	APSpacing float64
+	// APSetback overrides the deployment's AP setback (0 = inherit).
+	APSetback float64
+	// Gap is the distance from the previous segment's last AP to this
+	// segment's first AP (0 = this segment's spacing).
+	Gap float64
+}
+
+// Geometry is one segment's resolved placement.
+type Geometry struct {
+	NumAPs    int
+	APSpacing float64
+	APSetback float64
+	FirstAPX  float64
+}
+
+// Validate rejects geometry the simulator cannot place.
+func (g Geometry) Validate() error {
+	if g.NumAPs <= 0 {
+		return fmt.Errorf("deploy: segment NumAPs must be positive, got %d", g.NumAPs)
+	}
+	if g.APSpacing <= 0 {
+		return fmt.Errorf("deploy: segment APSpacing must be positive, got %g", g.APSpacing)
+	}
+	return nil
+}
+
+// Resolve chains segment specs into absolute geometries starting at
+// firstX, inheriting defSetback (and defSpacing for zero-spacing specs).
+func Resolve(specs []SegmentSpec, firstX, defSpacing, defSetback float64) []Geometry {
+	geoms := make([]Geometry, len(specs))
+	x := firstX
+	for i, s := range specs {
+		g := Geometry{NumAPs: s.NumAPs, APSpacing: s.APSpacing, APSetback: s.APSetback}
+		if g.APSpacing == 0 {
+			g.APSpacing = defSpacing
+		}
+		if g.APSetback == 0 {
+			g.APSetback = defSetback
+		}
+		if i > 0 {
+			gap := s.Gap
+			if gap == 0 {
+				gap = g.APSpacing
+			}
+			x += gap
+		}
+		g.FirstAPX = x
+		x += float64(g.NumAPs-1) * g.APSpacing
+		geoms[i] = g
+	}
+	return geoms
+}
+
+// Segment is one coverage domain: geometry, a backhaul, and the
+// scheme-specific plane (controller+APs or bridge+APs).
+type Segment struct {
+	Index  int
+	APBase int // global id of this segment's first AP
+	Geom   Geometry
+
+	Backhaul *backhaul.Net
+	Plane    Plane
+}
+
+// APPosition returns the mounting position of the segment's local AP i.
+func (s *Segment) APPosition(local int) rf.Position {
+	return rf.Position{X: s.Geom.FirstAPX + float64(local)*s.Geom.APSpacing, Y: s.Geom.APSetback}
+}
+
+// ContainsAP reports whether the global AP id lives in this segment.
+func (s *Segment) ContainsAP(global int) bool {
+	return global >= s.APBase && global < s.APBase+s.Geom.NumAPs
+}
+
+// Deployment is the ordered chain of segments along the road.
+type Deployment struct {
+	Segments []*Segment
+}
+
+// TotalAPs is the deployment-wide AP count.
+func (d *Deployment) TotalAPs() int {
+	last := d.Segments[len(d.Segments)-1]
+	return last.APBase + last.Geom.NumAPs
+}
+
+// SegmentOfAP returns the segment owning the global AP id.
+func (d *Deployment) SegmentOfAP(global int) *Segment {
+	for _, s := range d.Segments {
+		if s.ContainsAP(global) {
+			return s
+		}
+	}
+	return nil
+}
+
+// New builds the segments and wires adjacent planes with trunks. The
+// callbacks keep scheme knowledge out of this package: serverHandler
+// returns the wired server's receive handler for a segment's backhaul
+// tap, and buildPlane constructs the scheme-specific plane (it runs
+// after the segment's backhaul and server tap exist, preserving the
+// single-segment construction order bit-for-bit).
+func New(loop *sim.Loop, geoms []Geometry, bhCfg backhaul.Config, trunkCfg TrunkConfig,
+	serverHandler func(seg int) backhaul.Handler,
+	buildPlane func(seg *Segment) Plane) (*Deployment, error) {
+	if len(geoms) == 0 {
+		return nil, fmt.Errorf("deploy: a deployment needs at least one segment")
+	}
+	d := &Deployment{}
+	apBase := 0
+	for i, g := range geoms {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+		seg := &Segment{Index: i, APBase: apBase, Geom: g}
+		seg.Backhaul = backhaul.New(loop, bhCfg)
+		seg.Backhaul.AddNode(NodeServer, serverHandler(i))
+		seg.Plane = buildPlane(seg)
+		d.Segments = append(d.Segments, seg)
+		apBase += g.NumAPs
+	}
+	for i := 0; i+1 < len(d.Segments); i++ {
+		d.Segments[i].Plane.ConnectNext(d.Segments[i+1].Plane, loop, trunkCfg)
+	}
+	return d, nil
+}
+
+// TrunkConfig sets the inter-segment controller-to-controller link's
+// physical parameters.
+type TrunkConfig struct {
+	// LinkMbps is the trunk line rate.
+	LinkMbps float64
+	// PropDelay is the one-way latency (fiber + two switch hops).
+	PropDelay sim.Duration
+}
+
+// DefaultTrunkConfig models a metro fiber ring hop between street
+// cabinets.
+func DefaultTrunkConfig() TrunkConfig {
+	return TrunkConfig{
+		LinkMbps:  1000,
+		PropDelay: 200 * sim.Microsecond,
+	}
+}
+
+// trunkEncapOverhead mirrors the backhaul's per-message wire overhead.
+const trunkEncapOverhead = 66
+
+// trunk is one direction of an inter-segment link: reliable, FIFO,
+// serialization at the line rate plus fixed propagation.
+type trunk struct {
+	loop    *sim.Loop
+	cfg     TrunkConfig
+	free    sim.Time // egress availability
+	deliver func(msg packet.Message)
+}
+
+// Deliver implements the planes' Peer interfaces.
+func (t *trunk) Deliver(m packet.Message) {
+	wire := m.WireLen() + trunkEncapOverhead
+	ser := sim.Duration(float64(wire*8) / t.cfg.LinkMbps * float64(sim.Microsecond))
+	now := t.loop.Now()
+	start := now
+	if t.free.After(start) {
+		start = t.free
+	}
+	t.free = start.Add(ser)
+	arrive := t.free.Add(t.cfg.PropDelay)
+	t.loop.After(arrive.Sub(now), func() { t.deliver(m) })
+}

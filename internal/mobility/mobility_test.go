@@ -184,3 +184,22 @@ func TestWaypointsEmpty(t *testing.T) {
 }
 
 func rfPos(x, y float64) rf.Position { return rf.Position{X: x, Y: y} }
+
+func TestRouteStops(t *testing.T) {
+	stops := RouteStops(0, 100, 4)
+	want := []float64{12.5, 37.5, 62.5, 87.5}
+	if len(stops) != len(want) {
+		t.Fatalf("RouteStops returned %v", stops)
+	}
+	for i := range want {
+		if math.Abs(stops[i]-want[i]) > 1e-9 {
+			t.Errorf("stop %d = %v, want %v", i, stops[i], want[i])
+		}
+	}
+	if RouteStops(0, 100, 0) != nil {
+		t.Error("zero stops should be nil")
+	}
+	if RouteStops(50, 50, 3) != nil {
+		t.Error("degenerate span should be nil")
+	}
+}

@@ -111,3 +111,19 @@ func (w *Waypoints) Duration() sim.Duration {
 	}
 	return sim.Duration(w.times[len(w.times)-1] - w.times[0])
 }
+
+// RouteStops places n transit stops evenly across the road span
+// [lo, hi], inset half an interval from each end — the way bus stops sit
+// between intersections rather than on them. It returns the stop x
+// positions in driving order.
+func RouteStops(lo, hi float64, n int) []float64 {
+	if n <= 0 || hi <= lo {
+		return nil
+	}
+	interval := (hi - lo) / float64(n)
+	stops := make([]float64, n)
+	for i := range stops {
+		stops[i] = lo + interval*(float64(i)+0.5)
+	}
+	return stops
+}

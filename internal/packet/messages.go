@@ -3,6 +3,7 @@ package packet
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"wgtt/internal/rf"
 	"wgtt/internal/sim"
@@ -44,6 +45,36 @@ const (
 	// MsgReassocRelay carries an over-the-DS 802.11r fast-transition
 	// request from the client's current AP to the target AP.
 	MsgReassocRelay
+	// MsgHandoff carries cross-segment handoff control between adjacent
+	// controllers (or bridges) over the inter-segment trunk: claim,
+	// export, ack, and the baseline bridge-to-bridge transfer.
+	MsgHandoff
+)
+
+// RemoteAPID is the Stop.NewAPID sentinel meaning "the successor AP
+// lives in another segment": the stopped AP returns its start(c,k) to
+// its own controller instead of a local peer, and drains its remaining
+// cyclic backlog up the backhaul for trunk forwarding.
+const RemoteAPID = 0xFFFF
+
+// Handoff kinds (Handoff.Kind).
+const (
+	// HandoffClaim: an adjacent controller hears the client strongly and
+	// asks the owner to hand it over. Score carries the claimant's best
+	// median ESNR in dB.
+	HandoffClaim = 1
+	// HandoffExport: the owner transfers association + queue state.
+	// Index is the resume index k from the stopped AP's start(c,k);
+	// NextIndex is the owner's downlink stamping cursor.
+	HandoffExport = 2
+	// HandoffAck: the importer confirms it is serving the client.
+	HandoffAck = 3
+	// HandoffBridgeClaim: baseline — the bridge whose AP accepted a
+	// reassociation claims the client's wired state by MAC.
+	HandoffBridgeClaim = 4
+	// HandoffBridgeTransfer: baseline — the previous bridge releases the
+	// client and transfers its IP binding.
+	HandoffBridgeTransfer = 5
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +100,8 @@ func (t MsgType) String() string {
 		return "ServerData"
 	case MsgReassocRelay:
 		return "ReassocRelay"
+	case MsgHandoff:
+		return "Handoff"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -355,6 +388,40 @@ func (m *ReassocRelay) Marshal(b []byte) []byte {
 	return binary.BigEndian.AppendUint16(b, m.CurrentAPID)
 }
 
+// Handoff is the inter-segment trunk control message. Kind selects the
+// protocol step; unused fields are zero for kinds that do not carry
+// them (e.g. Index/NextIndex on a claim).
+type Handoff struct {
+	Kind     uint8
+	Client   MAC
+	IP       IP
+	Index    uint16  // resume index k (HandoffExport)
+	NextIdx  uint16  // downlink stamping cursor (HandoffExport)
+	Score    float64 // claimant's best median ESNR dB (HandoffClaim)
+	SwitchID uint32
+}
+
+// Type implements Message.
+func (*Handoff) Type() MsgType { return MsgHandoff }
+
+// Control implements Message.
+func (*Handoff) Control() bool { return true }
+
+// WireLen implements Message.
+func (*Handoff) WireLen() int { return 1 + 1 + 6 + 4 + 2 + 2 + 8 + 4 }
+
+// Marshal implements Message.
+func (m *Handoff) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgHandoff))
+	b = append(b, m.Kind)
+	b = append(b, m.Client[:]...)
+	b = append(b, m.IP[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.Index)
+	b = binary.BigEndian.AppendUint16(b, m.NextIdx)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.Score))
+	return binary.BigEndian.AppendUint32(b, m.SwitchID)
+}
+
 // Decode parses one message from b. It returns an error on truncated
 // input or an unknown type byte.
 func Decode(b []byte) (Message, error) {
@@ -463,6 +530,19 @@ func Decode(b []byte) (Message, error) {
 		copy(m.Client[:], rest[:6])
 		m.TargetAPID = binary.BigEndian.Uint16(rest[6:8])
 		m.CurrentAPID = binary.BigEndian.Uint16(rest[8:10])
+		return &m, nil
+	case MsgHandoff:
+		var m Handoff
+		if len(rest) < 27 {
+			return nil, errShort
+		}
+		m.Kind = rest[0]
+		copy(m.Client[:], rest[1:7])
+		copy(m.IP[:], rest[7:11])
+		m.Index = binary.BigEndian.Uint16(rest[11:13])
+		m.NextIdx = binary.BigEndian.Uint16(rest[13:15])
+		m.Score = math.Float64frombits(binary.BigEndian.Uint64(rest[15:23]))
+		m.SwitchID = binary.BigEndian.Uint32(rest[23:27])
 		return &m, nil
 	}
 	return nil, fmt.Errorf("packet: unknown message type %d", t)

@@ -122,6 +122,8 @@ func TestMessageRoundTrips(t *testing.T) {
 		&AssocState{Client: ClientMAC(1), IP: ClientIP(1), AID: 1, State: StateAssociated},
 		&ServerData{Inner: samplePacket()},
 		&ReassocRelay{Client: ClientMAC(1), TargetAPID: 3, CurrentAPID: 1},
+		&Handoff{Kind: HandoffExport, Client: ClientMAC(1), IP: ClientIP(1),
+			Index: 4001, NextIdx: 4005, Score: 23.5, SwitchID: 77},
 	}
 	for _, m := range msgs {
 		b := m.Marshal(nil)
@@ -143,7 +145,7 @@ func TestMessageRoundTrips(t *testing.T) {
 
 func TestControlFlag(t *testing.T) {
 	// Exactly the switching/association/BA control path is prioritized.
-	control := []Message{&Stop{}, &Start{}, &SwitchAck{}, &BAForward{}, &AssocState{}, &ReassocRelay{}}
+	control := []Message{&Stop{}, &Start{}, &SwitchAck{}, &BAForward{}, &AssocState{}, &ReassocRelay{}, &Handoff{}}
 	data := []Message{&DownlinkData{}, &UplinkData{}, &CSIReport{}, &ServerData{}}
 	for _, m := range control {
 		if !m.Control() {
@@ -172,7 +174,7 @@ func TestDecodeErrors(t *testing.T) {
 		&Stop{}, &Start{}, &SwitchAck{},
 		&CSIReport{SNRsDB: snrs},
 		&BAForward{}, &AssocState{}, &ServerData{Inner: samplePacket()},
-		&ReassocRelay{},
+		&ReassocRelay{}, &Handoff{},
 	}
 	for _, m := range msgs {
 		b := m.Marshal(nil)

@@ -43,11 +43,23 @@ func NewCyclic() *Cyclic {
 // window long ago). Inserts may arrive out of order across switches.
 func (c *Cyclic) Insert(p packet.Packet) {
 	idx := p.Index & (packet.IndexMod - 1)
-	if !c.empty && IndexDist(c.head, idx) < 0 {
-		// Stale: an index the head already passed (e.g. delivered by
-		// the previous AP before a switch). Buffering it again would
-		// resend old data, so drop it.
-		return
+	if !c.empty {
+		if d := IndexDist(c.head, idx); d < 0 {
+			if d > -recentPastWindow {
+				// Stale: an index the head already passed (e.g.
+				// delivered by the previous AP before a switch).
+				// Buffering it again would resend old data, so
+				// drop it.
+				return
+			}
+			// "Behind" only by modular ambiguity: this buffer went
+			// stale (no fan-out reached it for over half the index
+			// space) while the controller's cursor marched on and
+			// wrapped. Everything buffered predates idx — flush and
+			// restart here, or a frozen head silently drops the
+			// live stream forever.
+			c.Clear()
+		}
 	}
 	if c.slots[idx] == nil {
 		c.count++

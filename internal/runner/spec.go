@@ -68,7 +68,7 @@ func Run(spec RunSpec) float64 {
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}
-	n := core.NewNetwork(cfg)
+	n := core.MustNewNetwork(cfg)
 	warmup := spec.Warmup
 	if warmup == 0 {
 		warmup = DefaultWarmup

@@ -102,21 +102,20 @@ func (t *TCPSender) Done() bool {
 // Inflight returns the number of unacknowledged segments.
 func (t *TCPSender) Inflight() uint32 { return t.nextSeq - t.sndUna }
 
-// trySend transmits as many new segments as cwnd allows. The
-// retransmission timer restarts only when something was actually sent (or
-// was never armed): a no-op trySend — e.g. an application-pacing tick on
-// a full window — must not keep pushing the RTO into the future.
+// trySend transmits as many new segments as cwnd allows.
 func (t *TCPSender) trySend() {
-	sent := false
 	for float64(t.Inflight()) < t.cwnd {
 		if t.limit > 0 && t.nextSeq >= t.limit {
 			break
 		}
 		t.sendSeg(t.nextSeq, false)
 		t.nextSeq++
-		sent = true
 	}
-	if sent || t.rtoEv == nil {
+	// RFC 6298: start the timer when it is not running; never push an
+	// armed timer forward just because more data went out. Restarting on
+	// every transmission lets a steady stream of dup-ack-driven sends
+	// suppress the RTO indefinitely while the oldest segment stays lost.
+	if t.rtoEv == nil {
 		t.armRTO()
 	}
 }
@@ -223,6 +222,9 @@ func (t *TCPSender) OnAck(p packet.Packet) {
 		t.dupAcks++
 		if t.inFR {
 			t.cwnd++ // inflation per extra dup
+			if t.cwnd > maxCwnd {
+				t.cwnd = maxCwnd
+			}
 			t.trySend()
 			return
 		}

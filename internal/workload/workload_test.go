@@ -13,7 +13,7 @@ func staticNet(t *testing.T) (*core.Network, *core.Client) {
 	t.Helper()
 	cfg := core.DefaultConfig(core.WGTT)
 	cfg.NumAPs = 4
-	n := core.NewNetwork(cfg)
+	n := core.MustNewNetwork(cfg)
 	c := n.AddClient(mobility.Stationary{X: 7.5, Y: 0})
 	return n, c
 }
@@ -68,7 +68,7 @@ func TestVideoStallsWithoutNetwork(t *testing.T) {
 	// A video over a dead path never plays: ratio 1.
 	cfg := core.DefaultConfig(core.WGTT)
 	cfg.NumAPs = 2
-	n := core.NewNetwork(cfg)
+	n := core.MustNewNetwork(cfg)
 	c := n.AddClient(mobility.Stationary{X: 500, Y: 0}) // far out of range
 	v := NewVideo(n, c, DefaultVideoConfig())
 	v.Start()
@@ -119,7 +119,7 @@ func TestPageLoadCompletes(t *testing.T) {
 func TestPageLoadNeverFinishesIsInf(t *testing.T) {
 	cfg := core.DefaultConfig(core.WGTT)
 	cfg.NumAPs = 2
-	n := core.NewNetwork(cfg)
+	n := core.MustNewNetwork(cfg)
 	c := n.AddClient(mobility.Stationary{X: 500, Y: 0})
 	w := NewPageLoad(n, c)
 	w.Start()

@@ -15,7 +15,9 @@ func render(v fmt.Stringer) string {
 // firstDiff returns a short window around the first differing byte, so a
 // parity failure on a large result (e.g. the fig10 heatmap) stays
 // readable.
-func firstDiff(a, b string) string {
+func firstDiff(a, b string) string { return firstDiffLabeled("serial", "parallel", a, b) }
+
+func firstDiffLabeled(la, lb, a, b string) string {
 	i := 0
 	for i < len(a) && i < len(b) && a[i] == b[i] {
 		i++
@@ -31,7 +33,7 @@ func firstDiff(a, b string) string {
 		}
 		return s[lo:hi]
 	}
-	return fmt.Sprintf("at byte %d:\n  serial:   …%s…\n  parallel: …%s…", i, win(a), win(b))
+	return fmt.Sprintf("at byte %d:\n  %s: …%s…\n  %s: …%s…", i, la, win(a), lb, win(b))
 }
 
 // TestParallelSerialParity pins the tentpole guarantee: every figure the

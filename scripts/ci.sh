@@ -1,15 +1,19 @@
 #!/bin/sh
-# Repo gate: vet, build, race-test the concurrency-bearing packages,
-# then the full test suite (including the simcheck-tagged loop guard).
-# Run from the repo root: ./scripts/ci.sh
+# Repo gate: formatting, vet, build, race-test the concurrency-bearing
+# packages, then the full test suite (including the simcheck-tagged loop
+# guard). Run from the repo root: ./scripts/ci.sh
 set -eux
+
+# Formatting gate: gofmt -l prints offending files; fail if any.
+test -z "$(gofmt -l . | tee /dev/stderr)"
 
 go vet ./...
 go build ./...
 
-# The runner and the sim loop carry the concurrency invariants; shake
-# them under the race detector first.
-go test -race ./internal/runner/ ./internal/sim/
+# The runner and the sim loop carry the concurrency invariants, and the
+# deploy package's trunks cross segment event-loop boundaries; shake all
+# three under the race detector first.
+go test -race ./internal/runner/ ./internal/sim/ ./internal/deploy/
 
 # Loop owner-guard diagnostics only compile under the simcheck tag.
 go test -tags simcheck ./internal/sim/

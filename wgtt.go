@@ -29,6 +29,7 @@ package wgtt
 
 import (
 	"wgtt/internal/core"
+	"wgtt/internal/deploy"
 	"wgtt/internal/mobility"
 	"wgtt/internal/sim"
 	"wgtt/internal/workload"
@@ -47,8 +48,20 @@ const (
 	SchemeStock80211r = core.Stock80211r
 )
 
+// ParseScheme inverts the command-line scheme names ("wgtt", "11r",
+// "stock11r", case-insensitive).
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
 // Config describes a deployment; see core.Config for every knob.
 type Config = core.Config
+
+// SegmentSpec describes one road segment in a multi-segment deployment
+// (Config.Segments).
+type SegmentSpec = deploy.SegmentSpec
+
+// TrunkConfig sets the inter-segment controller-to-controller link
+// (Config.Trunk).
+type TrunkConfig = deploy.TrunkConfig
 
 // DefaultConfig returns the paper's eight-AP testbed configuration.
 func DefaultConfig(s Scheme) Config { return core.DefaultConfig(s) }
@@ -56,8 +69,9 @@ func DefaultConfig(s Scheme) Config { return core.DefaultConfig(s) }
 // Network is a fully wired deployment.
 type Network = core.Network
 
-// NewNetwork builds a deployment.
-func NewNetwork(cfg Config) *Network { return core.NewNetwork(cfg) }
+// NewNetwork builds a deployment; it panics if the configuration fails
+// validation (use core.NewNetwork directly for the error form).
+func NewNetwork(cfg Config) *Network { return core.MustNewNetwork(cfg) }
 
 // Client is a mobile station attached to a Network.
 type Client = core.Client
@@ -118,6 +132,9 @@ type Waypoint = mobility.Waypoint
 
 // NewWaypoints builds a trajectory through timed positions.
 func NewWaypoints(points []Waypoint) *Waypoints { return mobility.NewWaypoints(points) }
+
+// RouteStops places n transit stops evenly across a road span.
+func RouteStops(lo, hi float64, n int) []float64 { return mobility.RouteStops(lo, hi, n) }
 
 // StopAndGo builds a transit-style trajectory with stops along the road.
 func StopAndGo(startX, laneY, cruiseMph float64, stops []float64, stopDur Duration, endX float64) *Waypoints {
