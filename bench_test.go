@@ -2,6 +2,8 @@ package wgtt
 
 import (
 	"testing"
+
+	"wgtt/internal/core"
 )
 
 // The benchmarks below regenerate every table and figure of the paper's
@@ -202,6 +204,26 @@ func BenchmarkTable5WebPageLoad(b *testing.B) {
 		} else {
 			b.ReportMetric(r.Baseline[1], "11r@15mph_s")
 		}
+	}
+}
+
+// BenchmarkCorridorParallel times a two-client ride through a
+// 24-segment corridor (96 APs) executed as per-segment event-loop
+// domains: round-robin on one goroutine (domains-serial) vs one
+// goroutine per domain (domains-parallel). The two produce bit-identical
+// results, so the ratio of their times is the pure speedup of the
+// conservative parallel execution; it scales with physical cores (on a
+// single-core host the parallel form only pays the barrier overhead).
+// The ride is capped at 10 simulated seconds to bound each iteration.
+func BenchmarkCorridorParallel(b *testing.B) {
+	for _, mode := range []core.DomainMode{core.DomainsSerial, core.DomainsParallel} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := corridorRideN(benchOpts(i), mode, 24, 10*Second)
+				b.ReportMetric(r.MeanMbps, "Mbps")
+			}
+		})
 	}
 }
 

@@ -9,12 +9,15 @@
 //	wgtt-experiments -list
 //	wgtt-experiments -exp fig13 [-seed 7] [-workers 4]
 //	wgtt-experiments -exp all -serial
+//	wgtt-experiments -run 'fig*'          # glob over names and tags
+//	wgtt-experiments -run table -list     # filtered listing
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
 	"strings"
 
 	"wgtt"
@@ -23,41 +26,84 @@ import (
 func main() {
 	var (
 		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		runPat  = flag.String("run", "", "run the experiments whose name or tag matches this glob (e.g. 'fig*', 'table', 'micro')")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		list    = flag.Bool("list", false, "list experiments")
 		serial  = flag.Bool("serial", false, "run each experiment's runs serially (bit-identical, for debugging/profiling)")
 		workers = flag.Int("workers", 0, "cap parallel workers per experiment (0 = GOMAXPROCS)")
+
+		parallelSegments = flag.Bool("parallel-segments", false,
+			"run each multi-segment network's segments as parallel event-loop domains")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *runPat == "") {
 		fmt.Println("experiments:")
 		for _, e := range wgtt.Experiments() {
-			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
+			if *runPat != "" && !matches(e, *runPat) {
+				continue
+			}
+			fmt.Printf("  %-10s [%s] %s\n", e.Name, strings.Join(e.Tags, ","), e.Desc)
 		}
-		if *exp == "" && !*list {
+		if *exp == "" && *runPat == "" && !*list {
 			os.Exit(2)
 		}
 		return
 	}
 
-	opt := wgtt.Options{Seed: *seed, Serial: *serial, Workers: *workers}
-	run := func(name string) {
-		e, ok := wgtt.FindExperiment(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
-		}
+	opt := wgtt.NewOptions(wgtt.WithSeed(*seed), wgtt.WithSerial(*serial),
+		wgtt.WithWorkers(*workers), wgtt.WithParallelSegments(*parallelSegments))
+	run := func(e wgtt.Experiment) {
 		fmt.Println(strings.Repeat("=", 64))
 		fmt.Println(e.Run(opt))
 	}
+
+	if *runPat != "" {
+		n := 0
+		for _, e := range wgtt.Experiments() {
+			if matches(e, *runPat) {
+				run(e)
+				n++
+			}
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "no experiment name or tag matches %q (try -list)\n", *runPat)
+			os.Exit(2)
+		}
+		return
+	}
 	if *exp == "all" {
 		for _, e := range wgtt.Experiments() {
-			run(e.Name)
+			run(e)
 		}
 		return
 	}
 	for _, name := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(name))
+		e, ok := wgtt.FindExperiment(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		run(e)
 	}
+}
+
+// matches reports whether the glob (case-insensitive) matches the
+// experiment's name or any of its tags.
+func matches(e wgtt.Experiment, glob string) bool {
+	glob = strings.ToLower(glob)
+	ok, err := path.Match(glob, strings.ToLower(e.Name))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -run pattern %q: %v\n", glob, err)
+		os.Exit(2)
+	}
+	if ok {
+		return true
+	}
+	for _, tag := range e.Tags {
+		if ok, _ := path.Match(glob, strings.ToLower(tag)); ok {
+			return true
+		}
+	}
+	return false
 }

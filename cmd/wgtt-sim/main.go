@@ -5,6 +5,7 @@
 //	wgtt-sim -scheme wgtt -mph 15 -clients 1 -workload udp -rate 30
 //	wgtt-sim -scheme 11r -mph 25 -workload tcp -series
 //	wgtt-sim -segments 8x7.5,8x7.5,8x7.5 -mph 25 -workload tcp
+//	wgtt-sim -segments 8x7.5,8x7.5,8x7.5 -parallel-segments -workload udp
 package main
 
 import (
@@ -52,6 +53,9 @@ func main() {
 		segments   = flag.String("segments", "", "multi-segment roadway, e.g. 8x7.5,4x15 (NUMxSPACING per segment)")
 		series     = flag.Bool("series", false, "print 100 ms throughput series for client 0")
 		traceN     = flag.Int("trace", 0, "dump the last N switch-protocol events (tcpdump-style)")
+
+		parallelSegments = flag.Bool("parallel-segments", false,
+			"run each road segment as its own parallel event-loop domain (multi-segment WGTT, udp/tcp workloads)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,13 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Segments = specs
+	}
+	if *parallelSegments {
+		if *workloadN != "udp" && *workloadN != "tcp" {
+			fmt.Fprintf(os.Stderr, "-parallel-segments supports the udp and tcp workloads, not %q\n", *workloadN)
+			os.Exit(2)
+		}
+		cfg.Domains = wgtt.DomainsParallel
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -216,7 +216,7 @@ func ablations(opt Options, only []string) AblationResult {
 	traj, dur := driveAcross(&cfg, 15)
 	var specs []runner.RunSpec
 	for _, tc := range cases {
-		o := Options{Seed: opt.Seed, Mutate: tc.mutate, Serial: opt.Serial, Workers: opt.Workers}
+		o := Options{Seed: opt.Seed, Mutate: tc.mutate, Exec: opt.Exec}
 		res.Labels = append(res.Labels, tc.label)
 		specs = append(specs,
 			throughputSpec(SchemeWGTT, o, []Trajectory{traj}, dur, false),

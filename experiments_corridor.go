@@ -1,0 +1,92 @@
+package wgtt
+
+import (
+	"fmt"
+
+	"wgtt/internal/core"
+)
+
+// CorridorResult is the transit-corridor scenario at deployment scale:
+// two vehicles riding the full length of a three-segment roadway under
+// WGTT with saturating UDP downlink. It is the workload the per-segment
+// domain execution (-parallel-segments) is built for, and the fixture the
+// domain parity tests pin.
+type CorridorResult struct {
+	Segments      int
+	APsPerSegment int
+	SpeedMPH      float64
+	PerClientMbps []float64
+	MeanMbps      float64
+}
+
+// CorridorThroughput rides two following clients at 25 mph across a
+// three-segment corridor (4 APs per segment at the paper's 7.5 m pitch)
+// and reports per-client UDP goodput. With Options.ParallelSegments the
+// segments execute as parallel event-loop domains; otherwise the ride
+// runs on the exact single-loop path.
+func CorridorThroughput(opt Options) CorridorResult {
+	mode := core.SingleLoop
+	if opt.ParallelSegments {
+		mode = core.DomainsParallel
+	}
+	return corridorRide(opt, mode)
+}
+
+// corridorRide is the mode-explicit form the domain parity tests drive:
+// DomainsSerial and DomainsParallel must render bit-identically.
+func corridorRide(opt Options, mode core.DomainMode) CorridorResult {
+	return corridorRideN(opt, mode, 3, 0)
+}
+
+// corridorRideN is the ride at an arbitrary corridor length; the domain
+// benchmark uses it to scale the domain count past the core count. A
+// zero maxDur rides the full corridor; a positive one caps the sim time
+// (a long corridor is then only partially ridden, which is fine for
+// timing — every domain still advances through the whole window).
+func corridorRideN(opt Options, mode core.DomainMode, segments int, maxDur Duration) CorridorResult {
+	const (
+		apsPer  = 4
+		clients = 2
+		mph     = 25
+	)
+	cfg := DefaultConfig(SchemeWGTT)
+	cfg.Seed = opt.Seed
+	for i := 0; i < segments; i++ {
+		cfg.Segments = append(cfg.Segments, SegmentSpec{NumAPs: apsPer})
+	}
+	cfg.Domains = mode
+	if opt.Mutate != nil {
+		opt.Mutate(&cfg)
+	}
+	n := NewNetwork(cfg)
+	_, dur := driveAcross(&cfg, mph)
+	if maxDur > 0 && dur > maxDur {
+		dur = maxDur
+	}
+	lo, _ := cfg.RoadSpanX()
+	var meters []*throughput
+	for _, traj := range Scenario(Following, clients, lo-5, 0, mph) {
+		c := n.AddClient(traj)
+		f := NewUDPDownlink(n, c, offeredUDPMbps)
+		startAfterWarmup(n, f.Start)
+		meters = append(meters, f.Meter)
+	}
+	n.Run(dur)
+	res := CorridorResult{Segments: segments, APsPerSegment: apsPer, SpeedMPH: mph}
+	for _, m := range meters {
+		res.PerClientMbps = append(res.PerClientMbps, m.MeanMbps(n.Loop.Now()))
+	}
+	res.MeanMbps = mean(res.PerClientMbps)
+	return res
+}
+
+// String renders the ride summary.
+func (r CorridorResult) String() string {
+	rows := make([][]string, 0, len(r.PerClientMbps)+1)
+	for i, v := range r.PerClientMbps {
+		rows = append(rows, []string{fmt.Sprintf("client %d", i+1), f1(v)})
+	}
+	rows = append(rows, []string{"mean", f1(r.MeanMbps)})
+	return fmt.Sprintf("Corridor — %d segments × %d APs, %g mph, UDP downlink\n",
+		r.Segments, r.APsPerSegment, r.SpeedMPH) + fmtTable([]string{"", "Mbit/s"}, rows)
+}

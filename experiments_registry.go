@@ -1,12 +1,18 @@
 package wgtt
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Experiment is one reproducible table or figure from the paper's
 // evaluation, addressable by name from cmd/wgtt-experiments.
 type Experiment struct {
 	Name string
 	Desc string
+	// Tags classify the experiment ("figure", "table", "micro", ...) so
+	// wgtt-experiments can run subsets by glob (-run 'fig*').
+	Tags []string
 	// Run regenerates the full figure.
 	Run func(Options) fmt.Stringer
 	// Quick is a reduced variant (fewer speeds/rates/cases) used by the
@@ -23,125 +29,152 @@ func Experiments() []Experiment {
 	return []Experiment{
 		{
 			Name: "fig2",
+			Tags: []string{"figure"},
 			Desc: "best-AP flips at ms timescale (vehicular picocell regime)",
 			Run:  func(o Options) fmt.Stringer { return Fig2BestAPSwitching(o) },
 		},
 		{
 			Name: "fig4",
+			Tags: []string{"figure"},
 			Desc: "stock 802.11r handover failure at driving speed",
 			Run:  func(o Options) fmt.Stringer { return Fig4RoamingFailure(o) },
 		},
 		{
 			Name: "fig10",
+			Tags: []string{"figure"},
 			Desc: "ESNR heatmap of the deployment",
 			Run:  func(o Options) fmt.Stringer { return Fig10ESNRHeatmap(o) },
 		},
 		{
 			Name:  "table1",
+			Tags:  []string{"table"},
 			Desc:  "switching protocol execution time vs offered load",
 			Run:   func(o Options) fmt.Stringer { return Table1SwitchTime(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Table1SwitchTime(o, []float64{70}) },
 		},
 		{
 			Name:  "fig13",
+			Tags:  []string{"figure"},
 			Desc:  "TCP/UDP throughput vs client speed",
 			Run:   func(o Options) fmt.Stringer { return Fig13ThroughputVsSpeed(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Fig13ThroughputVsSpeed(o, []float64{25}) },
 		},
 		{
 			Name: "fig14",
+			Tags: []string{"figure"},
 			Desc: "TCP throughput timeseries at 15 mph",
 			Run:  func(o Options) fmt.Stringer { return Fig14TCPTimeseries(o) },
 		},
 		{
 			Name: "fig15",
+			Tags: []string{"figure"},
 			Desc: "UDP throughput timeseries at 15 mph",
 			Run:  func(o Options) fmt.Stringer { return Fig15UDPTimeseries(o) },
 		},
 		{
 			Name: "fig16",
+			Tags: []string{"figure"},
 			Desc: "link bit-rate CDF at 15 mph",
 			Run:  func(o Options) fmt.Stringer { return Fig16BitrateCDF(o) },
 		},
 		{
 			Name: "table2",
+			Tags: []string{"table"},
 			Desc: "switching accuracy vs the oracle-optimal AP",
 			Run:  func(o Options) fmt.Stringer { return Table2SwitchingAccuracy(o) },
 		},
 		{
 			Name:  "fig17",
+			Tags:  []string{"figure"},
 			Desc:  "per-client throughput with 1-3 clients",
 			Run:   func(o Options) fmt.Stringer { return Fig17MultiClient(o) },
 			Quick: func(o Options) fmt.Stringer { return fig17MultiClient(o, []int{2}) },
 		},
 		{
 			Name: "fig18",
+			Tags: []string{"figure"},
 			Desc: "uplink loss with multi-AP vs single-AP reception",
 			Run:  func(o Options) fmt.Stringer { return Fig18UplinkLoss(o) },
 		},
 		{
 			Name:  "fig20",
+			Tags:  []string{"figure"},
 			Desc:  "two-client driving patterns",
 			Run:   func(o Options) fmt.Stringer { return Fig20DrivingPatterns(o) },
 			Quick: func(o Options) fmt.Stringer { return fig20DrivingPatterns(o, []Pattern{Following}) },
 		},
 		{
 			Name:  "fig21",
+			Tags:  []string{"figure"},
 			Desc:  "capacity loss vs AP-selection window W",
 			Run:   func(o Options) fmt.Stringer { return Fig21WindowSize(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Fig21WindowSize(o, []float64{10}) },
 		},
 		{
 			Name:  "table3",
+			Tags:  []string{"table"},
 			Desc:  "link-layer ACK collision rate",
 			Run:   func(o Options) fmt.Stringer { return Table3AckCollisions(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Table3AckCollisions(o, []float64{70}) },
 		},
 		{
 			Name:  "fig22",
+			Tags:  []string{"figure"},
 			Desc:  "TCP throughput vs switching hysteresis",
 			Run:   func(o Options) fmt.Stringer { return Fig22Hysteresis(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Fig22Hysteresis(o, []float64{80}) },
 		},
 		{
 			Name:  "fig23",
+			Tags:  []string{"figure"},
 			Desc:  "UDP throughput vs AP density",
 			Run:   func(o Options) fmt.Stringer { return Fig23APDensity(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Fig23APDensity(o, []float64{25}) },
 		},
 		{
 			Name:  "table4",
+			Tags:  []string{"table"},
 			Desc:  "video rebuffer ratio",
 			Run:   func(o Options) fmt.Stringer { return Table4VideoRebuffer(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Table4VideoRebuffer(o, []float64{15}) },
 		},
 		{
 			Name:  "fig24",
+			Tags:  []string{"figure"},
 			Desc:  "video conferencing fps",
 			Run:   func(o Options) fmt.Stringer { return Fig24ConferencingFPS(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Fig24ConferencingFPS(o, []float64{15}) },
 		},
 		{
 			Name:  "table5",
+			Tags:  []string{"table"},
 			Desc:  "web page load time",
 			Run:   func(o Options) fmt.Stringer { return Table5WebPageLoad(o, nil) },
 			Quick: func(o Options) fmt.Stringer { return Table5WebPageLoad(o, []float64{15}) },
 		},
 		{
 			Name: "ablations",
+			Tags: []string{"micro"},
 			Desc: "mechanism ablations (BA fwd, queue flush, dedup, selection)",
 			Run:  func(o Options) fmt.Stringer { return Ablations(o) },
 			Quick: func(o Options) fmt.Stringer {
 				return ablations(o, []string{"full WGTT", "no BA forwarding", "latest-sample selection"})
 			},
 		},
+		{
+			Name: "corridor",
+			Tags: []string{"micro"},
+			Desc: "two-client ride across a 3-segment corridor (domain execution fixture)",
+			Run:  func(o Options) fmt.Stringer { return CorridorThroughput(o) },
+		},
 	}
 }
 
-// FindExperiment looks an experiment up by name; ok is false if unknown.
+// FindExperiment looks an experiment up by name, case-insensitively; ok
+// is false if unknown.
 func FindExperiment(name string) (Experiment, bool) {
 	for _, e := range Experiments() {
-		if e.Name == name {
+		if strings.EqualFold(e.Name, name) {
 			return e, true
 		}
 	}

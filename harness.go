@@ -14,7 +14,19 @@ import (
 	"wgtt/internal/workload"
 )
 
-// Options configure an experiment run.
+// Exec is the execution half of an experiment configuration: run-level
+// fan-out (Serial/Workers) and in-run segment parallelism
+// (ParallelSegments). It is the runner's type re-exported, so
+// runner.Options can embed the very same half and no translation layer
+// is needed.
+type Exec = runner.Exec
+
+// Options configure an experiment run: the run-control half (Seed,
+// Mutate) plus the embedded execution half (Serial, Workers,
+// ParallelSegments). Field access is source-compatible with the old flat
+// struct (opt.Serial still works); composite literals name the embedded
+// half explicitly (Options{Seed: 1, Exec: Exec{Serial: true}}) or use
+// NewOptions with functional options.
 type Options struct {
 	// Seed drives every random stream; the same seed reproduces the
 	// same result bit for bit.
@@ -22,30 +34,53 @@ type Options struct {
 	// Mutate, when non-nil, adjusts the network config before building
 	// (used by ablation benches).
 	Mutate func(*Config)
-	// Serial forces the independent runs inside each experiment to
-	// execute one after another on the calling goroutine instead of
-	// fanning out across CPU cores. Results are bit-identical either
-	// way; the flag exists for debugging and single-core profiling.
-	Serial bool
-	// Workers caps the parallel fan-out; <= 0 means GOMAXPROCS.
-	Workers int
+	// Exec is the execution half; see Exec.
+	Exec
 }
 
-// runnerOpts translates experiment options for the parallel runner.
-func runnerOpts(opt Options) runner.Options {
-	return runner.Options{Workers: opt.Workers, Serial: opt.Serial}
+// Option mutates an Options value (functional-options constructor).
+type Option func(*Options)
+
+// NewOptions builds Options from DefaultOptions plus the given options.
+func NewOptions(opts ...Option) Options {
+	o := DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithSeed sets the experiment seed.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithMutate sets the config mutation hook.
+func WithMutate(fn func(*Config)) Option { return func(o *Options) { o.Mutate = fn } }
+
+// WithSerial forces the independent runs inside each experiment to
+// execute one after another on the calling goroutine. Results are
+// bit-identical either way.
+func WithSerial(serial bool) Option { return func(o *Options) { o.Serial = serial } }
+
+// WithWorkers caps the run-level parallel fan-out; <= 0 means GOMAXPROCS.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithParallelSegments runs each multi-segment network's segments as
+// conservative parallel event-loop domains (one goroutine per segment).
+// Single-segment networks ignore it and stay on the exact serial path.
+func WithParallelSegments(on bool) Option {
+	return func(o *Options) { o.ParallelSegments = on }
 }
 
 // runSpecs executes a batch of drive-by throughput runs on the runner and
 // returns goodputs in spec order.
 func runSpecs(opt Options, specs []runner.RunSpec) []float64 {
-	return runner.RunAll(runnerOpts(opt), specs)
+	return runner.RunAll(runner.Options{Exec: opt.Exec}, specs)
 }
 
 // runAll executes arbitrary independent experiment jobs (each building its
 // own network) on the runner, returning results in job order.
 func runAll[R any](opt Options, jobs []func() R) []R {
-	return runner.Map(runnerOpts(opt), jobs, func(_ int, job func() R) R { return job() })
+	return runner.Map(runner.Options{Exec: opt.Exec}, jobs, func(_ int, job func() R) R { return job() })
 }
 
 // throughputSpec describes one bulk-flow drive-by as a runner spec.
@@ -54,7 +89,7 @@ func throughputSpec(scheme Scheme, opt Options, trajs []Trajectory, dur Duration
 	if tcp {
 		tr = runner.TCP
 	}
-	return runner.RunSpec{
+	spec := runner.RunSpec{
 		Scheme:      scheme,
 		Seed:        opt.Seed,
 		Mutate:      opt.Mutate,
@@ -64,6 +99,10 @@ func throughputSpec(scheme Scheme, opt Options, trajs []Trajectory, dur Duration
 		OfferedMbps: offeredUDPMbps,
 		Warmup:      warmup,
 	}
+	if opt.ParallelSegments {
+		spec.Domains = core.DomainsParallel
+	}
+	return spec
 }
 
 // DefaultOptions returns the options used throughout EXPERIMENTS.md.
@@ -88,6 +127,9 @@ const offeredUDPMbps = 30
 func buildNetwork(scheme Scheme, opt Options) *Network {
 	cfg := DefaultConfig(scheme)
 	cfg.Seed = opt.Seed
+	if opt.ParallelSegments {
+		cfg.Domains = core.DomainsParallel
+	}
 	if opt.Mutate != nil {
 		opt.Mutate(&cfg)
 	}

@@ -55,6 +55,15 @@ type Client struct {
 	cfg    Config
 	rng    *sim.RNG
 
+	// alive, when set, is consulted by deferred radio callbacks (contention
+	// grants, BA responses) to detect that the client has migrated to
+	// another segment domain since the callback was scheduled. The closure
+	// is supplied by the owning domain and must only touch that domain's
+	// state. Nil on the single-loop path.
+	alive func() bool
+	// keepaliveEv is the pending keepalive timer, canceled on Detach.
+	keepaliveEv *sim.Event
+
 	// AcceptFrom filters downlink data by transmitter: under WGTT every
 	// AP shares the BSSID, so it returns true for all APs; under the
 	// baseline only the associated AP's frames are accepted.
@@ -133,7 +142,10 @@ func New(id int, loop *sim.Loop, medium *mac.Medium, traj mobility.Trajectory, c
 	c.node = &mac.Node{
 		Name: fmt.Sprintf("client%d", id),
 		Addr: c.Addr,
-		Pos:  func() rf.Position { return traj.Pos(loop.Now()) },
+		// Pos reads c.loop (not the constructor argument) so a client
+		// migrated across segment domains reports positions on its
+		// current owner's clock.
+		Pos:  func() rf.Position { return c.traj.Pos(c.loop.Now()) },
 		Recv: (*clientReceiver)(c),
 	}
 	medium.Register(c.node)
@@ -141,9 +153,56 @@ func New(id int, loop *sim.Loop, medium *mac.Medium, traj mobility.Trajectory, c
 		// Real clients emit DHCP/ARP traffic right after associating;
 		// that first uplink frame is what lets the controller adopt
 		// the client immediately.
-		loop.After(sim.Millisecond, c.keepalive)
+		c.keepaliveEv = loop.After(sim.Millisecond, c.keepalive)
 	}
 	return c
+}
+
+// Now returns the client's current virtual time (its owning loop's clock).
+// Client-side transport endpoints use this as their clock so they stay
+// correct when the client migrates between segment domains.
+func (c *Client) Now() sim.Time { return c.loop.Now() }
+
+// SetAlive installs the owning domain's liveness check (see the alive
+// field). Pass nil on the single-loop path.
+func (c *Client) SetAlive(fn func() bool) { c.alive = fn }
+
+// Detach removes the client from its current loop and medium ahead of a
+// cross-domain migration: the radio is unregistered (silencing in-flight
+// transmissions and pending grants), timers are canceled, and an
+// outstanding BA wait is resolved as a timeout so the aggregator's
+// retry state survives the move. Must run on the owning domain.
+func (c *Client) Detach() {
+	c.medium.Unregister(c.node)
+	if c.keepaliveEv != nil {
+		c.loop.Cancel(c.keepaliveEv)
+		c.keepaliveEv = nil
+	}
+	if aw := c.await; aw != nil {
+		c.await = nil
+		c.loop.Cancel(aw.timer)
+		c.BATimeouts++
+		c.agg.Timeout(aw.sent)
+		c.rates.Feedback(c.loop.Now(), aw.rate, len(aw.sent), 0)
+	}
+	c.busy = false
+	c.alive = nil
+}
+
+// Attach places a detached client onto a new loop and medium (the
+// adopting domain). Must run on the adopting domain's goroutine at a
+// time consistent with the cross-domain mailbox delay.
+func (c *Client) Attach(loop *sim.Loop, medium *mac.Medium, alive func() bool) {
+	c.loop = loop
+	c.medium = medium
+	c.alive = alive
+	medium.Register(c.node)
+	if c.cfg.KeepaliveInterval > 0 {
+		// As in New: an early first keepalive lets the new segment's
+		// controller adopt the client quickly.
+		c.keepaliveEv = loop.After(sim.Millisecond, c.keepalive)
+	}
+	c.kick()
 }
 
 // Node exposes the client's radio (the core wiring needs it for channel
@@ -179,7 +238,7 @@ func (c *Client) keepalive() {
 		c.KeepalivesSent++
 		c.kick()
 	}
-	c.loop.After(c.cfg.KeepaliveInterval, c.keepalive)
+	c.keepaliveEv = c.loop.After(c.cfg.KeepaliveInterval, c.keepalive)
 }
 
 // kick starts the uplink transmit loop if idle.
@@ -188,6 +247,17 @@ func (c *Client) kick() {
 		return
 	}
 	c.busy = true
+	if alive := c.alive; alive != nil {
+		// The grant may fire after this client migrated away (and even
+		// after it migrated back); only the generation-scoped alive
+		// check distinguishes the stale grant from a live one.
+		c.medium.Contend(c.node, phy.CWMin, func() {
+			if alive() {
+				c.txop()
+			}
+		})
+		return
+	}
 	c.medium.Contend(c.node, phy.CWMin, c.txop)
 }
 
@@ -318,9 +388,16 @@ func (c *Client) onDownlinkData(t *mac.Transmission, det mac.Detection) {
 		// acknowledges decoded MPDUs even if they were duplicates:
 		// acking is about MAC receipt, not stack delivery.
 		ba := mac.BuildBitmap(t.MPDUs, det.OK)
+		// Capture the medium and liveness check now: by the time the
+		// SIFS expires the client may have migrated to another domain,
+		// and reading c.medium then would race with the new owner.
+		medium, node, alive := c.medium, c.node, c.alive
 		c.loop.After(phy.SIFS, func() {
-			c.medium.Transmit(&mac.Transmission{
-				Tx:   c.node,
+			if alive != nil && !alive() {
+				return
+			}
+			medium.Transmit(&mac.Transmission{
+				Tx:   node,
 				Dst:  t.Tx.Addr,
 				Type: mac.FrameBlockAck,
 				Rate: phy.BasicRate,

@@ -60,6 +60,36 @@ func ParseScheme(name string) (Scheme, error) {
 	return 0, fmt.Errorf("unknown scheme %q (want wgtt | 11r | stock11r)", name)
 }
 
+// DomainMode selects how a multi-segment deployment executes.
+type DomainMode int
+
+// Domain modes.
+const (
+	// SingleLoop runs the whole deployment on one event loop — the
+	// classic, exactly-serial path every golden figure pins.
+	SingleLoop DomainMode = iota
+	// DomainsSerial partitions the deployment into per-segment domains
+	// (own loop, own medium partition, mailbox trunks) but executes the
+	// synchronization rounds domain-by-domain on one goroutine.
+	DomainsSerial
+	// DomainsParallel is the same partition with one goroutine per
+	// domain; bit-identical to DomainsSerial by construction.
+	DomainsParallel
+)
+
+// String implements fmt.Stringer.
+func (m DomainMode) String() string {
+	switch m {
+	case SingleLoop:
+		return "single-loop"
+	case DomainsSerial:
+		return "domains-serial"
+	case DomainsParallel:
+		return "domains-parallel"
+	}
+	return "DomainMode(?)"
+}
+
 // Config describes a deployment.
 type Config struct {
 	Seed   int64
@@ -82,6 +112,12 @@ type Config struct {
 
 	// Trunk sets the inter-segment controller-to-controller link.
 	Trunk deploy.TrunkConfig
+
+	// Domains selects per-segment event-loop domains for multi-segment
+	// deployments (conservative parallel simulation with the trunk
+	// propagation delay as lookahead). Single-segment deployments ignore
+	// it and always take the exact serial path. See DomainMode.
+	Domains DomainMode
 
 	RF         rf.Params
 	AP         ap.Config
@@ -158,6 +194,18 @@ func (c *Config) Validate() error {
 	if c.RF.FreqHz <= 0 || c.RF.NoiseDBm >= 0 {
 		return fmt.Errorf("core: RF params look unset (FreqHz %g, NoiseDBm %g); start from rf.DefaultParams",
 			c.RF.FreqHz, c.RF.NoiseDBm)
+	}
+	if c.Domains != SingleLoop && len(c.Segments) > 1 {
+		if c.Scheme != WGTT {
+			return fmt.Errorf("core: domain mode %v requires the WGTT scheme (baseline roamers assume one shared medium)", c.Domains)
+		}
+		if c.TraceCapacity > 0 {
+			return fmt.Errorf("core: domain mode %v cannot share one trace log across domains; set TraceCapacity to 0", c.Domains)
+		}
+		if c.Trunk.PropDelay <= 0 {
+			return fmt.Errorf("core: domain mode %v needs a positive trunk PropDelay for lookahead, got %v",
+				c.Domains, c.Trunk.PropDelay)
+		}
 	}
 	return nil
 }

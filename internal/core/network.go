@@ -41,6 +41,12 @@ type Network struct {
 	Cfg  Config
 	Loop *sim.Loop
 
+	// Coord drives per-segment execution domains (Config.Domains on a
+	// multi-segment deployment); nil on the classic single-loop path.
+	// When set, Loop is the wired-server domain's loop and Medium is nil
+	// — the radio medium is partitioned per segment.
+	Coord *sim.Coordinator
+
 	Medium *mac.Medium
 	// Deploy is the segment chain. Backhaul, Ctrl, APs, Bridge, and
 	// BaseAPs below are convenience views over it: Backhaul/Ctrl/Bridge
@@ -73,6 +79,10 @@ type Network struct {
 	// ServerDuplicates counts uplink packets that reached the wired
 	// server through more than one segment's controller.
 	ServerDuplicates int
+
+	// Domain-partitioned execution (Coord != nil).
+	segs        []*segDomain
+	serverToSeg []*sim.Mailbox
 }
 
 type nodeRef struct {
@@ -86,6 +96,9 @@ type nodeRef struct {
 func NewNetwork(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Domains != SingleLoop && len(cfg.segmentGeoms()) > 1 {
+		return newDomainNetwork(cfg)
 	}
 	loop := sim.NewLoop()
 	rng := sim.NewRNG(cfg.Seed)
@@ -101,15 +114,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.TraceCapacity > 0 {
 		n.Trace = trace.New(cfg.TraceCapacity)
 	}
-	n.Medium = mac.NewMedium(loop, (*netChannel)(n), rng.Fork("medium"))
+	n.Medium = mac.NewMedium(loop, &netChannel{n: n, loop: loop}, rng.Fork("medium"))
 
-	d, err := deploy.New(loop, cfg.segmentGeoms(), cfg.Backhaul, cfg.Trunk,
-		func(si int) backhaul.Handler {
+	d, err := deploy.Builder{
+		Loop:     loop,
+		Geoms:    cfg.segmentGeoms(),
+		Backhaul: cfg.Backhaul,
+		Trunk:    cfg.Trunk,
+		ServerHandler: func(si int) backhaul.Handler {
 			return func(from backhaul.NodeID, msg packet.Message) {
 				n.onServerBackhaul(si, from, msg)
 			}
 		},
-		func(seg *deploy.Segment) deploy.Plane {
+		BuildPlane: func(seg *deploy.Segment) deploy.Plane {
 			// The only scheme switch in the network: pick the plane.
 			switch cfg.Scheme {
 			case WGTT:
@@ -135,7 +152,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 				}
 				return p
 			}
-		})
+		},
+	}.Build()
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +203,15 @@ func (n *Network) Bridges() []*baseline.Bridge {
 // points.
 func (n *Network) AddClient(traj mobility.Trajectory) *Client {
 	id := len(n.Clients)
-	cl := client.New(id, n.Loop, n.Medium, traj, n.Cfg.Client, n.rng.Fork(fmt.Sprintf("client%d", id)))
+	loop, medium := n.Loop, n.Medium
+	var home *segDomain
+	if n.Coord != nil {
+		// Domain mode: the segment whose AP is nearest the start owns
+		// the client's radio.
+		home = n.segs[n.Deploy.SegmentOfAP(n.nearestAP(traj.Pos(0))).Index]
+		loop, medium = home.dom.Loop, home.medium
+	}
+	cl := client.New(id, loop, medium, traj, n.Cfg.Client, n.rng.Fork(fmt.Sprintf("client%d", id)))
 	c := &Client{Client: cl, Traj: traj, demux: make(map[uint16]func(packet.Packet))}
 	cl.OnPacket = func(p packet.Packet) {
 		if fn := c.demux[p.DstPort]; fn != nil {
@@ -217,6 +243,9 @@ func (n *Network) AddClient(traj mobility.Trajectory) *Client {
 		c.Roamer = baseline.NewRoamer(n.Loop, n.Medium, cl, node, n.Cfg.Roamer)
 	}
 	n.route[cl.IP] = seg.Index
+	if home != nil {
+		home.acceptResident(c)
+	}
 	return c
 }
 
@@ -232,7 +261,13 @@ func (n *Network) nearestAP(pos rf.Position) int {
 }
 
 // Run advances the network to the given virtual time.
-func (n *Network) Run(until sim.Duration) { n.Loop.Run(sim.Time(until)) }
+func (n *Network) Run(until sim.Duration) {
+	if n.Coord != nil {
+		n.Coord.Run(sim.Time(until))
+		return
+	}
+	n.Loop.Run(sim.Time(until))
+}
 
 // ServerHandle registers an uplink consumer for a destination port at the
 // wired server.
@@ -256,8 +291,17 @@ func (n *Network) SendFromServer(p packet.Packet) {
 	if s, ok := n.route[p.Dst]; ok {
 		si = s
 	}
-	n.Deploy.Segments[si].Backhaul.Send(deploy.NodeServer, deploy.NodeController,
-		&packet.ServerData{Inner: p})
+	msg := &packet.ServerData{Inner: p}
+	if n.Coord != nil {
+		// Cross the server→segment mailbox; the backhaul hop itself runs
+		// in the segment domain.
+		bh := n.Deploy.Segments[si].Backhaul
+		n.serverToSeg[si].Post(n.Loop.Now().Add(n.Cfg.Trunk.PropDelay), func() {
+			bh.Send(deploy.NodeServer, deploy.NodeController, msg)
+		})
+		return
+	}
+	n.Deploy.Segments[si].Backhaul.Send(deploy.NodeServer, deploy.NodeController, msg)
 }
 
 // onServerBackhaul receives uplink packets at the wired server's tap on
@@ -335,12 +379,18 @@ func (n *Network) OracleBestAP(clientID int) int {
 	return best
 }
 
-// netChannel implements mac.Channel over the deployment geometry.
-type netChannel Network
+// netChannel implements mac.Channel over the deployment geometry for one
+// radio domain: the whole network on the single-loop path, or one
+// segment's medium partition in domain mode. Positions are sampled on the
+// domain's own clock so concurrent domains never read another loop.
+type netChannel struct {
+	n    *Network
+	loop *sim.Loop
+}
 
 // SubcarrierSNRs implements mac.Channel.
 func (nc *netChannel) SubcarrierSNRs(tx, rx *mac.Node, dst []float64) bool {
-	n := (*Network)(nc)
+	n := nc.n
 	tref, tok := n.nodeKind[tx]
 	rref, rok := n.nodeKind[rx]
 	if !tok || !rok {
@@ -349,16 +399,16 @@ func (nc *netChannel) SubcarrierSNRs(tx, rx *mac.Node, dst []float64) bool {
 	switch {
 	case tref.isAP && !rref.isAP:
 		// Downlink: AP → client.
-		pos := n.Clients[rref.idx].Traj.Pos(n.Loop.Now())
+		pos := n.Clients[rref.idx].Traj.Pos(nc.loop.Now())
 		n.links[rref.idx][tref.idx].SubcarrierSNRsDB(pos, dst)
 		return true
 	case !tref.isAP && rref.isAP:
 		// Uplink: reciprocal channel.
-		pos := n.Clients[tref.idx].Traj.Pos(n.Loop.Now())
+		pos := n.Clients[tref.idx].Traj.Pos(nc.loop.Now())
 		n.links[tref.idx][rref.idx].SubcarrierSNRsDB(pos, dst)
 		return true
 	case !tref.isAP && !rref.isAP:
-		snr := n.clientClientSNR(tref.idx, rref.idx)
+		snr := nc.clientClientSNR(tref.idx, rref.idx)
 		if snr < -5 {
 			return false
 		}
@@ -382,7 +432,7 @@ func (nc *netChannel) SubcarrierSNRs(tx, rx *mac.Node, dst []float64) bool {
 
 // SenseSNRdB implements mac.Channel (large-scale only).
 func (nc *netChannel) SenseSNRdB(tx, rx *mac.Node) float64 {
-	n := (*Network)(nc)
+	n := nc.n
 	tref, tok := n.nodeKind[tx]
 	rref, rok := n.nodeKind[rx]
 	if !tok || !rok {
@@ -390,13 +440,13 @@ func (nc *netChannel) SenseSNRdB(tx, rx *mac.Node) float64 {
 	}
 	switch {
 	case tref.isAP && !rref.isAP:
-		pos := n.Clients[rref.idx].Traj.Pos(n.Loop.Now())
+		pos := n.Clients[rref.idx].Traj.Pos(nc.loop.Now())
 		return n.links[rref.idx][tref.idx].MeanSNRdB(pos)
 	case !tref.isAP && rref.isAP:
-		pos := n.Clients[tref.idx].Traj.Pos(n.Loop.Now())
+		pos := n.Clients[tref.idx].Traj.Pos(nc.loop.Now())
 		return n.links[tref.idx][rref.idx].MeanSNRdB(pos)
 	case !tref.isAP && !rref.isAP:
-		return n.clientClientSNR(tref.idx, rref.idx)
+		return nc.clientClientSNR(tref.idx, rref.idx)
 	default:
 		a := n.Cfg.APPosition(tref.idx)
 		b := n.Cfg.APPosition(rref.idx)
@@ -409,9 +459,10 @@ func (nc *netChannel) SenseSNRdB(tx, rx *mac.Node) float64 {
 
 // clientClientSNR is the vehicle-to-vehicle budget: omni antennas, double
 // in-vehicle penetration, log-distance path loss.
-func (n *Network) clientClientSNR(a, b int) float64 {
-	pa := n.Clients[a].Traj.Pos(n.Loop.Now())
-	pb := n.Clients[b].Traj.Pos(n.Loop.Now())
+func (nc *netChannel) clientClientSNR(a, b int) float64 {
+	n := nc.n
+	pa := n.Clients[a].Traj.Pos(nc.loop.Now())
+	pb := n.Clients[b].Traj.Pos(nc.loop.Now())
 	d := pa.Distance(pb)
 	if d < 1 {
 		d = 1

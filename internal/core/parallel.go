@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"wgtt/internal/backhaul"
+	"wgtt/internal/client"
+	"wgtt/internal/deploy"
+	"wgtt/internal/mac"
+	"wgtt/internal/packet"
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// This file builds the domain-partitioned execution of a multi-segment
+// deployment (Config.Domains != SingleLoop): every segment becomes a
+// sim.Domain owning its own event loop, radio-medium partition, backhaul,
+// and control plane; one extra domain hosts the wired server. Domains
+// interact only through sim.Mailboxes whose minimum latency is the trunk
+// propagation delay, which is therefore the conservative-synchronization
+// lookahead. Clients are owned by exactly one segment domain at a time;
+// a per-domain border patrol migrates a client's radio to the adjacent
+// segment when its position says so, and the controllers' existing
+// cross-segment claim/handoff protocol then moves the control-plane state
+// over the trunk exactly as it does on the single-loop path.
+
+// patrolInterval paces the per-domain border patrol. It must be long
+// relative to the lookahead (so migration latency is dominated by physics,
+// not patrol quantization) and short relative to handoff dynamics; 5 ms
+// adds at most one beacon interval of extra staleness to a crossing.
+const patrolInterval = 5 * sim.Millisecond
+
+// segDomain is one segment's execution domain.
+type segDomain struct {
+	n      *Network
+	idx    int
+	dom    *sim.Domain
+	medium *mac.Medium
+
+	// resident maps each owned client to its adoption generation; the
+	// generation distinguishes a client's current residency from a
+	// previous one (a client can leave and come back), so callbacks
+	// scheduled during an old residency can detect they are stale. Only
+	// this domain touches the map.
+	resident map[*client.Client]uint64
+	nextGen  uint64
+	// order lists owned clients in adoption order, the deterministic
+	// iteration order for the patrol.
+	order []*Client
+
+	toPrev   *sim.Mailbox // nil on the first segment
+	toNext   *sim.Mailbox // nil on the last segment
+	toServer *sim.Mailbox
+}
+
+// aliveAt returns the liveness check handed to a client for one
+// residency: it is true only while the client is still owned by this
+// domain under the same adoption generation. The closure reads only this
+// domain's state and is only invoked by events on this domain's loop.
+func (s *segDomain) aliveAt(cl *client.Client, gen uint64) func() bool {
+	return func() bool { return s.resident[cl] == gen }
+}
+
+// acceptResident records initial ownership of a client built directly on
+// this domain (construction time).
+func (s *segDomain) acceptResident(c *Client) {
+	s.nextGen++
+	s.resident[c.Client] = s.nextGen
+	s.order = append(s.order, c)
+	c.SetAlive(s.aliveAt(c.Client, s.nextGen))
+}
+
+// adopt attaches a migrating client to this domain. Runs as a mailbox
+// thunk on this domain's loop, one lookahead after the Detach.
+func (s *segDomain) adopt(c *Client) {
+	s.nextGen++
+	s.resident[c.Client] = s.nextGen
+	s.order = append(s.order, c)
+	c.Attach(s.dom.Loop, s.medium, s.aliveAt(c.Client, s.nextGen))
+}
+
+// patrol walks the domain's clients and hands off any whose position now
+// belongs to another segment, one adjacent hop per tick. The radio moves
+// immediately (Detach) and the adoption lands one lookahead later in the
+// neighbour; the controllers' claim protocol follows on its own.
+func (s *segDomain) patrol() {
+	s.dom.Loop.After(patrolInterval, s.patrol)
+	now := s.dom.Loop.Now()
+	kept := s.order[:0]
+	for _, c := range s.order {
+		want := s.n.segmentForPos(c.Traj.Pos(now))
+		var mb *sim.Mailbox
+		var dst *segDomain
+		switch {
+		case want > s.idx && s.toNext != nil:
+			mb, dst = s.toNext, s.n.segs[s.idx+1]
+		case want < s.idx && s.toPrev != nil:
+			mb, dst = s.toPrev, s.n.segs[s.idx-1]
+		}
+		if mb == nil {
+			kept = append(kept, c)
+			continue
+		}
+		c.Detach()
+		delete(s.resident, c.Client)
+		moved := c
+		mb.Post(now.Add(s.n.Cfg.Trunk.PropDelay), func() { dst.adopt(moved) })
+	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+}
+
+// segmentForPos returns the index of the segment owning a road position
+// (the one whose AP is nearest). Pure geometry — safe from any domain.
+func (n *Network) segmentForPos(pos rf.Position) int {
+	return n.Deploy.SegmentOfAP(n.nearestAP(pos)).Index
+}
+
+// newDomainNetwork builds the partitioned form of the network. The
+// resulting behaviour is NOT bit-identical to the single-loop path (the
+// medium is partitioned, so cross-segment radio interference disappears
+// and per-segment RNG streams replace the shared one); what IS guaranteed
+// is that DomainsSerial and DomainsParallel are bit-identical to each
+// other, which is what the parity tests pin.
+func newDomainNetwork(cfg Config) (*Network, error) {
+	geoms := cfg.segmentGeoms()
+	lookahead := cfg.Trunk.PropDelay
+	coord := sim.NewCoordinator(lookahead, cfg.Domains == DomainsParallel)
+	rng := sim.NewRNG(cfg.Seed)
+	n := &Network{
+		Cfg:         cfg,
+		Coord:       coord,
+		rng:         rng,
+		nodeKind:    make(map[*mac.Node]nodeRef),
+		serverDemux: make(map[uint16]func(packet.Packet)),
+		route:       make(map[packet.IP]int),
+		serverDedup: make(map[packet.DedupKey]bool),
+	}
+	for i := range geoms {
+		d := coord.NewDomain(fmt.Sprintf("seg%d", i))
+		sd := &segDomain{
+			n: n, idx: i, dom: d,
+			resident: make(map[*client.Client]uint64),
+		}
+		sd.medium = mac.NewMedium(d.Loop, &netChannel{n: n, loop: d.Loop},
+			rng.Fork(fmt.Sprintf("medium%d", i)))
+		n.segs = append(n.segs, sd)
+	}
+	server := coord.NewDomain("server")
+	n.Loop = server.Loop
+
+	// Mailboxes: adjacent-segment pairs (trunk traffic + client
+	// migration) and every segment's link to the wired server. All share
+	// the trunk propagation delay, so one lookahead bounds them all.
+	for i := 0; i+1 < len(n.segs); i++ {
+		n.segs[i].toNext = coord.Connect(n.segs[i].dom, n.segs[i+1].dom, lookahead)
+		n.segs[i+1].toPrev = coord.Connect(n.segs[i+1].dom, n.segs[i].dom, lookahead)
+	}
+	for _, sd := range n.segs {
+		sd.toServer = coord.Connect(sd.dom, server, lookahead)
+		n.serverToSeg = append(n.serverToSeg, coord.Connect(server, sd.dom, lookahead))
+	}
+
+	d, err := deploy.Builder{
+		Geoms:       geoms,
+		Backhaul:    cfg.Backhaul,
+		Trunk:       cfg.Trunk,
+		SegmentLoop: func(i int) *sim.Loop { return n.segs[i].dom.Loop },
+		TrunkPost: func(from, to int) func(at sim.Time, fn func()) {
+			if to == from+1 {
+				return n.segs[from].toNext.Post
+			}
+			return n.segs[from].toPrev.Post
+		},
+		ServerHandler: func(si int) backhaul.Handler {
+			sd := n.segs[si]
+			return func(from backhaul.NodeID, msg packet.Message) {
+				// The segment's server tap crosses into the server
+				// domain; route/dedup state then stays server-local.
+				sd.toServer.Post(sd.dom.Loop.Now().Add(lookahead), func() {
+					n.onServerBackhaul(si, from, msg)
+				})
+			}
+		},
+		BuildPlane: func(seg *deploy.Segment) deploy.Plane {
+			sd := n.segs[seg.Index]
+			p := deploy.NewWGTTPlane(seg, sd.dom.Loop, sd.medium, nil, rng,
+				cfg.AP, cfg.Controller)
+			if n.Ctrl == nil {
+				n.Ctrl = p.Ctrl
+			}
+			for _, a := range p.APs {
+				n.APs = append(n.APs, a)
+				n.apNodes = append(n.apNodes, a.Node())
+				n.nodeKind[a.Node()] = nodeRef{isAP: true, idx: int(a.ID)}
+			}
+			return p
+		},
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	n.Deploy = d
+	n.Backhaul = d.Segments[0].Backhaul
+	for _, sd := range n.segs {
+		sd := sd
+		sd.dom.Loop.After(patrolInterval, sd.patrol)
+	}
+	return n, nil
+}

@@ -134,33 +134,79 @@ func (d *Deployment) SegmentOfAP(global int) *Segment {
 	return nil
 }
 
-// New builds the segments and wires adjacent planes with trunks. The
-// callbacks keep scheme knowledge out of this package: serverHandler
-// returns the wired server's receive handler for a segment's backhaul
-// tap, and buildPlane constructs the scheme-specific plane (it runs
-// after the segment's backhaul and server tap exist, preserving the
-// single-segment construction order bit-for-bit).
-func New(loop *sim.Loop, geoms []Geometry, bhCfg backhaul.Config, trunkCfg TrunkConfig,
-	serverHandler func(seg int) backhaul.Handler,
-	buildPlane func(seg *Segment) Plane) (*Deployment, error) {
-	if len(geoms) == 0 {
+// Builder assembles a Deployment. The two callbacks keep scheme
+// knowledge out of this package: ServerHandler returns the wired
+// server's receive handler for a segment's backhaul tap, and BuildPlane
+// constructs the scheme-specific plane (it runs after the segment's
+// backhaul and server tap exist, preserving the single-segment
+// construction order bit-for-bit). The optional SegmentLoop/TrunkPost
+// hooks partition the deployment into per-segment event-loop domains;
+// when unset, everything shares Loop and trunks schedule directly on
+// it, which is the exact serial path the golden figures pin.
+type Builder struct {
+	// Loop is the shared event loop for single-domain deployments; it
+	// is ignored when SegmentLoop is set.
+	Loop *sim.Loop
+	// Geoms is the resolved per-segment geometry chain.
+	Geoms []Geometry
+	// Backhaul configures every segment's intra-segment backhaul.
+	Backhaul backhaul.Config
+	// Trunk configures the inter-segment links.
+	Trunk TrunkConfig
+	// ServerHandler returns the wired server's backhaul tap for a
+	// segment.
+	ServerHandler func(seg int) backhaul.Handler
+	// BuildPlane constructs the scheme-specific plane for a segment.
+	BuildPlane func(seg *Segment) Plane
+	// SegmentLoop, when set, gives each segment its own event loop
+	// (conservative parallel domains). The segment's backhaul and plane
+	// are built on that loop.
+	SegmentLoop func(seg int) *sim.Loop
+	// TrunkPost, when set, returns the cross-domain scheduler used to
+	// deliver trunk messages from segment from into segment to's loop
+	// (typically a sim.Mailbox.Post bound to that directed edge). Must
+	// be set whenever SegmentLoop is.
+	TrunkPost func(from, to int) func(at sim.Time, fn func())
+}
+
+// Build constructs the segments and wires adjacent planes with trunks.
+func (b Builder) Build() (*Deployment, error) {
+	if len(b.Geoms) == 0 {
 		return nil, fmt.Errorf("deploy: a deployment needs at least one segment")
+	}
+	if b.SegmentLoop != nil && b.TrunkPost == nil && len(b.Geoms) > 1 {
+		return nil, fmt.Errorf("deploy: SegmentLoop without TrunkPost cannot link segments")
+	}
+	loopFor := func(i int) *sim.Loop {
+		if b.SegmentLoop != nil {
+			return b.SegmentLoop(i)
+		}
+		return b.Loop
 	}
 	d := &Deployment{}
 	apBase := 0
-	for i, g := range geoms {
+	for i, g := range b.Geoms {
 		if err := g.Validate(); err != nil {
 			return nil, fmt.Errorf("segment %d: %w", i, err)
 		}
 		seg := &Segment{Index: i, APBase: apBase, Geom: g}
-		seg.Backhaul = backhaul.New(loop, bhCfg)
-		seg.Backhaul.AddNode(NodeServer, serverHandler(i))
-		seg.Plane = buildPlane(seg)
+		seg.Backhaul = backhaul.New(loopFor(i), b.Backhaul)
+		seg.Backhaul.AddNode(NodeServer, b.ServerHandler(i))
+		seg.Plane = b.BuildPlane(seg)
 		d.Segments = append(d.Segments, seg)
 		apBase += g.NumAPs
 	}
 	for i := 0; i+1 < len(d.Segments); i++ {
-		d.Segments[i].Plane.ConnectNext(d.Segments[i+1].Plane, loop, trunkCfg)
+		li, lj := loopFor(i), loopFor(i+1)
+		postFwd := func(at sim.Time, fn func()) { lj.At(at, fn) }
+		postRev := func(at sim.Time, fn func()) { li.At(at, fn) }
+		if b.TrunkPost != nil {
+			postFwd = b.TrunkPost(i, i+1)
+			postRev = b.TrunkPost(i+1, i)
+		}
+		fwd := NewTrunk(li.Now, postFwd, b.Trunk)
+		rev := NewTrunk(lj.Now, postRev, b.Trunk)
+		d.Segments[i].Plane.ConnectNext(d.Segments[i+1].Plane, fwd, rev)
 	}
 	return d, nil
 }
@@ -186,25 +232,37 @@ func DefaultTrunkConfig() TrunkConfig {
 // trunkEncapOverhead mirrors the backhaul's per-message wire overhead.
 const trunkEncapOverhead = 66
 
-// trunk is one direction of an inter-segment link: reliable, FIFO,
-// serialization at the line rate plus fixed propagation.
-type trunk struct {
-	loop    *sim.Loop
+// Trunk is one direction of an inter-segment link: reliable, FIFO,
+// serialization at the line rate plus fixed propagation. It is a
+// cross-domain channel: now reads the sending side's clock and post
+// schedules the arrival on the receiving side — either the same loop
+// (serial) or a sim.Mailbox.Post crossing domains. Because the arrival
+// is always at least PropDelay after the sender's now, PropDelay lower-
+// bounds the trunk's latency and serves as the conservative-sync
+// lookahead.
+type Trunk struct {
+	now     func() sim.Time
+	post    func(at sim.Time, fn func())
 	cfg     TrunkConfig
 	free    sim.Time // egress availability
 	deliver func(msg packet.Message)
 }
 
+// NewTrunk builds one trunk direction from a sender clock and a
+// receiver scheduler.
+func NewTrunk(now func() sim.Time, post func(at sim.Time, fn func()), cfg TrunkConfig) *Trunk {
+	return &Trunk{now: now, post: post, cfg: cfg}
+}
+
 // Deliver implements the planes' Peer interfaces.
-func (t *trunk) Deliver(m packet.Message) {
+func (t *Trunk) Deliver(m packet.Message) {
 	wire := m.WireLen() + trunkEncapOverhead
 	ser := sim.Duration(float64(wire*8) / t.cfg.LinkMbps * float64(sim.Microsecond))
-	now := t.loop.Now()
-	start := now
+	start := t.now()
 	if t.free.After(start) {
 		start = t.free
 	}
 	t.free = start.Add(ser)
 	arrive := t.free.Add(t.cfg.PropDelay)
-	t.loop.After(arrive.Sub(now), func() { t.deliver(m) })
+	t.post(arrive, func() { t.deliver(m) })
 }

@@ -72,7 +72,8 @@ func TestSegmentAPOwnership(t *testing.T) {
 // with back-to-back messages queuing behind each other's serialization.
 func TestTrunkFIFO(t *testing.T) {
 	loop := sim.NewLoop()
-	tr := &trunk{loop: loop, cfg: TrunkConfig{LinkMbps: 1000, PropDelay: 200 * sim.Microsecond}}
+	tr := NewTrunk(loop.Now, func(at sim.Time, fn func()) { loop.At(at, fn) },
+		TrunkConfig{LinkMbps: 1000, PropDelay: 200 * sim.Microsecond})
 	var got []uint32
 	var times []sim.Time
 	tr.deliver = func(m packet.Message) {
@@ -108,5 +109,8 @@ func TestMixedSchemePanics(t *testing.T) {
 		}
 	}()
 	loop := sim.NewLoop()
-	(&WGTTPlane{}).ConnectNext(&BaselinePlane{}, loop, DefaultTrunkConfig())
+	post := func(at sim.Time, fn func()) { loop.At(at, fn) }
+	cfg := DefaultTrunkConfig()
+	(&WGTTPlane{}).ConnectNext(&BaselinePlane{},
+		NewTrunk(loop.Now, post, cfg), NewTrunk(loop.Now, post, cfg))
 }

@@ -27,8 +27,9 @@ type Plane interface {
 	// (-1 none) from the wire side's point of view.
 	ServingAP(addr packet.MAC) int
 	// ConnectNext wires the bidirectional trunk toward the next
-	// segment's plane. Both planes must run the same scheme.
-	ConnectNext(next Plane, loop *sim.Loop, cfg TrunkConfig)
+	// segment's plane: fwd carries this plane's messages to next, rev
+	// the reverse. Both planes must run the same scheme.
+	ConnectNext(next Plane, fwd, rev *Trunk)
 }
 
 // segFabric resolves global AP ids onto one segment's backhaul. Ids
@@ -112,13 +113,11 @@ func (p *WGTTPlane) Associate(clientID int, addr packet.MAC, ip packet.IP, pos r
 func (p *WGTTPlane) ServingAP(addr packet.MAC) int { return p.Ctrl.ServingAP(addr) }
 
 // ConnectNext implements Plane: a bidirectional controller trunk.
-func (p *WGTTPlane) ConnectNext(next Plane, loop *sim.Loop, cfg TrunkConfig) {
+func (p *WGTTPlane) ConnectNext(next Plane, fwd, rev *Trunk) {
 	q, ok := next.(*WGTTPlane)
 	if !ok {
 		panic("deploy: adjacent segments must run the same scheme")
 	}
-	fwd := &trunk{loop: loop, cfg: cfg} // p -> q
-	rev := &trunk{loop: loop, cfg: cfg} // q -> p
 	atP := p.Ctrl.ConnectPeer(fwd)
 	atQ := q.Ctrl.ConnectPeer(rev)
 	fwd.deliver = func(m packet.Message) { q.Ctrl.OnTrunk(atQ, m) }
@@ -166,13 +165,11 @@ func (p *BaselinePlane) Associate(clientID int, addr packet.MAC, ip packet.IP, p
 func (p *BaselinePlane) ServingAP(addr packet.MAC) int { return p.Bridge.AssociatedAP(addr) }
 
 // ConnectNext implements Plane: a bidirectional bridge trunk.
-func (p *BaselinePlane) ConnectNext(next Plane, loop *sim.Loop, cfg TrunkConfig) {
+func (p *BaselinePlane) ConnectNext(next Plane, fwd, rev *Trunk) {
 	q, ok := next.(*BaselinePlane)
 	if !ok {
 		panic("deploy: adjacent segments must run the same scheme")
 	}
-	fwd := &trunk{loop: loop, cfg: cfg}
-	rev := &trunk{loop: loop, cfg: cfg}
 	atP := p.Bridge.ConnectPeer(fwd)
 	atQ := q.Bridge.ConnectPeer(rev)
 	fwd.deliver = func(m packet.Message) { q.Bridge.OnTrunk(atQ, m) }

@@ -136,6 +136,9 @@ type Transmission struct {
 	// expectsBA marks unicast data that reserves the medium for the
 	// SIFS + BA response (NAV).
 	expectsBA bool
+	// deliverEv is the scheduled PPDU-end delivery, kept so Unregister
+	// can silence a migrating node's in-flight transmission.
+	deliverEv *sim.Event
 }
 
 // Broadcast is the all-ones destination address.

@@ -97,6 +97,48 @@ func (m *Medium) Register(n *Node) {
 	m.nodes = append(m.nodes, n)
 }
 
+// Unregister detaches a node from the channel: the node stops hearing
+// deliveries, its in-flight transmissions are silenced (their delivery
+// events canceled), and its pending contention grants are abandoned (the
+// grant event finds the node gone and returns). Used by cross-segment
+// client migration; the node can later be Registered on another medium.
+func (m *Medium) Unregister(n *Node) {
+	out := m.nodes[:0]
+	for _, x := range m.nodes {
+		if x != n {
+			out = append(out, x)
+		}
+	}
+	for i := len(out); i < len(m.nodes); i++ {
+		m.nodes[i] = nil
+	}
+	m.nodes = out
+
+	act := m.active[:0]
+	for _, t := range m.active {
+		if t.Tx == n {
+			m.loop.Cancel(t.deliverEv)
+			n.transmitting = false
+			continue
+		}
+		act = append(act, t)
+	}
+	for i := len(act); i < len(m.active); i++ {
+		m.active[i] = nil
+	}
+	m.active = act
+}
+
+// registered reports whether n is attached to this medium.
+func (m *Medium) registered(n *Node) bool {
+	for _, x := range m.nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
 // Stats returns medium counters.
 func (m *Medium) Stats() MediumStats { return m.stats }
 
@@ -164,6 +206,12 @@ func (m *Medium) contendAfter(n *Node, slots int, cb func()) {
 	}
 	grant := start.Add(phy.DIFS + sim.Duration(slots)*phy.Slot)
 	m.loop.At(grant, func() {
+		// The node may have been Unregistered (migrated to another
+		// segment's medium) while the grant was pending; its channel
+		// realizations are no longer ours to touch.
+		if !m.registered(n) {
+			return
+		}
 		// The channel may have become busy again; freeze the backoff
 		// and resume after it clears (approximating 802.11's counter
 		// freeze with a single remaining-slot re-draw).
@@ -186,7 +234,7 @@ func (m *Medium) Transmit(t *Transmission) {
 	m.stats.PPDUs++
 	m.stats.MPDUs += len(t.MPDUs)
 
-	m.loop.At(t.End, func() {
+	t.deliverEv = m.loop.At(t.End, func() {
 		t.Tx.transmitting = false
 		m.deliverAll(t)
 		m.prune()

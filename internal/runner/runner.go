@@ -18,15 +18,27 @@ import (
 	"sync/atomic"
 )
 
-// Options configure how a batch of runs executes.
-type Options struct {
-	// Workers is the number of concurrent workers; <= 0 means
-	// runtime.GOMAXPROCS(0).
-	Workers int
+// Exec is the execution half of a run configuration: how work is spread
+// over goroutines, both across independent runs (Workers/Serial) and
+// inside a single multi-segment simulation (ParallelSegments). The public
+// wgtt.Options embeds it, so the fields surface unchanged on the facade.
+type Exec struct {
 	// Serial forces in-order execution on the calling goroutine — the
 	// escape hatch for debugging and for environments where spawning
 	// goroutines is undesirable. Results are identical either way.
 	Serial bool
+	// Workers is the number of concurrent workers; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// ParallelSegments runs each multi-segment network's segments as
+	// conservative parallel domains (core.DomainsParallel); see
+	// RunSpec.Domains. Single-segment networks ignore it.
+	ParallelSegments bool
+}
+
+// Options configure how a batch of runs executes.
+type Options struct {
+	Exec
 }
 
 // deque is a range [lo, hi) of run indices packed into one atomic word.

@@ -15,11 +15,11 @@ func TestMapOrderAndCompleteness(t *testing.T) {
 		items[i] = i * 3
 	}
 	for _, opt := range []Options{
-		{Serial: true},
-		{Workers: 1},
-		{Workers: 2},
-		{Workers: 7},
-		{Workers: 64}, // more workers than a 1-core box has; still correct
+		{Exec: Exec{Serial: true}},
+		{Exec: Exec{Workers: 1}},
+		{Exec: Exec{Workers: 2}},
+		{Exec: Exec{Workers: 7}},
+		{Exec: Exec{Workers: 64}}, // more workers than a 1-core box has; still correct
 	} {
 		got := Map(opt, items, func(i, v int) int { return v + i })
 		if len(got) != len(items) {
@@ -37,7 +37,7 @@ func TestMapEachIndexExactlyOnce(t *testing.T) {
 	const n = 1000
 	var counts [n]atomic.Int32
 	items := make([]struct{}, n)
-	Map(Options{Workers: 8}, items, func(i int, _ struct{}) int {
+	Map(Options{Exec: Exec{Workers: 8}}, items, func(i int, _ struct{}) int {
 		counts[i].Add(1)
 		return 0
 	})
@@ -100,8 +100,8 @@ func TestRunSpecParallelMatchesSerial(t *testing.T) {
 			})
 		}
 	}
-	serial := RunAll(Options{Serial: true}, specs)
-	parallel := RunAll(Options{Workers: 4}, specs)
+	serial := RunAll(Options{Exec: Exec{Serial: true}}, specs)
+	parallel := RunAll(Options{Exec: Exec{Workers: 4}}, specs)
 	for i := range specs {
 		if serial[i] != parallel[i] {
 			t.Fatalf("spec %d: serial %.9f Mbit/s, parallel %.9f", i, serial[i], parallel[i])

@@ -56,6 +56,10 @@ type RunSpec struct {
 	OfferedMbps float64
 	// Warmup delays flow start; zero means DefaultWarmup.
 	Warmup sim.Duration
+	// Domains, when not SingleLoop, partitions a multi-segment network
+	// into per-segment event-loop domains (serial rounds or one
+	// goroutine per segment). Applied after Mutate.
+	Domains core.DomainMode
 }
 
 // Run executes one spec on a fresh network and returns the mean per-client
@@ -67,6 +71,9 @@ func Run(spec RunSpec) float64 {
 	cfg.Seed = spec.Seed
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
+	}
+	if spec.Domains != core.SingleLoop {
+		cfg.Domains = spec.Domains
 	}
 	n := core.MustNewNetwork(cfg)
 	warmup := spec.Warmup

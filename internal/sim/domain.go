@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements conservative parallel discrete-event simulation over
+// a set of Loops ("domains"). The model is the classic null-message-free
+// synchronous variant: all cross-domain interactions carry a minimum latency
+// of at least the coordinator's lookahead L, so virtual time can advance in
+// rounds of width L with a barrier between rounds.
+//
+// Correctness argument. A round covers the half-open window (T, T+L]. While
+// a domain executes its round, its clock satisfies now > T (events fire at
+// their timestamps, which lie inside the window; a domain that merely
+// advances its clock posts nothing). Every cross-domain message is sent via
+// Mailbox.Post, which requires the arrival time to be at least the sender's
+// now plus the mailbox delay, and the mailbox delay is at least L. So every
+// message posted during round (T, T+L] arrives strictly after T+L — i.e. in
+// a later round. Draining mailboxes at the barrier therefore delivers every
+// message before any domain could possibly execute it, and no domain ever
+// receives an event in its past.
+//
+// Determinism. Domains only share state through mailboxes. At each barrier
+// the coordinator — on a single goroutine — drains mailboxes in registration
+// order, FIFO within each, scheduling the thunks onto the receiving Loops.
+// Each Loop assigns its own monotonic sequence numbers, so the event order
+// inside every domain is a pure function of (round schedule, mailbox
+// registration order, per-domain event history) and is identical whether
+// rounds run serially or on one goroutine per domain. Parallel execution is
+// therefore bit-identical to serial execution of the same domain graph.
+
+// Domain is one event loop in a partitioned simulation. All state owned by
+// a domain must only be touched from its Loop's callbacks; the only legal
+// cross-domain channel is a Mailbox.
+type Domain struct {
+	Loop *Loop
+	name string
+	id   int
+}
+
+// Name returns the label the domain was created with.
+func (d *Domain) Name() string { return d.name }
+
+type timedThunk struct {
+	at Time
+	fn func()
+}
+
+// Mailbox is a single-sender, single-receiver channel between two domains
+// with a bounded minimum latency. Post may only be called from the sending
+// domain's callbacks (or before the coordinator starts running); the thunks
+// are moved onto the receiving domain's Loop at the next round barrier.
+type Mailbox struct {
+	from, to *Domain
+	minDelay Duration
+	pending  []timedThunk
+}
+
+// Post schedules fn to run in the receiving domain at virtual time at.
+// The arrival must respect the mailbox's minimum delay relative to the
+// sender's clock; violating it would break conservative synchronization,
+// so Post panics rather than silently reordering time.
+func (m *Mailbox) Post(at Time, fn func()) {
+	if now := m.from.Loop.Now(); at.Sub(now) < m.minDelay {
+		panic(fmt.Sprintf(
+			"sim: Mailbox.Post %s->%s at %v violates min delay %v (sender now %v)",
+			m.from.name, m.to.name, at, m.minDelay, now))
+	}
+	m.pending = append(m.pending, timedThunk{at: at, fn: fn})
+}
+
+// Coordinator advances a set of domains in lockstep rounds of width equal
+// to the lookahead, draining mailboxes at the barrier between rounds. With
+// parallel=false the rounds run domain-by-domain on the calling goroutine;
+// with parallel=true each domain gets a worker goroutine and rounds are
+// separated by a WaitGroup barrier. Both modes produce bit-identical
+// results (see the package comment above).
+type Coordinator struct {
+	lookahead Duration
+	parallel  bool
+	domains   []*Domain
+	boxes     []*Mailbox
+	now       Time
+}
+
+// NewCoordinator returns a coordinator advancing time in rounds of width
+// lookahead. Panics if lookahead is not positive: a zero lookahead admits
+// no conservative parallelism.
+func NewCoordinator(lookahead Duration, parallel bool) *Coordinator {
+	if lookahead <= 0 {
+		panic("sim: coordinator lookahead must be positive")
+	}
+	return &Coordinator{lookahead: lookahead, parallel: parallel}
+}
+
+// Parallel reports whether rounds execute on per-domain goroutines.
+func (c *Coordinator) Parallel() bool { return c.parallel }
+
+// Lookahead returns the round width.
+func (c *Coordinator) Lookahead() Duration { return c.lookahead }
+
+// Now returns the lower bound on virtual time across all domains: every
+// domain's clock is at least Now, and all mailboxes posted before Now have
+// been delivered.
+func (c *Coordinator) Now() Time { return c.now }
+
+// NewDomain registers a new domain with its own Loop.
+func (c *Coordinator) NewDomain(name string) *Domain {
+	d := &Domain{Loop: NewLoop(), name: name, id: len(c.domains)}
+	c.domains = append(c.domains, d)
+	return d
+}
+
+// Connect creates a mailbox from one domain to another. minDelay must be at
+// least the coordinator's lookahead; mailbox drain order follows Connect
+// call order, which is part of the deterministic schedule.
+func (c *Coordinator) Connect(from, to *Domain, minDelay Duration) *Mailbox {
+	if minDelay < c.lookahead {
+		panic(fmt.Sprintf("sim: mailbox min delay %v below coordinator lookahead %v",
+			minDelay, c.lookahead))
+	}
+	if from == to {
+		panic("sim: mailbox must connect two distinct domains")
+	}
+	m := &Mailbox{from: from, to: to, minDelay: minDelay}
+	c.boxes = append(c.boxes, m)
+	return m
+}
+
+// drain moves every pending mailbox thunk onto its receiving Loop. Runs on
+// the coordinator goroutine while no domain executes, in registration order
+// and FIFO within each mailbox, so the resulting event sequence numbers are
+// deterministic.
+func (c *Coordinator) drain() {
+	for _, m := range c.boxes {
+		for _, t := range m.pending {
+			m.to.Loop.At(t.at, t.fn)
+		}
+		for i := range m.pending {
+			m.pending[i] = timedThunk{}
+		}
+		m.pending = m.pending[:0]
+	}
+}
+
+// nextEventAt returns the earliest pending event across all domains.
+func (c *Coordinator) nextEventAt() (Time, bool) {
+	var best Time
+	ok := false
+	for _, d := range c.domains {
+		if t, has := d.Loop.NextEventAt(); has && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// Run advances all domains to virtual time until. It may be called
+// repeatedly to advance incrementally. In parallel mode the per-domain
+// workers live only for the duration of the call.
+func (c *Coordinator) Run(until Time) {
+	if until <= c.now {
+		return
+	}
+	// Deliver anything posted during construction (sender clocks at zero)
+	// before the first round executes.
+	c.drain()
+
+	var work []chan Time
+	var wg sync.WaitGroup
+	if c.parallel {
+		work = make([]chan Time, len(c.domains))
+		for i, d := range c.domains {
+			ch := make(chan Time)
+			work[i] = ch
+			go func(d *Domain, ch chan Time) {
+				for end := range ch {
+					d.Loop.Run(end)
+					wg.Done()
+				}
+			}(d, ch)
+		}
+		defer func() {
+			for _, ch := range work {
+				close(ch)
+			}
+		}()
+	}
+
+	for c.now < until {
+		end := c.now.Add(c.lookahead)
+		if ne, ok := c.nextEventAt(); !ok {
+			// Nothing pending anywhere and all mailboxes are drained:
+			// no event can materialize, so jump straight to the horizon.
+			end = until
+		} else if s := ne.Add(-c.lookahead); s > end {
+			// The earliest event is more than a round away. Advance in
+			// one idle round to ne-L so the next round (ne-L, ne]
+			// contains it. Identical in serial and parallel mode, so
+			// the fast-forward preserves bit-identity.
+			end = s
+		}
+		if end > until {
+			end = until
+		}
+		if c.parallel {
+			wg.Add(len(c.domains))
+			for _, ch := range work {
+				ch <- end
+			}
+			wg.Wait()
+		} else {
+			for _, d := range c.domains {
+				d.Loop.Run(end)
+			}
+		}
+		c.drain()
+		c.now = end
+	}
+}
+
+// RunFor advances the simulation by d from the coordinator's current time.
+func (c *Coordinator) RunFor(d Duration) { c.Run(c.now.Add(d)) }

@@ -159,3 +159,13 @@ func (l *Loop) Stop() { l.stopped = true }
 
 // Pending returns the number of events still queued.
 func (l *Loop) Pending() int { return len(l.events) }
+
+// NextEventAt returns the firing time of the earliest pending event, or
+// ok=false when the queue is empty. The Coordinator uses it to fast-forward
+// across idle synchronization rounds.
+func (l *Loop) NextEventAt() (Time, bool) {
+	if len(l.events) == 0 {
+		return 0, false
+	}
+	return l.events[0].when, true
+}

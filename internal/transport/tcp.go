@@ -284,7 +284,7 @@ func maxf(a, b float64) float64 {
 // in-order point, buffers out-of-order segments, and acknowledges every
 // arrival.
 type TCPReceiver struct {
-	loop    *sim.Loop
+	clock   Clock
 	out     Wire
 	src     packet.IP
 	dst     packet.IP
@@ -306,10 +306,11 @@ type TCPReceiver struct {
 }
 
 // NewTCPReceiver creates the receiving half; out carries its ACKs back
-// toward the sender.
-func NewTCPReceiver(loop *sim.Loop, out Wire, src, dst packet.IP, srcPort, dstPort uint16) *TCPReceiver {
+// toward the sender. It schedules no timers, so it only needs a Clock —
+// which lets it ride a mobile client across event-loop domains.
+func NewTCPReceiver(clock Clock, out Wire, src, dst packet.IP, srcPort, dstPort uint16) *TCPReceiver {
 	return &TCPReceiver{
-		loop: loop, out: out, src: src, dst: dst,
+		clock: clock, out: out, src: src, dst: dst,
 		srcPort: srcPort, dstPort: dstPort,
 		ooo: make(map[uint32]bool),
 	}
@@ -341,7 +342,7 @@ func (r *TCPReceiver) Receive(p packet.Packet) {
 
 func (r *TCPReceiver) deliver(seq uint32, bytes int) {
 	if r.OnData != nil {
-		r.OnData(seq, bytes, r.loop.Now())
+		r.OnData(seq, bytes, r.clock.Now())
 	}
 }
 
@@ -352,7 +353,7 @@ func (r *TCPReceiver) sendAck() {
 		Src: r.src, Dst: r.dst, Proto: packet.ProtoTCP,
 		IPID: r.ipid, SrcPort: r.srcPort, DstPort: r.dstPort,
 		Ack: r.expected, Flags: packet.FlagACK, PayloadLen: 0,
-		Created: r.loop.Now(),
+		Created: r.clock.Now(),
 	})
 }
 

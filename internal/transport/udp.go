@@ -17,6 +17,15 @@ import (
 // by calling the endpoint's receive methods.
 type Wire func(p packet.Packet)
 
+// Clock is the time source a timer-free endpoint stamps arrivals with. A
+// *sim.Loop satisfies it; so does a mobile client, whose clock follows
+// the event-loop domain that currently owns it. Endpoints that schedule
+// timers (sources, senders) still take a *sim.Loop, which pins them to
+// one domain — in partitioned runs that is the wired server's.
+type Clock interface {
+	Now() sim.Time
+}
+
 // UDPSource emits fixed-size datagrams at a constant bit rate.
 type UDPSource struct {
 	loop    *sim.Loop
@@ -97,12 +106,12 @@ type UDPSink struct {
 	seen     bool
 	// OnPacket, when set, observes each arrival.
 	OnPacket func(p packet.Packet, now sim.Time)
-	loop     *sim.Loop
+	clock    Clock
 }
 
-// NewUDPSink returns a sink on the loop.
-func NewUDPSink(loop *sim.Loop) *UDPSink {
-	return &UDPSink{loop: loop}
+// NewUDPSink returns a sink stamping arrivals from clock.
+func NewUDPSink(clock Clock) *UDPSink {
+	return &UDPSink{clock: clock}
 }
 
 // Receive consumes one datagram from the network.
@@ -114,7 +123,7 @@ func (s *UDPSink) Receive(p packet.Packet) {
 		s.seen = true
 	}
 	if s.OnPacket != nil {
-		s.OnPacket(p, s.loop.Now())
+		s.OnPacket(p, s.clock.Now())
 	}
 }
 

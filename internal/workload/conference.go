@@ -63,7 +63,7 @@ func NewConference(n *core.Network, c *core.Client, cfg ConferenceConfig) *Confe
 
 	// Downlink video: server → client, fragment stream. Sequence
 	// numbers map to (frame, fragment).
-	sink := transport.NewUDPSink(n.Loop)
+	sink := transport.NewUDPSink(c)
 	sink.OnPacket = func(p packet.Packet, now sim.Time) { conf.onFragment(p, now) }
 	c.Handle(PortConfDown, sink.Receive)
 	conf.down = transport.NewUDPSource(n.Loop, n.SendFromServer,

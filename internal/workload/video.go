@@ -64,7 +64,7 @@ func NewVideo(n *core.Network, c *core.Client, cfg VideoConfig) *Video {
 	// video time.
 	ackPort := uint16(PortVideoAcks + 100*c.ID)
 	v.flow = &TCPDownlink{Meter: nil}
-	v.flow.Receiver = transport.NewTCPReceiver(n.Loop, c.SendUplink,
+	v.flow.Receiver = transport.NewTCPReceiver(c, c.SendUplink,
 		c.IP, packet.ServerIP, PortVideo, ackPort)
 	v.flow.Receiver.OnData = func(seq uint32, bytes int, now sim.Time) {
 		v.buffered += float64(bytes*8) / v.bitrate

@@ -34,7 +34,7 @@ func NewPageLoad(n *core.Network, c *core.Client) *PageLoad {
 	w.flow = &TCPDownlink{}
 	received := 0
 	ackPort := uint16(PortWebAcks + 100*c.ID)
-	w.flow.Receiver = transport.NewTCPReceiver(n.Loop, c.SendUplink,
+	w.flow.Receiver = transport.NewTCPReceiver(c, c.SendUplink,
 		c.IP, packet.ServerIP, PortWeb, ackPort)
 	w.flow.Receiver.OnData = func(seq uint32, bytes int, now sim.Time) {
 		received += bytes

@@ -39,7 +39,7 @@ type UDPDownlink struct {
 // c at rateMbps with 1400-byte payloads.
 func NewUDPDownlink(n *core.Network, c *core.Client, rateMbps float64) *UDPDownlink {
 	w := &UDPDownlink{
-		Sink:  transport.NewUDPSink(n.Loop),
+		Sink:  transport.NewUDPSink(c),
 		Meter: stats.NewThroughput(100 * sim.Millisecond),
 	}
 	w.Sink.OnPacket = func(p packet.Packet, now sim.Time) {
@@ -97,7 +97,7 @@ type TCPDownlink struct {
 func NewTCPDownlink(n *core.Network, c *core.Client, totalSegments uint32) *TCPDownlink {
 	ackPort := uint16(PortTCPAcks + 100*c.ID)
 	w := &TCPDownlink{Meter: stats.NewThroughput(100 * sim.Millisecond)}
-	w.Receiver = transport.NewTCPReceiver(n.Loop, c.SendUplink,
+	w.Receiver = transport.NewTCPReceiver(c, c.SendUplink,
 		c.IP, packet.ServerIP, PortTCPBulk, ackPort)
 	w.Receiver.OnData = func(seq uint32, bytes int, now sim.Time) {
 		w.Meter.Add(now, bytes)

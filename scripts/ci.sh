@@ -12,8 +12,10 @@ go build ./...
 
 # The runner and the sim loop carry the concurrency invariants, and the
 # deploy package's trunks cross segment event-loop boundaries; shake all
-# three under the race detector first.
+# three under the race detector first. The core domain-parity tests then
+# exercise full corridor rides with one goroutine per segment domain.
 go test -race ./internal/runner/ ./internal/sim/ ./internal/deploy/
+go test -race -run 'TestDomain' ./internal/core/
 
 # Loop owner-guard diagnostics only compile under the simcheck tag.
 go test -tags simcheck ./internal/sim/

@@ -63,6 +63,22 @@ type SegmentSpec = deploy.SegmentSpec
 // (Config.Trunk).
 type TrunkConfig = deploy.TrunkConfig
 
+// DomainMode selects how a multi-segment deployment executes
+// (Config.Domains): one event loop, or per-segment domains run serially
+// or in parallel. See core.DomainMode.
+type DomainMode = core.DomainMode
+
+// Domain modes.
+const (
+	// SingleLoop is the classic exactly-serial execution.
+	SingleLoop = core.SingleLoop
+	// DomainsSerial partitions per segment but runs on one goroutine.
+	DomainsSerial = core.DomainsSerial
+	// DomainsParallel runs one goroutine per segment domain;
+	// bit-identical to DomainsSerial by construction.
+	DomainsParallel = core.DomainsParallel
+)
+
 // DefaultConfig returns the paper's eight-AP testbed configuration.
 func DefaultConfig(s Scheme) Config { return core.DefaultConfig(s) }
 
