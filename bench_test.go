@@ -227,6 +227,21 @@ func BenchmarkCorridorParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCorridorParallelMetrics is the same 24-segment
+// domains-parallel ride with the full telemetry registry enabled —
+// per-AP counters and queue-depth series, handoff spans, 100 ms
+// samplers in every domain. Compared against the DomainsParallel case
+// of BenchmarkCorridorParallel it measures the end-to-end overhead of
+// instrumentation on the hot path; scripts/ci.sh gates the ratio at 5%.
+func BenchmarkCorridorParallelMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts(i)
+		opt.Mutate = func(c *Config) { c.Telemetry = true }
+		r := corridorRideN(opt, core.DomainsParallel, 24, 10*Second)
+		b.ReportMetric(r.MeanMbps, "Mbps")
+	}
+}
+
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := Ablations(benchOpts(i))

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"wgtt"
@@ -34,8 +36,42 @@ func main() {
 
 		parallelSegments = flag.Bool("parallel-segments", false,
 			"run each multi-segment network's segments as parallel event-loop domains")
+
+		metrics    = flag.Bool("metrics", false, "print a per-case telemetry summary after each experiment")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list || (*exp == "" && *runPat == "") {
 		fmt.Println("experiments:")
@@ -53,9 +89,20 @@ func main() {
 
 	opt := wgtt.NewOptions(wgtt.WithSeed(*seed), wgtt.WithSerial(*serial),
 		wgtt.WithWorkers(*workers), wgtt.WithParallelSegments(*parallelSegments))
+	var collector *wgtt.MetricsCollector
+	if *metrics {
+		collector = wgtt.NewMetricsCollector()
+		opt.Metrics = collector
+	}
 	run := func(e wgtt.Experiment) {
 		fmt.Println(strings.Repeat("=", 64))
 		fmt.Println(e.Run(opt))
+		if collector != nil {
+			if s := collector.Summary(); s != "" {
+				fmt.Println(s)
+			}
+			collector.Reset()
+		}
 	}
 
 	if *runPat != "" {

@@ -12,11 +12,70 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"wgtt"
+	"wgtt/internal/trace"
 )
+
+// metricsFlag implements flag.Value for -metrics: the bare form
+// (-metrics) selects the text format, the valued form (-metrics=prom)
+// any of text | json | csv | prom.
+type metricsFlag struct {
+	on     bool
+	format wgtt.MetricsFormat
+}
+
+func (f *metricsFlag) String() string { return "" }
+
+func (f *metricsFlag) IsBoolFlag() bool { return true }
+
+func (f *metricsFlag) Set(s string) error {
+	if s == "true" { // bare -metrics
+		f.on, f.format = true, wgtt.MetricsText
+		return nil
+	}
+	if s == "false" { // -metrics=false
+		f.on = false
+		return nil
+	}
+	format, err := wgtt.ParseMetricsFormat(s)
+	if err != nil {
+		return err
+	}
+	f.on, f.format = true, format
+	return nil
+}
+
+// startCPUProfile begins a pprof CPU profile; the returned func stops it.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps a pprof heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	return pprof.WriteHeapProfile(f)
+}
 
 // parseSegments parses the -segments syntax: comma-separated NUMxSPACING
 // entries ("8x7.5,4x15"); a bare NUM inherits the default AP spacing.
@@ -53,11 +112,39 @@ func main() {
 		segments   = flag.String("segments", "", "multi-segment roadway, e.g. 8x7.5,4x15 (NUMxSPACING per segment)")
 		series     = flag.Bool("series", false, "print 100 ms throughput series for client 0")
 		traceN     = flag.Int("trace", 0, "dump the last N switch-protocol events (tcpdump-style)")
+		traceKind  = flag.String("trace-kind", "", "filter -trace output by kind: dl | ul | sw | ctl | drop (empty = all)")
+		traceNode  = flag.String("trace-node", "", "filter -trace output to events whose node contains this substring")
 
 		parallelSegments = flag.Bool("parallel-segments", false,
 			"run each road segment as its own parallel event-loop domain (multi-segment WGTT, udp/tcp workloads)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
+	var metrics metricsFlag
+	flag.Var(&metrics, "metrics", "print end-of-run metrics; optionally -metrics=text|json|csv|prom")
 	flag.Parse()
+
+	kindFilter, err := trace.ParseKind(*traceKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		stop, err := startCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	scheme, err := wgtt.ParseScheme(*schemeName)
 	if err != nil {
@@ -68,6 +155,7 @@ func main() {
 	cfg := wgtt.DefaultConfig(scheme)
 	cfg.Seed = *seed
 	cfg.TraceCapacity = *traceN
+	cfg.Telemetry = metrics.on
 	if *segments != "" {
 		specs, err := parseSegments(*segments)
 		if err != nil {
@@ -177,7 +265,16 @@ func main() {
 	}
 	if *traceN > 0 && n.Trace != nil {
 		fmt.Println("\nevent trace (most recent):")
-		_ = n.Trace.Dump(os.Stdout)
+		_ = trace.DumpEvents(os.Stdout, n.Trace.Filter(kindFilter, *traceNode))
+	}
+	if metrics.on {
+		if snap := n.MetricsSnapshot(); snap != nil {
+			fmt.Println()
+			if err := snap.Write(os.Stdout, metrics.format); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if *series && len(meters) > 0 {
 		if f, ok := meters[0].(*wgtt.UDPDownlink); ok {

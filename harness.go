@@ -34,6 +34,11 @@ type Options struct {
 	// Mutate, when non-nil, adjusts the network config before building
 	// (used by ablation benches).
 	Mutate func(*Config)
+	// Metrics, when non-nil, enables telemetry on every spec-driven run
+	// of the experiment and folds each run's end-of-run snapshot into
+	// the collector, keyed by scheme and transport. Print the result
+	// with MetricsCollector.Summary.
+	Metrics *MetricsCollector
 	// Exec is the execution half; see Exec.
 	Exec
 }
@@ -71,6 +76,12 @@ func WithParallelSegments(on bool) Option {
 	return func(o *Options) { o.ParallelSegments = on }
 }
 
+// WithMetrics aggregates per-run telemetry into the collector; see
+// Options.Metrics.
+func WithMetrics(c *MetricsCollector) Option {
+	return func(o *Options) { o.Metrics = c }
+}
+
 // runSpecs executes a batch of drive-by throughput runs on the runner and
 // returns goodputs in spec order.
 func runSpecs(opt Options, specs []runner.RunSpec) []float64 {
@@ -98,6 +109,7 @@ func throughputSpec(scheme Scheme, opt Options, trajs []Trajectory, dur Duration
 		Transport:   tr,
 		OfferedMbps: offeredUDPMbps,
 		Warmup:      warmup,
+		Metrics:     opt.Metrics,
 	}
 	if opt.ParallelSegments {
 		spec.Domains = core.DomainsParallel

@@ -16,6 +16,7 @@ import (
 	"wgtt/internal/queue"
 	"wgtt/internal/rf"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 	"wgtt/internal/trace"
 )
 
@@ -112,6 +113,13 @@ type AP struct {
 	// Trace, when set, receives stop/start/drop events.
 	Trace *trace.Log
 
+	// met holds telemetry handles resolved once by SetTelemetry; all
+	// fields are nil (free no-ops) when telemetry is off. spans is the
+	// segment-shared handoff tracker: this AP marks the start phase
+	// and flush counts on spans its controller opened.
+	met   apMetrics
+	spans *telemetry.Spans
+
 	clients map[packet.MAC]*clientState
 	order   []packet.MAC // round-robin order
 	rrNext  int
@@ -155,6 +163,70 @@ func New(id uint16, pos rf.Position, loop *sim.Loop, medium *mac.Medium, bh *bac
 	medium.Register(a.node)
 	bh.AddNode(self, a.OnBackhaul)
 	return a
+}
+
+// apMetrics are the AP's resolved registry handles.
+type apMetrics struct {
+	stops       *telemetry.Counter
+	switches    *telemetry.Counter
+	aggregates  *telemetry.Counter
+	mpdus       *telemetry.Counter
+	mpdusRetx   *telemetry.Counter
+	mpdusDrop   *telemetry.Counter
+	flushedPkts *telemetry.Counter
+	fwdBytes    *telemetry.Counter
+	baForwarded *telemetry.Counter
+	baRecovered *telemetry.Counter
+	uplinkMPDUs *telemetry.Counter
+	csiReports  *telemetry.Counter
+}
+
+// SetTelemetry resolves this AP's metric handles under sc (e.g.
+// "seg0/ap3") and attaches the segment's shared handoff span tracker.
+// Call once at build time; a zero scope leaves telemetry off at zero
+// hot-path cost.
+func (a *AP) SetTelemetry(sc telemetry.Scope, spans *telemetry.Spans) {
+	a.spans = spans
+	if !sc.Enabled() {
+		return
+	}
+	a.met = apMetrics{
+		stops:       sc.Counter("stops"),
+		switches:    sc.Counter("switches"),
+		aggregates:  sc.Counter("aggregates"),
+		mpdus:       sc.Counter("mpdus"),
+		mpdusRetx:   sc.Counter("mpdus_retx"),
+		mpdusDrop:   sc.Counter("mpdus_dropped"),
+		flushedPkts: sc.Counter("flushed_pkts"),
+		fwdBytes:    sc.Counter("forward_bytes"),
+		baForwarded: sc.Counter("ba_forwarded"),
+		baRecovered: sc.Counter("ba_recovered"),
+		uplinkMPDUs: sc.Counter("uplink_mpdus"),
+		csiReports:  sc.Counter("csi_reports"),
+	}
+	depth := func() float64 {
+		total := 0
+		for _, addr := range a.order {
+			total += a.clients[addr].cyclic.Len()
+		}
+		return float64(total)
+	}
+	sc.GaugeFunc("queue_depth", depth)
+	sc.Series("queue_depth_100ms", depth)
+	sc.GaugeFunc("queue_stale_drops", func() float64 {
+		total := 0
+		for _, addr := range a.order {
+			total += a.clients[addr].cyclic.Stats.StaleDrops
+		}
+		return float64(total)
+	})
+	sc.GaugeFunc("agg_abandoned", func() float64 {
+		total := 0
+		for _, addr := range a.order {
+			total += a.clients[addr].agg.Abandoned
+		}
+		return float64(total)
+	})
 }
 
 // Node exposes the AP's radio for channel wiring.
@@ -218,6 +290,7 @@ func (a *AP) OnBackhaul(from backhaul.NodeID, msg packet.Message) {
 func (a *AP) onStop(m *packet.Stop) {
 	cs := a.stateFor(m.Client)
 	a.StopsHandled++
+	a.met.stops.Inc()
 	cs.serving = false
 	a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "stop #%d %s", m.SwitchID, m.Client)
 	// Pending retries stay: they model frames already committed to the
@@ -244,6 +317,7 @@ func (a *AP) onStop(m *packet.Stop) {
 			// APs can buffer it. The Start rides the control class and
 			// overtakes the drained data frames.
 			a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "start #%d k=%d -> remote", m.SwitchID, k)
+			a.spans.MarkStart(m.SwitchID, a.loop.Now())
 			a.bh.Send(a.self, a.fabric.Controller(), &packet.Start{
 				Client:   m.Client,
 				Index:    k,
@@ -254,6 +328,8 @@ func (a *AP) onStop(m *packet.Stop) {
 				if !ok {
 					break
 				}
+				a.met.fwdBytes.Add(int64(p.WireLen()))
+				a.spans.AddForwarded(m.SwitchID, int64(p.WireLen()))
 				a.bh.Send(a.self, a.fabric.Controller(), &packet.DownlinkData{
 					Client: m.Client,
 					Inner:  p,
@@ -262,6 +338,7 @@ func (a *AP) onStop(m *packet.Stop) {
 			return
 		}
 		a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "start #%d k=%d -> ap%d", m.SwitchID, k, m.NewAPID)
+		a.spans.MarkStart(m.SwitchID, a.loop.Now())
 		a.bh.Send(a.self, a.fabric.APNode(m.NewAPID), &packet.Start{
 			Client:   m.Client,
 			Index:    k,
@@ -275,13 +352,19 @@ func (a *AP) onStop(m *packet.Stop) {
 func (a *AP) onStart(m *packet.Start) {
 	cs := a.stateFor(m.Client)
 	if a.cfg.FlushOnStart {
+		before := cs.cyclic.Stats.Flushed
 		cs.cyclic.SetHead(m.Index)
+		if flushed := cs.cyclic.Stats.Flushed - before; flushed > 0 {
+			a.met.flushedPkts.Add(int64(flushed))
+			a.spans.AddFlushed(m.SwitchID, flushed)
+		}
 	}
 	if a.cfg.SeedRatesFromCSI && cs.hasESNR {
 		cs.rates.Seed(cs.lastESNR)
 	}
 	cs.serving = true
 	a.Switches++
+	a.met.switches.Inc()
 	a.bh.Send(a.self, a.fabric.Controller(), &packet.SwitchAck{
 		Client:   m.Client,
 		APID:     a.ID,
@@ -299,6 +382,7 @@ func (a *AP) onForwardedBA(m *packet.BAForward) {
 		return
 	}
 	a.BARecovered++
+	a.met.baRecovered.Inc()
 	a.finishAggregate(aw, mac.BAInfo{StartSeq: m.StartSeq, Bitmap: m.Bitmap})
 }
 
@@ -339,6 +423,7 @@ func (a *AP) txop() {
 	a.rrNext = (idx + 1) % len(a.order)
 	cs := a.clients[a.order[idx]]
 	rate := cs.rates.Select(a.loop.Now())
+	resentBefore := cs.agg.Resent
 	mpdus := cs.agg.Build(rate, func() (packet.Packet, bool) {
 		return cs.cyclic.Pop()
 	})
@@ -346,6 +431,7 @@ func (a *AP) txop() {
 		a.busy = false
 		return
 	}
+	a.met.mpdusRetx.Add(int64(cs.agg.Resent - resentBefore))
 	t := &mac.Transmission{
 		Tx:    a.node,
 		Dst:   cs.addr,
@@ -355,6 +441,8 @@ func (a *AP) txop() {
 	}
 	a.medium.Transmit(t)
 	a.AggregatesSent++
+	a.met.aggregates.Inc()
+	a.met.mpdus.Add(int64(len(mpdus)))
 	a.RateMPDUs[rate.MCS] += len(mpdus)
 	aw := &awaitBA{client: cs, sent: mpdus, rate: rate, start: mpdus[0].Seq}
 	deadline := t.End.Add(phy.SIFS + phy.BlockAckAirtime + a.cfg.BAWaitMargin)
@@ -387,6 +475,7 @@ func (a *AP) finishAggregate(aw *awaitBA, ba mac.BAInfo) {
 	a.loop.Cancel(aw.timer)
 	res := aw.client.agg.ProcessBA(aw.sent, ba)
 	if n := len(res.DroppedPkts); n > 0 {
+		a.met.mpdusDrop.Add(int64(n))
 		a.Trace.Addf(a.loop.Now(), trace.Drop, a.node.Name, "%d MPDUs exceeded retry limit", n)
 	}
 	aw.client.rates.Feedback(a.loop.Now(), aw.rate, len(aw.sent), res.AckedCount)
@@ -431,6 +520,7 @@ func (ar *apReceiver) OnReceive(t *mac.Transmission, det mac.Detection) {
 			a.reportCSI(t.Tx.Addr, det)
 			if a.cfg.ForwardBAs {
 				a.BAForwarded++
+				a.met.baForwarded.Inc()
 				a.bh.Send(a.self, dst, &packet.BAForward{
 					Client:   t.Tx.Addr,
 					FromAPID: a.ID,
@@ -447,6 +537,7 @@ func (ar *apReceiver) OnReceive(t *mac.Transmission, det mac.Detection) {
 // latest effective SNR locally for the rate-seeding extension.
 func (a *AP) reportCSI(client packet.MAC, det mac.Detection) {
 	a.CSIReports++
+	a.met.csiReports.Inc()
 	cs := a.stateFor(client)
 	cs.lastESNR = csi.EffectiveSNRdB(det.SNRsDB[:], csi.RefModulation)
 	cs.hasESNR = true
@@ -472,6 +563,7 @@ func (a *AP) onUplinkData(t *mac.Transmission, det mac.Detection) {
 		}
 		anyOK = true
 		a.UplinkMPDUs++
+		a.met.uplinkMPDUs.Inc()
 		a.bh.Send(a.self, a.fabric.Controller(), &packet.UplinkData{
 			APID:   a.ID,
 			Client: t.Tx.Addr,
@@ -526,13 +618,37 @@ func (a *AP) MinstrelProb(client packet.MAC, mcs int) (float64, bool) {
 	return cs.rates.Prob(mcs), true
 }
 
+// AggSnapshot is one client's aggregation accounting at this AP. While
+// no aggregate is in flight, every first-transmitted MPDU is in exactly
+// one terminal or waiting state, so
+//
+//	Sent == Acked + Dropped + Abandoned + Pending
+//
+// holds across any number of stop/start/ack handoff rounds (Abandoned
+// counts retries discarded when a stop froze this AP's transmit path).
+type AggSnapshot struct {
+	Sent      int // MPDUs first-transmitted
+	Resent    int // retransmissions (not first transmissions)
+	Acked     int
+	Dropped   int // exceeded the MAC retry limit
+	Abandoned int // retries discarded on handoff stop
+	Pending   int // awaiting retransmission
+}
+
 // AggStats exposes the per-client aggregation counters (diagnostics).
-func (a *AP) AggStats(client packet.MAC) (sent, resent, acked, dropped, pending int) {
+func (a *AP) AggStats(client packet.MAC) AggSnapshot {
 	cs := a.clients[client]
 	if cs == nil {
-		return
+		return AggSnapshot{}
 	}
-	return cs.agg.Sent, cs.agg.Resent, cs.agg.Acked, cs.agg.Dropped, cs.agg.PendingRetries()
+	return AggSnapshot{
+		Sent:      cs.agg.Sent,
+		Resent:    cs.agg.Resent,
+		Acked:     cs.agg.Acked,
+		Dropped:   cs.agg.Dropped,
+		Abandoned: cs.agg.Abandoned,
+		Pending:   cs.agg.PendingRetries(),
+	}
 }
 
 // DebugState exposes internal flags for test diagnostics.

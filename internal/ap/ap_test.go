@@ -232,18 +232,16 @@ func TestAPBATimeoutRetransmits(t *testing.T) {
 	if len(r.cli.rx) < 4 {
 		t.Fatalf("client decoded %d/4", len(r.cli.rx)) // decodes, just never acks
 	}
-	sent, resent, acked, dropped, pending := r.aps[0].AggStats(packet.ClientMAC(0))
-	if resent == 0 {
+	st := r.aps[0].AggStats(packet.ClientMAC(0))
+	if st.Resent == 0 {
 		t.Error("no retransmissions despite missing BAs")
 	}
-	if dropped != 4 {
-		t.Errorf("dropped = %d, want 4 after retry limit", dropped)
+	if st.Dropped != 4 {
+		t.Errorf("dropped = %d, want 4 after retry limit", st.Dropped)
 	}
-	if pending != 0 {
-		t.Errorf("pending retries = %d at steady state", pending)
+	if st.Pending != 0 {
+		t.Errorf("pending retries = %d at steady state", st.Pending)
 	}
-	_ = sent
-	_ = acked
 }
 
 func TestAPForwardedBASettlesAggregate(t *testing.T) {
@@ -263,8 +261,7 @@ func TestAPForwardedBASettlesAggregate(t *testing.T) {
 	}
 	r.bh.Send(nodeCtrl, nodeAP0, ba)
 	r.run(20 * sim.Millisecond)
-	_, _, acked, _, _ := r.aps[0].AggStats(packet.ClientMAC(0))
-	if acked != 4 {
+	if acked := r.aps[0].AggStats(packet.ClientMAC(0)).Acked; acked != 4 {
 		t.Errorf("acked = %d, want 4 via forwarded BA", acked)
 	}
 	if r.aps[0].BARecovered != 1 {
@@ -373,6 +370,67 @@ func TestAPRoundRobinAcrossClients(t *testing.T) {
 	r.run(100 * sim.Millisecond)
 	if len(r.cli.rx) != 10 || len(cli2.rx) != 10 {
 		t.Errorf("deliveries = %d,%d; want 10,10", len(r.cli.rx), len(cli2.rx))
+	}
+}
+
+// aggConsistent asserts the AggSnapshot conservation law at quiescence:
+// every first-transmitted MPDU is acked, dropped, abandoned, or pending.
+func aggConsistent(t *testing.T, label string, st AggSnapshot) {
+	t.Helper()
+	if st.Sent != st.Acked+st.Dropped+st.Abandoned+st.Pending {
+		t.Errorf("%s: sent=%d != acked=%d + dropped=%d + abandoned=%d + pending=%d",
+			label, st.Sent, st.Acked, st.Dropped, st.Abandoned, st.Pending)
+	}
+}
+
+// TestAggStatsConsistentAcrossHandoff drives a full stop/start/ack round
+// on a lossy link (client decodes but never acks, so retries pile up and
+// the stop abandons them) and asserts the per-AP MPDU accounting stays
+// conserved on both sides of the switch.
+func TestAggStatsConsistentAcrossHandoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IoctlDelay = 2 * sim.Millisecond
+	cfg.IoctlJitter = 0
+	r := newAPRig(t, 2, cfg, false /* no acks: force retries */)
+	client := packet.ClientMAC(0)
+	r.feed(0, 0, 60)
+	r.feed(1, 0, 60) // fan-out copy at the successor
+	r.start(0, 0, 1)
+	r.run(12 * sim.Millisecond) // mid-stream, retries pending at AP0
+	r.bh.Send(nodeCtrl, nodeAP0, &packet.Stop{
+		Client: client, NewAP: packet.APMAC(1), NewAPID: 1, SwitchID: 2,
+	})
+	r.run(600 * sim.Millisecond) // drain to quiescence
+
+	for i, a := range r.aps {
+		busy, awaiting, _, _, _ := a.DebugState(client)
+		if busy || awaiting {
+			t.Fatalf("ap%d not quiescent (busy=%v awaiting=%v)", i, busy, awaiting)
+		}
+		aggConsistent(t, a.node.Name, a.AggStats(client))
+	}
+	st0 := r.aps[0].AggStats(client)
+	if st0.Abandoned == 0 {
+		t.Error("stop while retries were pending abandoned nothing")
+	}
+	if st0.Pending != 0 {
+		t.Errorf("ap0 still has %d pending retries after its stop", st0.Pending)
+	}
+	if r.aps[1].Switches != 1 {
+		t.Errorf("ap1 switches = %d, want 1", r.aps[1].Switches)
+	}
+	// The same law must hold on a clean (acked) link too.
+	r2 := newAPRig(t, 2, cfg, true)
+	r2.feed(0, 0, 60)
+	r2.feed(1, 0, 60)
+	r2.start(0, 0, 1)
+	r2.run(12 * sim.Millisecond)
+	r2.bh.Send(nodeCtrl, nodeAP0, &packet.Stop{
+		Client: client, NewAP: packet.APMAC(1), NewAPID: 1, SwitchID: 2,
+	})
+	r2.run(600 * sim.Millisecond)
+	for _, a := range r2.aps {
+		aggConsistent(t, a.node.Name+"/acked", a.AggStats(client))
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"wgtt/internal/packet"
 	"wgtt/internal/queue"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 )
 
 // NodeID identifies an endpoint on the backhaul.
@@ -74,6 +75,12 @@ type Net struct {
 	delivered int
 	bytes     int64
 	perType   map[packet.MsgType]int
+
+	// Telemetry handles (nil-safe no-ops until SetTelemetry).
+	metSent      *telemetry.Counter
+	metDelivered *telemetry.Counter
+	metBytes     *telemetry.Counter
+	metControl   *telemetry.Counter
 }
 
 // New returns an empty backhaul on the given loop.
@@ -84,6 +91,18 @@ func New(loop *sim.Loop, cfg Config) *Net {
 		nodes:   make(map[NodeID]*node),
 		perType: make(map[packet.MsgType]int),
 	}
+}
+
+// SetTelemetry installs the backhaul's counters under sc. A disabled
+// scope leaves every handle nil (all increments are no-ops).
+func (n *Net) SetTelemetry(sc telemetry.Scope) {
+	if !sc.Enabled() {
+		return
+	}
+	n.metSent = sc.Counter("msgs")
+	n.metDelivered = sc.Counter("delivered")
+	n.metBytes = sc.Counter("bytes")
+	n.metControl = sc.Counter("control_msgs")
 }
 
 // AddNode attaches an endpoint. The handler runs on the sim loop when a
@@ -110,8 +129,10 @@ func (n *Net) Send(from, to NodeID, msg packet.Message) {
 	}
 	f := frame{from: from, to: to, data: msg.Marshal(nil)}
 	n.sent++
+	n.metSent.Inc()
 	n.perType[msg.Type()]++
 	if msg.Control() {
+		n.metControl.Inc()
 		src.control.Push(f)
 	} else {
 		src.data.Push(f)
@@ -156,7 +177,9 @@ func (n *Net) deliver(f frame) {
 			panic(fmt.Sprintf("backhaul: undecodable frame: %v", err))
 		}
 		n.delivered++
+		n.metDelivered.Inc()
 		n.bytes += int64(len(f.data) + encapOverhead)
+		n.metBytes.Add(int64(len(f.data) + encapOverhead))
 		n.handlerFor(dst)(f.from, msg)
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"wgtt/internal/csi"
 	"wgtt/internal/packet"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 	"wgtt/internal/trace"
 )
 
@@ -139,6 +140,12 @@ type Controller struct {
 	// Trace, when set, receives switch-protocol events.
 	Trace *trace.Log
 
+	// met holds the controller's telemetry counters; spans tracks one
+	// span per stop/start/ack handoff. Both are nil-safe no-ops until
+	// SetTelemetry installs them.
+	met   ctrlMetrics
+	spans *telemetry.Spans
+
 	clients  map[packet.MAC]*clientState
 	ipToMAC  map[packet.IP]packet.MAC
 	dedup    map[packet.DedupKey]bool
@@ -182,6 +189,56 @@ func New(loop *sim.Loop, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, 
 	}
 	bh.AddNode(self, c.OnBackhaul)
 	return c
+}
+
+// ctrlMetrics are the controller's telemetry handles. Nil handles (the
+// zero value, telemetry disabled) make every increment a no-op.
+type ctrlMetrics struct {
+	switchesIssued  *telemetry.Counter
+	switchesAcked   *telemetry.Counter
+	stopRetx        *telemetry.Counter
+	switchAbandoned *telemetry.Counter
+	uplinkDelivered *telemetry.Counter
+	uplinkDups      *telemetry.Counter
+	downlinkPkts    *telemetry.Counter
+	downlinkFanout  *telemetry.Counter
+	handoffClaims   *telemetry.Counter
+	handoffExports  *telemetry.Counter
+	handoffImports  *telemetry.Counter
+}
+
+// SetTelemetry installs the controller's metric handles under sc and the
+// segment-shared handoff span tracker. Call once, before the simulation
+// runs; with a disabled scope only the span tracker (which may still be
+// nil) is retained.
+func (c *Controller) SetTelemetry(sc telemetry.Scope, spans *telemetry.Spans) {
+	c.spans = spans
+	if !sc.Enabled() {
+		return
+	}
+	c.met = ctrlMetrics{
+		switchesIssued:  sc.Counter("switches_issued"),
+		switchesAcked:   sc.Counter("switches_acked"),
+		stopRetx:        sc.Counter("stop_retx"),
+		switchAbandoned: sc.Counter("switches_abandoned"),
+		uplinkDelivered: sc.Counter("uplink_delivered"),
+		uplinkDups:      sc.Counter("uplink_dups"),
+		downlinkPkts:    sc.Counter("downlink_pkts"),
+		downlinkFanout:  sc.Counter("downlink_fanout"),
+		handoffClaims:   sc.Counter("handoff_claims"),
+		handoffExports:  sc.Counter("handoffs_exported"),
+		handoffImports:  sc.Counter("handoffs_imported"),
+	}
+	sc.GaugeFunc("clients", func() float64 { return float64(len(c.clients)) })
+	sc.GaugeFunc("switches_inflight", func() float64 {
+		n := 0
+		for _, cs := range c.clients {
+			if cs.sw != nil {
+				n++
+			}
+		}
+		return float64(n)
+	})
 }
 
 // ConnectPeer attaches the sending half of a trunk toward an adjacent
@@ -357,6 +414,12 @@ func (c *Controller) issueSwitch(cs *clientState, to int) {
 	cs.lastInit = c.loop.Now()
 	cs.everInit = true
 	c.SwitchesIssued++
+	c.met.switchesIssued.Inc()
+	if sw.from >= 0 {
+		// Only real handoffs (with a stop leg) get a span — the same
+		// rule SwitchLatencies applies.
+		c.spans.Begin(sw.id, c.loop.Now(), c.traceAP(sw.from), c.traceAP(sw.to))
+	}
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "issue #%d %s ap%d->ap%d",
 		sw.id, cs.addr, c.traceAP(sw.from), c.traceAP(sw.to))
 	c.sendStop(cs, sw)
@@ -416,6 +479,8 @@ func (c *Controller) stopTimeout(cs *clientState, sw *switchState) {
 	}
 	if sw.retries >= c.cfg.MaxStopRetries {
 		cs.sw = nil
+		c.met.switchAbandoned.Inc()
+		c.spans.Drop(sw.id)
 		// An abandoned cross-segment handoff re-admits the downlink
 		// packets held while the stop was in flight.
 		for _, p := range sw.held {
@@ -425,6 +490,7 @@ func (c *Controller) stopTimeout(cs *clientState, sw *switchState) {
 	}
 	sw.retries++
 	c.StopRetransmits++
+	c.met.stopRetx.Inc()
 	c.sendStop(cs, sw)
 }
 
@@ -440,11 +506,13 @@ func (c *Controller) onSwitchAck(m *packet.SwitchAck) {
 	cs.hasAdoptAt = false
 	cs.sw = nil
 	c.SwitchesAcked++
+	c.met.switchesAcked.Inc()
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "ack #%d now ap%d", sw.id, m.APID)
 	if sw.from >= 0 {
 		// Only real handoffs count toward the protocol's execution
 		// time; initial adoptions skip the stop leg.
 		c.SwitchLatencies = append(c.SwitchLatencies, c.loop.Now().Sub(sw.issued))
+		c.spans.End(sw.id, c.loop.Now())
 	}
 }
 
@@ -475,6 +543,7 @@ func (c *Controller) Downlink(p packet.Packet) {
 	p.Index = cs.nextIndex
 	cs.nextIndex = (cs.nextIndex + 1) & (packet.IndexMod - 1)
 	c.DownlinkPackets++
+	c.met.downlinkPkts.Inc()
 	c.fanOut(cs, p)
 }
 
@@ -487,6 +556,7 @@ func (c *Controller) fanOut(cs *clientState, p packet.Packet) {
 			continue
 		}
 		c.DownlinkFanout++
+		c.met.downlinkFanout.Inc()
 		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+ap)), &packet.DownlinkData{
 			Client: cs.addr,
 			Inner:  p,
@@ -520,6 +590,7 @@ func (c *Controller) maybeClaim(cs *clientState) {
 	}
 	cs.lastClaim, cs.everClaim = now, true
 	c.HandoffClaims++
+	c.met.handoffClaims.Inc()
 	c.Trace.Addf(now, trace.Switch, "ctrl", "claim %s score %.1f dB", cs.addr, best)
 	for _, p := range c.peers {
 		p.Deliver(&packet.Handoff{Kind: packet.HandoffClaim, Client: cs.addr, Score: best})
@@ -574,6 +645,13 @@ func (c *Controller) onClaim(peer int, m *packet.Handoff) {
 	cs.sw = sw
 	cs.lastInit, cs.everInit = now, true
 	c.SwitchesIssued++
+	c.met.switchesIssued.Inc()
+	if sw.from >= 0 {
+		// A cross-segment handoff's span never completes here — the
+		// importer finishes the protocol — so it is begun and then
+		// dropped at export, keeping begun/completed/dropped balanced.
+		c.spans.Begin(sw.id, now, c.traceAP(sw.from), -1)
+	}
 	c.Trace.Addf(now, trace.Switch, "ctrl", "handoff #%d %s ap%d->peer%d (score %.1f)",
 		sw.id, cs.addr, c.traceAP(sw.from), peer, m.Score)
 	if cs.serving < 0 {
@@ -618,6 +696,8 @@ func (c *Controller) exportTo(cs *clientState, sw *switchState, k uint16) {
 	cs.exportedTo = peer
 	cs.serving = -1
 	c.HandoffsExported++
+	c.met.handoffExports.Inc()
+	c.spans.Drop(sw.id)
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "export #%d %s k=%d -> peer%d", sw.id, cs.addr, k, peer)
 }
 
@@ -653,6 +733,7 @@ func (c *Controller) importClient(peer int, m *packet.Handoff) {
 	// lastInit so the adoption switch below fires immediately).
 	cs.importedAt, cs.everImport = c.loop.Now(), true
 	c.HandoffsImported++
+	c.met.handoffImports.Inc()
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "import #%d %s k=%d", m.SwitchID, m.Client, m.Index)
 	c.bh.Broadcast(c.self, &packet.AssocState{
 		Client: m.Client,
@@ -670,6 +751,7 @@ func (c *Controller) onUplink(m *packet.UplinkData) {
 		k := m.Inner.DedupKey()
 		if c.dedup[k] {
 			c.UplinkDuplicates++
+			c.met.uplinkDups.Inc()
 			return
 		}
 		c.dedup[k] = true
@@ -680,6 +762,7 @@ func (c *Controller) onUplink(m *packet.UplinkData) {
 		}
 	}
 	c.UplinkDelivered++
+	c.met.uplinkDelivered.Inc()
 	c.bh.Send(c.self, c.fabric.Server(), &packet.ServerData{Inner: m.Inner})
 }
 

@@ -131,6 +131,12 @@ type Config struct {
 	// (Network.Trace) retaining this many most-recent events.
 	TraceCapacity int
 
+	// Telemetry enables the metrics registry: datapath counters, handoff
+	// span tracing, and 100 ms time-series sampling across every segment
+	// (Network.MetricsSnapshot). Unlike the trace log it works in domain
+	// mode — each domain records into its own shard.
+	Telemetry bool
+
 	// Cross-link budgets used only for carrier sense and interference.
 	// Clients sit inside vehicles (extra penetration loss); APs hear
 	// each other along the wall.

@@ -16,6 +16,7 @@ import (
 	"wgtt/internal/packet"
 	"wgtt/internal/rf"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 	"wgtt/internal/trace"
 )
 
@@ -83,6 +84,13 @@ type Network struct {
 	// Domain-partitioned execution (Coord != nil).
 	segs        []*segDomain
 	serverToSeg []*sim.Mailbox
+
+	// Telemetry (Config.Telemetry; nil/empty when disabled). telSegs[i]
+	// is segment i's scope — a root-shard view on the single-loop path,
+	// a per-domain shard in domain mode; telRoot is the wired server's.
+	tel     *telemetry.Registry
+	telSegs []telemetry.Scope
+	telRoot telemetry.Scope
 }
 
 type nodeRef struct {
@@ -114,13 +122,17 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.TraceCapacity > 0 {
 		n.Trace = trace.New(cfg.TraceCapacity)
 	}
+	if cfg.Telemetry {
+		n.initTelemetrySingle(loop, len(cfg.segmentGeoms()))
+	}
 	n.Medium = mac.NewMedium(loop, &netChannel{n: n, loop: loop}, rng.Fork("medium"))
 
 	d, err := deploy.Builder{
-		Loop:     loop,
-		Geoms:    cfg.segmentGeoms(),
-		Backhaul: cfg.Backhaul,
-		Trunk:    cfg.Trunk,
+		Loop:      loop,
+		Geoms:     cfg.segmentGeoms(),
+		Backhaul:  cfg.Backhaul,
+		Trunk:     cfg.Trunk,
+		Telemetry: n.segTel,
 		ServerHandler: func(si int) backhaul.Handler {
 			return func(from backhaul.NodeID, msg packet.Message) {
 				n.onServerBackhaul(si, from, msg)
@@ -130,7 +142,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 			// The only scheme switch in the network: pick the plane.
 			switch cfg.Scheme {
 			case WGTT:
-				p := deploy.NewWGTTPlane(seg, loop, n.Medium, n.Trace, rng, cfg.AP, cfg.Controller)
+				p := deploy.NewWGTTPlane(seg, loop, n.Medium, n.Trace,
+					n.segTel(seg.Index), rng, cfg.AP, cfg.Controller)
 				if n.Ctrl == nil {
 					n.Ctrl = p.Ctrl
 				}
@@ -243,6 +256,9 @@ func (n *Network) AddClient(traj mobility.Trajectory) *Client {
 		c.Roamer = baseline.NewRoamer(n.Loop, n.Medium, cl, node, n.Cfg.Roamer)
 	}
 	n.route[cl.IP] = seg.Index
+	if n.tel != nil {
+		n.clientGauges(seg.Index, id)
+	}
 	if home != nil {
 		home.acceptResident(c)
 	}

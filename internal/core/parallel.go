@@ -150,6 +150,9 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 	}
 	server := coord.NewDomain("server")
 	n.Loop = server.Loop
+	if cfg.Telemetry {
+		n.initTelemetryDomains(coord, server)
+	}
 
 	// Mailboxes: adjacent-segment pairs (trunk traffic + client
 	// migration) and every segment's link to the wired server. All share
@@ -167,6 +170,7 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 		Geoms:       geoms,
 		Backhaul:    cfg.Backhaul,
 		Trunk:       cfg.Trunk,
+		Telemetry:   n.segTel,
 		SegmentLoop: func(i int) *sim.Loop { return n.segs[i].dom.Loop },
 		TrunkPost: func(from, to int) func(at sim.Time, fn func()) {
 			if to == from+1 {
@@ -186,8 +190,8 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 		},
 		BuildPlane: func(seg *deploy.Segment) deploy.Plane {
 			sd := n.segs[seg.Index]
-			p := deploy.NewWGTTPlane(seg, sd.dom.Loop, sd.medium, nil, rng,
-				cfg.AP, cfg.Controller)
+			p := deploy.NewWGTTPlane(seg, sd.dom.Loop, sd.medium, nil,
+				n.segTel(seg.Index), rng, cfg.AP, cfg.Controller)
 			if n.Ctrl == nil {
 				n.Ctrl = p.Ctrl
 			}

@@ -15,6 +15,7 @@ import (
 	"wgtt/internal/packet"
 	"wgtt/internal/rf"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 )
 
 // Backhaul node ids within one segment's domain. Every segment numbers
@@ -167,6 +168,11 @@ type Builder struct {
 	// (typically a sim.Mailbox.Post bound to that directed edge). Must
 	// be set whenever SegmentLoop is.
 	TrunkPost func(from, to int) func(at sim.Time, fn func())
+	// Telemetry, when set, returns segment seg's telemetry scope. Build
+	// instruments each segment's backhaul under <scope>/backhaul and its
+	// outgoing trunk egress under <scope>/trunk (a middle segment's two
+	// trunk directions share one counter pair — the lookup dedups).
+	Telemetry func(seg int) telemetry.Scope
 }
 
 // Build constructs the segments and wires adjacent planes with trunks.
@@ -183,6 +189,12 @@ func (b Builder) Build() (*Deployment, error) {
 		}
 		return b.Loop
 	}
+	telFor := func(i int) telemetry.Scope {
+		if b.Telemetry == nil {
+			return telemetry.Scope{}
+		}
+		return b.Telemetry(i)
+	}
 	d := &Deployment{}
 	apBase := 0
 	for i, g := range b.Geoms {
@@ -191,6 +203,7 @@ func (b Builder) Build() (*Deployment, error) {
 		}
 		seg := &Segment{Index: i, APBase: apBase, Geom: g}
 		seg.Backhaul = backhaul.New(loopFor(i), b.Backhaul)
+		seg.Backhaul.SetTelemetry(telFor(i).Sub("backhaul"))
 		seg.Backhaul.AddNode(NodeServer, b.ServerHandler(i))
 		seg.Plane = b.BuildPlane(seg)
 		d.Segments = append(d.Segments, seg)
@@ -206,6 +219,15 @@ func (b Builder) Build() (*Deployment, error) {
 		}
 		fwd := NewTrunk(li.Now, postFwd, b.Trunk)
 		rev := NewTrunk(lj.Now, postRev, b.Trunk)
+		// Each trunk direction's counters live in the SENDING segment's
+		// scope: Deliver runs on the sender's loop, so the handles stay
+		// inside that domain's shard.
+		if sc := telFor(i).Sub("trunk"); sc.Enabled() {
+			fwd.SetTelemetry(sc.Counter("tx_msgs"), sc.Counter("tx_bytes"))
+		}
+		if sc := telFor(i + 1).Sub("trunk"); sc.Enabled() {
+			rev.SetTelemetry(sc.Counter("tx_msgs"), sc.Counter("tx_bytes"))
+		}
 		d.Segments[i].Plane.ConnectNext(d.Segments[i+1].Plane, fwd, rev)
 	}
 	return d, nil
@@ -246,6 +268,10 @@ type Trunk struct {
 	cfg     TrunkConfig
 	free    sim.Time // egress availability
 	deliver func(msg packet.Message)
+
+	// Egress telemetry (nil-safe no-ops until SetTelemetry).
+	metMsgs  *telemetry.Counter
+	metBytes *telemetry.Counter
 }
 
 // NewTrunk builds one trunk direction from a sender clock and a
@@ -254,9 +280,17 @@ func NewTrunk(now func() sim.Time, post func(at sim.Time, fn func()), cfg TrunkC
 	return &Trunk{now: now, post: post, cfg: cfg}
 }
 
+// SetTelemetry installs the trunk's egress counters. The handles must
+// belong to the sending segment's shard (Deliver runs on its loop).
+func (t *Trunk) SetTelemetry(msgs, bytes *telemetry.Counter) {
+	t.metMsgs, t.metBytes = msgs, bytes
+}
+
 // Deliver implements the planes' Peer interfaces.
 func (t *Trunk) Deliver(m packet.Message) {
 	wire := m.WireLen() + trunkEncapOverhead
+	t.metMsgs.Inc()
+	t.metBytes.Add(int64(wire))
 	ser := sim.Duration(float64(wire*8) / t.cfg.LinkMbps * float64(sim.Microsecond))
 	start := t.now()
 	if t.free.After(start) {

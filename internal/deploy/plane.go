@@ -12,6 +12,7 @@ import (
 	"wgtt/internal/packet"
 	"wgtt/internal/rf"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 	"wgtt/internal/trace"
 )
 
@@ -82,18 +83,24 @@ type WGTTPlane struct {
 // NewWGTTPlane builds the segment's controller and APs on its backhaul.
 // AP ids (and their MACs, trace names, and per-AP RNG streams) are
 // global, so a one-segment deployment forks the root RNG in exactly the
-// order the monolithic network did.
+// order the monolithic network did. tel, when enabled, hangs the
+// segment's controller and per-AP metrics under it and creates the
+// segment-shared "handoff" span tracker linking the controller's
+// issue/ack to the APs' stop/start marks.
 func NewWGTTPlane(seg *Segment, loop *sim.Loop, medium *mac.Medium, tr *trace.Log,
-	rng *sim.RNG, apCfg ap.Config, ctrlCfg controller.Config) *WGTTPlane {
+	tel telemetry.Scope, rng *sim.RNG, apCfg ap.Config, ctrlCfg controller.Config) *WGTTPlane {
 	fab := &segFabric{apBase: seg.APBase, numAPs: seg.Geom.NumAPs}
 	p := &WGTTPlane{seg: seg}
 	p.Ctrl = controller.New(loop, seg.Backhaul, NodeController, fab, seg.APBase, seg.Geom.NumAPs, ctrlCfg)
 	p.Ctrl.Trace = tr
+	spans := tel.Spans("handoff")
+	p.Ctrl.SetTelemetry(tel.Sub("ctrl"), spans)
 	for i := 0; i < seg.Geom.NumAPs; i++ {
 		g := seg.APBase + i
 		a := ap.New(uint16(g), seg.APPosition(i), loop, medium, seg.Backhaul,
 			NodeFirstAP+backhaul.NodeID(i), fab, apCfg, rng.Fork(fmt.Sprintf("ap%d", g)))
 		a.Trace = tr
+		a.SetTelemetry(tel.Sub(fmt.Sprintf("ap%d", g)), spans)
 		p.APs = append(p.APs, a)
 	}
 	return p

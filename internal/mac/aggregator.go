@@ -20,10 +20,11 @@ type Aggregator struct {
 	// retry holds MPDUs awaiting retransmission, in seq order.
 	retry []MPDU
 	// stats
-	Sent    int // MPDUs first-transmitted
-	Resent  int // MPDU retransmissions
-	Acked   int
-	Dropped int // exceeded retry limit
+	Sent      int // MPDUs first-transmitted
+	Resent    int // MPDU retransmissions
+	Acked     int
+	Dropped   int // exceeded retry limit
+	Abandoned int // retries discarded by DropRetries (handoff stop)
 }
 
 // NewAggregator returns an empty engine.
@@ -123,6 +124,7 @@ func (a *Aggregator) DropRetries() []packet.Packet {
 	for _, m := range a.retry {
 		out = append(out, m.Pkt)
 	}
+	a.Abandoned += len(a.retry)
 	a.retry = a.retry[:0]
 	return out
 }

@@ -31,6 +31,23 @@ type Cyclic struct {
 	tail  uint16 // one past the newest inserted index
 	count int    // occupied slots
 	empty bool   // true until first insert
+
+	// Stats count buffer events over the queue's lifetime. Plain ints
+	// kept inline (no telemetry handles) so the package stays leaf;
+	// the AP layer reads deltas around protocol steps.
+	Stats CyclicStats
+}
+
+// CyclicStats are lifetime event counts for one Cyclic buffer.
+type CyclicStats struct {
+	// Inserts counts accepted Insert calls (including overwrites).
+	Inserts int
+	// StaleDrops counts inserts discarded because the head had already
+	// passed their index.
+	StaleDrops int
+	// Flushed counts buffered packets discarded by SetHead moving the
+	// head forward — the packets a start(c,k) declares already served.
+	Flushed int
 }
 
 // NewCyclic returns an empty buffer.
@@ -50,6 +67,7 @@ func (c *Cyclic) Insert(p packet.Packet) {
 				// delivered by the previous AP before a switch).
 				// Buffering it again would resend old data, so
 				// drop it.
+				c.Stats.StaleDrops++
 				return
 			}
 			// "Behind" only by modular ambiguity: this buffer went
@@ -64,6 +82,7 @@ func (c *Cyclic) Insert(p packet.Packet) {
 	if c.slots[idx] == nil {
 		c.count++
 	}
+	c.Stats.Inserts++
 	cp := p
 	c.slots[idx] = &cp
 	if c.empty {
@@ -128,6 +147,7 @@ func (c *Cyclic) SetHead(k uint16) {
 		if c.slots[c.head] != nil {
 			c.slots[c.head] = nil
 			c.count--
+			c.Stats.Flushed++
 		}
 		c.head = (c.head + 1) & (packet.IndexMod - 1)
 	}

@@ -4,6 +4,7 @@ import (
 	"wgtt/internal/core"
 	"wgtt/internal/mobility"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 	"wgtt/internal/workload"
 )
 
@@ -60,6 +61,15 @@ type RunSpec struct {
 	// into per-segment event-loop domains (serial rounds or one
 	// goroutine per segment). Applied after Mutate.
 	Domains core.DomainMode
+	// Metrics, when non-nil, enables Config.Telemetry on the run's
+	// network and folds the end-of-run snapshot into the collector under
+	// MetricsLabel (falling back to Label, then "<scheme> <transport>").
+	// Record is concurrency-safe, so parallel specs may share one
+	// collector.
+	Metrics *telemetry.Collector
+	// MetricsLabel overrides the collector case this run lands in, so
+	// repeats of one experiment case (seeds, speeds) aggregate together.
+	MetricsLabel string
 }
 
 // Run executes one spec on a fresh network and returns the mean per-client
@@ -74,6 +84,9 @@ func Run(spec RunSpec) float64 {
 	}
 	if spec.Domains != core.SingleLoop {
 		cfg.Domains = spec.Domains
+	}
+	if spec.Metrics != nil {
+		cfg.Telemetry = true
 	}
 	n := core.MustNewNetwork(cfg)
 	warmup := spec.Warmup
@@ -94,6 +107,16 @@ func Run(spec RunSpec) float64 {
 		}
 	}
 	n.Run(spec.Duration)
+	if spec.Metrics != nil {
+		label := spec.MetricsLabel
+		if label == "" {
+			label = spec.Label
+		}
+		if label == "" {
+			label = spec.Scheme.String() + " " + spec.Transport.String()
+		}
+		spec.Metrics.Record(label, n.MetricsSnapshot())
+	}
 	if len(flows) == 0 {
 		return 0
 	}

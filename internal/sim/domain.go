@@ -83,6 +83,7 @@ type Coordinator struct {
 	domains   []*Domain
 	boxes     []*Mailbox
 	now       Time
+	rounds    int64
 }
 
 // NewCoordinator returns a coordinator advancing time in rounds of width
@@ -218,8 +219,14 @@ func (c *Coordinator) Run(until Time) {
 		}
 		c.drain()
 		c.now = end
+		c.rounds++
 	}
 }
+
+// Rounds returns the number of synchronization rounds executed so far —
+// the coordinator's occupancy measure for telemetry. Read it between
+// Run calls only.
+func (c *Coordinator) Rounds() int64 { return c.rounds }
 
 // RunFor advances the simulation by d from the coordinator's current time.
 func (c *Coordinator) RunFor(d Duration) { c.Run(c.now.Add(d)) }

@@ -68,6 +68,10 @@ type Loop struct {
 	// owner is the id of the goroutine executing Run; only tracked when
 	// ownerCheckEnabled (build tag simcheck).
 	owner uint64
+	// executed counts events fired over the loop's lifetime. Plain
+	// int64: sim must not depend on the telemetry layer, which reads
+	// this through Executed as a loop-occupancy gauge.
+	executed int64
 }
 
 // checkOwner panics if the caller is scheduling against a Loop that is
@@ -143,6 +147,7 @@ func (l *Loop) Run(until Time) {
 		}
 		heap.Pop(&l.events)
 		l.now = next.when
+		l.executed++
 		next.fn()
 	}
 	if l.now < until {
@@ -159,6 +164,11 @@ func (l *Loop) Stop() { l.stopped = true }
 
 // Pending returns the number of events still queued.
 func (l *Loop) Pending() int { return len(l.events) }
+
+// Executed returns the number of events fired so far — the loop's
+// occupancy measure for telemetry. Read it only from the loop's own
+// callbacks or while the loop is quiescent.
+func (l *Loop) Executed() int64 { return l.executed }
 
 // NextEventAt returns the firing time of the earliest pending event, or
 // ok=false when the queue is empty. The Coordinator uses it to fast-forward

@@ -1,0 +1,49 @@
+package telemetry
+
+import "testing"
+
+// The hot-path contract: recording into a resolved handle — or into a
+// nil handle when telemetry is disabled — performs zero heap
+// allocations.
+
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope("seg0")
+	c := sc.Counter("mpdus")
+	g := sc.Gauge("depth")
+	h := sc.Histogram("lat", HandoffBoundsMs)
+	var nilC *Counter
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4)
+		h.Observe(17)
+		nilC.Inc()
+	}); n != 0 {
+		t.Fatalf("hot-path recording allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Scope("seg0").Counter("mpdus")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter // what every handle is when telemetry is off
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Scope("seg0").Histogram("lat", HandoffBoundsMs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 100))
+	}
+}

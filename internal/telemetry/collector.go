@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Collector aggregates per-run snapshots into per-case summaries for
+// wgtt-experiments. Runs executed by parallel workers record in
+// arbitrary order, so every aggregate is commutative (sums, bucket
+// adds) and Summary sorts case labels — the report is deterministic
+// regardless of scheduling.
+type Collector struct {
+	mu    sync.Mutex
+	cases map[string]*caseAgg
+}
+
+type caseAgg struct {
+	runs     int
+	counters map[string]int64
+	handoff  HistogramPoint // merged <...>/total_ms histograms
+	hasHist  bool
+	spansDne int64
+	spansDrp int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{cases: make(map[string]*caseAgg)} }
+
+// Record folds one run's snapshot into the named case. Safe for
+// concurrent use; nil collectors and nil snapshots are ignored.
+func (c *Collector) Record(label string, snap *Snapshot) {
+	if c == nil || snap == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg, ok := c.cases[label]
+	if !ok {
+		agg = &caseAgg{counters: make(map[string]int64)}
+		c.cases[label] = agg
+	}
+	agg.runs++
+	for _, cp := range snap.Counters {
+		agg.counters[cp.Name] += cp.Value
+	}
+	if h, ok := snap.MergeHistograms("total_ms"); ok {
+		if !agg.hasHist {
+			agg.handoff = h
+			agg.hasHist = true
+		} else {
+			agg.handoff.merge(h)
+		}
+	}
+	for _, sp := range snap.Spans {
+		agg.spansDne += sp.Completed
+		agg.spansDrp += sp.Dropped
+	}
+}
+
+// Reset discards all recorded cases.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cases = make(map[string]*caseAgg)
+}
+
+func (a *caseAgg) sumLeaf(leaf string) int64 {
+	var sum int64
+	for name, v := range a.counters {
+		if leafMatch(name, leaf) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Summary renders one block per case: run count, handoff span totals
+// with merged latency quantiles, and the headline datapath counters.
+func (c *Collector) Summary() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := make([]string, 0, len(c.cases))
+	for l := range c.cases {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	for _, l := range labels {
+		a := c.cases[l]
+		fmt.Fprintf(&b, "metrics[%s] runs=%d\n", l, a.runs)
+		fmt.Fprintf(&b, "  handoffs: done=%d dropped=%d", a.spansDne, a.spansDrp)
+		if a.hasHist && a.handoff.Count > 0 {
+			fmt.Fprintf(&b, " p50=%.1fms p95=%.1fms",
+				a.handoff.Quantile(0.50), a.handoff.Quantile(0.95))
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "  switches: issued=%d acked=%d stop_retx=%d\n",
+			a.sumLeaf("switches_issued"), a.sumLeaf("switches_acked"), a.sumLeaf("stop_retx"))
+		fmt.Fprintf(&b, "  airtime:  aggregates=%d mpdus=%d retx=%d dropped=%d\n",
+			a.sumLeaf("aggregates"), a.sumLeaf("mpdus"), a.sumLeaf("mpdus_retx"), a.sumLeaf("mpdus_dropped"))
+		fmt.Fprintf(&b, "  wires:    backhaul_bytes=%d trunk_tx_bytes=%d\n",
+			a.sumLeaf("bytes"), a.sumLeaf("tx_bytes"))
+	}
+	return b.String()
+}

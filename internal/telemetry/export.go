@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format selects a Snapshot export encoding.
+type Format int
+
+// Export formats.
+const (
+	FormatText Format = iota // human-readable, the -metrics default
+	FormatJSON
+	FormatCSV
+	FormatProm // Prometheus text exposition (version 0.0.4)
+)
+
+// ParseFormat maps the -metrics flag values ("", "text", "json", "csv",
+// "prom") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	case "prom":
+		return FormatProm, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown metrics format %q (want text, json, csv or prom)", s)
+}
+
+// Write renders the snapshot in the given format.
+func (s *Snapshot) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatJSON:
+		return s.WriteJSON(w)
+	case FormatCSV:
+		return s.WriteCSV(w)
+	case FormatProm:
+		return s.WriteProm(w)
+	default:
+		return s.WriteText(w)
+	}
+}
+
+// WriteText renders an aligned human-readable dump.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# metrics @ %v\n", s.At)
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-44s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-44s %g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-44s count=%d sum=%.3f p50=%.2f p95=%.2f p99=%.2f\n",
+			h.Name, h.Count, h.Sum, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	for _, sp := range s.Spans {
+		fmt.Fprintf(&b, "%-44s begun=%d done=%d dropped=%d active=%d mean=%.1fms p50=%.1fms p90=%.1fms max=%.1fms\n",
+			sp.Name+" [spans]", sp.Begun, sp.Completed, sp.Dropped, sp.Active,
+			sp.MeanMs, sp.P50Ms, sp.P90Ms, sp.MaxMs)
+	}
+	for _, se := range s.Series {
+		if len(se.Values) == 0 {
+			continue
+		}
+		last := len(se.Values) - 1
+		fmt.Fprintf(&b, "%-44s samples=%d last=%g @ %v\n",
+			se.Name+" [series]", len(se.Values), se.Values[last], se.Times[last])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV renders flat kind,name,field,value rows; series samples get
+// one row per point with the sim time (ns) in the field column.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("kind,name,field,value\n")
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter,%s,value,%d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge,%s,value,%g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "histogram,%s,count,%d\n", h.Name, h.Count)
+		fmt.Fprintf(&b, "histogram,%s,sum,%g\n", h.Name, h.Sum)
+		for i, c := range h.Buckets {
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = strconv.FormatFloat(h.Bounds[i], 'g', -1, 64)
+			}
+			fmt.Fprintf(&b, "histogram,%s,le=%s,%d\n", h.Name, le, c)
+		}
+	}
+	for _, sp := range s.Spans {
+		fmt.Fprintf(&b, "spans,%s,completed,%d\n", sp.Name, sp.Completed)
+		fmt.Fprintf(&b, "spans,%s,dropped,%d\n", sp.Name, sp.Dropped)
+		fmt.Fprintf(&b, "spans,%s,p50_ms,%g\n", sp.Name, sp.P50Ms)
+		fmt.Fprintf(&b, "spans,%s,p90_ms,%g\n", sp.Name, sp.P90Ms)
+	}
+	for _, se := range s.Series {
+		for i, v := range se.Values {
+			fmt.Fprintf(&b, "series,%s,%d,%g\n", se.Name, int64(se.Times[i]), v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a hierarchical metric name into a Prometheus
+// metric name: wgtt_ prefix, path separators and other illegal runes
+// become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("wgtt_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteProm renders the snapshot in the Prometheus text exposition
+// format: counters gain a _total suffix, histograms emit cumulative
+// _bucket/_sum/_count samples, span trackers surface their lifecycle
+// counters (the latency distributions are ordinary histograms), and
+// each series contributes its most recent sample as a _last gauge.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		n := promName(c.Name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, c := range h.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = promFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", n, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+	}
+	for _, sp := range s.Spans {
+		n := promName(sp.Name)
+		fmt.Fprintf(&b, "# TYPE %s_completed_total counter\n%s_completed_total %d\n", n, n, sp.Completed)
+		fmt.Fprintf(&b, "# TYPE %s_dropped_total counter\n%s_dropped_total %d\n", n, n, sp.Dropped)
+		fmt.Fprintf(&b, "# TYPE %s_active gauge\n%s_active %d\n", n, n, sp.Active)
+	}
+	for _, se := range s.Series {
+		if len(se.Values) == 0 {
+			continue
+		}
+		n := promName(se.Name) + "_last"
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(se.Values[len(se.Values)-1]))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"strings"
+
+	"wgtt/internal/sim"
+)
+
+// CounterPoint is one counter in a Snapshot.
+type CounterPoint struct {
+	Name  string
+	Value int64
+}
+
+// GaugePoint is one gauge (stored or callback) in a Snapshot.
+type GaugePoint struct {
+	Name  string
+	Value float64
+}
+
+// HistogramPoint is one histogram in a Snapshot. Buckets has one entry
+// per bound plus a final +Inf bucket; entries are per-bucket counts
+// (not cumulative).
+type HistogramPoint struct {
+	Name    string
+	Bounds  []float64
+	Buckets []int64
+	Sum     float64
+	Count   int64
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// inside the containing bucket; observations are assumed non-negative.
+// Values landing in the +Inf bucket report the largest finite bound.
+func (h HistogramPoint) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	lo := 0.0
+	for i, c := range h.Buckets {
+		if i == len(h.Bounds) {
+			return lo // +Inf bucket: clamp to the largest finite bound
+		}
+		hi := h.Bounds[i]
+		if cum+float64(c) >= rank {
+			if c == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum += float64(c)
+		lo = hi
+	}
+	return lo
+}
+
+// merge folds another histogram with identical bounds into h.
+func (h *HistogramPoint) merge(o HistogramPoint) bool {
+	if len(o.Bounds) != len(h.Bounds) || len(o.Buckets) != len(h.Buckets) {
+		return false
+	}
+	for i, b := range o.Buckets {
+		h.Buckets[i] += b
+	}
+	h.Sum += o.Sum
+	h.Count += o.Count
+	return true
+}
+
+// SeriesPoint is one time series window in a Snapshot.
+type SeriesPoint struct {
+	Name   string
+	Times  []sim.Time
+	Values []float64
+}
+
+// Snapshot is a self-contained, name-sorted export of a Registry at one
+// simulated instant. It holds no references into live metric state.
+type Snapshot struct {
+	At         sim.Time
+	Counters   []CounterPoint
+	Gauges     []GaugePoint
+	Histograms []HistogramPoint
+	Series     []SeriesPoint
+	Spans      []SpanStat
+}
+
+// leafMatch reports whether name is exactly leaf or ends in "/<leaf>".
+func leafMatch(name, leaf string) bool {
+	return name == leaf || strings.HasSuffix(name, "/"+leaf)
+}
+
+// Counter returns the counter with the exact name.
+func (s *Snapshot) Counter(name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumCounters sums every counter whose last path component is leaf
+// (e.g. SumCounters("tx_bytes") over seg0/trunk/tx_bytes, seg1/...).
+func (s *Snapshot) SumCounters(leaf string) int64 {
+	var sum int64
+	for _, c := range s.Counters {
+		if leafMatch(c.Name, leaf) {
+			sum += c.Value
+		}
+	}
+	return sum
+}
+
+// Gauge returns the gauge with the exact name.
+func (s *Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumGauges sums every gauge whose last path component is leaf.
+func (s *Snapshot) SumGauges(leaf string) float64 {
+	var sum float64
+	for _, g := range s.Gauges {
+		if leafMatch(g.Name, leaf) {
+			sum += g.Value
+		}
+	}
+	return sum
+}
+
+// Histogram returns the histogram with the exact name.
+func (s *Snapshot) Histogram(name string) (HistogramPoint, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramPoint{}, false
+}
+
+// MergeHistograms merges every histogram whose last path component is
+// leaf (they must share bounds) into one, e.g. a fleet-wide handoff
+// latency distribution from per-segment total_ms histograms.
+func (s *Snapshot) MergeHistograms(leaf string) (HistogramPoint, bool) {
+	var out HistogramPoint
+	found := false
+	for _, h := range s.Histograms {
+		if !leafMatch(h.Name, leaf) {
+			continue
+		}
+		if !found {
+			out = HistogramPoint{
+				Name:    leaf,
+				Bounds:  append([]float64(nil), h.Bounds...),
+				Buckets: append([]int64(nil), h.Buckets...),
+				Sum:     h.Sum,
+				Count:   h.Count,
+			}
+			found = true
+			continue
+		}
+		out.merge(h)
+	}
+	return out, found
+}
+
+// Span returns the span stat whose last path component is name.
+func (s *Snapshot) Span(name string) (SpanStat, bool) {
+	for _, sp := range s.Spans {
+		if leafMatch(sp.Name, name) {
+			return sp, true
+		}
+	}
+	return SpanStat{}, false
+}

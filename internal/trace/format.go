@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"strconv"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// sprintf is a reflection-free subset of fmt.Sprintf covering the verbs
+// trace call sites use (%d, %x, %s, %v, %f/%g with optional precision,
+// %%) over the concrete types that flow through the datapath. Unlike
+// fmt.Sprintf it provably does not leak its argument slice, so the
+// compiler keeps Addf callers' variadic []any (and the boxed values in
+// it) on the stack — a disabled log then costs zero heap allocations,
+// which TestAddfDisabledZeroAlloc pins. Unsupported verb/argument
+// combinations render a "%!x(?)" placeholder instead of reflecting.
+func sprintf(format string, args []any) string {
+	var buf [128]byte
+	return string(appendFormat(buf[:0], format, args))
+}
+
+func appendFormat(b []byte, format string, args []any) []byte {
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' {
+			b = append(b, ch)
+			continue
+		}
+		i++
+		prec := -1
+		if i < len(format) && format[i] == '.' {
+			prec = 0
+			for i++; i < len(format) && format[i] >= '0' && format[i] <= '9'; i++ {
+				prec = prec*10 + int(format[i]-'0')
+			}
+		}
+		if i >= len(format) {
+			b = append(b, '%')
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			b = append(b, '%')
+			continue
+		}
+		if arg >= len(args) {
+			b = append(b, '%', '!')
+			b = append(b, verb)
+			b = append(b, "(MISSING)"...)
+			continue
+		}
+		b = appendArg(b, verb, prec, args[arg])
+		arg++
+	}
+	return b
+}
+
+func appendArg(b []byte, verb byte, prec int, v any) []byte {
+	switch verb {
+	case 'd', 'x':
+		base := 10
+		if verb == 'x' {
+			base = 16
+		}
+		switch n := v.(type) {
+		case int:
+			return strconv.AppendInt(b, int64(n), base)
+		case int8:
+			return strconv.AppendInt(b, int64(n), base)
+		case int16:
+			return strconv.AppendInt(b, int64(n), base)
+		case int32:
+			return strconv.AppendInt(b, int64(n), base)
+		case int64:
+			return strconv.AppendInt(b, n, base)
+		case sim.Duration:
+			return strconv.AppendInt(b, int64(n), base)
+		case sim.Time:
+			return strconv.AppendInt(b, int64(n), base)
+		case uint:
+			return strconv.AppendUint(b, uint64(n), base)
+		case uint8:
+			return strconv.AppendUint(b, uint64(n), base)
+		case uint16:
+			return strconv.AppendUint(b, uint64(n), base)
+		case uint32:
+			return strconv.AppendUint(b, uint64(n), base)
+		case uint64:
+			return strconv.AppendUint(b, n, base)
+		}
+	case 'f', 'g':
+		fc := verb
+		if prec < 0 {
+			if verb == 'f' {
+				prec = 6
+			}
+		}
+		switch n := v.(type) {
+		case float64:
+			return strconv.AppendFloat(b, n, fc, prec, 64)
+		case float32:
+			return strconv.AppendFloat(b, float64(n), fc, prec, 32)
+		}
+	case 's', 'v':
+		switch s := v.(type) {
+		case string:
+			return append(b, s...)
+		case packet.MAC:
+			return appendMAC(b, s)
+		case sim.Time:
+			// Mirrors sim.Time.String ("3.201456s") without fmt.
+			b = strconv.AppendFloat(b, s.Seconds(), 'f', 6, 64)
+			return append(b, 's')
+		case sim.Duration:
+			return append(b, s.String()...)
+		case bool:
+			return strconv.AppendBool(b, s)
+		}
+		if verb == 'v' {
+			switch v.(type) {
+			case float64, float32:
+				return appendArg(b, 'g', prec, v)
+			default:
+				return appendArg(b, 'd', prec, v)
+			}
+		}
+	}
+	b = append(b, '%', '!')
+	b = append(b, verb)
+	return append(b, "(?)"...)
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendMAC(b []byte, m packet.MAC) []byte {
+	for i, oct := range m {
+		if i > 0 {
+			b = append(b, ':')
+		}
+		b = append(b, hexDigits[oct>>4], hexDigits[oct&0xf])
+	}
+	return b
+}

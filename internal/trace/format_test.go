@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// TestSprintfMatchesFmt pins the mini-formatter against fmt.Sprintf for
+// every format/type combination the datapath call sites use.
+func TestSprintfMatchesFmt(t *testing.T) {
+	mac := packet.ClientMAC(3)
+	cases := []struct {
+		format string
+		args   []any
+	}{
+		{"stop #%d %s", []any{uint32(17), mac}},
+		{"start #%d k=%d -> remote", []any{uint32(9), uint16(4012)}},
+		{"start #%d k=%d -> ap%d", []any{uint32(9), uint16(4012), 5}},
+		{"%d MPDUs exceeded retry limit", []any{7}},
+		{"issue #%d %s ap%d->ap%d", []any{uint32(1), mac, 2, 3}},
+		{"claim %s score %.1f dB", []any{mac, 23.456}},
+		{"handoff #%d %s ap%d->peer%d (score %.1f)", []any{uint32(8), mac, -1, 1, -3.05}},
+		{"plain text, no verbs", nil},
+		{"%s %v %v", []any{"str", 42, 1.5}},
+		{"%x vs %d", []any{uint16(0xbeef), int64(-12)}},
+		{"%f and %.3f", []any{2.5, 2.5}},
+		{"escaped %% and %d", []any{1}},
+		{"time %s dur %s", []any{sim.Time(1500 * sim.Millisecond), 30 * sim.Millisecond}},
+		{"bool %v", []any{true}},
+		{"missing %d %d", []any{1}},
+	}
+	for _, c := range cases {
+		got := sprintf(c.format, c.args)
+		want := fmt.Sprintf(c.format, c.args...)
+		if got != want {
+			t.Errorf("sprintf(%q, %v) = %q, want %q", c.format, c.args, got, want)
+		}
+	}
+}
+
+func TestSprintfUnsupportedPlaceholder(t *testing.T) {
+	type odd struct{ x int }
+	got := sprintf("weird %s", []any{odd{1}})
+	if got != "weird %!s(?)" {
+		t.Errorf("placeholder = %q", got)
+	}
+}
+
+// TestAddfDisabledZeroAlloc pins the satellite contract: a nil or
+// zero-capacity log makes Addf completely free — not even the variadic
+// argument slice reaches the heap.
+func TestAddfDisabledZeroAlloc(t *testing.T) {
+	var nilLog *Log
+	zero := &Log{}
+	mac := packet.ClientMAC(1)
+	if n := testing.AllocsPerRun(1000, func() {
+		nilLog.Addf(ms(1), Control, "ap0", "stop #%d %s", uint32(5), mac)
+		zero.Addf(ms(1), Switch, "ctrl", "claim %s score %.1f dB", mac, 12.5)
+	}); n != 0 {
+		t.Fatalf("disabled Addf allocates %v/op, want 0", n)
+	}
+}
+
+// BenchmarkAddfDisabled is the satellite's proof benchmark: run with
+// -benchmem and expect 0 B/op, 0 allocs/op.
+func BenchmarkAddfDisabled(b *testing.B) {
+	var l *Log
+	mac := packet.ClientMAC(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Addf(ms(1), Control, "ap0", "stop #%d %s", uint32(i), mac)
+	}
+}
+
+func BenchmarkAddfEnabled(b *testing.B) {
+	l := New(1024)
+	mac := packet.ClientMAC(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Addf(ms(1), Control, "ap0", "stop #%d %s", uint32(i), mac)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{
+		"": -1, "all": -1, "ALL": -1,
+		"dl": Downlink, "UL": Uplink, "sw": Switch, "ctl": Control, "drop": Drop,
+	} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind accepted bogus")
+	}
+}

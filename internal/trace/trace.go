@@ -30,6 +30,26 @@ const (
 	Drop
 )
 
+// ParseKind inverts Kind.String (case-insensitive); "" or "all" mean
+// "every kind" and map to -1, the Filter wildcard.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(s) {
+	case "", "ALL":
+		return Kind(-1), nil
+	case "DL":
+		return Downlink, nil
+	case "UL":
+		return Uplink, nil
+	case "SW":
+		return Switch, nil
+	case "CTL":
+		return Control, nil
+	case "DROP":
+		return Drop, nil
+	}
+	return 0, fmt.Errorf("trace: unknown kind %q (want DL, UL, SW, CTL, DROP or all)", s)
+}
+
 // String implements fmt.Stringer.
 func (k Kind) String() string {
 	switch k {
@@ -91,12 +111,16 @@ func (l *Log) Add(at sim.Time, kind Kind, node, detail string) {
 	}
 }
 
-// Addf formats and appends.
+// Addf formats and appends. It formats with the package's non-escaping
+// sprintf subset (format.go) rather than fmt.Sprintf: fmt leaks its
+// argument slice, which would force every call site to heap-allocate
+// the variadic args even when the log is nil — with sprintf the
+// disabled path is genuinely free (zero allocations, pinned by test).
 func (l *Log) Addf(at sim.Time, kind Kind, node, format string, args ...any) {
 	if l == nil || l.cap == 0 {
 		return
 	}
-	l.Add(at, kind, node, fmt.Sprintf(format, args...))
+	l.Add(at, kind, node, sprintf(format, args))
 }
 
 // Len reports retained events; Total reports all ever added.
@@ -152,7 +176,13 @@ func (l *Log) Filter(kind Kind, nodeSub string) []Event {
 
 // Dump writes the retained events, one per line, tcpdump-style.
 func (l *Log) Dump(w io.Writer) error {
-	for _, e := range l.Events() {
+	return DumpEvents(w, l.Events())
+}
+
+// DumpEvents writes an event slice (e.g. a Filter result) in the same
+// tcpdump-style line format as Dump.
+func DumpEvents(w io.Writer, events []Event) error {
+	for _, e := range events {
 		if _, err := fmt.Fprintf(w, "%s %-4s %-8s %s\n", e.At, e.Kind, e.Node, e.Detail); err != nil {
 			return err
 		}

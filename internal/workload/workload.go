@@ -6,6 +6,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"wgtt/internal/core"
 	"wgtt/internal/packet"
 	"wgtt/internal/sim"
@@ -106,6 +108,13 @@ func NewTCPDownlink(n *core.Network, c *core.Client, totalSegments uint32) *TCPD
 	w.Sender = transport.NewTCPSender(n.Loop, n.SendFromServer,
 		packet.ServerIP, c.IP, ackPort, PortTCPBulk, totalSegments)
 	n.ServerHandle(ackPort, w.Sender.OnAck)
+	// Sender-side loss recovery under the server scope: GaugeFuncs are
+	// read at snapshot time only, so the hookup costs the hot path
+	// nothing.
+	if sc := n.TelemetryScope(fmt.Sprintf("server/tcp%d", c.ID)); sc.Enabled() {
+		sc.GaugeFunc("retx", func() float64 { return float64(w.Sender.Retransmits) })
+		sc.GaugeFunc("rto", func() float64 { return float64(w.Sender.Timeouts) })
+	}
 	return w
 }
 

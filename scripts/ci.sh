@@ -21,3 +21,26 @@ go test -race -run 'TestDomain' ./internal/core/
 go test -tags simcheck ./internal/sim/
 
 go test ./...
+
+# Telemetry-overhead gate: the fully instrumented 24-segment corridor
+# ride (counters, spans, per-domain 100 ms samplers) must not run more
+# than 5% slower than the uninstrumented one. Each sample averages three
+# rides (seeds 1–3) and the min-of-3 comparison discards scheduler
+# noise, which dominates single rides of the parallel-domain executor.
+# The pair is sampled in three interleaved processes (not -count=3,
+# which sequences all base samples before all metrics samples) so a
+# drifting host load lands on both sides rather than biasing one.
+bench_out=$(mktemp)
+for _ in 1 2 3; do
+    go test -run=NONE -bench 'BenchmarkCorridorParallel$/domains-parallel|BenchmarkCorridorParallelMetrics$' \
+        -benchtime=3x -count=1 . | tee -a "$bench_out"
+done
+awk '
+    /^BenchmarkCorridorParallel\/domains-parallel/ { if (base == 0 || $3+0 < base) base = $3+0 }
+    /^BenchmarkCorridorParallelMetrics/            { if (met == 0 || $3+0 < met) met = $3+0 }
+    END {
+        if (base == 0 || met == 0) { print "telemetry gate: benchmark output missing"; exit 1 }
+        printf "telemetry overhead: base=%.0fns metrics=%.0fns ratio=%.3f\n", base, met, met/base
+        if (met > base * 1.05) { print "telemetry overhead exceeds 5% budget"; exit 1 }
+    }' "$bench_out"
+rm -f "$bench_out"

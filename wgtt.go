@@ -32,6 +32,7 @@ import (
 	"wgtt/internal/deploy"
 	"wgtt/internal/mobility"
 	"wgtt/internal/sim"
+	"wgtt/internal/telemetry"
 	"wgtt/internal/workload"
 )
 
@@ -91,6 +92,35 @@ func NewNetwork(cfg Config) *Network { return core.MustNewNetwork(cfg) }
 
 // Client is a mobile station attached to a Network.
 type Client = core.Client
+
+// Telemetry re-exports (Config.Telemetry). A network built with
+// telemetry on records datapath counters, per-handoff spans, and 100 ms
+// time series; export them with Network.MetricsSnapshot and the
+// snapshot's Write (text, json, csv, or Prometheus exposition).
+type (
+	// MetricsSnapshot is a point-in-time export of a network's metrics.
+	MetricsSnapshot = telemetry.Snapshot
+	// MetricsFormat selects a MetricsSnapshot.Write encoding.
+	MetricsFormat = telemetry.Format
+	// MetricsCollector aggregates per-case summaries across runs
+	// (Options.Metrics).
+	MetricsCollector = telemetry.Collector
+)
+
+// Metric export formats.
+const (
+	MetricsText = telemetry.FormatText
+	MetricsJSON = telemetry.FormatJSON
+	MetricsCSV  = telemetry.FormatCSV
+	MetricsProm = telemetry.FormatProm
+)
+
+// ParseMetricsFormat inverts the -metrics flag values ("text", "json",
+// "csv", "prom"; "" means text).
+func ParseMetricsFormat(s string) (MetricsFormat, error) { return telemetry.ParseFormat(s) }
+
+// NewMetricsCollector returns an empty cross-run collector.
+func NewMetricsCollector() *MetricsCollector { return telemetry.NewCollector() }
 
 // Time and duration re-exports so callers need not import internal/sim.
 type (
