@@ -242,6 +242,29 @@ func BenchmarkCorridorParallelMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkCorridorFederated times an eight-segment federated corridor
+// ride in parallel-domain mode with the full fault machinery live: ring
+// trunk, directory replication on every handoff, and a fault schedule
+// injecting a mid-ride outage plus random trunk drops and jitter. The
+// delta against an unfederated ride of the same size prices the
+// federation layer; the Mbps metric shows throughput surviving faults.
+func BenchmarkCorridorFederated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts(i)
+		opt.Mutate = func(c *Config) {
+			c.Federation.Enabled = true
+			c.Federation.Ring = true
+			c.Trunk.Faults = FaultSchedule{
+				Outages:   []Outage{{A: 1, B: 2, Start: 2 * Second, End: 4 * Second}},
+				DropProb:  0.02,
+				JitterMax: 40 * Microsecond,
+			}
+		}
+		r := corridorRideN(opt, core.DomainsParallel, 8, 10*Second)
+		b.ReportMetric(r.MeanMbps, "Mbps")
+	}
+}
+
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := Ablations(benchOpts(i))

@@ -116,7 +116,14 @@ func main() {
 		traceNode  = flag.String("trace-node", "", "filter -trace output to events whose node contains this substring")
 
 		parallelSegments = flag.Bool("parallel-segments", false,
-			"run each road segment as its own parallel event-loop domain (multi-segment WGTT, udp/tcp workloads)")
+			"run each road segment as its own parallel event-loop domain (multi-segment WGTT, udp/tcp/conference workloads)")
+
+		fed = flag.Bool("federation", false,
+			"enable the cross-segment federation layer (ownership directory, multi-hop routing, re-locate protocol)")
+		ringTrunk = flag.Bool("ring-trunk", false,
+			"close the trunk chain into a ring (implies -federation; needs >= 3 segments)")
+		trunkFaults = flag.String("trunk-faults", "",
+			"trunk fault schedule, e.g. drop=0.01,jitter=50us,outage=1-2@2s-3s,outage=all@5s-5.1s")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -165,11 +172,24 @@ func main() {
 		cfg.Segments = specs
 	}
 	if *parallelSegments {
-		if *workloadN != "udp" && *workloadN != "tcp" {
-			fmt.Fprintf(os.Stderr, "-parallel-segments supports the udp and tcp workloads, not %q\n", *workloadN)
+		if *workloadN != "udp" && *workloadN != "tcp" && *workloadN != "conference" {
+			fmt.Fprintf(os.Stderr, "-parallel-segments supports the udp, tcp, and conference workloads, not %q\n", *workloadN)
 			os.Exit(2)
 		}
 		cfg.Domains = wgtt.DomainsParallel
+	}
+	if *ringTrunk {
+		*fed = true
+		cfg.Federation.Ring = true
+	}
+	cfg.Federation.Enabled = *fed
+	if *trunkFaults != "" {
+		faults, err := wgtt.ParseFaultSchedule(*trunkFaults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Trunk.Faults = faults
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -219,7 +239,14 @@ func main() {
 			pages = append(pages, w)
 		case "conference":
 			cf := wgtt.NewConference(n, c)
-			n.Loop.After(100*wgtt.Millisecond, cf.Start)
+			if *parallelSegments {
+				// Domain mode: the call's client-side timers must be
+				// armed from the construction goroutine before the
+				// domains start, not from the server loop mid-run.
+				cf.Start()
+			} else {
+				n.Loop.After(100*wgtt.Millisecond, cf.Start)
+			}
 			confs = append(confs, cf)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workloadN)
@@ -261,6 +288,19 @@ func main() {
 			issued, acked, dups)
 		if len(n.Controllers()) > 1 {
 			fmt.Printf("cross-segment handoffs: %d exported, %d imported\n", exported, imported)
+		}
+		if nodes := n.FederationNodes(); len(nodes) > 0 {
+			var rel, abandoned, releases int
+			for _, f := range nodes {
+				rel += f.Relocates
+				abandoned += f.RelocatesAbandoned
+			}
+			for _, ctrl := range n.Controllers() {
+				releases += ctrl.FedReleases
+			}
+			outage, random := n.TrunkFaultDrops()
+			fmt.Printf("federation: %d re-locates (%d abandoned), %d releases; trunk drops: %d outage, %d random; lost clients: %d\n",
+				rel, abandoned, releases, outage, random, len(n.LostClients()))
 		}
 	}
 	if *traceN > 0 && n.Trace != nil {

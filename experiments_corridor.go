@@ -4,7 +4,11 @@ import (
 	"fmt"
 
 	"wgtt/internal/core"
+	"wgtt/internal/rf"
 )
+
+// posXY builds a waypoint position.
+func posXY(x, y float64) rf.Position { return rf.Position{X: x, Y: y} }
 
 // CorridorResult is the transit-corridor scenario at deployment scale:
 // two vehicles riding the full length of a three-segment roadway under
@@ -78,6 +82,85 @@ func corridorRideN(opt Options, mode core.DomainMode, segments int, maxDur Durat
 	}
 	res.MeanMbps = mean(res.PerClientMbps)
 	return res
+}
+
+// CorridorFedResult is the federated corridor under trunk faults: the
+// ride summary plus the re-locate protocol's scoreboard.
+type CorridorFedResult struct {
+	CorridorResult
+	Relocates   int
+	Abandoned   int
+	OutageDrops int64
+	RandomDrops int64
+	Lost        int
+}
+
+// CorridorFederated rides a four-segment ring-federated corridor with a
+// canned trunk fault schedule: one client drives straight through while
+// a second U-turns mid-corridor, and an interior trunk blacks out for
+// two seconds on top of random trunk drops and delay jitter. The ride
+// exercises the whole recovery surface — directory re-locates, claim and
+// export retries, routing around the downed trunk — and reports whether
+// every client came out owned.
+func CorridorFederated(opt Options) CorridorFedResult {
+	const apsPer = 4
+	cfg := DefaultConfig(SchemeWGTT)
+	cfg.Seed = opt.Seed
+	cfg.Segments = []SegmentSpec{{NumAPs: apsPer}, {NumAPs: apsPer}, {NumAPs: apsPer}, {NumAPs: apsPer}}
+	cfg.Federation.Enabled = true
+	cfg.Federation.Ring = true
+	cfg.Trunk.Faults = FaultSchedule{
+		Outages:   []Outage{{A: 1, B: 2, Start: 2 * Second, End: 4 * Second}},
+		DropProb:  0.02,
+		JitterMax: 40 * Microsecond,
+	}
+	cfg.Telemetry = true // the result reports trunk drop counters
+	if opt.ParallelSegments {
+		cfg.Domains = core.DomainsParallel
+	}
+	if opt.Mutate != nil {
+		opt.Mutate(&cfg)
+	}
+	n := NewNetwork(cfg)
+
+	trajs := []Trajectory{
+		Drive(-5, 0, 25),
+		NewWaypoints([]Waypoint{
+			{At: 0, Pos: posXY(10, 0)},
+			{At: 4 * Second, Pos: posXY(75, 0)},
+			{At: 9 * Second, Pos: posXY(12, 0)},
+		}),
+	}
+	var meters []*throughput
+	for _, traj := range trajs {
+		c := n.AddClient(traj)
+		f := NewUDPDownlink(n, c, offeredUDPMbps)
+		startAfterWarmup(n, f.Start)
+		meters = append(meters, f.Meter)
+	}
+	n.Run(10 * Second)
+
+	res := CorridorFedResult{CorridorResult: CorridorResult{
+		Segments: len(cfg.Segments), APsPerSegment: apsPer, SpeedMPH: 25,
+	}}
+	for _, m := range meters {
+		res.PerClientMbps = append(res.PerClientMbps, m.MeanMbps(n.Loop.Now()))
+	}
+	res.MeanMbps = mean(res.PerClientMbps)
+	for _, f := range n.FederationNodes() {
+		res.Relocates += f.Relocates
+		res.Abandoned += f.RelocatesAbandoned
+	}
+	res.OutageDrops, res.RandomDrops = n.TrunkFaultDrops()
+	res.Lost = len(n.LostClients())
+	return res
+}
+
+// String renders the federated ride summary.
+func (r CorridorFedResult) String() string {
+	return r.CorridorResult.String() + fmt.Sprintf(
+		"federation: %d re-locates (%d abandoned); trunk drops: %d outage, %d random; lost clients: %d\n",
+		r.Relocates, r.Abandoned, r.OutageDrops, r.RandomDrops, r.Lost)
 }
 
 // String renders the ride summary.

@@ -167,6 +167,12 @@ func Experiments() []Experiment {
 			Desc: "two-client ride across a 3-segment corridor (domain execution fixture)",
 			Run:  func(o Options) fmt.Stringer { return CorridorThroughput(o) },
 		},
+		{
+			Name: "corridor-fed",
+			Tags: []string{"micro"},
+			Desc: "federated 4-segment ring corridor under trunk faults (U-turn + outage recovery)",
+			Run:  func(o Options) fmt.Stringer { return CorridorFederated(o) },
+		},
 	}
 }
 

@@ -1,0 +1,52 @@
+package wgtt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// workloadDomainSignature runs the two client-side-timer workloads — CBR
+// UDP uplink and the two-party conference — across a three-segment
+// corridor in the given domain mode, and returns a byte-exact signature.
+// Both workloads arm timers on the client's migration-safe scheduler, so
+// this is the regression test for client timer sources that used to live
+// on the shared loop (domain-unsafe in parallel mode).
+func workloadDomainSignature(t *testing.T, seed int64, mode DomainMode) string {
+	t.Helper()
+	cfg := DefaultConfig(SchemeWGTT)
+	cfg.Seed = seed
+	cfg.Segments = []SegmentSpec{{NumAPs: 4}, {NumAPs: 4}, {NumAPs: 4}}
+	cfg.Domains = mode
+	n := NewNetwork(cfg)
+
+	up := NewUDPUplink(n, n.AddClient(Drive(-5, 0, 25)), 7001, 5)
+	conf := NewConference(n, n.AddClient(Drive(-13, 0, 25)))
+	// Both must start before Run: in parallel mode, client-domain timers
+	// may only be armed from their own domain once the run begins.
+	up.Start()
+	conf.Start()
+	n.Run(8 * Second)
+
+	return fmt.Sprintf("up=%d;frames=%d;fpsN=%d;fpsMean=%v",
+		up.Sink.Bytes, conf.FramesRendered(), conf.FPSSamples.N(), conf.FPSSamples.Mean())
+}
+
+// TestDomainClientWorkloadParity pins that uplink CBR and conferencing —
+// the workloads whose emission timers ride on the client — produce
+// bit-identical results in serial and parallel domain mode while their
+// client migrates across segments.
+func TestDomainClientWorkloadParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 8 s corridor rides per seed")
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		serial := workloadDomainSignature(t, seed, DomainsSerial)
+		parallel := workloadDomainSignature(t, seed, DomainsParallel)
+		if serial != parallel {
+			t.Errorf("seed %d: %s", seed, firstDiffLabeled("serial", "parallel", serial, parallel))
+		}
+		if serial == "up=0;frames=0;fpsN=0;fpsMean=NaN" {
+			t.Errorf("seed %d: workloads delivered nothing: %q", seed, serial)
+		}
+	}
+}

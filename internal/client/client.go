@@ -63,6 +63,10 @@ type Client struct {
 	alive func() bool
 	// keepaliveEv is the pending keepalive timer, canceled on Detach.
 	keepaliveEv *sim.Event
+	// tasks are the migration-safe timers scheduled through Sched:
+	// Detach cancels their loop events, Attach re-arms them on the new
+	// owner's loop (in insertion order, no earlier than its now).
+	tasks []*task
 
 	// AcceptFrom filters downlink data by transmitter: under WGTT every
 	// AP shares the BSSID, so it returns true for all APs; under the
@@ -187,6 +191,12 @@ func (c *Client) Detach() {
 	}
 	c.busy = false
 	c.alive = nil
+	for _, t := range c.tasks {
+		if t.ev != nil {
+			c.loop.Cancel(t.ev)
+			t.ev = nil
+		}
+	}
 }
 
 // Attach places a detached client onto a new loop and medium (the
@@ -201,6 +211,9 @@ func (c *Client) Attach(loop *sim.Loop, medium *mac.Medium, alive func() bool) {
 		// As in New: an early first keepalive lets the new segment's
 		// controller adopt the client quickly.
 		c.keepaliveEv = loop.After(sim.Millisecond, c.keepalive)
+	}
+	for _, t := range c.tasks {
+		c.armTask(t)
 	}
 	c.kick()
 }

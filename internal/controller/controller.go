@@ -9,6 +9,7 @@ package controller
 import (
 	"wgtt/internal/backhaul"
 	"wgtt/internal/csi"
+	"wgtt/internal/federation"
 	"wgtt/internal/packet"
 	"wgtt/internal/sim"
 	"wgtt/internal/telemetry"
@@ -91,14 +92,18 @@ type Peer interface {
 }
 
 type switchState struct {
-	id      uint32
-	from    int // -1 when adopting a client with no serving AP
-	to      int
-	remote  int // peer index for a cross-segment handoff, -1 local
-	retries int
-	timer   *sim.Event
-	issued  sim.Time
-	held    []packet.Packet // downlink held unstamped during a remote stop
+	id        uint32
+	from      int // -1 when adopting a client with no serving AP
+	to        int
+	remote    int // peer index for a cross-segment handoff, -1 local
+	remoteSeg int // destination segment for a federated handoff, -1 local
+	retries   int
+	timer     *sim.Event
+	issued    sim.Time
+	held      []packet.Packet // downlink held unstamped during a remote stop
+	// heldData is the stopped AP's pre-stamped backlog arriving while a
+	// federated export awaits its ack; it ships to the importer stamped.
+	heldData []*packet.DownlinkData
 }
 
 type clientState struct {
@@ -118,12 +123,16 @@ type clientState struct {
 	// deployment stay unowned until an export arrives.
 	owned      bool
 	exportedTo int // peer index after export, -1 otherwise
-	adoptAt    uint16
-	hasAdoptAt bool
-	lastClaim  sim.Time
-	everClaim  bool
-	importedAt sim.Time
-	everImport bool
+	// exportedSeg is the segment the client was last handed to under
+	// federation (-1 unknown). Export chains are acyclic in time, so
+	// following them always terminates at the current owner.
+	exportedSeg int
+	adoptAt     uint16
+	hasAdoptAt  bool
+	lastClaim   sim.Time
+	everClaim   bool
+	importedAt  sim.Time
+	everImport  bool
 }
 
 // Controller is the WGTT controller.
@@ -136,6 +145,7 @@ type Controller struct {
 	numAPs int
 	apBase int // global id of this segment's first AP
 	peers  []Peer
+	fed    *federation.Node
 
 	// Trace, when set, receives switch-protocol events.
 	Trace *trace.Log
@@ -167,6 +177,7 @@ type Controller struct {
 	HandoffClaims    int // claims sent toward adjacent owners
 	HandoffsExported int // clients handed to an adjacent segment
 	HandoffsImported int // clients adopted from an adjacent segment
+	FedReleases      int // ownerships relinquished to a converging directory
 }
 
 // New creates the controller and attaches it to the backhaul at node
@@ -241,6 +252,18 @@ func (c *Controller) SetTelemetry(sc telemetry.Scope, spans *telemetry.Spans) {
 	})
 }
 
+// SetFederation attaches the segment's federation node and makes this
+// controller its local handler. Call once at build time, before trunks
+// connect.
+func (c *Controller) SetFederation(f *federation.Node) {
+	c.fed = f
+	f.Bind(c)
+}
+
+// Federation returns the attached federation node (nil when the layer
+// is off).
+func (c *Controller) Federation() *federation.Node { return c.fed }
+
 // ConnectPeer attaches the sending half of a trunk toward an adjacent
 // segment's controller and returns its peer index. Incoming trunk
 // traffic is delivered by the remote side via OnTrunk with that index.
@@ -253,9 +276,14 @@ func (c *Controller) ConnectPeer(p Peer) int {
 // (association time), so downlink packets can be routed to its MAC.
 func (c *Controller) RegisterClient(addr packet.MAC, ip packet.IP) {
 	cs := c.stateFor(addr)
+	first := !cs.owned
 	cs.owned = true
 	cs.ip = ip
 	c.ipToMAC[ip] = addr
+	if c.fed != nil && first {
+		// Seed the replicated directory with the home segment.
+		c.fed.Announce(addr)
+	}
 }
 
 // ServingAP reports which AP currently serves the client as a global
@@ -293,8 +321,9 @@ func (c *Controller) stateFor(addr packet.MAC) *clientState {
 			// Without trunks every overheard client is ours (the
 			// single-controller deployment); with trunks, ownership
 			// arrives only by registration or import.
-			owned:      len(c.peers) == 0,
-			exportedTo: -1,
+			owned:       len(c.peers) == 0,
+			exportedTo:  -1,
+			exportedSeg: -1,
 		}
 		for i := range cs.windows {
 			cs.windows[i] = csi.NewWindow(c.cfg.Window)
@@ -409,7 +438,7 @@ func (c *Controller) maybeSwitch(cs *clientState) {
 // `to`.
 func (c *Controller) issueSwitch(cs *clientState, to int) {
 	c.switchID++
-	sw := &switchState{id: c.switchID, from: cs.serving, to: to, remote: -1, issued: c.loop.Now()}
+	sw := &switchState{id: c.switchID, from: cs.serving, to: to, remote: -1, remoteSeg: -1, issued: c.loop.Now()}
 	cs.sw = sw
 	cs.lastInit = c.loop.Now()
 	cs.everInit = true
@@ -440,7 +469,7 @@ func (c *Controller) traceAP(local int) int {
 // instead of a local peer.
 func (c *Controller) sendStop(cs *clientState, sw *switchState) {
 	switch {
-	case sw.remote >= 0:
+	case sw.remote >= 0 || sw.remoteSeg >= 0:
 		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+sw.from)), &packet.Stop{
 			Client:   cs.addr,
 			NewAPID:  packet.RemoteAPID,
@@ -482,7 +511,11 @@ func (c *Controller) stopTimeout(cs *clientState, sw *switchState) {
 		c.met.switchAbandoned.Inc()
 		c.spans.Drop(sw.id)
 		// An abandoned cross-segment handoff re-admits the downlink
-		// packets held while the stop was in flight.
+		// packets held while the stop was in flight (stamped backlog
+		// re-fans as-is).
+		for _, d := range sw.heldData {
+			c.fanOut(cs, d.Inner)
+		}
 		for _, p := range sw.held {
 			c.Downlink(p)
 		}
@@ -529,12 +562,15 @@ func (c *Controller) Downlink(p packet.Packet) {
 	}
 	cs := c.stateFor(addr)
 	if !cs.owned {
-		if cs.exportedTo >= 0 {
+		switch {
+		case c.fed != nil && cs.exportedSeg >= 0:
+			c.fed.Send(cs.exportedSeg, &packet.ServerData{Inner: p})
+		case cs.exportedTo >= 0:
 			c.peers[cs.exportedTo].Deliver(&packet.ServerData{Inner: p})
 		}
 		return
 	}
-	if cs.sw != nil && cs.sw.remote >= 0 {
+	if cs.sw != nil && (cs.sw.remote >= 0 || cs.sw.remoteSeg >= 0) {
 		if len(cs.sw.held) < heldCap {
 			cs.sw.held = append(cs.sw.held, p)
 		}
@@ -572,7 +608,12 @@ const heldCap = 1024
 // hears convincingly. Claims are rate-limited by the switch hysteresis
 // and broadcast to all trunks — only the owner reacts.
 func (c *Controller) maybeClaim(cs *clientState) {
-	if len(c.peers) == 0 || cs.exportedTo >= 0 {
+	if len(c.peers) == 0 {
+		return
+	}
+	// Legacy adjacency never re-claims an exported client; federation
+	// must (the U-turn case) — its re-locate goes through the directory.
+	if c.fed == nil && cs.exportedTo >= 0 {
 		return
 	}
 	now := c.loop.Now()
@@ -592,6 +633,10 @@ func (c *Controller) maybeClaim(cs *clientState) {
 	c.HandoffClaims++
 	c.met.handoffClaims.Inc()
 	c.Trace.Addf(now, trace.Switch, "ctrl", "claim %s score %.1f dB", cs.addr, best)
+	if c.fed != nil {
+		c.fed.Claim(cs.addr, best)
+		return
+	}
 	for _, p := range c.peers {
 		p.Deliver(&packet.Handoff{Kind: packet.HandoffClaim, Client: cs.addr, Score: best})
 	}
@@ -602,6 +647,10 @@ func (c *Controller) maybeClaim(cs *clientState) {
 // (re-fanned as-is), and late unstamped downlink (stamped here).
 func (c *Controller) OnTrunk(peer int, msg packet.Message) {
 	switch m := msg.(type) {
+	case *packet.Routed:
+		if c.fed != nil {
+			c.fed.OnRouted(m)
+		}
 	case *packet.Handoff:
 		switch m.Kind {
 		case packet.HandoffClaim:
@@ -641,7 +690,7 @@ func (c *Controller) onClaim(peer int, m *packet.Handoff) {
 		}
 	}
 	c.switchID++
-	sw := &switchState{id: c.switchID, from: cs.serving, to: -1, remote: peer, issued: now}
+	sw := &switchState{id: c.switchID, from: cs.serving, to: -1, remote: peer, remoteSeg: -1, issued: now}
 	cs.sw = sw
 	cs.lastInit, cs.everInit = now, true
 	c.SwitchesIssued++
@@ -667,11 +716,17 @@ func (c *Controller) onClaim(peer int, m *packet.Handoff) {
 // froze, and completes the export.
 func (c *Controller) onHandoffStart(m *packet.Start) {
 	cs := c.clients[m.Client]
-	if cs == nil || cs.sw == nil || cs.sw.remote < 0 || cs.sw.id != m.SwitchID {
+	if cs == nil || cs.sw == nil || cs.sw.id != m.SwitchID {
 		return
 	}
-	c.loop.Cancel(cs.sw.timer)
-	c.exportTo(cs, cs.sw, m.Index)
+	switch {
+	case cs.sw.remoteSeg >= 0:
+		c.loop.Cancel(cs.sw.timer)
+		c.exportFed(cs, cs.sw, m.Index)
+	case cs.sw.remote >= 0:
+		c.loop.Cancel(cs.sw.timer)
+		c.exportTo(cs, cs.sw, m.Index)
+	}
 }
 
 // exportTo ships association + queue state to the claiming neighbour.
@@ -702,13 +757,26 @@ func (c *Controller) exportTo(cs *clientState, sw *switchState, k uint16) {
 }
 
 // onReturnedBacklog forwards the stopped AP's drained cyclic backlog to
-// the client's new segment.
+// the client's new segment. Under federation, backlog arriving while
+// the export still awaits its ack is held (the destination is not yet
+// committed); backlog after ownership flipped chases the export chain.
 func (c *Controller) onReturnedBacklog(m *packet.DownlinkData) {
 	cs := c.clients[m.Client]
-	if cs == nil || cs.owned || cs.exportedTo < 0 {
+	if cs == nil {
 		return
 	}
-	c.peers[cs.exportedTo].Deliver(m)
+	if cs.owned {
+		if sw := cs.sw; sw != nil && sw.remoteSeg >= 0 && len(sw.heldData) < heldCap {
+			sw.heldData = append(sw.heldData, m)
+		}
+		return
+	}
+	switch {
+	case c.fed != nil && cs.exportedSeg >= 0:
+		c.fed.Send(cs.exportedSeg, m)
+	case cs.exportedTo >= 0:
+		c.peers[cs.exportedTo].Deliver(m)
+	}
 }
 
 // importClient adopts a client exported by a neighbour: install its

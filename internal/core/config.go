@@ -15,6 +15,7 @@ import (
 	"wgtt/internal/client"
 	"wgtt/internal/controller"
 	"wgtt/internal/deploy"
+	"wgtt/internal/federation"
 	"wgtt/internal/rf"
 )
 
@@ -110,8 +111,17 @@ type Config struct {
 	// single-segment deployment.
 	Segments []deploy.SegmentSpec
 
-	// Trunk sets the inter-segment controller-to-controller link.
+	// Trunk sets the inter-segment controller-to-controller link,
+	// including the deterministic fault-injection schedule
+	// (Trunk.Faults) applied to every trunk.
 	Trunk deploy.TrunkConfig
+
+	// Federation enables the cross-segment federation layer: the
+	// replicated client→segment ownership directory, multi-hop trunk
+	// routing (optionally over a ring or extra bypass trunks), and the
+	// re-locate protocol controllers use to recover clients lost to
+	// U-turns, coverage gaps, or trunk outages. WGTT multi-segment only.
+	Federation federation.Config
 
 	// Domains selects per-segment event-loop domains for multi-segment
 	// deployments (conservative parallel simulation with the trunk
@@ -212,6 +222,31 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: domain mode %v needs a positive trunk PropDelay for lookahead, got %v",
 				c.Domains, c.Trunk.PropDelay)
 		}
+	}
+	numSegs := len(c.segmentGeoms())
+	if err := c.Trunk.Faults.Validate(numSegs); err != nil {
+		return err
+	}
+	if c.Trunk.Faults.Active() && numSegs < 2 {
+		return fmt.Errorf("core: trunk faults need a multi-segment deployment (no trunks to fault)")
+	}
+	if c.Federation.Enabled {
+		if c.Scheme != WGTT {
+			return fmt.Errorf("core: federation requires the WGTT scheme, got %v", c.Scheme)
+		}
+		if numSegs < 2 {
+			return fmt.Errorf("core: federation needs at least 2 segments, got %d", numSegs)
+		}
+		if c.Federation.Ring && numSegs < 3 {
+			return fmt.Errorf("core: a ring trunk needs at least 3 segments, got %d", numSegs)
+		}
+		for _, e := range c.Federation.ExtraTrunks {
+			if e[0] == e[1] || e[0] < 0 || e[1] < 0 || e[0] >= numSegs || e[1] >= numSegs {
+				return fmt.Errorf("core: extra trunk %d-%d out of range for %d segments", e[0], e[1], numSegs)
+			}
+		}
+	} else if c.Federation.Ring || len(c.Federation.ExtraTrunks) > 0 {
+		return fmt.Errorf("core: Federation.Ring/ExtraTrunks set but Federation.Enabled is false")
 	}
 	return nil
 }

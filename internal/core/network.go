@@ -126,13 +126,16 @@ func NewNetwork(cfg Config) (*Network, error) {
 		n.initTelemetrySingle(loop, len(cfg.segmentGeoms()))
 	}
 	n.Medium = mac.NewMedium(loop, &netChannel{n: n, loop: loop}, rng.Fork("medium"))
+	fedTopo := cfg.federationTopology()
 
 	d, err := deploy.Builder{
-		Loop:      loop,
-		Geoms:     cfg.segmentGeoms(),
-		Backhaul:  cfg.Backhaul,
-		Trunk:     cfg.Trunk,
-		Telemetry: n.segTel,
+		Loop:        loop,
+		Geoms:       cfg.segmentGeoms(),
+		Backhaul:    cfg.Backhaul,
+		Trunk:       cfg.Trunk,
+		ExtraTrunks: cfg.extraTrunks(),
+		FaultSeed:   cfg.Seed,
+		Telemetry:   n.segTel,
 		ServerHandler: func(si int) backhaul.Handler {
 			return func(from backhaul.NodeID, msg packet.Message) {
 				n.onServerBackhaul(si, from, msg)
@@ -144,6 +147,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 			case WGTT:
 				p := deploy.NewWGTTPlane(seg, loop, n.Medium, n.Trace,
 					n.segTel(seg.Index), rng, cfg.AP, cfg.Controller)
+				n.attachFederation(fedTopo, seg.Index, loop, p.Ctrl)
 				if n.Ctrl == nil {
 					n.Ctrl = p.Ctrl
 				}

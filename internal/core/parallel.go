@@ -51,6 +51,10 @@ type segDomain struct {
 	toPrev   *sim.Mailbox // nil on the first segment
 	toNext   *sim.Mailbox // nil on the last segment
 	toServer *sim.Mailbox
+	// mbTo maps every trunk-linked segment (adjacent chain plus any
+	// federation ring/bypass trunks) to this domain's outgoing mailbox;
+	// toPrev/toNext are aliases into it for the patrol.
+	mbTo map[int]*sim.Mailbox
 }
 
 // aliveAt returns the liveness check handed to a client for one
@@ -154,29 +158,51 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 		n.initTelemetryDomains(coord, server)
 	}
 
-	// Mailboxes: adjacent-segment pairs (trunk traffic + client
+	// Mailboxes: every trunk-linked segment pair (the adjacent chain
+	// plus any federation ring/bypass trunks — trunk traffic + client
 	// migration) and every segment's link to the wired server. All share
 	// the trunk propagation delay, so one lookahead bounds them all.
+	// Trunk jitter is strictly additive on top of PropDelay, so faulted
+	// deployments keep the same lookahead.
+	for _, sd := range n.segs {
+		sd.mbTo = make(map[int]*sim.Mailbox)
+	}
+	var pairs [][2]int
 	for i := 0; i+1 < len(n.segs); i++ {
-		n.segs[i].toNext = coord.Connect(n.segs[i].dom, n.segs[i+1].dom, lookahead)
-		n.segs[i+1].toPrev = coord.Connect(n.segs[i+1].dom, n.segs[i].dom, lookahead)
+		pairs = append(pairs, [2]int{i, i + 1})
+	}
+	pairs = append(pairs, cfg.extraTrunks()...)
+	for _, e := range pairs {
+		i, j := e[0], e[1]
+		if i > j {
+			i, j = j, i
+		}
+		if n.segs[i].mbTo[j] != nil {
+			continue // duplicate extra pair
+		}
+		n.segs[i].mbTo[j] = coord.Connect(n.segs[i].dom, n.segs[j].dom, lookahead)
+		n.segs[j].mbTo[i] = coord.Connect(n.segs[j].dom, n.segs[i].dom, lookahead)
+	}
+	for i := 0; i+1 < len(n.segs); i++ {
+		n.segs[i].toNext = n.segs[i].mbTo[i+1]
+		n.segs[i+1].toPrev = n.segs[i+1].mbTo[i]
 	}
 	for _, sd := range n.segs {
 		sd.toServer = coord.Connect(sd.dom, server, lookahead)
 		n.serverToSeg = append(n.serverToSeg, coord.Connect(server, sd.dom, lookahead))
 	}
+	fedTopo := cfg.federationTopology()
 
 	d, err := deploy.Builder{
 		Geoms:       geoms,
 		Backhaul:    cfg.Backhaul,
 		Trunk:       cfg.Trunk,
+		ExtraTrunks: cfg.extraTrunks(),
+		FaultSeed:   cfg.Seed,
 		Telemetry:   n.segTel,
 		SegmentLoop: func(i int) *sim.Loop { return n.segs[i].dom.Loop },
 		TrunkPost: func(from, to int) func(at sim.Time, fn func()) {
-			if to == from+1 {
-				return n.segs[from].toNext.Post
-			}
-			return n.segs[from].toPrev.Post
+			return n.segs[from].mbTo[to].Post
 		},
 		ServerHandler: func(si int) backhaul.Handler {
 			sd := n.segs[si]
@@ -192,6 +218,7 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 			sd := n.segs[seg.Index]
 			p := deploy.NewWGTTPlane(seg, sd.dom.Loop, sd.medium, nil,
 				n.segTel(seg.Index), rng, cfg.AP, cfg.Controller)
+			n.attachFederation(fedTopo, seg.Index, sd.dom.Loop, p.Ctrl)
 			if n.Ctrl == nil {
 				n.Ctrl = p.Ctrl
 			}

@@ -60,6 +60,7 @@ func (n *Network) loopGauges(sc telemetry.Scope, loop *sim.Loop) {
 func (n *Network) serverGauges() {
 	n.telRoot.GaugeFunc("clients", func() float64 { return float64(len(n.Clients)) })
 	n.telRoot.GaugeFunc("server_duplicates", func() float64 { return float64(n.ServerDuplicates) })
+	n.unownedGauge(n.telRoot)
 }
 
 // clientGauges exposes one client's receive-side state under its home

@@ -173,6 +173,19 @@ type Builder struct {
 	// outgoing trunk egress under <scope>/trunk (a middle segment's two
 	// trunk directions share one counter pair — the lookup dedups).
 	Telemetry func(seg int) telemetry.Scope
+	// ExtraTrunks adds bidirectional trunks between non-adjacent segment
+	// pairs on top of the adjacent chain (e.g. a ring-closure bypass).
+	// The planes must implement ExtraLinker.
+	ExtraTrunks [][2]int
+	// FaultSeed seeds the per-trunk-direction fault RNG streams used by
+	// Trunk.Faults (ignored when the schedule is inactive).
+	FaultSeed int64
+}
+
+// ExtraLinker is implemented by planes that can terminate trunks beyond
+// the adjacent chain (Builder.ExtraTrunks).
+type ExtraLinker interface {
+	ConnectExtra(other Plane, fwd, rev *Trunk)
 }
 
 // Build constructs the segments and wires adjacent planes with trunks.
@@ -209,26 +222,54 @@ func (b Builder) Build() (*Deployment, error) {
 		d.Segments = append(d.Segments, seg)
 		apBase += g.NumAPs
 	}
-	for i := 0; i+1 < len(d.Segments); i++ {
-		li, lj := loopFor(i), loopFor(i+1)
+	trunkPair := func(i, j int) (fwd, rev *Trunk) {
+		li, lj := loopFor(i), loopFor(j)
 		postFwd := func(at sim.Time, fn func()) { lj.At(at, fn) }
 		postRev := func(at sim.Time, fn func()) { li.At(at, fn) }
 		if b.TrunkPost != nil {
-			postFwd = b.TrunkPost(i, i+1)
-			postRev = b.TrunkPost(i+1, i)
+			postFwd = b.TrunkPost(i, j)
+			postRev = b.TrunkPost(j, i)
 		}
-		fwd := NewTrunk(li.Now, postFwd, b.Trunk)
-		rev := NewTrunk(lj.Now, postRev, b.Trunk)
+		fwd = NewTrunk(li.Now, postFwd, b.Trunk)
+		rev = NewTrunk(lj.Now, postRev, b.Trunk)
 		// Each trunk direction's counters live in the SENDING segment's
 		// scope: Deliver runs on the sender's loop, so the handles stay
 		// inside that domain's shard.
 		if sc := telFor(i).Sub("trunk"); sc.Enabled() {
 			fwd.SetTelemetry(sc.Counter("tx_msgs"), sc.Counter("tx_bytes"))
+			fwd.metOutageDrops = sc.Counter("outage_drops")
+			fwd.metFaultDrops = sc.Counter("fault_drops")
 		}
-		if sc := telFor(i + 1).Sub("trunk"); sc.Enabled() {
+		if sc := telFor(j).Sub("trunk"); sc.Enabled() {
 			rev.SetTelemetry(sc.Counter("tx_msgs"), sc.Counter("tx_bytes"))
+			rev.metOutageDrops = sc.Counter("outage_drops")
+			rev.metFaultDrops = sc.Counter("fault_drops")
 		}
+		if b.Trunk.Faults.Active() {
+			// Each direction draws from its own stream so serial and
+			// parallel domain executions see identical sequences.
+			fwd.InstallFaults(b.Trunk.Faults, i, j,
+				sim.NewRNG(b.FaultSeed).Fork(fmt.Sprintf("trunk%d-%d", i, j)))
+			rev.InstallFaults(b.Trunk.Faults, j, i,
+				sim.NewRNG(b.FaultSeed).Fork(fmt.Sprintf("trunk%d-%d", j, i)))
+		}
+		return fwd, rev
+	}
+	for i := 0; i+1 < len(d.Segments); i++ {
+		fwd, rev := trunkPair(i, i+1)
 		d.Segments[i].Plane.ConnectNext(d.Segments[i+1].Plane, fwd, rev)
+	}
+	for _, e := range b.ExtraTrunks {
+		i, j := e[0], e[1]
+		if i == j || i < 0 || j < 0 || i >= len(d.Segments) || j >= len(d.Segments) {
+			return nil, fmt.Errorf("deploy: extra trunk %d-%d out of range", i, j)
+		}
+		pi, ok := d.Segments[i].Plane.(ExtraLinker)
+		if !ok {
+			return nil, fmt.Errorf("deploy: segment %d's plane cannot terminate extra trunks", i)
+		}
+		fwd, rev := trunkPair(i, j)
+		pi.ConnectExtra(d.Segments[j].Plane, fwd, rev)
 	}
 	return d, nil
 }
@@ -240,6 +281,9 @@ type TrunkConfig struct {
 	LinkMbps float64
 	// PropDelay is the one-way latency (fiber + two switch hops).
 	PropDelay sim.Duration
+	// Faults is the deterministic fault-injection schedule applied to
+	// every trunk (zero value: no faults).
+	Faults FaultSchedule
 }
 
 // DefaultTrunkConfig models a metro fiber ring hop between street
@@ -269,9 +313,23 @@ type Trunk struct {
 	free    sim.Time // egress availability
 	deliver func(msg packet.Message)
 
+	// Fault injection (InstallFaults); nil frng means no random faults.
+	outages    []Outage
+	dropProb   float64
+	jitterMax  sim.Duration
+	frng       *sim.RNG
+	lastArrive sim.Time
+
+	// OutageDrops and FaultDrops count messages lost to scheduled
+	// outages and to random drops respectively.
+	OutageDrops int
+	FaultDrops  int
+
 	// Egress telemetry (nil-safe no-ops until SetTelemetry).
-	metMsgs  *telemetry.Counter
-	metBytes *telemetry.Counter
+	metMsgs        *telemetry.Counter
+	metBytes       *telemetry.Counter
+	metOutageDrops *telemetry.Counter
+	metFaultDrops  *telemetry.Counter
 }
 
 // NewTrunk builds one trunk direction from a sender clock and a
@@ -286,17 +344,69 @@ func (t *Trunk) SetTelemetry(msgs, bytes *telemetry.Counter) {
 	t.metMsgs, t.metBytes = msgs, bytes
 }
 
+// InstallFaults arms the fault schedule on this trunk direction, which
+// links segments a and b. Only outages matching that edge apply. rng
+// must be a stream dedicated to this direction, seeded independently of
+// the deployment's radio/client streams (fault draws must not perturb
+// them). Random draws are only taken when the corresponding fault is
+// configured, so an outage-only schedule keeps delivery timing
+// bit-identical to an unfaulted trunk.
+func (t *Trunk) InstallFaults(f FaultSchedule, a, b int, rng *sim.RNG) {
+	for _, o := range f.Outages {
+		if o.matches(a, b) {
+			t.outages = append(t.outages, o)
+		}
+	}
+	t.dropProb = f.DropProb
+	t.jitterMax = f.JitterMax
+	if t.dropProb > 0 || t.jitterMax > 0 {
+		t.frng = rng
+	}
+}
+
+// Up reports whether the trunk is outside every scheduled outage window
+// at the sender's current time.
+func (t *Trunk) Up() bool { return t.UpAt(t.now()) }
+
+// UpAt reports outage state at an arbitrary time.
+func (t *Trunk) UpAt(at sim.Time) bool {
+	for _, o := range t.outages {
+		if !at.Before(sim.Time(o.Start)) && at.Before(sim.Time(o.End)) {
+			return false
+		}
+	}
+	return true
+}
+
 // Deliver implements the planes' Peer interfaces.
 func (t *Trunk) Deliver(m packet.Message) {
 	wire := m.WireLen() + trunkEncapOverhead
 	t.metMsgs.Inc()
 	t.metBytes.Add(int64(wire))
-	ser := sim.Duration(float64(wire*8) / t.cfg.LinkMbps * float64(sim.Microsecond))
 	start := t.now()
+	if len(t.outages) > 0 && !t.UpAt(start) {
+		t.OutageDrops++
+		t.metOutageDrops.Inc()
+		return
+	}
+	if t.dropProb > 0 && t.frng.Float64() < t.dropProb {
+		t.FaultDrops++
+		t.metFaultDrops.Inc()
+		return
+	}
+	ser := sim.Duration(float64(wire*8) / t.cfg.LinkMbps * float64(sim.Microsecond))
 	if t.free.After(start) {
 		start = t.free
 	}
 	t.free = start.Add(ser)
 	arrive := t.free.Add(t.cfg.PropDelay)
+	if t.jitterMax > 0 {
+		arrive = arrive.Add(sim.Duration(t.frng.Float64() * float64(t.jitterMax)))
+		// Jitter must not reorder the FIFO trunk.
+		if arrive.Before(t.lastArrive) {
+			arrive = t.lastArrive
+		}
+		t.lastArrive = arrive
+	}
 	t.post(arrive, func() { t.deliver(m) })
 }

@@ -1,0 +1,144 @@
+package deploy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"wgtt/internal/sim"
+)
+
+// Outage is one scheduled trunk blackout: every message offered to a
+// matching trunk direction inside [Start, End) is dropped at the
+// sender. A and B name the segment endpoints (either direction
+// matches); A = B = -1 selects every trunk in the deployment.
+type Outage struct {
+	A, B  int
+	Start sim.Duration
+	End   sim.Duration
+}
+
+// matches reports whether the outage covers the trunk direction a→b.
+func (o Outage) matches(a, b int) bool {
+	if o.A == -1 && o.B == -1 {
+		return true
+	}
+	return (o.A == a && o.B == b) || (o.A == b && o.B == a)
+}
+
+// FaultSchedule is a deterministic, seed-driven trunk fault model
+// (TrunkConfig.Faults). The zero value injects nothing. Random draws
+// (drops, jitter) come from a dedicated RNG stream per trunk direction,
+// seeded independently of the deployment's radio/client streams, so a
+// fault-free schedule leaves every run bit-identical to an unfaulted
+// one.
+type FaultSchedule struct {
+	// Outages are scheduled blackout windows.
+	Outages []Outage
+	// DropProb drops each offered message independently with this
+	// probability (loss outside outage windows).
+	DropProb float64
+	// JitterMax adds a uniform [0, JitterMax) delay on top of the
+	// trunk's PropDelay. Because jitter is strictly additive, PropDelay
+	// remains the conservative-sync lookahead and serial and parallel
+	// domain runs stay bit-identical. Arrivals are clamped to preserve
+	// the trunk's FIFO ordering.
+	JitterMax sim.Duration
+}
+
+// Active reports whether the schedule injects any fault at all.
+func (f FaultSchedule) Active() bool {
+	return len(f.Outages) > 0 || f.DropProb > 0 || f.JitterMax > 0
+}
+
+// Validate rejects schedules the trunk cannot honour. numSegments
+// bounds the outage endpoints; pass 0 to skip the range check.
+func (f FaultSchedule) Validate(numSegments int) error {
+	if f.DropProb < 0 || f.DropProb >= 1 {
+		return fmt.Errorf("deploy: fault DropProb must be in [0, 1), got %g", f.DropProb)
+	}
+	if f.JitterMax < 0 {
+		return fmt.Errorf("deploy: fault JitterMax must be non-negative, got %v", f.JitterMax)
+	}
+	for _, o := range f.Outages {
+		if o.Start < 0 || o.End <= o.Start {
+			return fmt.Errorf("deploy: outage window [%v, %v) is empty or negative", o.Start, o.End)
+		}
+		wild := o.A == -1 && o.B == -1
+		if !wild && (o.A < 0 || o.B < 0 || o.A == o.B) {
+			return fmt.Errorf("deploy: outage endpoints %d-%d invalid", o.A, o.B)
+		}
+		if !wild && numSegments > 0 && (o.A >= numSegments || o.B >= numSegments) {
+			return fmt.Errorf("deploy: outage endpoints %d-%d exceed %d segments", o.A, o.B, numSegments)
+		}
+	}
+	return nil
+}
+
+// ParseFaultSchedule parses the -trunk-faults flag syntax: a comma-
+// separated list of drop=P, jitter=DUR, and outage=A-B@START-END terms
+// (outage=all@START-END hits every trunk). Durations use Go syntax
+// ("50us", "1.5s"). An empty string is the zero schedule.
+//
+//	drop=0.01,jitter=50us,outage=1-2@2s-3s,outage=all@5s-5.1s
+func ParseFaultSchedule(s string) (FaultSchedule, error) {
+	var f FaultSchedule
+	if strings.TrimSpace(s) == "" {
+		return f, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		key, val, found := strings.Cut(strings.TrimSpace(term), "=")
+		if !found {
+			return f, fmt.Errorf("deploy: bad fault term %q (want key=value)", term)
+		}
+		switch key {
+		case "drop":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return f, fmt.Errorf("deploy: bad drop probability %q: %v", val, err)
+			}
+			f.DropProb = p
+		case "jitter":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return f, fmt.Errorf("deploy: bad jitter %q: %v", val, err)
+			}
+			f.JitterMax = sim.Duration(d)
+		case "outage":
+			edge, window, found := strings.Cut(val, "@")
+			if !found {
+				return f, fmt.Errorf("deploy: bad outage %q (want A-B@START-END)", val)
+			}
+			var o Outage
+			if edge == "all" {
+				o.A, o.B = -1, -1
+			} else {
+				as, bs, found := strings.Cut(edge, "-")
+				if !found {
+					return f, fmt.Errorf("deploy: bad outage edge %q", edge)
+				}
+				a, err1 := strconv.Atoi(as)
+				b, err2 := strconv.Atoi(bs)
+				if err1 != nil || err2 != nil {
+					return f, fmt.Errorf("deploy: bad outage edge %q", edge)
+				}
+				o.A, o.B = a, b
+			}
+			ss, es, found := strings.Cut(window, "-")
+			if !found {
+				return f, fmt.Errorf("deploy: bad outage window %q (want START-END)", window)
+			}
+			start, err1 := time.ParseDuration(ss)
+			end, err2 := time.ParseDuration(es)
+			if err1 != nil || err2 != nil {
+				return f, fmt.Errorf("deploy: bad outage window %q", window)
+			}
+			o.Start, o.End = sim.Duration(start), sim.Duration(end)
+			f.Outages = append(f.Outages, o)
+		default:
+			return f, fmt.Errorf("deploy: unknown fault term %q", key)
+		}
+	}
+	return f, f.Validate(0)
+}

@@ -129,6 +129,20 @@ func (p *WGTTPlane) ConnectNext(next Plane, fwd, rev *Trunk) {
 	atQ := q.Ctrl.ConnectPeer(rev)
 	fwd.deliver = func(m packet.Message) { q.Ctrl.OnTrunk(atQ, m) }
 	rev.deliver = func(m packet.Message) { p.Ctrl.OnTrunk(atP, m) }
+	// Federation nodes route over the same trunks, keyed by segment.
+	if f := p.Ctrl.Federation(); f != nil {
+		f.AddLink(q.seg.Index, fwd)
+	}
+	if f := q.Ctrl.Federation(); f != nil {
+		f.AddLink(p.seg.Index, rev)
+	}
+}
+
+// ConnectExtra implements ExtraLinker: a bypass/ring trunk between
+// non-adjacent WGTT segments. The wiring is identical to ConnectNext —
+// only the federation router ever selects these links.
+func (p *WGTTPlane) ConnectExtra(other Plane, fwd, rev *Trunk) {
+	p.ConnectNext(other, fwd, rev)
 }
 
 // BaselinePlane is one segment's 802.11r control plane.

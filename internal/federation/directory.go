@@ -1,0 +1,53 @@
+package federation
+
+import "wgtt/internal/packet"
+
+// Entry is one replicated directory fact: segment Owner owns the
+// client as of version Epoch.
+type Entry struct {
+	Owner int
+	Epoch uint32
+}
+
+// Beats is the directory's total order: higher epochs win, and equal
+// epochs break toward the higher owner index. Every replica applies
+// the same rule, so concurrent acquisitions (e.g. an export the
+// exporter gave up on that nevertheless arrived, racing the exporter's
+// reclaim) converge on a single owner: the loser observes a beating
+// entry naming someone else and releases.
+func (e Entry) Beats(o Entry) bool {
+	if e.Epoch != o.Epoch {
+		return e.Epoch > o.Epoch
+	}
+	return e.Owner > o.Owner
+}
+
+// Directory is one node's replica of the client→owner map.
+type Directory struct {
+	entries map[packet.MAC]Entry
+}
+
+// NewDirectory returns an empty replica.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[packet.MAC]Entry)}
+}
+
+// Lookup returns the replica's entry for a client.
+func (d *Directory) Lookup(c packet.MAC) (Entry, bool) {
+	e, ok := d.entries[c]
+	return e, ok
+}
+
+// Apply merges a received entry, returning true if it beat (and
+// replaced) the current one. A first entry for a client always wins.
+func (d *Directory) Apply(c packet.MAC, e Entry) bool {
+	cur, ok := d.entries[c]
+	if ok && !e.Beats(cur) {
+		return false
+	}
+	d.entries[c] = e
+	return true
+}
+
+// Len returns the number of clients with entries.
+func (d *Directory) Len() int { return len(d.entries) }

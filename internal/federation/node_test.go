@@ -1,0 +1,366 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// testNet wires federation Nodes over fake trunks on one loop: each
+// directed edge delivers Routed envelopes after a fixed delay, drops
+// them during topology outage windows, and optionally drops them at
+// random (the RPC retry layer must recover).
+type testNet struct {
+	loop  *sim.Loop
+	topo  *Topology
+	nodes []*Node
+	hs    []*ownerSim
+	delay sim.Duration
+	// dropProb, with rng set, drops each delivery independently.
+	dropProb float64
+	rng      *sim.RNG
+	// Delivered counts messages that crossed a link.
+	Delivered int
+}
+
+type fakeLink struct {
+	net      *testNet
+	from, to int
+}
+
+func (l *fakeLink) Up() bool { return l.net.topo.EdgeUp(l.from, l.to, l.net.loop.Now()) }
+
+func (l *fakeLink) Deliver(m packet.Message) {
+	if !l.Up() {
+		return
+	}
+	if l.net.dropProb > 0 && l.net.rng.Float64() < l.net.dropProb {
+		return
+	}
+	r, ok := m.(*packet.Routed)
+	if !ok {
+		return
+	}
+	l.net.Delivered++
+	to := l.to
+	l.net.loop.After(l.net.delay, func() { l.net.nodes[to].OnRouted(r) })
+}
+
+// ownerSim is a minimal controller stand-in implementing Handler: it
+// mirrors the real controller's ownership state machine — reliable
+// export on claim, adopt + ack + announce on import, stand-down on
+// Release — without any radio or datapath.
+type ownerSim struct {
+	net      *testNet
+	self     int
+	owns     map[packet.MAC]bool
+	exported map[packet.MAC]int
+	pending  map[packet.MAC]bool
+	nextID   uint32
+	Releases int
+}
+
+func (h *ownerSim) node() *Node { return h.net.nodes[h.self] }
+
+func (h *ownerSim) Owns(c packet.MAC) bool { return h.owns[c] }
+
+func (h *ownerSim) ExportedTo(c packet.MAC) int {
+	if v, ok := h.exported[c]; ok {
+		return v
+	}
+	return -1
+}
+
+func (h *ownerSim) Release(c packet.MAC, owner int) {
+	if !h.owns[c] {
+		return
+	}
+	delete(h.owns, c)
+	h.exported[c] = owner
+	h.Releases++
+}
+
+func (h *ownerSim) OnFederated(src int, msg packet.Message) {
+	m, ok := msg.(*packet.Handoff)
+	if !ok {
+		return
+	}
+	switch m.Kind {
+	case packet.HandoffClaim:
+		if !h.owns[m.Client] || h.pending[m.Client] || src == h.self {
+			return
+		}
+		h.pending[m.Client] = true
+		h.nextID++
+		exp := &packet.Handoff{Kind: packet.HandoffExport, Client: m.Client, SwitchID: h.nextID}
+		dst := src
+		h.node().SendReliable(dst, exp, func(ok bool) {
+			delete(h.pending, m.Client)
+			if ok {
+				delete(h.owns, m.Client)
+				h.exported[m.Client] = dst
+				h.node().NoteExported(m.Client, dst)
+				return
+			}
+			h.node().Announce(m.Client) // reclaim
+		})
+	case packet.HandoffExport:
+		ack := &packet.Handoff{Kind: packet.HandoffAck, Client: m.Client, SwitchID: m.SwitchID}
+		if h.owns[m.Client] {
+			h.node().Send(src, ack) // duplicate export: re-ack
+			return
+		}
+		h.owns[m.Client] = true
+		delete(h.exported, m.Client)
+		h.node().Send(src, ack)
+		h.node().Announce(m.Client)
+		h.node().ClaimResolved(m.Client)
+	}
+}
+
+// newTestNet builds numSegs nodes over the chain + extra trunk graph.
+func newTestNet(numSegs int, extra [][2]int, outs []EdgeOutage, cfg Config) *testNet {
+	net := &testNet{
+		loop:  sim.NewLoop(),
+		topo:  NewTopology(numSegs, extra, outs),
+		delay: 200 * sim.Microsecond,
+	}
+	for i := 0; i < numSegs; i++ {
+		net.nodes = append(net.nodes, NewNode(net.loop, i, net.topo, cfg))
+		net.hs = append(net.hs, &ownerSim{
+			net: net, self: i,
+			owns:     make(map[packet.MAC]bool),
+			exported: make(map[packet.MAC]int),
+			pending:  make(map[packet.MAC]bool),
+		})
+	}
+	for i, n := range net.nodes {
+		n.Bind(net.hs[i])
+		for _, j := range net.topo.Neighbors(i) {
+			n.AddLink(j, &fakeLink{net: net, from: i, to: j})
+		}
+	}
+	return net
+}
+
+// owners returns the segments claiming ownership of a client.
+func (net *testNet) owners(c packet.MAC) []int {
+	var segs []int
+	for i, h := range net.hs {
+		if h.owns[c] {
+			segs = append(segs, i)
+		}
+	}
+	return segs
+}
+
+// TestClaimRelocatesClient is the basic re-locate RPC: segment 2 hears
+// a client owned by segment 0 and claims it through the directory.
+func TestClaimRelocatesClient(t *testing.T) {
+	net := newTestNet(4, nil, nil, Config{Enabled: true})
+	c := packet.ClientMAC(0)
+	net.hs[0].owns[c] = true
+	net.nodes[0].Announce(c)
+	net.loop.Run(sim.Time(100 * sim.Millisecond))
+
+	net.nodes[2].Claim(c, 20)
+	net.loop.Run(sim.Time(2 * sim.Second))
+
+	if got := net.owners(c); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("owners after claim = %v, want [2]", got)
+	}
+	if net.nodes[2].Relocates != 1 {
+		t.Errorf("claimant relocates = %d, want 1", net.nodes[2].Relocates)
+	}
+	for i, n := range net.nodes {
+		if owner, ok := n.OwnerOf(c); !ok || owner != 2 {
+			t.Errorf("replica %d owner = %d (%v), want 2", i, owner, ok)
+		}
+	}
+}
+
+// TestClaimWithoutDirectoryEntry exercises the DirQuery path: the
+// claimant's replica has never heard of the client.
+func TestClaimWithoutDirectoryEntry(t *testing.T) {
+	net := newTestNet(3, nil, nil, Config{Enabled: true})
+	c := packet.ClientMAC(0)
+	net.hs[0].owns[c] = true // owned but never announced
+
+	net.nodes[2].Claim(c, 20)
+	net.loop.Run(sim.Time(2 * sim.Second))
+
+	if got := net.owners(c); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("owners after cold claim = %v, want [2]", got)
+	}
+}
+
+// TestExportRetransmitsThroughLoss pins the reliable-export RPC: with
+// heavy random loss the ack eventually lands and ownership transfers
+// exactly once.
+func TestExportRetransmitsThroughLoss(t *testing.T) {
+	net := newTestNet(2, nil, nil, Config{Enabled: true, MaxRetries: 12})
+	net.dropProb = 0.5
+	net.rng = sim.NewRNG(7).Fork("loss")
+	c := packet.ClientMAC(0)
+	net.hs[0].owns[c] = true
+	net.nodes[0].Announce(c)
+	net.loop.Run(sim.Time(100 * sim.Millisecond))
+
+	net.nodes[1].Claim(c, 20)
+	net.loop.Run(sim.Time(20 * sim.Second))
+
+	if got := net.owners(c); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("owners after lossy export = %v, want [1]", got)
+	}
+}
+
+// TestOutageAbandonsAndReclaims pins the failure path: a permanent
+// outage on the only trunk makes the claim RPC abandon after its
+// retries, leaving ownership untouched at the original segment.
+func TestOutageAbandonsAndReclaims(t *testing.T) {
+	outs := []EdgeOutage{{A: 0, B: 1, Start: 0, End: sim.Duration(1 << 60)}}
+	net := newTestNet(2, nil, outs, Config{Enabled: true})
+	c := packet.ClientMAC(0)
+	net.hs[0].owns[c] = true
+
+	net.nodes[1].Claim(c, 20)
+	net.loop.Run(sim.Time(60 * sim.Second))
+
+	if got := net.owners(c); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("owners after dead-trunk claim = %v, want [0]", got)
+	}
+	if net.nodes[1].RelocatesAbandoned != 1 {
+		t.Errorf("abandoned = %d, want 1", net.nodes[1].RelocatesAbandoned)
+	}
+}
+
+// TestStaleClaimChasesExportChain pins claim chasing: the directory
+// still names segment 0, but 0 already exported the client to 1; the
+// claim from 2 must be re-targeted along the export chain and the
+// export must come back to the claimant.
+func TestStaleClaimChasesExportChain(t *testing.T) {
+	net := newTestNet(3, nil, nil, Config{Enabled: true})
+	c := packet.ClientMAC(0)
+	net.hs[1].owns[c] = true
+	net.hs[0].exported[c] = 1
+	// Replicas stale-point at 0 everywhere.
+	for _, n := range net.nodes {
+		n.Directory().Apply(c, Entry{Owner: 0, Epoch: 5})
+	}
+	net.nodes[2].Claim(c, 20)
+	net.loop.Run(sim.Time(2 * sim.Second))
+
+	if got := net.owners(c); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("owners after chased claim = %v, want [2]", got)
+	}
+}
+
+// TestDirectoryInterleavingsSingleOwner is the tentpole property test:
+// random interleavings of claims, trunk outages, and random loss across
+// seeds 1-10 must always converge to exactly one owner per client, with
+// every replica agreeing on who it is.
+func TestDirectoryInterleavingsSingleOwner(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := sim.NewRNG(seed).Fork("interleave")
+			numSegs := 3 + rng.Intn(4)
+			var extra [][2]int
+			if rng.Intn(2) == 1 {
+				extra = append(extra, [2]int{0, numSegs - 1}) // ring
+			}
+			var outs []EdgeOutage
+			for k := rng.Intn(3); k > 0; k-- {
+				a := rng.Intn(numSegs - 1)
+				start := sim.Duration(rng.Intn(8)) * sim.Second
+				outs = append(outs, EdgeOutage{A: a, B: a + 1,
+					Start: start, End: start + sim.Duration(1+rng.Intn(3))*sim.Second})
+			}
+			net := newTestNet(numSegs, extra, outs, Config{Enabled: true})
+			net.dropProb = 0.05
+			net.rng = sim.NewRNG(seed).Fork("net-loss")
+
+			clients := make([]packet.MAC, 3)
+			for i := range clients {
+				clients[i] = packet.ClientMAC(i)
+				home := rng.Intn(numSegs)
+				net.hs[home].owns[clients[i]] = true
+				net.nodes[home].Announce(clients[i])
+			}
+			// Random claim interleaving: over 10 virtual seconds, random
+			// segments claim random clients at random times.
+			for k := 0; k < 25; k++ {
+				at := sim.Time(rng.Intn(10_000)) * sim.Time(sim.Millisecond)
+				seg := rng.Intn(numSegs)
+				cl := clients[rng.Intn(len(clients))]
+				score := 10 + 10*rng.Float64()
+				net.loop.At(at, func() {
+					if !net.hs[seg].owns[cl] {
+						net.nodes[seg].Claim(cl, score)
+					}
+				})
+			}
+			// Long tail so every retry/backoff chain drains.
+			net.loop.Run(sim.Time(120 * sim.Second))
+
+			for _, cl := range clients {
+				owners := net.owners(cl)
+				if len(owners) != 1 {
+					t.Fatalf("seed %d: client %v owners = %v, want exactly one", seed, cl, owners)
+				}
+				// Directory floods are fire-and-forget, so under loss a
+				// replica may hold a stale entry — but a stale entry must
+				// always lead to the true owner along the export chain
+				// (that is what claim chasing relies on).
+				for i, n := range net.nodes {
+					owner, ok := n.OwnerOf(cl)
+					if !ok {
+						t.Errorf("seed %d: replica %d has no entry for %v", seed, i, cl)
+						continue
+					}
+					for hops := 0; owner != owners[0]; hops++ {
+						if hops > numSegs {
+							t.Errorf("seed %d: replica %d entry for %v does not reach owner %d via export chain",
+								seed, i, cl, owners[0])
+							break
+						}
+						next := net.hs[owner].ExportedTo(cl)
+						if next < 0 {
+							t.Errorf("seed %d: replica %d names %d for %v, which neither owns nor exported it",
+								seed, i, owner, cl)
+							break
+						}
+						owner = next
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentClaimsConverge pins the epoch tie-break: two segments
+// claim the same client at the same instant; the directory must settle
+// on a single owner and the loser must stand down via Release.
+func TestConcurrentClaimsConverge(t *testing.T) {
+	net := newTestNet(3, nil, nil, Config{Enabled: true})
+	c := packet.ClientMAC(0)
+	net.hs[1].owns[c] = true
+	net.nodes[1].Announce(c)
+	net.loop.Run(sim.Time(100 * sim.Millisecond))
+
+	net.loop.At(net.loop.Now(), func() { net.nodes[0].Claim(c, 20) })
+	net.loop.At(net.loop.Now(), func() { net.nodes[2].Claim(c, 20) })
+	net.loop.Run(sim.Time(30 * sim.Second))
+
+	owners := net.owners(c)
+	if len(owners) != 1 {
+		t.Fatalf("owners after concurrent claims = %v, want exactly one", owners)
+	}
+	for i, n := range net.nodes {
+		if owner, ok := n.OwnerOf(c); !ok || owner != owners[0] {
+			t.Errorf("replica %d owner = %d (%v), want %d", i, owner, ok, owners[0])
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package federation adds a cross-segment control layer on top of the
+// per-segment controllers: a replicated client→owner-segment directory
+// (epoch-versioned, last-writer-wins), multi-hop trunk routing over
+// arbitrary trunk topologies (the adjacent chain plus optional bypass /
+// ring links), and a re-locate protocol that lets a controller that
+// lost a client (U-turn, coverage gap, trunk outage) find the current
+// owner and re-establish the stop/start/ack handoff pipeline with it.
+// Every federation message travels inside a packet.Routed envelope,
+// forwarded hop by hop along next-hop tables with a TTL bound, and the
+// claim/export RPCs retry with exponential backoff so the layer
+// survives the trunk faults deploy.FaultSchedule injects.
+package federation
+
+import "wgtt/internal/sim"
+
+// EdgeOutage mirrors one deploy-level trunk outage window for routing:
+// while the window is open the router steers around the edge when an
+// alternate up-path exists. A = B = -1 covers every edge.
+type EdgeOutage struct {
+	A, B  int
+	Start sim.Duration
+	End   sim.Duration
+}
+
+// covers reports whether the outage applies to edge a-b.
+func (o EdgeOutage) covers(a, b int) bool {
+	if o.A == -1 && o.B == -1 {
+		return true
+	}
+	return (o.A == a && o.B == b) || (o.A == b && o.B == a)
+}
+
+// Topology is the deployment's trunk graph: the adjacent segment chain
+// plus any extra (bypass/ring) trunks, with the shared outage schedule.
+// It is immutable after construction and safe to share across segment
+// domains: NextHop is a pure function of (from, to, at), so every node
+// computes identical routes from the global schedule without any
+// cross-domain state.
+type Topology struct {
+	n       int
+	adj     [][]int // adj[i] = neighbours of i, ascending
+	outages []EdgeOutage
+}
+
+// NewTopology builds the trunk graph for n segments: edges i—i+1 plus
+// the extra pairs. Duplicate and out-of-range extras are ignored.
+func NewTopology(n int, extra [][2]int, outages []EdgeOutage) *Topology {
+	t := &Topology{n: n, outages: outages}
+	t.adj = make([][]int, n)
+	edge := make(map[[2]int]bool)
+	add := func(a, b int) {
+		if a < 0 || b < 0 || a >= n || b >= n || a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if edge[[2]int{a, b}] {
+			return
+		}
+		edge[[2]int{a, b}] = true
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
+	for i := 0; i+1 < n; i++ {
+		add(i, i+1)
+	}
+	for _, e := range extra {
+		add(e[0], e[1])
+	}
+	for i := range t.adj {
+		sortInts(t.adj[i])
+	}
+	return t
+}
+
+// sortInts is insertion sort: neighbour lists are tiny and the sort
+// must be deterministic.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// NumSegments returns the node count.
+func (t *Topology) NumSegments() int { return t.n }
+
+// Neighbors returns i's trunk neighbours in ascending order.
+func (t *Topology) Neighbors(i int) []int { return t.adj[i] }
+
+// EdgeUp reports whether edge a-b is outside every outage window at
+// time at. Because the schedule is global configuration, every segment
+// domain computes the same answer without synchronizing.
+func (t *Topology) EdgeUp(a, b int, at sim.Time) bool {
+	for _, o := range t.outages {
+		if o.covers(a, b) && !at.Before(sim.Time(o.Start)) && at.Before(sim.Time(o.End)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxTTL bounds a Routed envelope's hop count. Any simple path visits
+// at most n-1 edges; the slack absorbs mid-flight re-routes around an
+// outage that opens while a message travels.
+func (t *Topology) MaxTTL() uint8 {
+	ttl := 2 * t.n
+	if ttl > 255 {
+		ttl = 255
+	}
+	return uint8(ttl)
+}
+
+// NextHop returns the neighbour on the shortest up-path from from to
+// to at time at. Ties break toward the lowest neighbour index (the BFS
+// visits neighbours in ascending order), so all nodes agree on routes.
+// When no up-path exists the route falls back to the full graph —
+// trunks drop at the sender during an outage and the RPC retry layer
+// recovers — so ok is false only for a disconnected underlying graph.
+func (t *Topology) NextHop(from, to int, at sim.Time) (hop int, ok bool) {
+	if from == to {
+		return from, true
+	}
+	if hop, ok = t.bfs(from, to, at, true); ok {
+		return hop, true
+	}
+	return t.bfs(from, to, at, false)
+}
+
+// bfs runs a breadth-first search from from toward to and returns the
+// first hop of the discovered path. respectOutages excludes edges that
+// are down at time at.
+func (t *Topology) bfs(from, to int, at sim.Time, respectOutages bool) (int, bool) {
+	prev := make([]int, t.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[from] = from
+	queue := []int{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.adj[u] {
+			if prev[v] >= 0 {
+				continue
+			}
+			if respectOutages && !t.EdgeUp(u, v, at) {
+				continue
+			}
+			prev[v] = u
+			if v == to {
+				// Walk back to the hop adjacent to from.
+				for prev[v] != from {
+					v = prev[v]
+				}
+				return v, true
+			}
+			queue = append(queue, v)
+		}
+	}
+	return -1, false
+}

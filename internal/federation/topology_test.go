@@ -1,0 +1,174 @@
+package federation
+
+import (
+	"testing"
+
+	"wgtt/internal/sim"
+)
+
+// walkRoute follows NextHop from from toward to with the outage state
+// frozen at time at, returning the visited path. It fails the walk (ok
+// false) if the route exceeds the TTL budget or revisits a node.
+func walkRoute(t *Topology, from, to int, at sim.Time) (path []int, ok bool) {
+	seen := make(map[int]bool)
+	cur := from
+	path = append(path, cur)
+	for steps := 0; cur != to; steps++ {
+		if steps > int(t.MaxTTL()) {
+			return path, false
+		}
+		if seen[cur] {
+			return path, false
+		}
+		seen[cur] = true
+		hop, found := t.NextHop(cur, to, at)
+		if !found {
+			return path, false
+		}
+		cur = hop
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// TestTopologyChainRoutes pins next-hop routing on the plain adjacent
+// chain: every route is the unique chain path.
+func TestTopologyChainRoutes(t *testing.T) {
+	topo := NewTopology(5, nil, nil)
+	for from := 0; from < 5; from++ {
+		for to := 0; to < 5; to++ {
+			hop, ok := topo.NextHop(from, to, 0)
+			if !ok {
+				t.Fatalf("chain route %d->%d not found", from, to)
+			}
+			want := from
+			if to > from {
+				want = from + 1
+			} else if to < from {
+				want = from - 1
+			}
+			if hop != want {
+				t.Errorf("chain %d->%d: hop %d, want %d", from, to, hop, want)
+			}
+		}
+	}
+}
+
+// TestTopologyRingShortcut pins that a ring-closure trunk carries
+// traffic the short way around.
+func TestTopologyRingShortcut(t *testing.T) {
+	topo := NewTopology(6, [][2]int{{0, 5}}, nil)
+	if hop, ok := topo.NextHop(0, 5, 0); !ok || hop != 5 {
+		t.Errorf("ring 0->5: hop %d ok %v, want direct 5", hop, ok)
+	}
+	if hop, ok := topo.NextHop(5, 0, 0); !ok || hop != 0 {
+		t.Errorf("ring 5->0: hop %d ok %v, want direct 0", hop, ok)
+	}
+	// 1 -> 5 is two hops via 0 (ring), three via the chain.
+	if hop, ok := topo.NextHop(1, 5, 0); !ok || hop != 0 {
+		t.Errorf("ring 1->5: hop %d ok %v, want 0", hop, ok)
+	}
+}
+
+// TestTopologyOutageReroute pins steering around a downed edge when an
+// alternate path exists, and the full-graph fallback when none does.
+func TestTopologyOutageReroute(t *testing.T) {
+	out := []EdgeOutage{{A: 1, B: 2, Start: sim.Duration(0), End: 10 * sim.Second}}
+	ring := NewTopology(4, [][2]int{{0, 3}}, out)
+	// During the outage the 1->2 route must go the long way: 1->0->3->2.
+	path, ok := walkRoute(ring, 1, 2, sim.Time(5*sim.Second))
+	if !ok {
+		t.Fatalf("ring reroute failed: path %v", path)
+	}
+	if len(path) != 4 || path[1] != 0 || path[2] != 3 {
+		t.Errorf("ring reroute path %v, want [1 0 3 2]", path)
+	}
+	// After the window the direct hop returns.
+	if hop, _ := ring.NextHop(1, 2, sim.Time(11*sim.Second)); hop != 2 {
+		t.Errorf("post-outage hop %d, want 2", hop)
+	}
+	// A chain has no alternate path: the fallback still routes into the
+	// downed edge (the trunk drops at the sender; RPC retries recover).
+	chain := NewTopology(4, nil, out)
+	if hop, ok := chain.NextHop(1, 2, sim.Time(5*sim.Second)); !ok || hop != 2 {
+		t.Errorf("chain fallback hop %d ok %v, want 2 true", hop, ok)
+	}
+}
+
+// TestTopologyNoCyclesRandom is the router's no-cycle/reachability
+// property: across random topologies, outage schedules, and probe
+// times (seeds 1-10), every route terminates at its destination within
+// the TTL budget without revisiting a node.
+func TestTopologyNoCyclesRandom(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := sim.NewRNG(seed).Fork("topo")
+		n := 3 + rng.Intn(8)
+		var extra [][2]int
+		for k := rng.Intn(4); k > 0; k-- {
+			extra = append(extra, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+		var outs []EdgeOutage
+		for k := rng.Intn(3); k > 0; k-- {
+			start := sim.Duration(rng.Intn(10)) * sim.Second
+			outs = append(outs, EdgeOutage{
+				A: rng.Intn(n), B: rng.Intn(n),
+				Start: start, End: start + sim.Duration(1+rng.Intn(5))*sim.Second,
+			})
+		}
+		topo := NewTopology(n, extra, outs)
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				for _, at := range []sim.Time{0, sim.Time(3 * sim.Second), sim.Time(8 * sim.Second)} {
+					path, ok := walkRoute(topo, from, to, at)
+					if !ok {
+						t.Fatalf("seed %d n=%d extra=%v outs=%v: route %d->%d at %v cycled or died: %v",
+							seed, n, extra, outs, from, to, at, path)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzRouter fuzzes NextHop with arbitrary topology parameters: the
+// route walk must always terminate (destination reached or explicit
+// failure) without cycling, and every returned hop must be a neighbour.
+func FuzzRouter(f *testing.F) {
+	f.Add(4, 0, 3, 1, 2, int64(0), int64(5_000_000_000))
+	f.Add(5, 1, 3, 0, 4, int64(1_000_000_000), int64(2_000_000_000))
+	f.Add(8, 2, 7, 7, 0, int64(0), int64(0))
+	f.Add(3, 0, 2, 2, 2, int64(500), int64(400))
+	f.Fuzz(func(t *testing.T, n, ea, eb, from, to int, outStart, outEnd int64) {
+		if n < 1 || n > 64 {
+			return
+		}
+		var outs []EdgeOutage
+		if outEnd > outStart && outStart >= 0 {
+			outs = append(outs, EdgeOutage{A: -1, B: -1,
+				Start: sim.Duration(outStart), End: sim.Duration(outEnd)})
+		}
+		topo := NewTopology(n, [][2]int{{ea, eb}}, outs)
+		if from < 0 || from >= n || to < 0 || to >= n {
+			return
+		}
+		at := sim.Time(outStart)
+		hop, ok := topo.NextHop(from, to, at)
+		if !ok {
+			return // disconnected is a legal answer
+		}
+		if from != to {
+			found := false
+			for _, v := range topo.Neighbors(from) {
+				if v == hop {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d edge=%d-%d: hop %d of %d->%d is not a neighbour", n, ea, eb, hop, from, to)
+			}
+		}
+		if path, ok := walkRoute(topo, from, to, at); !ok {
+			t.Fatalf("n=%d edge=%d-%d: route %d->%d cycled: %v", n, ea, eb, from, to, path)
+		}
+	})
+}

@@ -49,6 +49,16 @@ const (
 	// controllers (or bridges) over the inter-segment trunk: claim,
 	// export, ack, and the baseline bridge-to-bridge transfer.
 	MsgHandoff
+	// MsgRouted is the federation envelope: it carries any trunk message
+	// between two (possibly non-adjacent) segments, forwarded hop by hop
+	// along next-hop tables with a TTL bound.
+	MsgRouted
+	// MsgDirUpdate replicates one client→owner-segment directory entry
+	// (with its epoch) to the other federation nodes.
+	MsgDirUpdate
+	// MsgDirQuery asks a federation node to reply with its directory
+	// entry for a client it owns (replica-miss recovery).
+	MsgDirQuery
 )
 
 // RemoteAPID is the Stop.NewAPID sentinel meaning "the successor AP
@@ -102,6 +112,12 @@ func (t MsgType) String() string {
 		return "ReassocRelay"
 	case MsgHandoff:
 		return "Handoff"
+	case MsgRouted:
+		return "Routed"
+	case MsgDirUpdate:
+		return "DirUpdate"
+	case MsgDirQuery:
+		return "DirQuery"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -422,6 +438,82 @@ func (m *Handoff) Marshal(b []byte) []byte {
 	return binary.BigEndian.AppendUint32(b, m.SwitchID)
 }
 
+// Routed is the federation envelope: Inner travels from segment SrcSeg
+// to segment DstSeg along next-hop tables, one trunk hop at a time. TTL
+// is decremented at each forward; a message whose TTL reaches zero
+// before its destination is dropped, bounding any routing cycle.
+type Routed struct {
+	SrcSeg uint16
+	DstSeg uint16
+	TTL    uint8
+	Inner  Message
+}
+
+// Type implements Message.
+func (*Routed) Type() MsgType { return MsgRouted }
+
+// Control implements Message. The envelope inherits its inner message's
+// queueing class so forwarded data cannot jump the control path.
+func (m *Routed) Control() bool { return m.Inner.Control() }
+
+// WireLen implements Message.
+func (m *Routed) WireLen() int { return 1 + 2 + 2 + 1 + m.Inner.WireLen() }
+
+// Marshal implements Message.
+func (m *Routed) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgRouted))
+	b = binary.BigEndian.AppendUint16(b, m.SrcSeg)
+	b = binary.BigEndian.AppendUint16(b, m.DstSeg)
+	b = append(b, m.TTL)
+	return m.Inner.Marshal(b)
+}
+
+// DirUpdate replicates one client→owner directory entry. Higher epochs
+// supersede lower ones; see internal/federation for the beats rule.
+type DirUpdate struct {
+	Client MAC
+	Owner  uint16
+	Epoch  uint32
+}
+
+// Type implements Message.
+func (*DirUpdate) Type() MsgType { return MsgDirUpdate }
+
+// Control implements Message.
+func (*DirUpdate) Control() bool { return true }
+
+// WireLen implements Message.
+func (*DirUpdate) WireLen() int { return 1 + 6 + 2 + 4 }
+
+// Marshal implements Message.
+func (m *DirUpdate) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgDirUpdate))
+	b = append(b, m.Client[:]...)
+	b = binary.BigEndian.AppendUint16(b, m.Owner)
+	return binary.BigEndian.AppendUint32(b, m.Epoch)
+}
+
+// DirQuery asks the receiving federation node for its directory entry
+// covering Client; the current owner answers with a DirUpdate.
+type DirQuery struct {
+	Client MAC
+}
+
+// Type implements Message.
+func (*DirQuery) Type() MsgType { return MsgDirQuery }
+
+// Control implements Message.
+func (*DirQuery) Control() bool { return true }
+
+// WireLen implements Message.
+func (*DirQuery) WireLen() int { return 1 + 6 }
+
+// Marshal implements Message.
+func (m *DirQuery) Marshal(b []byte) []byte {
+	b = append(b, byte(MsgDirQuery))
+	return append(b, m.Client[:]...)
+}
+
 // Decode parses one message from b. It returns an error on truncated
 // input or an unknown type byte.
 func Decode(b []byte) (Message, error) {
@@ -543,6 +635,36 @@ func Decode(b []byte) (Message, error) {
 		m.NextIdx = binary.BigEndian.Uint16(rest[13:15])
 		m.Score = math.Float64frombits(binary.BigEndian.Uint64(rest[15:23]))
 		m.SwitchID = binary.BigEndian.Uint32(rest[23:27])
+		return &m, nil
+	case MsgRouted:
+		var m Routed
+		if len(rest) < 5 {
+			return nil, errShort
+		}
+		m.SrcSeg = binary.BigEndian.Uint16(rest[:2])
+		m.DstSeg = binary.BigEndian.Uint16(rest[2:4])
+		m.TTL = rest[4]
+		inner, err := Decode(rest[5:])
+		if err != nil {
+			return nil, err
+		}
+		m.Inner = inner
+		return &m, nil
+	case MsgDirUpdate:
+		var m DirUpdate
+		if len(rest) < 12 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
+		m.Owner = binary.BigEndian.Uint16(rest[6:8])
+		m.Epoch = binary.BigEndian.Uint32(rest[8:12])
+		return &m, nil
+	case MsgDirQuery:
+		var m DirQuery
+		if len(rest) < 6 {
+			return nil, errShort
+		}
+		copy(m.Client[:], rest[:6])
 		return &m, nil
 	}
 	return nil, fmt.Errorf("packet: unknown message type %d", t)

@@ -124,6 +124,12 @@ func TestMessageRoundTrips(t *testing.T) {
 		&ReassocRelay{Client: ClientMAC(1), TargetAPID: 3, CurrentAPID: 1},
 		&Handoff{Kind: HandoffExport, Client: ClientMAC(1), IP: ClientIP(1),
 			Index: 4001, NextIdx: 4005, Score: 23.5, SwitchID: 77},
+		&Routed{SrcSeg: 2, DstSeg: 5, TTL: 7,
+			Inner: &Handoff{Kind: HandoffClaim, Client: ClientMAC(1), Score: 19.25}},
+		&Routed{SrcSeg: 1, DstSeg: 3, TTL: 4,
+			Inner: &DirUpdate{Client: ClientMAC(2), Owner: 3, Epoch: 9}},
+		&DirUpdate{Client: ClientMAC(1), Owner: 2, Epoch: 41},
+		&DirQuery{Client: ClientMAC(1)},
 	}
 	for _, m := range msgs {
 		b := m.Marshal(nil)
@@ -145,8 +151,10 @@ func TestMessageRoundTrips(t *testing.T) {
 
 func TestControlFlag(t *testing.T) {
 	// Exactly the switching/association/BA control path is prioritized.
-	control := []Message{&Stop{}, &Start{}, &SwitchAck{}, &BAForward{}, &AssocState{}, &ReassocRelay{}, &Handoff{}}
-	data := []Message{&DownlinkData{}, &UplinkData{}, &CSIReport{}, &ServerData{}}
+	control := []Message{&Stop{}, &Start{}, &SwitchAck{}, &BAForward{}, &AssocState{}, &ReassocRelay{}, &Handoff{},
+		&DirUpdate{}, &DirQuery{}, &Routed{Inner: &Handoff{}}}
+	data := []Message{&DownlinkData{}, &UplinkData{}, &CSIReport{}, &ServerData{},
+		&Routed{Inner: &DownlinkData{}}}
 	for _, m := range control {
 		if !m.Control() {
 			t.Errorf("%v should be control-priority", m.Type())
@@ -175,6 +183,7 @@ func TestDecodeErrors(t *testing.T) {
 		&CSIReport{SNRsDB: snrs},
 		&BAForward{}, &AssocState{}, &ServerData{Inner: samplePacket()},
 		&ReassocRelay{}, &Handoff{},
+		&Routed{Inner: &Handoff{}}, &DirUpdate{}, &DirQuery{},
 	}
 	for _, m := range msgs {
 		b := m.Marshal(nil)

@@ -20,15 +20,25 @@ type Wire func(p packet.Packet)
 // Clock is the time source a timer-free endpoint stamps arrivals with. A
 // *sim.Loop satisfies it; so does a mobile client, whose clock follows
 // the event-loop domain that currently owns it. Endpoints that schedule
-// timers (sources, senders) still take a *sim.Loop, which pins them to
-// one domain — in partitioned runs that is the wired server's.
+// timers (sources, senders) take a Sched instead.
 type Clock interface {
 	Now() sim.Time
 }
 
+// Sched is the timer facility a source schedules emissions on. A
+// *sim.Loop satisfies it (pinning the source to that loop's domain); a
+// mobile client's migration-safe scheduler (client.Sched) satisfies it
+// too, keeping client-side sources correct when the client migrates
+// between segment domains.
+type Sched interface {
+	Clock
+	After(d sim.Duration, fn func()) *sim.Event
+	Cancel(ev *sim.Event)
+}
+
 // UDPSource emits fixed-size datagrams at a constant bit rate.
 type UDPSource struct {
-	loop    *sim.Loop
+	sched   Sched
 	out     Wire
 	src     packet.IP
 	dst     packet.IP
@@ -48,7 +58,9 @@ type UDPSource struct {
 
 // NewUDPSource builds a CBR source sending payload-byte datagrams at
 // rateMbps (counting IP+UDP headers against the rate, as iperf does).
-func NewUDPSource(loop *sim.Loop, out Wire, src, dst packet.IP, srcPort, dstPort uint16, rateMbps float64, payload int) *UDPSource {
+// Emissions are timed on sched: pass the server loop for downlink
+// sources, the client's Sched for uplink sources.
+func NewUDPSource(sched Sched, out Wire, src, dst packet.IP, srcPort, dstPort uint16, rateMbps float64, payload int) *UDPSource {
 	proto := packet.Packet{Proto: packet.ProtoUDP, PayloadLen: uint16(payload)}
 	wire := proto.WireLen()
 	interval := sim.Duration(float64(wire*8) / (rateMbps * 1e6) * 1e9)
@@ -56,7 +68,7 @@ func NewUDPSource(loop *sim.Loop, out Wire, src, dst packet.IP, srcPort, dstPort
 		interval = sim.Microsecond
 	}
 	return &UDPSource{
-		loop: loop, out: out, src: src, dst: dst,
+		sched: sched, out: out, src: src, dst: dst,
 		srcPort: srcPort, dstPort: dstPort,
 		payload: payload, interval: interval,
 	}
@@ -75,7 +87,7 @@ func (u *UDPSource) Start() {
 func (u *UDPSource) Stop() {
 	u.running = false
 	if u.ev != nil {
-		u.loop.Cancel(u.ev)
+		u.sched.Cancel(u.ev)
 		u.ev = nil
 	}
 }
@@ -89,12 +101,12 @@ func (u *UDPSource) emit() {
 		Src: u.src, Dst: u.dst, Proto: packet.ProtoUDP,
 		IPID: u.ipid, SrcPort: u.srcPort, DstPort: u.dstPort,
 		Seq: u.seq, PayloadLen: uint16(u.payload),
-		Created: u.loop.Now(),
+		Created: u.sched.Now(),
 	}
 	u.seq++
 	u.Sent++
 	u.out(p)
-	u.ev = u.loop.After(u.interval, u.emit)
+	u.ev = u.sched.After(u.interval, u.emit)
 }
 
 // UDPSink counts received datagrams and estimates loss from sequence

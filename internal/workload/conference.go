@@ -14,8 +14,8 @@ import (
 // mobile side renders, sampled every second (the paper reads fps off the
 // app UI with scrot once per second).
 type Conference struct {
-	loop *sim.Loop
-	fps  float64
+	sched transport.Sched
+	fps   float64
 
 	// Frame reassembly: a frame is rendered when all its fragments
 	// arrive.
@@ -52,8 +52,11 @@ func HangoutsLike() ConferenceConfig { return ConferenceConfig{TargetFPS: 60, Bi
 // NewConference attaches a bidirectional call between the server party
 // and client c.
 func NewConference(n *core.Network, c *core.Client, cfg ConferenceConfig) *Conference {
+	// Frame reassembly and fps sampling run on the client's migration-
+	// safe scheduler: both touch state fed by the client-side sink, so
+	// in domain mode they must stay in whichever domain owns the client.
 	conf := &Conference{
-		loop:      n.Loop,
+		sched:     c.Sched(),
 		fps:       cfg.TargetFPS,
 		recvFrags: make(map[uint32]int),
 	}
@@ -76,7 +79,7 @@ func NewConference(n *core.Network, c *core.Client, cfg ConferenceConfig) *Confe
 	upPort := uint16(PortConfUp + 100*c.ID)
 	upSink := transport.NewUDPSink(n.Loop)
 	n.ServerHandle(upPort, upSink.Receive)
-	conf.up = transport.NewUDPSource(n.Loop, c.SendUplink,
+	conf.up = transport.NewUDPSource(c.Sched(), c.SendUplink,
 		c.IP, packet.ServerIP, upPort+1000, upPort,
 		cfg.BitrateMbps, payload)
 	return conf
@@ -86,8 +89,8 @@ func NewConference(n *core.Network, c *core.Client, cfg ConferenceConfig) *Confe
 func (c *Conference) Start() {
 	c.down.Start()
 	c.up.Start()
-	c.binStart = c.loop.Now()
-	c.loop.After(sim.Second, c.sample)
+	c.binStart = c.sched.Now()
+	c.sched.After(sim.Second, c.sample)
 }
 
 // onFragment reassembles frames from the fragment stream.
@@ -112,7 +115,7 @@ func (c *Conference) onFragment(p packet.Packet, now sim.Time) {
 func (c *Conference) sample() {
 	c.FPSSamples.Add(float64(c.renderedInBin))
 	c.renderedInBin = 0
-	c.loop.After(sim.Second, c.sample)
+	c.sched.After(sim.Second, c.sample)
 }
 
 // FramesRendered returns the total complete frames delivered.

@@ -77,7 +77,10 @@ func NewUDPUplink(n *core.Network, c *core.Client, dstPort uint16, rateMbps floa
 		w.Meter.Add(now, p.WireLen())
 	}
 	n.ServerHandle(dstPort, w.Sink.Receive)
-	w.Source = transport.NewUDPSource(n.Loop, c.SendUplink,
+	// The source runs on the client's migration-safe scheduler: its
+	// emission timer follows the client across segment domains, so the
+	// flow keeps running (race-free) in parallel-domain deployments.
+	w.Source = transport.NewUDPSource(c.Sched(), c.SendUplink,
 		c.IP, packet.ServerIP, dstPort+1000, dstPort, rateMbps, 1400)
 	return w
 }

@@ -10,17 +10,35 @@ test -z "$(gofmt -l . | tee /dev/stderr)"
 go vet ./...
 go build ./...
 
-# The runner and the sim loop carry the concurrency invariants, and the
-# deploy package's trunks cross segment event-loop boundaries; shake all
-# three under the race detector first. The core domain-parity tests then
-# exercise full corridor rides with one goroutine per segment domain.
-go test -race ./internal/runner/ ./internal/sim/ ./internal/deploy/
+# The runner and the sim loop carry the concurrency invariants, the
+# deploy package's trunks cross segment event-loop boundaries, and the
+# federation package's directory/relocate RPCs ride those trunks; shake
+# all four under the race detector first. The TestDomain* parity tests
+# then exercise full corridor rides (including fault-injected and
+# workload-bearing ones) with one goroutine per segment domain.
+go test -race ./internal/runner/ ./internal/sim/ ./internal/deploy/ ./internal/federation/
 go test -race -run 'TestDomain' ./internal/core/
+go test -race -run 'TestDomain' .
 
 # Loop owner-guard diagnostics only compile under the simcheck tag.
 go test -tags simcheck ./internal/sim/
 
 go test ./...
+
+# Federation fault gate: a four-segment federated corridor with a canned
+# trunk fault schedule (mid-run outage + random drops + jitter) must end
+# with zero unowned clients and at least one completed re-locate in the
+# metrics snapshot.
+go run ./cmd/wgtt-sim -segments 4x7.5,4x7.5,4x7.5,4x7.5 -federation -clients 2 -mph 25 \
+    -trunk-faults 'drop=0.02,jitter=40us,outage=1-2@2s-3.5s' -metrics | awk '
+    /^server\/clients_unowned/ { seen_unowned = 1; unowned = $2+0 }
+    /^server\/relocates/       { relocates = $2+0 }
+    END {
+        if (!seen_unowned) { print "federation gate: clients_unowned missing from metrics"; exit 1 }
+        printf "federation gate: unowned=%d relocates=%d\n", unowned, relocates
+        if (unowned != 0) { print "federation gate: clients lost under trunk faults"; exit 1 }
+        if (relocates < 1) { print "federation gate: no re-locates observed"; exit 1 }
+    }'
 
 # Telemetry-overhead gate: the fully instrumented 24-segment corridor
 # ride (counters, spans, per-domain 100 ms samplers) must not run more

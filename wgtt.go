@@ -30,6 +30,7 @@ package wgtt
 import (
 	"wgtt/internal/core"
 	"wgtt/internal/deploy"
+	"wgtt/internal/federation"
 	"wgtt/internal/mobility"
 	"wgtt/internal/sim"
 	"wgtt/internal/telemetry"
@@ -63,6 +64,27 @@ type SegmentSpec = deploy.SegmentSpec
 // TrunkConfig sets the inter-segment controller-to-controller link
 // (Config.Trunk).
 type TrunkConfig = deploy.TrunkConfig
+
+// FederationConfig enables and tunes the cross-segment federation
+// layer (Config.Federation): the replicated client→segment ownership
+// directory, multi-hop trunk routing (ring/bypass trunks), and the
+// re-locate protocol that recovers clients lost to U-turns, coverage
+// gaps, or trunk outages.
+type FederationConfig = federation.Config
+
+// Trunk fault-injection re-exports (Config.Trunk.Faults): a
+// deterministic, seed-driven schedule of trunk outages, random drops,
+// and delay jitter.
+type (
+	// FaultSchedule is the full trunk fault model.
+	FaultSchedule = deploy.FaultSchedule
+	// Outage is one scheduled trunk blackout window.
+	Outage = deploy.Outage
+)
+
+// ParseFaultSchedule parses the -trunk-faults flag syntax, e.g.
+// "drop=0.01,jitter=50us,outage=1-2@2s-3s,outage=all@5s-5.1s".
+func ParseFaultSchedule(s string) (FaultSchedule, error) { return deploy.ParseFaultSchedule(s) }
 
 // DomainMode selects how a multi-segment deployment executes
 // (Config.Domains): one event loop, or per-segment domains run serially
