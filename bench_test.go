@@ -219,6 +219,7 @@ func BenchmarkCorridorParallel(b *testing.B) {
 	for _, mode := range []core.DomainMode{core.DomainsSerial, core.DomainsParallel} {
 		mode := mode
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				r := corridorRideN(benchOpts(i), mode, 24, 10*Second)
 				b.ReportMetric(r.MeanMbps, "Mbps")

@@ -120,6 +120,11 @@ type AP struct {
 	met   apMetrics
 	spans *telemetry.Spans
 
+	// Send-side scratch reused across bh.Send calls (which serialize
+	// synchronously): one CSI report and one uplink tunnel shell.
+	csiOut packet.CSIReport
+	upOut  packet.UplinkData
+
 	clients map[packet.MAC]*clientState
 	order   []packet.MAC // round-robin order
 	rrNext  int
@@ -432,13 +437,12 @@ func (a *AP) txop() {
 		return
 	}
 	a.met.mpdusRetx.Add(int64(cs.agg.Resent - resentBefore))
-	t := &mac.Transmission{
-		Tx:    a.node,
-		Dst:   cs.addr,
-		Type:  mac.FrameData,
-		Rate:  rate,
-		MPDUs: mpdus,
-	}
+	t := a.medium.NewTransmission()
+	t.Tx = a.node
+	t.Dst = cs.addr
+	t.Type = mac.FrameData
+	t.Rate = rate
+	t.MPDUs = mpdus
 	a.medium.Transmit(t)
 	a.AggregatesSent++
 	a.met.aggregates.Inc()
@@ -541,11 +545,10 @@ func (a *AP) reportCSI(client packet.MAC, det mac.Detection) {
 	cs := a.stateFor(client)
 	cs.lastESNR = csi.EffectiveSNRdB(det.SNRsDB[:], csi.RefModulation)
 	cs.hasESNR = true
-	rep := &packet.CSIReport{
-		Client: client,
-		APID:   a.ID,
-		Time:   a.loop.Now(),
-	}
+	rep := &a.csiOut
+	rep.Client = client
+	rep.APID = a.ID
+	rep.Time = a.loop.Now()
 	rep.SNRsDB = det.SNRsDB
 	a.bh.Send(a.self, a.fabric.Controller(), rep)
 }
@@ -564,11 +567,12 @@ func (a *AP) onUplinkData(t *mac.Transmission, det mac.Detection) {
 		anyOK = true
 		a.UplinkMPDUs++
 		a.met.uplinkMPDUs.Inc()
-		a.bh.Send(a.self, a.fabric.Controller(), &packet.UplinkData{
+		a.upOut = packet.UplinkData{
 			APID:   a.ID,
 			Client: t.Tx.Addr,
 			Inner:  t.MPDUs[i].Pkt,
-		})
+		}
+		a.bh.Send(a.self, a.fabric.Controller(), &a.upOut)
 	}
 	if !anyOK {
 		return
@@ -594,17 +598,20 @@ func (a *AP) onUplinkData(t *mac.Transmission, det mac.Detection) {
 		slots := 2 + a.rng.Intn(int(a.cfg.AckJitterMax/sim.Microsecond))
 		delay += sim.Duration(slots) * sim.Microsecond
 	}
+	// t is pooled and may be recycled before the SIFS expires; copy the
+	// address out instead of holding the transmission.
+	dst := t.Tx.Addr
 	a.loop.After(delay, func() {
 		if !serving && a.medium.BlockAckOnAir(a.node) {
 			return // someone already acked; stay quiet
 		}
-		a.medium.Transmit(&mac.Transmission{
-			Tx:   a.node,
-			Dst:  t.Tx.Addr,
-			Type: mac.FrameBlockAck,
-			Rate: phy.BasicRate,
-			BA:   ba,
-		})
+		bat := a.medium.NewTransmission()
+		bat.Tx = a.node
+		bat.Dst = dst
+		bat.Type = mac.FrameBlockAck
+		bat.Rate = phy.BasicRate
+		bat.BA = ba
+		a.medium.Transmit(bat)
 	})
 }
 

@@ -21,7 +21,10 @@ import (
 // NodeID identifies an endpoint on the backhaul.
 type NodeID int
 
-// Handler receives a decoded message addressed to the node.
+// Handler receives a decoded message addressed to the node. Data-plane
+// messages are decoded into a scratch buffer shared across deliveries
+// (packet.DecodeBuf), so msg is only valid for the duration of the call:
+// a handler that retains it must copy the value.
 type Handler func(from NodeID, msg packet.Message)
 
 // Config sets the backhaul's physical parameters.
@@ -48,16 +51,25 @@ func DefaultConfig() Config {
 // tunnels everything in (28).
 const encapOverhead = 66
 
-// frame is one queued backhaul transmission.
+// frame is one queued backhaul transmission. Frames are pooled per Net:
+// the marshal buffer and the two scheduling closures (end of egress
+// serialization, end of propagation) are built once per pooled frame and
+// reused, so a steady message stream costs no per-frame allocation.
 type frame struct {
 	from, to NodeID
 	data     []byte
+	// src is the egress node, for chaining the next drain step.
+	src *node
+	// txDone fires when the frame finishes serializing onto the wire;
+	// arrived fires one propagation delay later at the destination.
+	txDone  func()
+	arrived func()
 }
 
 type node struct {
 	handler Handler
-	control *queue.FIFO[frame]
-	data    *queue.FIFO[frame]
+	control *queue.FIFO[*frame]
+	data    *queue.FIFO[*frame]
 	// draining reports whether an egress serialization event is
 	// scheduled.
 	draining bool
@@ -81,6 +93,38 @@ type Net struct {
 	metDelivered *telemetry.Counter
 	metBytes     *telemetry.Counter
 	metControl   *telemetry.Counter
+
+	// free is the frame pool; frames return here once handled.
+	free []*frame
+	// dec reuses message scratch across deliveries (see Handler).
+	dec packet.DecodeBuf
+}
+
+// acquire returns a pooled (or fresh) frame with its step closures bound.
+func (n *Net) acquire() *frame {
+	if k := len(n.free); k > 0 {
+		f := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		return f
+	}
+	f := &frame{}
+	f.txDone = func() {
+		// deliver may release f (unknown destination), so snapshot the
+		// egress chain fields first.
+		from, src := f.from, f.src
+		n.deliver(f)
+		n.drain(from, src)
+	}
+	f.arrived = func() { n.handle(f) }
+	return f
+}
+
+// release returns a handled frame (and its buffer) to the pool.
+func (n *Net) release(f *frame) {
+	f.src = nil
+	f.data = f.data[:0]
+	n.free = append(n.free, f)
 }
 
 // New returns an empty backhaul on the given loop.
@@ -113,8 +157,8 @@ func (n *Net) AddNode(id NodeID, h Handler) {
 	}
 	n.nodes[id] = &node{
 		handler: h,
-		control: queue.NewFIFO[frame](n.cfg.QueueFrames),
-		data:    queue.NewFIFO[frame](n.cfg.QueueFrames),
+		control: queue.NewFIFO[*frame](n.cfg.QueueFrames),
+		data:    queue.NewFIFO[*frame](n.cfg.QueueFrames),
 	}
 }
 
@@ -127,15 +171,21 @@ func (n *Net) Send(from, to NodeID, msg packet.Message) {
 	if !ok {
 		panic(fmt.Sprintf("backhaul: send from unknown node %d", from))
 	}
-	f := frame{from: from, to: to, data: msg.Marshal(nil)}
+	f := n.acquire()
+	f.from, f.to, f.src = from, to, src
+	f.data = msg.Marshal(f.data[:0])
 	n.sent++
 	n.metSent.Inc()
 	n.perType[msg.Type()]++
+	ok = false
 	if msg.Control() {
 		n.metControl.Inc()
-		src.control.Push(f)
+		ok = src.control.Push(f)
 	} else {
-		src.data.Push(f)
+		ok = src.data.Push(f)
+	}
+	if !ok {
+		n.release(f) // tail drop
 	}
 	if !src.draining {
 		src.draining = true
@@ -156,32 +206,39 @@ func (n *Net) drain(id NodeID, src *node) {
 	}
 	wire := len(f.data) + encapOverhead
 	txTime := sim.Duration(float64(wire*8) / (n.cfg.LinkMbps * 1e6) * 1e9)
-	n.loop.After(txTime, func() {
-		n.deliver(f)
-		n.drain(id, src)
-	})
+	n.loop.After(txTime, f.txDone)
 }
 
-// deliver decodes the frame and hands it to the destination after the
+// deliver hands the serialized frame to the destination after the
 // propagation delay.
-func (n *Net) deliver(f frame) {
-	dst, ok := n.nodes[f.to]
-	if !ok {
+func (n *Net) deliver(f *frame) {
+	if _, ok := n.nodes[f.to]; !ok {
+		n.release(f)
 		return
 	}
-	n.loop.After(n.cfg.PropDelay, func() {
-		msg, err := packet.Decode(f.data)
-		if err != nil {
-			// Corruption is impossible by construction; a decode
-			// failure is a programming error worth crashing on.
-			panic(fmt.Sprintf("backhaul: undecodable frame: %v", err))
-		}
-		n.delivered++
-		n.metDelivered.Inc()
-		n.bytes += int64(len(f.data) + encapOverhead)
-		n.metBytes.Add(int64(len(f.data) + encapOverhead))
-		n.handlerFor(dst)(f.from, msg)
-	})
+	n.loop.After(n.cfg.PropDelay, f.arrived)
+}
+
+// handle decodes an arrived frame, runs the destination handler, and
+// recycles the frame.
+func (n *Net) handle(f *frame) {
+	dst, ok := n.nodes[f.to]
+	if !ok {
+		n.release(f)
+		return
+	}
+	msg, err := n.dec.Decode(f.data)
+	if err != nil {
+		// Corruption is impossible by construction; a decode
+		// failure is a programming error worth crashing on.
+		panic(fmt.Sprintf("backhaul: undecodable frame: %v", err))
+	}
+	n.delivered++
+	n.metDelivered.Inc()
+	n.bytes += int64(len(f.data) + encapOverhead)
+	n.metBytes.Add(int64(len(f.data) + encapOverhead))
+	n.handlerFor(dst)(f.from, msg)
+	n.release(f)
 }
 
 func (n *Net) handlerFor(dst *node) Handler {

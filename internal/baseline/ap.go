@@ -336,9 +336,12 @@ func (ar *apRecv) OnReceive(t *mac.Transmission, det mac.Detection) {
 		}
 		if anyOK {
 			ba := mac.BuildBitmap(t.MPDUs, det.OK)
+			// t may be pooled (the shared client transmits pooled
+			// aggregates) and recycled before the SIFS expires.
+			dst := t.Tx.Addr
 			a.loop.After(phy.SIFS, func() {
 				a.medium.Transmit(&mac.Transmission{
-					Tx: a.node, Dst: t.Tx.Addr, Type: mac.FrameBlockAck,
+					Tx: a.node, Dst: dst, Type: mac.FrameBlockAck,
 					Rate: phy.BasicRate, BA: ba,
 				})
 			})

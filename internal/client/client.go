@@ -284,13 +284,12 @@ func (c *Client) txop() {
 		c.busy = false
 		return
 	}
-	t := &mac.Transmission{
-		Tx:    c.node,
-		Dst:   c.UplinkDst,
-		Type:  mac.FrameData,
-		Rate:  rate,
-		MPDUs: mpdus,
-	}
+	t := c.medium.NewTransmission()
+	t.Tx = c.node
+	t.Dst = c.UplinkDst
+	t.Type = mac.FrameData
+	t.Rate = rate
+	t.MPDUs = mpdus
 	c.medium.Transmit(t)
 	c.UplinkPPDUs++
 	c.lastTxAt = c.loop.Now()
@@ -403,19 +402,21 @@ func (c *Client) onDownlinkData(t *mac.Transmission, det mac.Detection) {
 		ba := mac.BuildBitmap(t.MPDUs, det.OK)
 		// Capture the medium and liveness check now: by the time the
 		// SIFS expires the client may have migrated to another domain,
-		// and reading c.medium then would race with the new owner.
-		medium, node, alive := c.medium, c.node, c.alive
+		// and reading c.medium then would race with the new owner. t
+		// itself is pooled and may be recycled by then, so copy the
+		// address out too.
+		medium, node, alive, dst := c.medium, c.node, c.alive, t.Tx.Addr
 		c.loop.After(phy.SIFS, func() {
 			if alive != nil && !alive() {
 				return
 			}
-			medium.Transmit(&mac.Transmission{
-				Tx:   node,
-				Dst:  t.Tx.Addr,
-				Type: mac.FrameBlockAck,
-				Rate: phy.BasicRate,
-				BA:   ba,
-			})
+			bat := medium.NewTransmission()
+			bat.Tx = node
+			bat.Dst = dst
+			bat.Type = mac.FrameBlockAck
+			bat.Rate = phy.BasicRate
+			bat.BA = ba
+			medium.Transmit(bat)
 		})
 	}
 }

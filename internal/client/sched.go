@@ -63,7 +63,10 @@ func (c *Client) armTask(t *task) {
 	if now := c.loop.Now(); at.Before(now) {
 		at = now
 	}
-	t.ev = c.loop.At(at, func() {
+	// AtKeep: sources hold the returned handle across migrations and may
+	// Cancel it long after it fired; a recycled event would alias a live
+	// timer, so task events stay out of the loop's free list.
+	t.ev = c.loop.AtKeep(at, func() {
 		c.removeTask(t)
 		t.fn()
 	})

@@ -162,6 +162,11 @@ type Controller struct {
 	dedupQ   []packet.DedupKey
 	switchID uint32
 
+	// Send-side scratch: bh.Send serializes synchronously, so these
+	// message shells are reused across the data-plane send sites.
+	dlOut packet.DownlinkData
+	sdOut packet.ServerData
+
 	// Stats.
 	SwitchesIssued  int
 	SwitchesAcked   int
@@ -593,10 +598,8 @@ func (c *Controller) fanOut(cs *clientState, p packet.Packet) {
 		}
 		c.DownlinkFanout++
 		c.met.downlinkFanout.Inc()
-		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+ap)), &packet.DownlinkData{
-			Client: cs.addr,
-			Inner:  p,
-		})
+		c.dlOut = packet.DownlinkData{Client: cs.addr, Inner: p}
+		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+ap)), &c.dlOut)
 	}
 }
 
@@ -765,17 +768,21 @@ func (c *Controller) onReturnedBacklog(m *packet.DownlinkData) {
 	if cs == nil {
 		return
 	}
+	// m is the backhaul's decode scratch; both the held queue and the
+	// trunk retain messages past this call, so hand them a copy.
 	if cs.owned {
 		if sw := cs.sw; sw != nil && sw.remoteSeg >= 0 && len(sw.heldData) < heldCap {
-			sw.heldData = append(sw.heldData, m)
+			d := *m
+			sw.heldData = append(sw.heldData, &d)
 		}
 		return
 	}
+	d := *m
 	switch {
 	case c.fed != nil && cs.exportedSeg >= 0:
-		c.fed.Send(cs.exportedSeg, m)
+		c.fed.Send(cs.exportedSeg, &d)
 	case cs.exportedTo >= 0:
-		c.peers[cs.exportedTo].Deliver(m)
+		c.peers[cs.exportedTo].Deliver(&d)
 	}
 }
 
@@ -831,7 +838,8 @@ func (c *Controller) onUplink(m *packet.UplinkData) {
 	}
 	c.UplinkDelivered++
 	c.met.uplinkDelivered.Inc()
-	c.bh.Send(c.self, c.fabric.Server(), &packet.ServerData{Inner: m.Inner})
+	c.sdOut = packet.ServerData{Inner: m.Inner}
+	c.bh.Send(c.self, c.fabric.Server(), &c.sdOut)
 }
 
 // dedupCap bounds the de-duplication hashset, mirroring the

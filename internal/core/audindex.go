@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math"
+
+	"wgtt/internal/mac"
+	"wgtt/internal/rf"
+	"wgtt/internal/sim"
+)
+
+// The audibility index is the large-deployment fast path of the shared
+// medium: instead of evaluating every delivered PPDU at every registered
+// node, the medium asks the index for the set of nodes that could
+// *plausibly* detect the transmitter, and only those pay the
+// per-subcarrier channel evaluation. Soundness rule: the index may
+// over-mark freely (a false positive just re-runs the medium's own
+// threshold tests, which reject it exactly like the brute-force scan
+// would), but it must never under-mark — every node whose large-scale SNR
+// plus the constructive-fading headroom could reach the preamble-detection
+// threshold must have its bit set. Under that rule, index-on and index-off
+// runs are bit-identical: both visit the same detecting receivers in the
+// same (registration) order and draw from the RNG identically.
+const (
+	// audRefreshInterval is how stale the client bucket geometry may
+	// get before MarkAudible rebuilds it.
+	audRefreshInterval = 5 * sim.Millisecond
+	// audSlopM pads every bucket's bounding box against client motion
+	// between refreshes: at 5 ms staleness, 5 m covers any client
+	// moving slower than 1000 m/s.
+	audSlopM = 5.0
+	// audBucketM is the x-extent of one client bucket.
+	audBucketM = 32.0
+	// audFlatMarginDB guards the client↔client skip against the ESNR
+	// table's interpolation error (≪ 0.5 dB on a flat channel).
+	audFlatMarginDB = 0.5
+)
+
+// audAP is one resolved access point: static position, fixed antenna.
+type audAP struct {
+	node *mac.Node
+	pos  rf.Position
+	ant  rf.Parabolic
+}
+
+// audBucket groups clients by road position; the box bounds the members'
+// positions as of the last refresh, already expanded by audSlopM.
+type audBucket struct {
+	nodes                  []*mac.Node
+	minX, maxX, minY, maxY float64
+}
+
+// audIndex implements mac.AudibilityIndex over the deployment geometry of
+// one radio domain (the whole network on the single-loop path, one
+// segment's medium partition in domain mode). Node kinds resolve lazily
+// through Network.nodeKind because kinds are recorded just after mac
+// registration; a node whose kind never resolves is simply always marked.
+type audIndex struct {
+	n    *Network
+	loop *sim.Loop
+
+	// entries holds the registered nodes in registration order.
+	entries []*mac.Node
+
+	// Resolved views, rebuilt by refresh().
+	aps     []audAP
+	buckets map[int]*audBucket
+	unknown []*mac.Node
+	free    []*audBucket
+
+	fresh       bool
+	refreshedAt sim.Time
+
+	// headroomDB mirrors the channel's DetectHeadroomDB bound.
+	headroomDB float64
+}
+
+func newAudIndex(n *Network, loop *sim.Loop) *audIndex {
+	return &audIndex{
+		n:          n,
+		loop:       loop,
+		buckets:    make(map[int]*audBucket),
+		headroomDB: (&netChannel{n: n, loop: loop}).DetectHeadroomDB(),
+	}
+}
+
+// Register implements mac.AudibilityIndex.
+func (ix *audIndex) Register(n *mac.Node) {
+	ix.entries = append(ix.entries, n)
+	ix.fresh = false
+}
+
+// Unregister implements mac.AudibilityIndex.
+func (ix *audIndex) Unregister(n *mac.Node) {
+	out := ix.entries[:0]
+	for _, x := range ix.entries {
+		if x != n {
+			out = append(out, x)
+		}
+	}
+	for i := len(out); i < len(ix.entries); i++ {
+		ix.entries[i] = nil
+	}
+	ix.entries = out
+	ix.fresh = false
+}
+
+// refresh rebuilds the resolved AP list and the client buckets from
+// current positions.
+func (ix *audIndex) refresh() {
+	ix.aps = ix.aps[:0]
+	ix.unknown = ix.unknown[:0]
+	for k, b := range ix.buckets {
+		b.nodes = b.nodes[:0]
+		ix.free = append(ix.free, b)
+		delete(ix.buckets, k)
+	}
+	for _, node := range ix.entries {
+		ref, ok := ix.n.nodeKind[node]
+		switch {
+		case !ok:
+			ix.unknown = append(ix.unknown, node)
+		case ref.isAP:
+			ix.aps = append(ix.aps, audAP{
+				node: node,
+				pos:  node.Pos(),
+				ant:  rf.DefaultParabolic(apBoresightDeg),
+			})
+		default:
+			pos := node.Pos()
+			key := int(math.Floor(pos.X / audBucketM))
+			b := ix.buckets[key]
+			if b == nil {
+				if k := len(ix.free); k > 0 {
+					b = ix.free[k-1]
+					ix.free[k-1] = nil
+					ix.free = ix.free[:k-1]
+				} else {
+					b = &audBucket{}
+				}
+				b.minX, b.maxX = pos.X, pos.X
+				b.minY, b.maxY = pos.Y, pos.Y
+				ix.buckets[key] = b
+			}
+			b.nodes = append(b.nodes, node)
+			b.minX = math.Min(b.minX, pos.X)
+			b.maxX = math.Max(b.maxX, pos.X)
+			b.minY = math.Min(b.minY, pos.Y)
+			b.maxY = math.Max(b.maxY, pos.Y)
+		}
+	}
+	for _, b := range ix.buckets {
+		b.minX -= audSlopM
+		b.maxX += audSlopM
+		b.minY -= audSlopM
+		b.maxY += audSlopM
+	}
+	ix.fresh = true
+	ix.refreshedAt = ix.loop.Now()
+}
+
+// MarkAudible implements mac.AudibilityIndex.
+func (ix *audIndex) MarkAudible(tx *mac.Node, bitmap []uint64) {
+	if !ix.fresh || ix.loop.Now() > ix.refreshedAt.Add(audRefreshInterval) {
+		ix.refresh()
+	}
+	// Unknown-kind nodes can be anything anywhere: always candidates.
+	for _, n := range ix.unknown {
+		markBit(bitmap, n)
+	}
+	ref, ok := ix.n.nodeKind[tx]
+	if !ok {
+		// Unknown transmitter: no geometric bound applies.
+		for _, n := range ix.entries {
+			markBit(bitmap, n)
+		}
+		return
+	}
+	if ref.isAP {
+		ix.markFromAP(tx, bitmap)
+	} else {
+		ix.markFromClient(tx, bitmap)
+	}
+}
+
+// markFromAP marks every plausible receiver of an AP transmission.
+func (ix *audIndex) markFromAP(tx *mac.Node, bitmap []uint64) {
+	pos := tx.Pos()
+	ant := rf.DefaultParabolic(apBoresightDeg)
+	cfg := &ix.n.Cfg
+	// AP → AP sensing is a hard range cutoff in netChannel; beyond it
+	// the flat −10 dB channel fails SubcarrierSNRs outright.
+	for _, ap := range ix.aps {
+		if pos.Distance(ap.pos) <= cfg.APAPSenseRangeM {
+			markBit(bitmap, ap.node)
+		}
+	}
+	// AP → client: bound the large-scale SNR over the bucket box.
+	for _, b := range ix.buckets {
+		d := math.Max(1, boxDistance(pos, b))
+		gain := maxGainToBox(ant, pos, b)
+		bound := cfg.RF.TxPowerDBm + gain -
+			(cfg.RF.RefLossDB + 10*cfg.RF.PathLossExp*math.Log10(d)) -
+			cfg.RF.SystemLossDB + cfg.RF.MaxShadowDB() - cfg.RF.NoiseDBm
+		if bound+ix.headroomDB >= mac.DetectThresholdDB {
+			for _, n := range b.nodes {
+				markBit(bitmap, n)
+			}
+		}
+	}
+}
+
+// markFromClient marks every plausible receiver of a client transmission.
+// The transmitter's position is read now — the same instant the medium
+// evaluates the channel — so only the receiving buckets carry slop.
+func (ix *audIndex) markFromClient(tx *mac.Node, bitmap []uint64) {
+	pos := tx.Pos()
+	cfg := &ix.n.Cfg
+	// Client → AP: reciprocal of the downlink budget, exact positions.
+	for _, ap := range ix.aps {
+		d := math.Max(1, ap.pos.Distance(pos))
+		gain := ap.ant.GainDB(ap.pos.AngleTo(pos))
+		bound := cfg.RF.TxPowerDBm + gain -
+			(cfg.RF.RefLossDB + 10*cfg.RF.PathLossExp*math.Log10(d)) -
+			cfg.RF.SystemLossDB + cfg.RF.MaxShadowDB() - cfg.RF.NoiseDBm
+		if bound+ix.headroomDB >= mac.DetectThresholdDB {
+			markBit(bitmap, ap.node)
+		}
+	}
+	// Client → client: the flat vehicle-to-vehicle budget with the
+	// bucket's nearest point; no fading, so no headroom term — just an
+	// interpolation-error margin on the detect threshold.
+	for _, b := range ix.buckets {
+		d := math.Max(1, boxDistance(pos, b))
+		snr := cfg.RF.TxPowerDBm -
+			(cfg.RF.RefLossDB + 10*cfg.RF.PathLossExp*math.Log10(d)) -
+			cfg.ClientClientLossDB - cfg.RF.NoiseDBm
+		if snr >= mac.DetectThresholdDB-audFlatMarginDB {
+			for _, n := range b.nodes {
+				markBit(bitmap, n)
+			}
+		}
+	}
+}
+
+// markBit sets the node's seq bit in the medium's candidate bitmap.
+func markBit(bitmap []uint64, n *mac.Node) {
+	seq := n.Seq()
+	if w := seq >> 6; w < len(bitmap) {
+		bitmap[w] |= 1 << (seq & 63)
+	}
+}
+
+// boxDistance returns the distance from p to the nearest point of the
+// bucket's (already slop-expanded) box; zero when p is inside.
+func boxDistance(p rf.Position, b *audBucket) float64 {
+	dx := math.Max(0, math.Max(b.minX-p.X, p.X-b.maxX))
+	dy := math.Max(0, math.Max(b.minY-p.Y, p.Y-b.maxY))
+	return math.Hypot(dx, dy)
+}
+
+// maxGainToBox bounds the AP antenna gain toward any point of the box.
+// The bearing set toward a convex box is the interval spanned by the
+// corner bearings; Parabolic gain decreases monotonically with the
+// off-boresight angle, so the max is attained at a corner bearing or at
+// boresight itself when the boresight ray enters the box.
+func maxGainToBox(ant rf.Parabolic, p rf.Position, b *audBucket) float64 {
+	inside := p.X >= b.minX && p.X <= b.maxX && p.Y >= b.minY && p.Y <= b.maxY
+	if inside || boresightHitsBox(ant, p, b) {
+		return ant.PeakGain
+	}
+	g := ant.GainDB(p.AngleTo(rf.Position{X: b.minX, Y: b.minY}))
+	g = math.Max(g, ant.GainDB(p.AngleTo(rf.Position{X: b.minX, Y: b.maxY})))
+	g = math.Max(g, ant.GainDB(p.AngleTo(rf.Position{X: b.maxX, Y: b.minY})))
+	g = math.Max(g, ant.GainDB(p.AngleTo(rf.Position{X: b.maxX, Y: b.maxY})))
+	return g
+}
+
+// boresightHitsBox reports whether the ray from p along the antenna
+// boresight intersects the box (a standard slab test).
+func boresightHitsBox(ant rf.Parabolic, p rf.Position, b *audBucket) bool {
+	rad := ant.BoresightDeg * math.Pi / 180
+	dx, dy := math.Cos(rad), math.Sin(rad)
+	tmin, tmax := 0.0, math.Inf(1)
+	for _, s := range [2][3]float64{{dx, b.minX - p.X, b.maxX - p.X},
+		{dy, b.minY - p.Y, b.maxY - p.Y}} {
+		d, lo, hi := s[0], s[1], s[2]
+		if math.Abs(d) < 1e-12 {
+			if lo > 0 || hi < 0 {
+				return false
+			}
+			continue
+		}
+		t0, t1 := lo/d, hi/d
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		tmin = math.Max(tmin, t0)
+		tmax = math.Min(tmax, t1)
+	}
+	return tmin <= tmax
+}

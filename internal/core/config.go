@@ -147,6 +147,12 @@ type Config struct {
 	// mode — each domain records into its own shard.
 	Telemetry bool
 
+	// NoAudibilityIndex disables the spatial audibility index, forcing
+	// the medium back to the brute-force all-nodes delivery scan. The
+	// index is on by default and bit-identical to brute force; the knob
+	// exists for parity tests and A/B benchmarks.
+	NoAudibilityIndex bool
+
 	// Cross-link budgets used only for carrier sense and interference.
 	// Clients sit inside vehicles (extra penetration loss); APs hear
 	// each other along the wall.
@@ -154,6 +160,10 @@ type Config struct {
 	APAPSenseSNRdB     float64
 	APAPSenseRangeM    float64
 }
+
+// apBoresightDeg aims every AP antenna straight at the road (the road
+// runs along y = 0 with APs set back at positive y).
+const apBoresightDeg = -90
 
 // DefaultConfig returns the paper's testbed configuration for a scheme.
 func DefaultConfig(scheme Scheme) Config {

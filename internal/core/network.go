@@ -68,7 +68,10 @@ type Network struct {
 
 	rng        *sim.RNG
 	serverIPID uint16
-	apNodes    []*mac.Node
+	// sdOut is the reusable server-data shell for the single-loop
+	// SendFromServer path (Send serializes synchronously).
+	sdOut   packet.ServerData
+	apNodes []*mac.Node
 	// links[clientID][apIdx] is the radio channel realization.
 	links       [][]*rf.Link
 	nodeKind    map[*mac.Node]nodeRef
@@ -126,6 +129,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 		n.initTelemetrySingle(loop, len(cfg.segmentGeoms()))
 	}
 	n.Medium = mac.NewMedium(loop, &netChannel{n: n, loop: loop}, rng.Fork("medium"))
+	if !cfg.NoAudibilityIndex {
+		n.Medium.SetAudibilityIndex(newAudIndex(n, loop))
+	}
 	fedTopo := cfg.federationTopology()
 
 	d, err := deploy.Builder{
@@ -242,7 +248,7 @@ func (n *Network) AddClient(traj mobility.Trajectory) *Client {
 	row := make([]*rf.Link, total)
 	for i := 0; i < total; i++ {
 		row[i] = rf.NewLink(n.Cfg.RF, n.Cfg.APPosition(i),
-			rf.DefaultParabolic(-90), // boresight straight at the road
+			rf.DefaultParabolic(apBoresightDeg),
 			rf.Omni{},
 			n.rng.Fork(fmt.Sprintf("link-%d-%d", i, id)))
 	}
@@ -311,17 +317,20 @@ func (n *Network) SendFromServer(p packet.Packet) {
 	if s, ok := n.route[p.Dst]; ok {
 		si = s
 	}
-	msg := &packet.ServerData{Inner: p}
 	if n.Coord != nil {
 		// Cross the server→segment mailbox; the backhaul hop itself runs
-		// in the segment domain.
+		// in the segment domain. The closure serializes later, so the
+		// message cannot be scratch here.
+		msg := &packet.ServerData{Inner: p}
 		bh := n.Deploy.Segments[si].Backhaul
 		n.serverToSeg[si].Post(n.Loop.Now().Add(n.Cfg.Trunk.PropDelay), func() {
 			bh.Send(deploy.NodeServer, deploy.NodeController, msg)
 		})
 		return
 	}
-	n.Deploy.Segments[si].Backhaul.Send(deploy.NodeServer, deploy.NodeController, msg)
+	// Single-loop path: Send serializes synchronously, so reuse a shell.
+	n.sdOut = packet.ServerData{Inner: p}
+	n.Deploy.Segments[si].Backhaul.Send(deploy.NodeServer, deploy.NodeController, &n.sdOut)
 }
 
 // onServerBackhaul receives uplink packets at the wired server's tap on
@@ -475,6 +484,14 @@ func (nc *netChannel) SenseSNRdB(tx, rx *mac.Node) float64 {
 		}
 		return -10
 	}
+}
+
+// DetectHeadroomDB implements mac.DetectHeadroomer: the analytic bound on
+// constructive fast fading for this deployment's multipath profile, plus
+// a margin covering the ESNR table's interpolation error. It licenses the
+// medium's cheap large-scale rejection of implausible receivers.
+func (nc *netChannel) DetectHeadroomDB() float64 {
+	return rf.MaxFadeDB(nc.n.Cfg.RF.Fading) + 0.2
 }
 
 // clientClientSNR is the vehicle-to-vehicle budget: omni antennas, double

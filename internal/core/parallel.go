@@ -150,6 +150,9 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 		}
 		sd.medium = mac.NewMedium(d.Loop, &netChannel{n: n, loop: d.Loop},
 			rng.Fork(fmt.Sprintf("medium%d", i)))
+		if !cfg.NoAudibilityIndex {
+			sd.medium.SetAudibilityIndex(newAudIndex(n, d.Loop))
+		}
 		n.segs = append(n.segs, sd)
 	}
 	server := coord.NewDomain("server")
@@ -209,6 +212,13 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 			return func(from backhaul.NodeID, msg packet.Message) {
 				// The segment's server tap crosses into the server
 				// domain; route/dedup state then stays server-local.
+				// ServerData arrives in the backhaul's decode scratch,
+				// and the posted closure outlives the handler call, so
+				// it must be copied here.
+				if d, ok := msg.(*packet.ServerData); ok {
+					cp := *d
+					msg = &cp
+				}
 				sd.toServer.Post(sd.dom.Loop.Now().Add(lookahead), func() {
 					n.onServerBackhaul(si, from, msg)
 				})

@@ -21,6 +21,15 @@ type Window struct {
 	span     sim.Duration
 	readings []Reading // ordered by arrival time
 	scratch  []float64
+
+	// rev counts content changes (Add, expiry). The median and mean are
+	// memoized against it so repeated ranking passes over an unchanged
+	// window skip the sort entirely.
+	rev       uint64
+	medianRev uint64
+	medianVal float64
+	meanRev   uint64
+	meanVal   float64
 }
 
 // NewWindow returns a sliding window of the given span. The paper's
@@ -37,6 +46,7 @@ func (w *Window) Span() sim.Duration { return w.span }
 // single event loop).
 func (w *Window) Add(t sim.Time, esnrDB float64) {
 	w.readings = append(w.readings, Reading{Time: t, ESNRdB: esnrDB})
+	w.rev++
 	w.expire(t)
 }
 
@@ -49,6 +59,7 @@ func (w *Window) expire(t sim.Time) {
 	}
 	if i > 0 {
 		w.readings = append(w.readings[:0], w.readings[i:]...)
+		w.rev++
 	}
 }
 
@@ -65,12 +76,17 @@ func (w *Window) MedianAt(t sim.Time) (float64, bool) {
 	if len(w.readings) == 0 {
 		return 0, false
 	}
+	if w.medianRev == w.rev && w.rev != 0 {
+		return w.medianVal, true
+	}
 	w.scratch = w.scratch[:0]
 	for _, r := range w.readings {
 		w.scratch = append(w.scratch, r.ESNRdB)
 	}
 	sort.Float64s(w.scratch)
-	return w.scratch[len(w.scratch)/2], true
+	w.medianRev = w.rev
+	w.medianVal = w.scratch[len(w.scratch)/2]
+	return w.medianVal, true
 }
 
 // Latest returns the most recent reading, if any.
@@ -88,9 +104,14 @@ func (w *Window) MeanAt(t sim.Time) (float64, bool) {
 	if len(w.readings) == 0 {
 		return 0, false
 	}
+	if w.meanRev == w.rev && w.rev != 0 {
+		return w.meanVal, true
+	}
 	sum := 0.0
 	for _, r := range w.readings {
 		sum += r.ESNRdB
 	}
-	return sum / float64(len(w.readings)), true
+	w.meanRev = w.rev
+	w.meanVal = sum / float64(len(w.readings))
+	return w.meanVal, true
 }

@@ -19,6 +19,10 @@ type Aggregator struct {
 	nextSeq uint16
 	// retry holds MPDUs awaiting retransmission, in seq order.
 	retry []MPDU
+	// buf backs the slice Build returns. Aggregates strictly alternate
+	// (busy until the BA settles), so the previous aggregate is fully
+	// processed before the next Build reuses the array.
+	buf []MPDU
 	// stats
 	Sent      int // MPDUs first-transmitted
 	Resent    int // MPDU retransmissions
@@ -40,7 +44,7 @@ type Pull func() (packet.Packet, bool)
 // returns nil when there is nothing to send.
 func (a *Aggregator) Build(r phy.Rate, pull Pull) []MPDU {
 	limit := phy.MaxMPDUsForAirtime(r, 1500)
-	var out []MPDU
+	out := a.buf[:0]
 
 	// Retries stay inside one BA window (64 seqs from the first): take
 	// them all first — they are oldest.
@@ -70,13 +74,13 @@ func (a *Aggregator) Build(r phy.Rate, pull Pull) []MPDU {
 			a.Resent++
 		}
 	}
+	a.buf = out
 	return out
 }
 
 // BAResult is the outcome of processing acknowledgement state for one
 // transmitted aggregate.
 type BAResult struct {
-	AckedPkts   []packet.Packet
 	DroppedPkts []packet.Packet
 	AckedCount  int
 	LostCount   int
@@ -89,7 +93,6 @@ func (a *Aggregator) ProcessBA(sent []MPDU, ba BAInfo) BAResult {
 	var res BAResult
 	for _, m := range sent {
 		if ba.Acked(m.Seq) {
-			res.AckedPkts = append(res.AckedPkts, m.Pkt)
 			res.AckedCount++
 			a.Acked++
 			continue

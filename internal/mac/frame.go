@@ -137,8 +137,15 @@ type Transmission struct {
 	// SIFS + BA response (NAV).
 	expectsBA bool
 	// deliverEv is the scheduled PPDU-end delivery, kept so Unregister
-	// can silence a migrating node's in-flight transmission.
+	// can silence a migrating node's in-flight transmission. It is
+	// nil'd at fire time so a late cancel never touches a recycled
+	// event.
 	deliverEv *sim.Event
+	// pooled marks transmissions acquired from Medium.NewTransmission;
+	// only those return to the free list when they leave the overlap
+	// window. Literal-built transmissions stay unpooled and are never
+	// recycled.
+	pooled bool
 }
 
 // Broadcast is the all-ones destination address.

@@ -50,6 +50,9 @@ type collector struct {
 }
 
 func (c *collector) OnReceive(t *Transmission, det Detection) {
+	// det.OK is the medium's per-delivery scratch; copy it before the
+	// next delivery overwrites it.
+	det.OK = append([]bool(nil), det.OK...)
 	c.frames = append(c.frames, t)
 	c.dets = append(c.dets, det)
 }

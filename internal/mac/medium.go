@@ -1,6 +1,8 @@
 package mac
 
 import (
+	"math/bits"
+
 	"wgtt/internal/csi"
 	"wgtt/internal/packet"
 	"wgtt/internal/phy"
@@ -21,10 +23,40 @@ type Channel interface {
 	SenseSNRdB(tx, rx *Node) float64
 }
 
+// DetectHeadroomer is an optional Channel capability: the maximum dB by
+// which any per-subcarrier SNR (and hence the effective SNR) can exceed
+// the large-scale SenseSNRdB, i.e. an upper bound on constructive fast
+// fading plus a safety margin. When a channel provides it, the medium
+// rejects receivers with SenseSNRdB + headroom < detectThresholdDB before
+// paying for the per-subcarrier fill — a pure fast path that can never
+// skip a node the full evaluation would have detected.
+type DetectHeadroomer interface {
+	DetectHeadroomDB() float64
+}
+
+// AudibilityIndex is an optional spatial prefilter over the medium's
+// registered nodes. MarkAudible must set the bit Node.Seq() for every
+// registered node that could plausibly detect a transmission from tx —
+// false positives merely cost the normal per-node evaluation, but a false
+// negative would silently change delivery, so implementations must be
+// strictly conservative (when in doubt, mark the bit). The medium still
+// applies its own threshold tests to every marked node, which is what
+// keeps index-on and index-off runs bit-identical.
+type AudibilityIndex interface {
+	// Register and Unregister mirror the medium's node set.
+	Register(n *Node)
+	Unregister(n *Node)
+	// MarkAudible sets candidate bits (indexed by Node.Seq()) in bitmap.
+	MarkAudible(tx *Node, bitmap []uint64)
+}
+
 // Detection is what a receiver learns from one PPDU: per-MPDU decode
 // outcomes and the CSI measured on the frame.
 type Detection struct {
-	// OK[i] reports whether MPDU i decoded (FrameData only).
+	// OK[i] reports whether MPDU i decoded (FrameData only). The slice
+	// is the medium's per-delivery scratch: it is valid only for the
+	// duration of the OnReceive call and is recycled afterwards, so a
+	// receiver that needs the outcomes later must copy them.
 	OK []bool
 	// Collided marks the whole PPDU destroyed by an overlapping
 	// transmission.
@@ -53,7 +85,14 @@ type Node struct {
 	Recv Receiver
 	// transmitting marks an in-flight PPDU from this node.
 	transmitting bool
+	// seq is the node's slot in the owning medium's bySeq table,
+	// assigned at Register. Audibility indexes address nodes by it.
+	seq int
 }
+
+// Seq returns the node's registration slot on its current medium, the
+// bit position an AudibilityIndex uses in MarkAudible bitmaps.
+func (n *Node) Seq() int { return n.seq }
 
 // Thresholds (dB over noise floor).
 const (
@@ -67,6 +106,10 @@ const (
 	captureMarginDB = 10
 )
 
+// DetectThresholdDB exposes the preamble-detection threshold for index
+// implementations and their tests.
+const DetectThresholdDB = detectThresholdDB
+
 // Medium is the shared 2.4 GHz channel: it arbitrates access (CSMA with
 // binary-exponential-style backoff), applies the ESNR→PER error model per
 // MPDU per receiver, and resolves collisions with capture.
@@ -77,6 +120,25 @@ type Medium struct {
 	nodes   []*Node
 	active  []*Transmission
 	stats   MediumStats
+
+	// bySeq maps Node.seq → node, with nil holes after Unregister. Its
+	// non-nil entries are always in registration order — the same order
+	// as m.nodes — so bitmap-driven delivery visits receivers exactly
+	// like the brute-force scan does.
+	bySeq []*Node
+	// index, when set, prunes deliverAll to plausibly-audible nodes.
+	index AudibilityIndex
+	// audBits is the reusable MarkAudible bitmap.
+	audBits []uint64
+
+	// headroomDB caches the channel's DetectHeadroomDB capability.
+	headroomDB  float64
+	hasHeadroom bool
+
+	// txFree recycles pooled Transmissions (see NewTransmission);
+	// okScratch is the shared per-delivery Detection.OK buffer.
+	txFree    []*Transmission
+	okScratch []bool
 }
 
 // MediumStats counts medium-level events.
@@ -89,12 +151,34 @@ type MediumStats struct {
 
 // NewMedium creates the channel on the given loop.
 func NewMedium(loop *sim.Loop, channel Channel, rng *sim.RNG) *Medium {
-	return &Medium{loop: loop, channel: channel, rng: rng}
+	m := &Medium{loop: loop, channel: channel, rng: rng}
+	if h, ok := channel.(DetectHeadroomer); ok {
+		m.headroomDB = h.DetectHeadroomDB()
+		m.hasHeadroom = true
+	}
+	return m
+}
+
+// SetAudibilityIndex installs (or, with nil, removes) the spatial
+// prefilter. Already-registered nodes are replayed into the index so it
+// can be attached after the plane is built.
+func (m *Medium) SetAudibilityIndex(idx AudibilityIndex) {
+	m.index = idx
+	if idx != nil {
+		for _, n := range m.nodes {
+			idx.Register(n)
+		}
+	}
 }
 
 // Register attaches a node to the channel.
 func (m *Medium) Register(n *Node) {
+	n.seq = len(m.bySeq)
+	m.bySeq = append(m.bySeq, n)
 	m.nodes = append(m.nodes, n)
+	if m.index != nil {
+		m.index.Register(n)
+	}
 }
 
 // Unregister detaches a node from the channel: the node stops hearing
@@ -114,11 +198,29 @@ func (m *Medium) Unregister(n *Node) {
 	}
 	m.nodes = out
 
+	if n.seq < len(m.bySeq) && m.bySeq[n.seq] == n {
+		m.bySeq[n.seq] = nil
+	}
+	if m.index != nil {
+		m.index.Unregister(n)
+	}
+	// Migration churn leaves nil holes; when they dominate, renumber.
+	// Compaction preserves relative order, so delivery order (and hence
+	// the RNG stream) is unaffected.
+	if len(m.bySeq) >= 256 && len(m.nodes)*2 < len(m.bySeq) {
+		m.bySeq = m.bySeq[:0]
+		for _, x := range m.nodes {
+			x.seq = len(m.bySeq)
+			m.bySeq = append(m.bySeq, x)
+		}
+	}
+
 	act := m.active[:0]
 	for _, t := range m.active {
 		if t.Tx == n {
 			m.loop.Cancel(t.deliverEv)
 			n.transmitting = false
+			m.releaseTx(t)
 			continue
 		}
 		act = append(act, t)
@@ -142,17 +244,49 @@ func (m *Medium) registered(n *Node) bool {
 // Stats returns medium counters.
 func (m *Medium) Stats() MediumStats { return m.stats }
 
+// NewTransmission returns a zeroed Transmission from the medium's free
+// list. Pooled transmissions are recycled once they leave m.active (at
+// the post-delivery prune, or at Unregister), so the caller — and every
+// receiver — must not retain the pointer past its OnReceive/scheduled
+// callbacks; copy the fields that outlive the delivery (typically
+// Tx.Addr and the BA window) instead. Transmissions built as literals
+// are never recycled, which is what tests and cold paths rely on.
+func (m *Medium) NewTransmission() *Transmission {
+	if k := len(m.txFree); k > 0 {
+		t := m.txFree[k-1]
+		m.txFree[k-1] = nil
+		m.txFree = m.txFree[:k-1]
+		return t
+	}
+	return &Transmission{pooled: true}
+}
+
+// releaseTx recycles a pooled transmission. MPDU slices are owned by the
+// sender's aggregator, so the reset only drops the reference.
+func (m *Medium) releaseTx(t *Transmission) {
+	if !t.pooled {
+		return
+	}
+	*t = Transmission{pooled: true}
+	m.txFree = append(m.txFree, t)
+}
+
+// navEnd returns the time until which t occupies the medium for carrier
+// sense: PPDU end, extended by the SIFS + block-ACK NAV reservation for
+// unicast data.
+func navEnd(t *Transmission) sim.Time {
+	if t.expectsBA {
+		return t.End.Add(phy.SIFS + phy.BlockAckAirtime)
+	}
+	return t.End
+}
+
 // busyUntil returns the time until which node n senses the channel busy,
 // including NAV reservations for pending block ACKs.
 func (m *Medium) busyUntil(n *Node) sim.Time {
 	var until sim.Time
 	for _, t := range m.active {
-		end := t.End
-		if t.expectsBA {
-			// NAV: the medium stays reserved for the SIFS + block
-			// ACK response of a unicast data PPDU.
-			end = end.Add(phy.SIFS + phy.BlockAckAirtime)
-		}
+		end := navEnd(t)
 		if end <= m.loop.Now() {
 			continue
 		}
@@ -235,56 +369,111 @@ func (m *Medium) Transmit(t *Transmission) {
 	m.stats.MPDUs += len(t.MPDUs)
 
 	t.deliverEv = m.loop.At(t.End, func() {
+		// The handle must die here: prune may keep t in m.active past
+		// this point, and a later Unregister canceling a fired (and
+		// possibly recycled) event would hit an unrelated callback.
+		t.deliverEv = nil
 		t.Tx.transmitting = false
 		m.deliverAll(t)
 		m.prune()
 	})
 }
 
-// deliverAll evaluates t at every potential receiver.
+// deliverAll evaluates t at every potential receiver. With an audibility
+// index installed only the marked candidates are visited; the set bits
+// are walked in ascending seq order, which is registration order — the
+// same order the brute-force scan uses — so both paths draw from the RNG
+// identically.
 func (m *Medium) deliverAll(t *Transmission) {
 	var snrs [rf.NumSubcarriers]float64
-	for _, n := range m.nodes {
-		if n == t.Tx || n.Recv == nil {
-			continue
-		}
-		if !m.channel.SubcarrierSNRs(t.Tx, n, snrs[:]) {
-			continue
-		}
-		esnr := csi.EffectiveSNRdB(snrs[:], t.Rate.Modulation)
-		if esnr < detectThresholdDB {
-			continue
-		}
-		det := Detection{ESNRdB: esnr, SNRsDB: snrs}
-		if m.collided(t, n, esnr) {
-			det.Collided = true
-			if len(t.MPDUs) > 0 {
-				det.OK = make([]bool, len(t.MPDUs))
-				m.stats.MPDULosses += len(t.MPDUs)
+	if m.index == nil {
+		for _, n := range m.nodes {
+			if n == t.Tx || n.Recv == nil {
+				continue
 			}
-			m.stats.Collisions++
-			n.Recv.OnReceive(t, det)
-			continue
+			m.deliverOne(t, n, &snrs)
 		}
-		if t.Type == FrameData {
-			det.OK = make([]bool, len(t.MPDUs))
-			for i := range t.MPDUs {
-				per := phy.PER(t.Rate, esnr, t.MPDUs[i].Pkt.WireLen())
-				ok := m.rng.Float64() >= per
-				det.OK[i] = ok
-				if !ok {
-					m.stats.MPDULosses++
-				}
-			}
-		} else {
-			// Control/management frames succeed or fail whole.
-			per := phy.PER(t.Rate, esnr, frameBytes(t))
-			if m.rng.Float64() < per {
-				continue // undecodable: receiver never sees it
-			}
-		}
-		n.Recv.OnReceive(t, det)
+		return
 	}
+	words := (len(m.bySeq) + 63) / 64
+	if cap(m.audBits) < words {
+		m.audBits = make([]uint64, words)
+	}
+	m.audBits = m.audBits[:words]
+	for i := range m.audBits {
+		m.audBits[i] = 0
+	}
+	m.index.MarkAudible(t.Tx, m.audBits)
+	for w, word := range m.audBits {
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			n := m.bySeq[i]
+			if n == nil || n == t.Tx || n.Recv == nil {
+				continue
+			}
+			m.deliverOne(t, n, &snrs)
+		}
+	}
+}
+
+// deliverOne evaluates t at a single receiver n.
+func (m *Medium) deliverOne(t *Transmission, n *Node, snrs *[rf.NumSubcarriers]float64) {
+	if m.hasHeadroom &&
+		m.channel.SenseSNRdB(t.Tx, n)+m.headroomDB < detectThresholdDB {
+		// Even maximally constructive fading cannot lift this receiver
+		// over the detection threshold; skip the per-subcarrier fill.
+		return
+	}
+	if !m.channel.SubcarrierSNRs(t.Tx, n, snrs[:]) {
+		return
+	}
+	esnr := csi.EffectiveSNRdB(snrs[:], t.Rate.Modulation)
+	if esnr < detectThresholdDB {
+		return
+	}
+	det := Detection{ESNRdB: esnr, SNRsDB: *snrs}
+	if m.collided(t, n, esnr) {
+		det.Collided = true
+		if len(t.MPDUs) > 0 {
+			det.OK = m.okBuf(len(t.MPDUs))
+			m.stats.MPDULosses += len(t.MPDUs)
+		}
+		m.stats.Collisions++
+		n.Recv.OnReceive(t, det)
+		return
+	}
+	if t.Type == FrameData {
+		det.OK = m.okBuf(len(t.MPDUs))
+		for i := range t.MPDUs {
+			per := phy.PER(t.Rate, esnr, t.MPDUs[i].Pkt.WireLen())
+			ok := m.rng.Float64() >= per
+			det.OK[i] = ok
+			if !ok {
+				m.stats.MPDULosses++
+			}
+		}
+	} else {
+		// Control/management frames succeed or fail whole.
+		per := phy.PER(t.Rate, esnr, frameBytes(t))
+		if m.rng.Float64() < per {
+			return // undecodable: receiver never sees it
+		}
+	}
+	n.Recv.OnReceive(t, det)
+}
+
+// okBuf returns the shared Detection.OK scratch, zeroed, sized k. Valid
+// only until the next delivery on this medium.
+func (m *Medium) okBuf(k int) []bool {
+	if cap(m.okScratch) < k {
+		m.okScratch = make([]bool, k)
+	}
+	s := m.okScratch[:k]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // collided reports whether an overlapping transmission destroys t at
@@ -305,14 +494,33 @@ func (m *Medium) collided(t *Transmission, n *Node, esnrT float64) bool {
 	return false
 }
 
-// prune drops transmissions that ended long ago from the overlap window.
+// prune runs after each delivery and eagerly drops transmissions that can
+// no longer matter, keeping the overlap scans O(genuinely concurrent). A
+// finished transmission o is still needed only while (a) its NAV
+// reservation extends past now (carrier sense), or (b) some still-pending
+// transmission p overlaps it (p's delivery-time collision check walks
+// m.active, and overlap requires o.End > p.Start). Anything transmitted
+// in the future starts at ≥ now ≥ o.End and can never overlap o.
 func (m *Medium) prune() {
-	cutoff := m.loop.Now().Add(-10 * sim.Millisecond)
+	now := m.loop.Now()
+	var minStart sim.Time
+	hasPending := false
+	for _, t := range m.active {
+		// Undelivered means the delivery event is still queued — which
+		// includes transmissions ending at this very instant whose
+		// callback just hasn't run yet.
+		if t.deliverEv != nil && (!hasPending || t.Start < minStart) {
+			minStart = t.Start
+			hasPending = true
+		}
+	}
 	out := m.active[:0]
 	for _, t := range m.active {
-		if t.End >= cutoff {
+		if t.deliverEv != nil || navEnd(t) > now || (hasPending && t.End > minStart) {
 			out = append(out, t)
+			continue
 		}
+		m.releaseTx(t)
 	}
 	for i := len(out); i < len(m.active); i++ {
 		m.active[i] = nil

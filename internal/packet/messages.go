@@ -524,28 +524,15 @@ func Decode(b []byte) (Message, error) {
 	switch t {
 	case MsgDownlinkData:
 		var m DownlinkData
-		if len(rest) < 6 {
-			return nil, errShort
-		}
-		copy(m.Client[:], rest[:6])
-		p, _, err := decodePacket(rest[6:])
-		if err != nil {
+		if err := decodeDownlinkData(&m, rest); err != nil {
 			return nil, err
 		}
-		m.Inner = p
 		return &m, nil
 	case MsgUplinkData:
 		var m UplinkData
-		if len(rest) < 8 {
-			return nil, errShort
-		}
-		m.APID = binary.BigEndian.Uint16(rest[:2])
-		copy(m.Client[:], rest[2:8])
-		p, _, err := decodePacket(rest[8:])
-		if err != nil {
+		if err := decodeUplinkData(&m, rest); err != nil {
 			return nil, err
 		}
-		m.Inner = p
 		return &m, nil
 	case MsgStop:
 		var m Stop
@@ -577,15 +564,8 @@ func Decode(b []byte) (Message, error) {
 		return &m, nil
 	case MsgCSIReport:
 		var m CSIReport
-		if len(rest) < 16+2*rf.NumSubcarriers {
-			return nil, errShort
-		}
-		copy(m.Client[:], rest[:6])
-		m.APID = binary.BigEndian.Uint16(rest[6:8])
-		m.Time = sim.Time(binary.BigEndian.Uint64(rest[8:16]))
-		for i := 0; i < rf.NumSubcarriers; i++ {
-			v := int16(binary.BigEndian.Uint16(rest[16+2*i : 18+2*i]))
-			m.SNRsDB[i] = float64(v) / 100
+		if err := decodeCSIReport(&m, rest); err != nil {
+			return nil, err
 		}
 		return &m, nil
 	case MsgBAForward:
@@ -609,11 +589,11 @@ func Decode(b []byte) (Message, error) {
 		m.State = rest[12]
 		return &m, nil
 	case MsgServerData:
-		p, _, err := decodePacket(rest)
-		if err != nil {
+		var m ServerData
+		if err := decodeServerData(&m, rest); err != nil {
 			return nil, err
 		}
-		return &ServerData{Inner: p}, nil
+		return &m, nil
 	case MsgReassocRelay:
 		var m ReassocRelay
 		if len(rest) < 10 {
@@ -668,4 +648,100 @@ func Decode(b []byte) (Message, error) {
 		return &m, nil
 	}
 	return nil, fmt.Errorf("packet: unknown message type %d", t)
+}
+
+func decodeDownlinkData(m *DownlinkData, rest []byte) error {
+	if len(rest) < 6 {
+		return errShort
+	}
+	copy(m.Client[:], rest[:6])
+	p, _, err := decodePacket(rest[6:])
+	if err != nil {
+		return err
+	}
+	m.Inner = p
+	return nil
+}
+
+func decodeUplinkData(m *UplinkData, rest []byte) error {
+	if len(rest) < 8 {
+		return errShort
+	}
+	m.APID = binary.BigEndian.Uint16(rest[:2])
+	copy(m.Client[:], rest[2:8])
+	p, _, err := decodePacket(rest[8:])
+	if err != nil {
+		return err
+	}
+	m.Inner = p
+	return nil
+}
+
+func decodeCSIReport(m *CSIReport, rest []byte) error {
+	if len(rest) < 16+2*rf.NumSubcarriers {
+		return errShort
+	}
+	copy(m.Client[:], rest[:6])
+	m.APID = binary.BigEndian.Uint16(rest[6:8])
+	m.Time = sim.Time(binary.BigEndian.Uint64(rest[8:16]))
+	for i := 0; i < rf.NumSubcarriers; i++ {
+		v := int16(binary.BigEndian.Uint16(rest[16+2*i : 18+2*i]))
+		m.SNRsDB[i] = float64(v) / 100
+	}
+	return nil
+}
+
+func decodeServerData(m *ServerData, rest []byte) error {
+	p, _, err := decodePacket(rest)
+	if err != nil {
+		return err
+	}
+	m.Inner = p
+	return nil
+}
+
+// DecodeBuf is an allocation-free decoder for the high-rate data-plane
+// message types (DownlinkData, UplinkData, CSIReport, ServerData): those
+// decode into scratch instances owned by the buffer, so a message
+// returned by Decode is valid only until the buffer's next Decode call —
+// a consumer that keeps one past its handler must copy the value.
+// Control-plane types fall back to the allocating package-level Decode
+// and carry no such restriction.
+type DecodeBuf struct {
+	downlink DownlinkData
+	uplink   UplinkData
+	csi      CSIReport
+	server   ServerData
+}
+
+// Decode parses one message from b, reusing the buffer's scratch for the
+// data-plane types.
+func (d *DecodeBuf) Decode(b []byte) (Message, error) {
+	if len(b) < 1 {
+		return nil, errShort
+	}
+	rest := b[1:]
+	switch MsgType(b[0]) {
+	case MsgDownlinkData:
+		if err := decodeDownlinkData(&d.downlink, rest); err != nil {
+			return nil, err
+		}
+		return &d.downlink, nil
+	case MsgUplinkData:
+		if err := decodeUplinkData(&d.uplink, rest); err != nil {
+			return nil, err
+		}
+		return &d.uplink, nil
+	case MsgCSIReport:
+		if err := decodeCSIReport(&d.csi, rest); err != nil {
+			return nil, err
+		}
+		return &d.csi, nil
+	case MsgServerData:
+		if err := decodeServerData(&d.server, rest); err != nil {
+			return nil, err
+		}
+		return &d.server, nil
+	}
+	return Decode(b)
 }

@@ -36,6 +36,29 @@ type Cyclic struct {
 	// kept inline (no telemetry handles) so the package stays leaf;
 	// the AP layer reads deltas around protocol steps.
 	Stats CyclicStats
+
+	// free recycles slot cells: a buffer that cycles at steady state
+	// (insert, pop, insert, ...) allocates a cell only up to its
+	// high-water occupancy instead of once per insert.
+	free []*packet.Packet
+}
+
+// put stores p in a recycled (or fresh) cell.
+func (c *Cyclic) put(p packet.Packet) *packet.Packet {
+	if n := len(c.free); n > 0 {
+		cell := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*cell = p
+		return cell
+	}
+	cp := p
+	return &cp
+}
+
+// release returns a vacated cell to the free list.
+func (c *Cyclic) release(cell *packet.Packet) {
+	c.free = append(c.free, cell)
 }
 
 // CyclicStats are lifetime event counts for one Cyclic buffer.
@@ -79,12 +102,13 @@ func (c *Cyclic) Insert(p packet.Packet) {
 			c.Clear()
 		}
 	}
-	if c.slots[idx] == nil {
+	if old := c.slots[idx]; old == nil {
 		c.count++
+	} else {
+		c.release(old)
 	}
 	c.Stats.Inserts++
-	cp := p
-	c.slots[idx] = &cp
+	c.slots[idx] = c.put(p)
 	if c.empty {
 		c.head, c.tail = idx, (idx+1)&(packet.IndexMod-1)
 		c.empty = false
@@ -144,7 +168,8 @@ func (c *Cyclic) SetHead(k uint16) {
 		if IndexDist(c.head, k) <= 0 {
 			break
 		}
-		if c.slots[c.head] != nil {
+		if cell := c.slots[c.head]; cell != nil {
+			c.release(cell)
 			c.slots[c.head] = nil
 			c.count--
 			c.Stats.Flushed++
@@ -165,11 +190,13 @@ func (c *Cyclic) Pop() (packet.Packet, bool) {
 		return packet.Packet{}, false
 	}
 	for c.head != c.tail {
-		if p := c.slots[c.head]; p != nil {
+		if cell := c.slots[c.head]; cell != nil {
+			p := *cell
+			c.release(cell)
 			c.slots[c.head] = nil
 			c.count--
 			c.head = (c.head + 1) & (packet.IndexMod - 1)
-			return *p, true
+			return p, true
 		}
 		c.head = (c.head + 1) & (packet.IndexMod - 1)
 	}
@@ -200,7 +227,10 @@ func (c *Cyclic) Len() int { return c.count }
 
 // Clear empties the buffer (client de-association).
 func (c *Cyclic) Clear() {
-	for i := range c.slots {
+	for i, cell := range c.slots {
+		if cell != nil {
+			c.release(cell)
+		}
 		c.slots[i] = nil
 	}
 	c.count = 0

@@ -5,8 +5,14 @@ package queue
 // hardware queue, whose contents AP1 still drains onto the air after
 // receiving stop(c) (the ~6 ms the paper accepts as minimal capacity
 // loss) — and the backhaul interface queues.
+//
+// Internally the buffer is a slice plus a head cursor: Pop advances the
+// cursor instead of re-slicing the backing array away, so a queue that
+// drains as fast as it fills reuses one allocation forever instead of
+// forcing append to grow a fresh array every few pushes.
 type FIFO[T any] struct {
 	items []T
+	head  int
 	cap   int
 	drops int
 }
@@ -19,7 +25,7 @@ func NewFIFO[T any](capacity int) *FIFO[T] {
 
 // Push appends v. It reports false (and counts a tail drop) when full.
 func (f *FIFO[T]) Push(v T) bool {
-	if f.cap > 0 && len(f.items) >= f.cap {
+	if f.cap > 0 && f.Len() >= f.cap {
 		f.drops++
 		return false
 	}
@@ -30,26 +36,40 @@ func (f *FIFO[T]) Push(v T) bool {
 // Pop removes and returns the oldest item.
 func (f *FIFO[T]) Pop() (T, bool) {
 	var zero T
-	if len(f.items) == 0 {
+	if f.head >= len(f.items) {
 		return zero, false
 	}
-	v := f.items[0]
-	f.items[0] = zero
-	f.items = f.items[1:]
+	v := f.items[f.head]
+	f.items[f.head] = zero
+	f.head++
+	if f.head == len(f.items) {
+		// Empty: rewind so append reuses the backing array from the top.
+		f.items = f.items[:0]
+		f.head = 0
+	} else if f.head >= 1024 && f.head*2 >= len(f.items) {
+		// A queue that never fully drains still must not let the dead
+		// prefix grow without bound; compact once it dominates.
+		n := copy(f.items, f.items[f.head:])
+		for i := n; i < len(f.items); i++ {
+			f.items[i] = zero
+		}
+		f.items = f.items[:n]
+		f.head = 0
+	}
 	return v, true
 }
 
 // Peek returns the oldest item without removing it.
 func (f *FIFO[T]) Peek() (T, bool) {
 	var zero T
-	if len(f.items) == 0 {
+	if f.head >= len(f.items) {
 		return zero, false
 	}
-	return f.items[0], true
+	return f.items[f.head], true
 }
 
 // Len returns the number of queued items.
-func (f *FIFO[T]) Len() int { return len(f.items) }
+func (f *FIFO[T]) Len() int { return len(f.items) - f.head }
 
 // Cap returns the capacity (0 = unbounded).
 func (f *FIFO[T]) Cap() int { return f.cap }
@@ -63,7 +83,7 @@ func (f *FIFO[T]) Drops() int { return f.drops }
 func (f *FIFO[T]) Filter(keep func(T) bool) int {
 	out := f.items[:0]
 	removed := 0
-	for _, v := range f.items {
+	for _, v := range f.items[f.head:] {
 		if keep(v) {
 			out = append(out, v)
 		} else {
@@ -76,6 +96,7 @@ func (f *FIFO[T]) Filter(keep func(T) bool) int {
 		f.items[i] = zero
 	}
 	f.items = out
+	f.head = 0
 	return removed
 }
 
@@ -86,4 +107,5 @@ func (f *FIFO[T]) Clear() {
 		f.items[i] = zero
 	}
 	f.items = f.items[:0]
+	f.head = 0
 }

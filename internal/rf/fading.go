@@ -225,3 +225,36 @@ func (f *Fader) PowerDB(pos Position) float64 {
 	}
 	return 10 * math.Log10(sum/NumSubcarriers)
 }
+
+// MaxFadeDB returns an analytic upper bound (dB) on the per-subcarrier
+// fading gain any Fader built from p can produce, over all positions,
+// phases, and realizations. Per tap, the scattered sum of N unit phasors
+// is at most N·scatterAmpl in magnitude and the LOS component adds its
+// amplitude; |H_i| is at most the sum of the per-tap bounds. The bound is
+// what licenses the audibility prefilter: large-scale SNR plus MaxFadeDB
+// below the detect threshold ⇒ every subcarrier is below it too.
+func MaxFadeDB(p FadingParams) float64 {
+	if p.NumTaps < 1 {
+		p.NumTaps = 1
+	}
+	if p.NumWaves < 1 {
+		p.NumWaves = 1
+	}
+	// Mirror NewFader's power normalization exactly.
+	powers := make([]float64, p.NumTaps)
+	total := 0.0
+	for l := range powers {
+		powers[l] = math.Pow(10, -p.DecayDB*float64(l)/10)
+		total += powers[l]
+	}
+	sum := 0.0
+	for l := range powers {
+		ampl := math.Sqrt(powers[l] / total)
+		k := 0.0
+		if l == 0 {
+			k = p.RicianK
+		}
+		sum += ampl * (math.Sqrt(float64(p.NumWaves)/(k+1)) + math.Sqrt(k/(k+1)))
+	}
+	return 20 * math.Log10(sum)
+}

@@ -44,6 +44,12 @@ func DefaultParams() Params {
 	}
 }
 
+// MaxShadowDB returns the largest magnitude (dB) the shadowing process
+// can reach: every sinusoid component at its peak simultaneously.
+func (p Params) MaxShadowDB() float64 {
+	return p.ShadowSigmaDB * math.Sqrt(2*shadowComps)
+}
+
 // shadowing is a smooth, spatially-correlated log-normal process over the
 // client position, built from a small sum of long-wavelength sinusoids.
 // Unlike per-sample Gaussian draws it is continuous in position, so a car
@@ -57,8 +63,12 @@ type shadowing struct {
 	norm  float64
 }
 
+// shadowComps is the number of sinusoid components in the shadowing
+// process; it bounds the process at ±sigma·√(2·shadowComps) dB.
+const shadowComps = 8
+
 func newShadowing(sigmaDB, corrDistM float64, rng *sim.RNG) *shadowing {
-	const comps = 8
+	const comps = shadowComps
 	s := &shadowing{sigma: sigmaDB, norm: math.Sqrt(2.0 / comps)}
 	if sigmaDB == 0 {
 		return s

@@ -8,12 +8,21 @@ import (
 // Event is a callback scheduled to fire at a virtual time. Events with the
 // same firing time execute in scheduling order, which keeps runs
 // deterministic regardless of heap internals.
+//
+// Events returned by At/After are recycled onto a per-loop free list as
+// soon as their callback returns, so a handle must not be used (Cancel,
+// Canceled, When) after the event has fired — by then the same *Event may
+// already carry an unrelated pending callback. Callers that need a handle
+// which stays inert after firing (so an unconditional late Cancel is a
+// no-op rather than a stray cancellation) schedule with AtKeep.
 type Event struct {
 	when Time
 	seq  uint64
 	fn   func()
 	// index is the event's position in the heap, or -1 once fired/canceled.
 	index int
+	// keep marks events excluded from free-list recycling (AtKeep).
+	keep bool
 }
 
 // Canceled reports whether the event has been canceled or already fired.
@@ -72,6 +81,9 @@ type Loop struct {
 	// int64: sim must not depend on the telemetry layer, which reads
 	// this through Executed as a loop-occupancy gauge.
 	executed int64
+	// free is the Event free list: fired events (minus AtKeep ones) are
+	// recycled here so a steady event stream costs no allocation.
+	free []*Event
 }
 
 // checkOwner panics if the caller is scheduling against a Loop that is
@@ -105,9 +117,28 @@ func (l *Loop) At(t Time, fn func()) *Event {
 	if t < l.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
 	}
-	e := &Event{when: t, seq: l.nextSeq, fn: fn}
+	var e *Event
+	if n := len(l.free); n > 0 {
+		e = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		e.when, e.fn, e.keep = t, fn, false
+	} else {
+		e = &Event{when: t, fn: fn}
+	}
+	e.seq = l.nextSeq
 	l.nextSeq++
 	heap.Push(&l.events, e)
+	return e
+}
+
+// AtKeep is At for callers that keep the returned handle past the firing
+// time: the event is never recycled, so a stale Cancel stays the
+// documented no-op instead of hitting a reused Event. Off the hot path
+// (client-side migration-safe timers); everything else uses At.
+func (l *Loop) AtKeep(t Time, fn func()) *Event {
+	e := l.At(t, fn)
+	e.keep = true
 	return e
 }
 
@@ -149,6 +180,12 @@ func (l *Loop) Run(until Time) {
 		l.now = next.when
 		l.executed++
 		next.fn()
+		// Recycle after fn returns: a self-Cancel inside fn saw index
+		// -1 and no-oped, so nothing still treats next as pending.
+		if !next.keep {
+			next.fn = nil
+			l.free = append(l.free, next)
+		}
 	}
 	if l.now < until {
 		l.now = until

@@ -52,6 +52,9 @@ type UDPSource struct {
 	ipid    uint16
 	running bool
 	ev      *sim.Event
+	// emitFn caches the emit method value so each rescheduling does not
+	// allocate a fresh closure.
+	emitFn func()
 
 	Sent int
 }
@@ -80,6 +83,9 @@ func (u *UDPSource) Start() {
 		return
 	}
 	u.running = true
+	if u.emitFn == nil {
+		u.emitFn = u.emit
+	}
 	u.emit()
 }
 
@@ -106,7 +112,7 @@ func (u *UDPSource) emit() {
 	u.seq++
 	u.Sent++
 	u.out(p)
-	u.ev = u.sched.After(u.interval, u.emit)
+	u.ev = u.sched.After(u.interval, u.emitFn)
 }
 
 // UDPSink counts received datagrams and estimates loss from sequence

@@ -1,0 +1,23 @@
+package wgtt
+
+import "testing"
+
+// TestScaleCellDeterministic pins the scale grid's regression contract:
+// a cell's per-flow goodput is a pure function of the seed, so the CI
+// compare against BENCH_scale.json can demand exact Mbps equality.
+func TestScaleCellDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 1 s two-segment rides")
+	}
+	a := RunScaleCell(1, 2, 4, 1*Second)
+	b := RunScaleCell(1, 2, 4, 1*Second)
+	if a.Mbps != b.Mbps {
+		t.Errorf("same seed, different goodput: %v vs %v", a.Mbps, b.Mbps)
+	}
+	if a.Mbps <= 0 {
+		t.Errorf("no goodput in scale cell: %+v", a)
+	}
+	if a.Flows != 4 || a.Clients != 4 || a.Segments != 2 {
+		t.Errorf("cell shape wrong: %+v", a)
+	}
+}

@@ -62,3 +62,17 @@ awk '
         if (met > base * 1.05) { print "telemetry overhead exceeds 5% budget"; exit 1 }
     }' "$bench_out"
 rm -f "$bench_out"
+
+# Datapath allocation gate: the drive-by and 24-segment corridor
+# benchmarks must stay within 10% of the allocs/op budgets pinned in
+# BENCH_baseline.json. Regenerate the baseline (see README) when a
+# change legitimately moves the budget.
+go test -run=NONE -bench '^BenchmarkMeanPerClientMbps$|^BenchmarkCorridorParallel$' \
+    -benchtime=3x -benchmem . | go run ./cmd/wgtt-benchjson -gate BENCH_baseline.json
+
+# Scale-grid gate: re-ride the small cells of the city-scale grid and
+# hold them to the checked-in BENCH_scale.json — per-flow Mbps is
+# seed-deterministic and must match exactly; allocation counts get 30%
+# slack. The full grid (24 segments x 1024 clients) is regenerated
+# manually: go run ./cmd/wgtt-benchjson -scale > BENCH_scale.json
+go run ./cmd/wgtt-benchjson -scale -compare BENCH_scale.json -segments 1,8 -clients 2,64
