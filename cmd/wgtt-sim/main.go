@@ -117,6 +117,10 @@ func main() {
 
 		parallelSegments = flag.Bool("parallel-segments", false,
 			"run each road segment as its own parallel event-loop domain (multi-segment WGTT, udp/tcp/conference workloads)")
+		channelName = flag.String("channel", "",
+			"channel-model backend: wifi5g (default) | mmwave60g")
+		boundaryInterference = flag.Bool("boundary-interference", false,
+			"exchange boundary-zone co-channel interference between adjacent segment domains (needs -parallel-segments and >= 2 segments)")
 
 		fed = flag.Bool("federation", false,
 			"enable the cross-segment federation layer (ownership directory, multi-hop routing, re-locate protocol)")
@@ -178,6 +182,8 @@ func main() {
 		}
 		cfg.Domains = wgtt.DomainsParallel
 	}
+	cfg.ChannelBackend = *channelName
+	cfg.BoundaryInterference = *boundaryInterference
 	if *ringTrunk {
 		*fed = true
 		cfg.Federation.Ring = true

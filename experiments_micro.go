@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"wgtt/internal/channel"
 	"wgtt/internal/csi"
 	"wgtt/internal/phy"
 	"wgtt/internal/rf"
@@ -169,10 +170,14 @@ func Fig10ESNRHeatmap(opt Options) Fig10Result {
 	for y := -4.0; y <= 4.0; y += 1.0 {
 		r.Ys = append(r.Ys, y)
 	}
+	model, err := cfg.ChannelModel()
+	if err != nil {
+		panic(err)
+	}
 	rng := sim.NewRNG(cfg.Seed)
-	links := make([]*rf.Link, cfg.NumAPs)
+	links := make([]channel.Link, cfg.NumAPs)
 	for ap := 0; ap < cfg.NumAPs; ap++ {
-		links[ap] = rf.NewLink(cfg.RF, cfg.APPosition(ap), rf.DefaultParabolic(-90), rf.Omni{}, rng.Fork(fmt.Sprint("hm", ap)))
+		links[ap] = model.NewLink(cfg.APPosition(ap), rng.Fork(fmt.Sprint("hm", ap)))
 		links[ap].DisableFading()
 	}
 	covered := make([][2]float64, cfg.NumAPs) // per AP: [min,max] x with ESNR≥10 at y=0
@@ -184,7 +189,7 @@ func Fig10ESNRHeatmap(opt Options) Fig10Result {
 		for _, y := range r.Ys {
 			var row []float64
 			for _, x := range r.Xs {
-				e := links[ap].MeanSNRdB(rf.Position{X: x, Y: y})
+				e := links[ap].MeanSNRdB(0, rf.Position{X: x, Y: y})
 				row = append(row, e)
 				if y == 0 && e >= 10 {
 					if x < covered[ap][0] {

@@ -173,6 +173,12 @@ func Experiments() []Experiment {
 			Desc: "federated 4-segment ring corridor under trunk faults (U-turn + outage recovery)",
 			Run:  func(o Options) fmt.Stringer { return CorridorFederated(o) },
 		},
+		{
+			Name: "corridor-mmwave",
+			Tags: []string{"micro"},
+			Desc: "3-segment 60 GHz picocell corridor (steered beams, blockage) with handoff-rate telemetry",
+			Run:  func(o Options) fmt.Stringer { return CorridorMMWave(o) },
+		},
 	}
 }
 

@@ -48,6 +48,9 @@ type Config struct {
 	// ESNR instead of starting from priors. Off by default (the paper
 	// runs stock rate control).
 	SeedRatesFromCSI bool
+	// Rates is the PHY rate table the AP transmits with; nil means the
+	// default 802.11n ladder. Core fills it from the channel backend.
+	Rates *phy.Table
 }
 
 // DefaultConfig returns the testbed AP tuning. IoctlDelay is set so the
@@ -147,6 +150,7 @@ type AP struct {
 // New creates an AP at the given roadside position and attaches it to the
 // medium and backhaul.
 func New(id uint16, pos rf.Position, loop *sim.Loop, medium *mac.Medium, bh *backhaul.Net, self backhaul.NodeID, fabric Fabric, cfg Config, rng *sim.RNG) *AP {
+	cfg.Rates = cfg.Rates.OrDefault()
 	a := &AP{
 		ID:      id,
 		Addr:    packet.APMAC(int(id)),
@@ -260,7 +264,7 @@ func (a *AP) stateFor(addr packet.MAC) *clientState {
 			addr:   addr,
 			cyclic: queue.NewCyclic(),
 			agg:    mac.NewAggregator(),
-			rates:  phy.NewMinstrel(a.rng.Fork("minstrel" + addr.String())),
+			rates:  phy.NewMinstrelFor(a.cfg.Rates, a.rng.Fork("minstrel"+addr.String())),
 		}
 		a.clients[addr] = cs
 		a.order = append(a.order, addr)
@@ -609,7 +613,7 @@ func (a *AP) onUplinkData(t *mac.Transmission, det mac.Detection) {
 		bat.Tx = a.node
 		bat.Dst = dst
 		bat.Type = mac.FrameBlockAck
-		bat.Rate = phy.BasicRate
+		bat.Rate = a.cfg.Rates.Basic
 		bat.BA = ba
 		a.medium.Transmit(bat)
 	})

@@ -31,6 +31,10 @@ type Config struct {
 	UplinkQueueCap int
 	// BAWaitMargin pads the block-ACK wait beyond SIFS+BA airtime.
 	BAWaitMargin sim.Duration
+	// Rates is the PHY rate table the client transmits with; nil means
+	// the default 802.11n ladder. Core fills it from the channel
+	// backend.
+	Rates *phy.Table
 }
 
 // DefaultConfig returns the standard client tuning.
@@ -126,6 +130,7 @@ type awaitBA struct {
 
 // New creates a client and registers its radio on the medium.
 func New(id int, loop *sim.Loop, medium *mac.Medium, traj mobility.Trajectory, cfg Config, rng *sim.RNG) *Client {
+	cfg.Rates = cfg.Rates.OrDefault()
 	c := &Client{
 		ID:         id,
 		Addr:       packet.ClientMAC(id),
@@ -137,7 +142,7 @@ func New(id int, loop *sim.Loop, medium *mac.Medium, traj mobility.Trajectory, c
 		rng:        rng,
 		upQ:        queue.NewFIFO[packet.Packet](cfg.UplinkQueueCap),
 		agg:        mac.NewAggregator(),
-		rates:      phy.NewMinstrel(rng.Fork("minstrel")),
+		rates:      phy.NewMinstrelFor(cfg.Rates, rng.Fork("minstrel")),
 		dupMAC:     make(map[dupKey]bool),
 		dupIP:      make(map[packet.DedupKey]bool),
 		AcceptFrom: func(*mac.Node) bool { return true },
@@ -414,7 +419,7 @@ func (c *Client) onDownlinkData(t *mac.Transmission, det mac.Detection) {
 			bat.Tx = node
 			bat.Dst = dst
 			bat.Type = mac.FrameBlockAck
-			bat.Rate = phy.BasicRate
+			bat.Rate = c.cfg.Rates.Basic
 			bat.BA = ba
 			medium.Transmit(bat)
 		})

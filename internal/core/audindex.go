@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"wgtt/internal/channel"
 	"wgtt/internal/mac"
 	"wgtt/internal/rf"
 	"wgtt/internal/sim"
@@ -35,11 +36,11 @@ const (
 	audFlatMarginDB = 0.5
 )
 
-// audAP is one resolved access point: static position, fixed antenna.
+// audAP is one resolved access point: static position (the antenna
+// pattern lives in the channel backend).
 type audAP struct {
 	node *mac.Node
 	pos  rf.Position
-	ant  rf.Parabolic
 }
 
 // audBucket groups clients by road position; the box bounds the members'
@@ -79,7 +80,7 @@ func newAudIndex(n *Network, loop *sim.Loop) *audIndex {
 		n:          n,
 		loop:       loop,
 		buckets:    make(map[int]*audBucket),
-		headroomDB: (&netChannel{n: n, loop: loop}).DetectHeadroomDB(),
+		headroomDB: n.model.DetectHeadroomDB(),
 	}
 }
 
@@ -120,11 +121,7 @@ func (ix *audIndex) refresh() {
 		case !ok:
 			ix.unknown = append(ix.unknown, node)
 		case ref.isAP:
-			ix.aps = append(ix.aps, audAP{
-				node: node,
-				pos:  node.Pos(),
-				ant:  rf.DefaultParabolic(apBoresightDeg),
-			})
+			ix.aps = append(ix.aps, audAP{node: node, pos: node.Pos()})
 		default:
 			pos := node.Pos()
 			key := int(math.Floor(pos.X / audBucketM))
@@ -185,22 +182,17 @@ func (ix *audIndex) MarkAudible(tx *mac.Node, bitmap []uint64) {
 // markFromAP marks every plausible receiver of an AP transmission.
 func (ix *audIndex) markFromAP(tx *mac.Node, bitmap []uint64) {
 	pos := tx.Pos()
-	ant := rf.DefaultParabolic(apBoresightDeg)
-	cfg := &ix.n.Cfg
+	model := ix.n.model
 	// AP → AP sensing is a hard range cutoff in netChannel; beyond it
 	// the flat −10 dB channel fails SubcarrierSNRs outright.
 	for _, ap := range ix.aps {
-		if pos.Distance(ap.pos) <= cfg.APAPSenseRangeM {
+		if pos.Distance(ap.pos) <= ix.n.Cfg.APAPSenseRangeM {
 			markBit(bitmap, ap.node)
 		}
 	}
 	// AP → client: bound the large-scale SNR over the bucket box.
 	for _, b := range ix.buckets {
-		d := math.Max(1, boxDistance(pos, b))
-		gain := maxGainToBox(ant, pos, b)
-		bound := cfg.RF.TxPowerDBm + gain -
-			(cfg.RF.RefLossDB + 10*cfg.RF.PathLossExp*math.Log10(d)) -
-			cfg.RF.SystemLossDB + cfg.RF.MaxShadowDB() - cfg.RF.NoiseDBm
+		bound := model.MaxSNRAPToBoxDB(pos, boxOf(b))
 		if bound+ix.headroomDB >= mac.DetectThresholdDB {
 			for _, n := range b.nodes {
 				markBit(bitmap, n)
@@ -214,14 +206,10 @@ func (ix *audIndex) markFromAP(tx *mac.Node, bitmap []uint64) {
 // evaluates the channel — so only the receiving buckets carry slop.
 func (ix *audIndex) markFromClient(tx *mac.Node, bitmap []uint64) {
 	pos := tx.Pos()
-	cfg := &ix.n.Cfg
+	model := ix.n.model
 	// Client → AP: reciprocal of the downlink budget, exact positions.
 	for _, ap := range ix.aps {
-		d := math.Max(1, ap.pos.Distance(pos))
-		gain := ap.ant.GainDB(ap.pos.AngleTo(pos))
-		bound := cfg.RF.TxPowerDBm + gain -
-			(cfg.RF.RefLossDB + 10*cfg.RF.PathLossExp*math.Log10(d)) -
-			cfg.RF.SystemLossDB + cfg.RF.MaxShadowDB() - cfg.RF.NoiseDBm
+		bound := model.MaxSNRClientToAPDB(pos, ap.pos)
 		if bound+ix.headroomDB >= mac.DetectThresholdDB {
 			markBit(bitmap, ap.node)
 		}
@@ -230,16 +218,19 @@ func (ix *audIndex) markFromClient(tx *mac.Node, bitmap []uint64) {
 	// bucket's nearest point; no fading, so no headroom term — just an
 	// interpolation-error margin on the detect threshold.
 	for _, b := range ix.buckets {
-		d := math.Max(1, boxDistance(pos, b))
-		snr := cfg.RF.TxPowerDBm -
-			(cfg.RF.RefLossDB + 10*cfg.RF.PathLossExp*math.Log10(d)) -
-			cfg.ClientClientLossDB - cfg.RF.NoiseDBm
+		snr := model.ClientClientSNRdB(boxDistance(pos, b))
 		if snr >= mac.DetectThresholdDB-audFlatMarginDB {
 			for _, n := range b.nodes {
 				markBit(bitmap, n)
 			}
 		}
 	}
+}
+
+// boxOf converts a bucket's (already slop-expanded) bounds to the
+// backend's box geometry.
+func boxOf(b *audBucket) channel.Box {
+	return channel.Box{MinX: b.minX, MaxX: b.maxX, MinY: b.minY, MaxY: b.maxY}
 }
 
 // markBit sets the node's seq bit in the medium's candidate bitmap.
@@ -256,46 +247,4 @@ func boxDistance(p rf.Position, b *audBucket) float64 {
 	dx := math.Max(0, math.Max(b.minX-p.X, p.X-b.maxX))
 	dy := math.Max(0, math.Max(b.minY-p.Y, p.Y-b.maxY))
 	return math.Hypot(dx, dy)
-}
-
-// maxGainToBox bounds the AP antenna gain toward any point of the box.
-// The bearing set toward a convex box is the interval spanned by the
-// corner bearings; Parabolic gain decreases monotonically with the
-// off-boresight angle, so the max is attained at a corner bearing or at
-// boresight itself when the boresight ray enters the box.
-func maxGainToBox(ant rf.Parabolic, p rf.Position, b *audBucket) float64 {
-	inside := p.X >= b.minX && p.X <= b.maxX && p.Y >= b.minY && p.Y <= b.maxY
-	if inside || boresightHitsBox(ant, p, b) {
-		return ant.PeakGain
-	}
-	g := ant.GainDB(p.AngleTo(rf.Position{X: b.minX, Y: b.minY}))
-	g = math.Max(g, ant.GainDB(p.AngleTo(rf.Position{X: b.minX, Y: b.maxY})))
-	g = math.Max(g, ant.GainDB(p.AngleTo(rf.Position{X: b.maxX, Y: b.minY})))
-	g = math.Max(g, ant.GainDB(p.AngleTo(rf.Position{X: b.maxX, Y: b.maxY})))
-	return g
-}
-
-// boresightHitsBox reports whether the ray from p along the antenna
-// boresight intersects the box (a standard slab test).
-func boresightHitsBox(ant rf.Parabolic, p rf.Position, b *audBucket) bool {
-	rad := ant.BoresightDeg * math.Pi / 180
-	dx, dy := math.Cos(rad), math.Sin(rad)
-	tmin, tmax := 0.0, math.Inf(1)
-	for _, s := range [2][3]float64{{dx, b.minX - p.X, b.maxX - p.X},
-		{dy, b.minY - p.Y, b.maxY - p.Y}} {
-		d, lo, hi := s[0], s[1], s[2]
-		if math.Abs(d) < 1e-12 {
-			if lo > 0 || hi < 0 {
-				return false
-			}
-			continue
-		}
-		t0, t1 := lo/d, hi/d
-		if t0 > t1 {
-			t0, t1 = t1, t0
-		}
-		tmin = math.Max(tmin, t0)
-		tmax = math.Min(tmax, t1)
-	}
-	return tmin <= tmax
 }

@@ -12,6 +12,7 @@ import (
 	"wgtt/internal/ap"
 	"wgtt/internal/backhaul"
 	"wgtt/internal/baseline"
+	"wgtt/internal/channel"
 	"wgtt/internal/client"
 	"wgtt/internal/controller"
 	"wgtt/internal/deploy"
@@ -129,6 +130,25 @@ type Config struct {
 	// it and always take the exact serial path. See DomainMode.
 	Domains DomainMode
 
+	// ChannelBackend selects the propagation/PHY model: "" or "wifi5g"
+	// is the paper's 2.4/5 GHz roadside model (the bit-identical
+	// default); "mmwave60g" the 60 GHz picocell model. See
+	// internal/channel.
+	ChannelBackend string
+
+	// MMWave tunes the mmwave60g backend; ignored by wifi5g.
+	MMWave channel.MMWaveParams
+
+	// BoundaryInterference, in domain mode, exchanges boundary-zone
+	// transmissions between adjacent segment domains so co-channel
+	// interference at segment edges degrades SNR on both sides —
+	// physics the medium partition otherwise drops. Off by default:
+	// the domain-mode pins were recorded without it.
+	BoundaryInterference bool
+	// BoundaryZoneM is how far from a segment edge a transmitter must
+	// be for its PPDUs to be exported to the neighbouring domain.
+	BoundaryZoneM float64
+
 	RF         rf.Params
 	AP         ap.Config
 	Controller controller.Config
@@ -175,6 +195,7 @@ func DefaultConfig(scheme Scheme) Config {
 		APSetback:  18,
 		FirstAPX:   0,
 		RF:         rf.DefaultParams(),
+		MMWave:     channel.DefaultMMWaveParams(),
 		AP:         ap.DefaultConfig(),
 		Controller: controller.DefaultConfig(),
 		BaselineAP: baseline.DefaultAPConfig(),
@@ -186,6 +207,8 @@ func DefaultConfig(scheme Scheme) Config {
 		ClientClientLossDB: 20,
 		APAPSenseSNRdB:     20,
 		APAPSenseRangeM:    60,
+
+		BoundaryZoneM: 40,
 	}
 	if scheme == Stock80211r {
 		cfg.Roamer = baseline.Stock11rConfig()
@@ -220,6 +243,25 @@ func (c *Config) Validate() error {
 	if c.RF.FreqHz <= 0 || c.RF.NoiseDBm >= 0 {
 		return fmt.Errorf("core: RF params look unset (FreqHz %g, NoiseDBm %g); start from rf.DefaultParams",
 			c.RF.FreqHz, c.RF.NoiseDBm)
+	}
+	if !channel.Known(c.ChannelBackend) {
+		return fmt.Errorf("core: unknown channel backend %q (have %v)",
+			c.ChannelBackend, channel.Names())
+	}
+	if c.ChannelBackend != "" && c.ChannelBackend != channel.DefaultBackend && c.Scheme != WGTT {
+		return fmt.Errorf("core: channel backend %q requires the WGTT scheme (the baselines model the 2.4 GHz testbed)",
+			c.ChannelBackend)
+	}
+	if c.BoundaryInterference {
+		if c.Domains == SingleLoop {
+			return fmt.Errorf("core: BoundaryInterference needs domain mode (the single loop already shares one medium)")
+		}
+		if len(c.segmentGeoms()) < 2 {
+			return fmt.Errorf("core: BoundaryInterference needs at least 2 segments")
+		}
+		if c.BoundaryZoneM <= 0 {
+			return fmt.Errorf("core: BoundaryInterference needs a positive BoundaryZoneM, got %g", c.BoundaryZoneM)
+		}
 	}
 	if c.Domains != SingleLoop && len(c.Segments) > 1 {
 		if c.Scheme != WGTT {
@@ -259,6 +301,17 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: Federation.Ring/ExtraTrunks set but Federation.Enabled is false")
 	}
 	return nil
+}
+
+// ChannelModel instantiates the configured channel backend (experiments
+// that sample links standalone use it; NewNetwork builds its own).
+func (c *Config) ChannelModel() (channel.Model, error) {
+	return channel.New(c.ChannelBackend, channel.ModelConfig{
+		RF:                 c.RF,
+		MMWave:             c.MMWave,
+		BoresightDeg:       apBoresightDeg,
+		ClientClientLossDB: c.ClientClientLossDB,
+	})
 }
 
 // segmentGeoms resolves the deployment's per-segment geometry; an empty

@@ -7,6 +7,7 @@ import (
 	"wgtt/internal/ap"
 	"wgtt/internal/backhaul"
 	"wgtt/internal/baseline"
+	"wgtt/internal/channel"
 	"wgtt/internal/client"
 	"wgtt/internal/controller"
 	"wgtt/internal/csi"
@@ -68,12 +69,15 @@ type Network struct {
 
 	rng        *sim.RNG
 	serverIPID uint16
+	// model is the channel-model backend (Config.ChannelBackend); all
+	// propagation, CSI synthesis, and the MCS ladder come from it.
+	model channel.Model
 	// sdOut is the reusable server-data shell for the single-loop
 	// SendFromServer path (Send serializes synchronously).
 	sdOut   packet.ServerData
 	apNodes []*mac.Node
 	// links[clientID][apIdx] is the radio channel realization.
-	links       [][]*rf.Link
+	links       [][]channel.Link
 	nodeKind    map[*mac.Node]nodeRef
 	serverDemux map[uint16]func(packet.Packet)
 	// Wired-server routing and de-duplication across segments.
@@ -108,8 +112,12 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	model, err := buildModel(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Domains != SingleLoop && len(cfg.segmentGeoms()) > 1 {
-		return newDomainNetwork(cfg)
+		return newDomainNetwork(cfg, model)
 	}
 	loop := sim.NewLoop()
 	rng := sim.NewRNG(cfg.Seed)
@@ -117,6 +125,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		Cfg:         cfg,
 		Loop:        loop,
 		rng:         rng,
+		model:       model,
 		nodeKind:    make(map[*mac.Node]nodeRef),
 		serverDemux: make(map[uint16]func(packet.Packet)),
 		route:       make(map[packet.IP]int),
@@ -185,6 +194,27 @@ func NewNetwork(cfg Config) (*Network, error) {
 	return n, nil
 }
 
+// buildModel instantiates the configured channel backend and fills the
+// plane configs' rate tables from it when the caller left them nil, so
+// APs and clients transmit with the backend's MCS ladder.
+func buildModel(cfg *Config) (channel.Model, error) {
+	m, err := cfg.ChannelModel()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.AP.Rates == nil {
+		cfg.AP.Rates = m.Rates()
+	}
+	if cfg.Client.Rates == nil {
+		cfg.Client.Rates = m.Rates()
+	}
+	return m, nil
+}
+
+// Model exposes the active channel backend (experiments sample it for
+// heatmaps and diagnostics).
+func (n *Network) Model() channel.Model { return n.model }
+
 // MustNewNetwork is NewNetwork for callers holding an
 // already-validated configuration; it panics on error.
 func MustNewNetwork(cfg Config) *Network {
@@ -245,11 +275,9 @@ func (n *Network) AddClient(traj mobility.Trajectory) *Client {
 
 	// Per-AP radio links for this client, in global AP order.
 	total := n.TotalAPs()
-	row := make([]*rf.Link, total)
+	row := make([]channel.Link, total)
 	for i := 0; i < total; i++ {
-		row[i] = rf.NewLink(n.Cfg.RF, n.Cfg.APPosition(i),
-			rf.DefaultParabolic(apBoresightDeg),
-			rf.Omni{},
+		row[i] = n.model.NewLink(n.Cfg.APPosition(i),
 			n.rng.Fork(fmt.Sprintf("link-%d-%d", i, id)))
 	}
 	n.links = append(n.links, nil) // placeholder, replaced below
@@ -391,8 +419,9 @@ func (n *Network) ServingAP(clientID int) int {
 // comparisons (Table 2) and the Fig. 2 traces.
 func (n *Network) LinkESNRdB(apIdx, clientID int) float64 {
 	var snrs [rf.NumSubcarriers]float64
-	pos := n.Clients[clientID].Traj.Pos(n.Loop.Now())
-	n.links[clientID][apIdx].SubcarrierSNRsDB(pos, snrs[:])
+	now := n.Loop.Now()
+	pos := n.Clients[clientID].Traj.Pos(now)
+	n.links[clientID][apIdx].SubcarrierSNRsDB(now, pos, snrs[:])
 	return csi.EffectiveSNRdB(snrs[:], csi.RefModulation)
 }
 
@@ -428,13 +457,15 @@ func (nc *netChannel) SubcarrierSNRs(tx, rx *mac.Node, dst []float64) bool {
 	switch {
 	case tref.isAP && !rref.isAP:
 		// Downlink: AP → client.
-		pos := n.Clients[rref.idx].Traj.Pos(nc.loop.Now())
-		n.links[rref.idx][tref.idx].SubcarrierSNRsDB(pos, dst)
+		now := nc.loop.Now()
+		pos := n.Clients[rref.idx].Traj.Pos(now)
+		n.links[rref.idx][tref.idx].SubcarrierSNRsDB(now, pos, dst)
 		return true
 	case !tref.isAP && rref.isAP:
 		// Uplink: reciprocal channel.
-		pos := n.Clients[tref.idx].Traj.Pos(nc.loop.Now())
-		n.links[tref.idx][rref.idx].SubcarrierSNRsDB(pos, dst)
+		now := nc.loop.Now()
+		pos := n.Clients[tref.idx].Traj.Pos(now)
+		n.links[tref.idx][rref.idx].SubcarrierSNRsDB(now, pos, dst)
 		return true
 	case !tref.isAP && !rref.isAP:
 		snr := nc.clientClientSNR(tref.idx, rref.idx)
@@ -469,11 +500,13 @@ func (nc *netChannel) SenseSNRdB(tx, rx *mac.Node) float64 {
 	}
 	switch {
 	case tref.isAP && !rref.isAP:
-		pos := n.Clients[rref.idx].Traj.Pos(nc.loop.Now())
-		return n.links[rref.idx][tref.idx].MeanSNRdB(pos)
+		now := nc.loop.Now()
+		pos := n.Clients[rref.idx].Traj.Pos(now)
+		return n.links[rref.idx][tref.idx].MeanSNRdB(now, pos)
 	case !tref.isAP && rref.isAP:
-		pos := n.Clients[tref.idx].Traj.Pos(nc.loop.Now())
-		return n.links[tref.idx][rref.idx].MeanSNRdB(pos)
+		now := nc.loop.Now()
+		pos := n.Clients[tref.idx].Traj.Pos(now)
+		return n.links[tref.idx][rref.idx].MeanSNRdB(now, pos)
 	case !tref.isAP && !rref.isAP:
 		return nc.clientClientSNR(tref.idx, rref.idx)
 	default:
@@ -486,24 +519,18 @@ func (nc *netChannel) SenseSNRdB(tx, rx *mac.Node) float64 {
 	}
 }
 
-// DetectHeadroomDB implements mac.DetectHeadroomer: the analytic bound on
-// constructive fast fading for this deployment's multipath profile, plus
-// a margin covering the ESNR table's interpolation error. It licenses the
-// medium's cheap large-scale rejection of implausible receivers.
+// DetectHeadroomDB implements mac.DetectHeadroomer by delegating to the
+// backend's analytic constructive-fading bound. It licenses the medium's
+// cheap large-scale rejection of implausible receivers.
 func (nc *netChannel) DetectHeadroomDB() float64 {
-	return rf.MaxFadeDB(nc.n.Cfg.RF.Fading) + 0.2
+	return nc.n.model.DetectHeadroomDB()
 }
 
-// clientClientSNR is the vehicle-to-vehicle budget: omni antennas, double
-// in-vehicle penetration, log-distance path loss.
+// clientClientSNR is the vehicle-to-vehicle budget (the backend's flat
+// client↔client path).
 func (nc *netChannel) clientClientSNR(a, b int) float64 {
 	n := nc.n
 	pa := n.Clients[a].Traj.Pos(nc.loop.Now())
 	pb := n.Clients[b].Traj.Pos(nc.loop.Now())
-	d := pa.Distance(pb)
-	if d < 1 {
-		d = 1
-	}
-	pl := n.Cfg.RF.RefLossDB + 10*n.Cfg.RF.PathLossExp*math.Log10(d)
-	return n.Cfg.RF.TxPowerDBm - pl - n.Cfg.ClientClientLossDB - n.Cfg.RF.NoiseDBm
+	return n.model.ClientClientSNRdB(pa.Distance(pb))
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"wgtt/internal/backhaul"
+	"wgtt/internal/channel"
 	"wgtt/internal/client"
 	"wgtt/internal/deploy"
 	"wgtt/internal/mac"
@@ -55,7 +57,37 @@ type segDomain struct {
 	// federation ring/bypass trunks) to this domain's outgoing mailbox;
 	// toPrev/toNext are aliases into it for the patrol.
 	mbTo map[int]*sim.Mailbox
+
+	// Boundary-interference exchange (Config.BoundaryInterference).
+	// bounds lists the adjacent-chain neighbours and the shared boundary
+	// x coordinate; remoteTx holds the neighbour transmissions currently
+	// raising this domain's noise floor. Counters feed the parity tests.
+	bounds          []segBoundary
+	remoteTx        []remoteTx
+	boundaryPosted  int
+	boundaryApplied int
 }
+
+// segBoundary names one adjacent segment and the x coordinate of the
+// boundary shared with it (the midpoint between the facing APs).
+type segBoundary struct {
+	to        int
+	boundaryX float64
+}
+
+// remoteTx summarizes a neighbour-domain transmission near the shared
+// boundary: when it was on air and the large-scale facts the backend
+// needs to price its co-channel energy here.
+type remoteTx struct {
+	start, end sim.Time
+	pos        rf.Position
+	isAP       bool
+}
+
+// remoteTxLinger keeps an expired remoteTx long enough that any local
+// transmission it overlapped — whose delivery evaluates at PPDU end —
+// still sees it. 10 ms comfortably exceeds the longest aggregate.
+const remoteTxLinger = 10 * sim.Millisecond
 
 // aliveAt returns the liveness check handed to a client for one
 // residency: it is true only while the client is still owned by this
@@ -128,7 +160,7 @@ func (n *Network) segmentForPos(pos rf.Position) int {
 // and per-segment RNG streams replace the shared one); what IS guaranteed
 // is that DomainsSerial and DomainsParallel are bit-identical to each
 // other, which is what the parity tests pin.
-func newDomainNetwork(cfg Config) (*Network, error) {
+func newDomainNetwork(cfg Config, model channel.Model) (*Network, error) {
 	geoms := cfg.segmentGeoms()
 	lookahead := cfg.Trunk.PropDelay
 	coord := sim.NewCoordinator(lookahead, cfg.Domains == DomainsParallel)
@@ -137,6 +169,7 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 		Cfg:         cfg,
 		Coord:       coord,
 		rng:         rng,
+		model:       model,
 		nodeKind:    make(map[*mac.Node]nodeRef),
 		serverDemux: make(map[uint16]func(packet.Packet)),
 		route:       make(map[packet.IP]int),
@@ -249,5 +282,105 @@ func newDomainNetwork(cfg Config) (*Network, error) {
 		sd := sd
 		sd.dom.Loop.After(patrolInterval, sd.patrol)
 	}
+	if cfg.BoundaryInterference {
+		n.wireBoundaryInterference(geoms)
+	}
 	return n, nil
+}
+
+// wireBoundaryInterference connects adjacent segment domains' media so
+// that transmissions within BoundaryZoneM of a shared boundary are
+// exported to the neighbour as co-channel interference. The export rides
+// the same mailboxes (and therefore the same trunk-propagation
+// lookahead) as all other cross-domain traffic, so DomainsSerial and
+// DomainsParallel stay bit-identical to each other.
+func (n *Network) wireBoundaryInterference(geoms []deploy.Geometry) {
+	lastX := func(i int) float64 {
+		return geoms[i].FirstAPX + float64(geoms[i].NumAPs-1)*geoms[i].APSpacing
+	}
+	for i, sd := range n.segs {
+		if i+1 < len(n.segs) {
+			sd.bounds = append(sd.bounds, segBoundary{
+				to: i + 1, boundaryX: (lastX(i) + geoms[i+1].FirstAPX) / 2})
+		}
+		if i > 0 {
+			sd.bounds = append(sd.bounds, segBoundary{
+				to: i - 1, boundaryX: (lastX(i-1) + geoms[i].FirstAPX) / 2})
+		}
+		sd := sd
+		sd.medium.SetOnTransmit(sd.exportBoundaryTx)
+		sd.medium.SetInterference(sd.remoteInterference)
+	}
+}
+
+// exportBoundaryTx posts a boundary-zone transmission summary to the
+// adjacent domains; it fires synchronously inside Medium.Transmit.
+func (s *segDomain) exportBoundaryTx(t *mac.Transmission) {
+	pos := t.Tx.Pos()
+	ref, ok := s.n.nodeKind[t.Tx]
+	if !ok {
+		return
+	}
+	for _, b := range s.bounds {
+		if math.Abs(pos.X-b.boundaryX) > s.n.Cfg.BoundaryZoneM {
+			continue
+		}
+		rec := remoteTx{start: t.Start, end: t.End, pos: pos, isAP: ref.isAP}
+		dst := s.n.segs[b.to]
+		s.mbTo[b.to].Post(s.dom.Loop.Now().Add(s.n.Cfg.Trunk.PropDelay), func() {
+			dst.acceptRemoteTx(rec)
+		})
+		s.boundaryPosted++
+	}
+}
+
+// acceptRemoteTx lands a neighbour's boundary-zone summary on this
+// domain's loop, one lookahead after it went on air, and prunes entries
+// past their linger.
+func (s *segDomain) acceptRemoteTx(rec remoteTx) {
+	now := s.dom.Loop.Now()
+	kept := s.remoteTx[:0]
+	for _, r := range s.remoteTx {
+		if r.end.Add(remoteTxLinger) > now {
+			kept = append(kept, r)
+		}
+	}
+	s.remoteTx = kept
+	if rec.end.Add(remoteTxLinger) > now {
+		s.remoteTx = append(s.remoteTx, rec)
+	}
+}
+
+// remoteInterference implements the medium's external-interference hook:
+// the summed linear interference-over-noise the receiver accumulates
+// from neighbour-domain boundary transmissions overlapping t's airtime.
+func (s *segDomain) remoteInterference(rx *mac.Node, t *mac.Transmission) float64 {
+	if len(s.remoteTx) == 0 {
+		return 0
+	}
+	var iLin float64
+	rxPos := rx.Pos()
+	hit := false
+	for _, r := range s.remoteTx {
+		if r.start < t.End && t.Start < r.end {
+			ion := s.n.model.InterferenceOverNoiseDB(r.isAP, r.pos, rxPos)
+			iLin += math.Pow(10, ion/10)
+			hit = true
+		}
+	}
+	if hit {
+		s.boundaryApplied++
+	}
+	return iLin
+}
+
+// BoundaryInterferenceStats sums the exchange counters across segment
+// domains: summaries posted to neighbours, and deliveries whose SINR saw
+// a nonzero remote term. Zero/zero when the feature is off.
+func (n *Network) BoundaryInterferenceStats() (posted, applied int) {
+	for _, sd := range n.segs {
+		posted += sd.boundaryPosted
+		applied += sd.boundaryApplied
+	}
+	return
 }

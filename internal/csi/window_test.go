@@ -1,0 +1,76 @@
+package csi
+
+import (
+	"testing"
+
+	"wgtt/internal/sim"
+)
+
+// TestWindowMemoizationInvalidation pins the rev-counter discipline: the
+// median and mean are memoized per content revision, and every mutation
+// path — Add, and expiry triggered from Add, MedianAt, or MeanAt — must
+// bump the revision so stale statistics can never be served.
+func TestWindowMemoizationInvalidation(t *testing.T) {
+	w := NewWindow(10 * sim.Millisecond)
+	at := func(ms int64) sim.Time { return sim.Time(ms) * sim.Time(sim.Millisecond) }
+
+	w.Add(at(1), 10)
+	w.Add(at(2), 20)
+	w.Add(at(3), 30)
+	if m, ok := w.MedianAt(at(3)); !ok || m != 20 {
+		t.Fatalf("median = %v,%v; want 20,true", m, ok)
+	}
+	// Unchanged content: repeated queries serve the memo.
+	if m, _ := w.MedianAt(at(3)); m != 20 {
+		t.Fatal("memoized median drifted on an unchanged window")
+	}
+
+	// Add must invalidate.
+	w.Add(at(4), 40)
+	if m, _ := w.MedianAt(at(4)); m != 30 {
+		t.Errorf("median after Add = %v; memo not invalidated (want 30)", m)
+	}
+
+	// Expiry inside MedianAt must invalidate: at t=13ms the 10 dB and
+	// 20 dB readings fall out, leaving {30, 40} → upper median 40.
+	if m, _ := w.MedianAt(at(13)); m != 40 {
+		t.Errorf("median after expiry = %v; memo not invalidated (want 40)", m)
+	}
+	if w.Len() != 2 {
+		t.Errorf("len after expiry = %d, want 2", w.Len())
+	}
+
+	// MeanAt has its own memo against the same revision.
+	if m, _ := w.MeanAt(at(13)); m != 35 {
+		t.Errorf("mean = %v, want 35", m)
+	}
+	if m, _ := w.MeanAt(at(13)); m != 35 {
+		t.Error("memoized mean drifted on an unchanged window")
+	}
+	// Expiry inside MeanAt must invalidate the mean memo too.
+	if m, ok := w.MeanAt(at(14)); !ok || m != 40 {
+		t.Errorf("mean after expiry = %v,%v; want 40,true", m, ok)
+	}
+
+	// Full expiry: no reading, no value, and the next Add starts clean.
+	if _, ok := w.MedianAt(at(100)); ok {
+		t.Error("median reported on an empty window")
+	}
+	w.Add(at(101), 7)
+	if m, ok := w.MedianAt(at(101)); !ok || m != 7 {
+		t.Errorf("median after refill = %v,%v; want 7,true", m, ok)
+	}
+}
+
+// TestWindowMedianIsUpperMedian pins the paper's e_{⌊L/2⌋} statistic on
+// even-length windows (index L/2 of the sorted list, the upper middle).
+func TestWindowMedianIsUpperMedian(t *testing.T) {
+	w := NewWindow(sim.Second)
+	at := func(ms int64) sim.Time { return sim.Time(ms) * sim.Time(sim.Millisecond) }
+	for i, v := range []float64{4, 1, 3, 2} {
+		w.Add(at(int64(i)), v)
+	}
+	if m, _ := w.MedianAt(at(4)); m != 3 {
+		t.Errorf("even-length median = %v, want upper median 3", m)
+	}
+}

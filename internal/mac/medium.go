@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"math"
 	"math/bits"
 
 	"wgtt/internal/csi"
@@ -135,6 +136,16 @@ type Medium struct {
 	headroomDB  float64
 	hasHeadroom bool
 
+	// onTransmit, when set, observes every transmission as it goes on
+	// air (the cross-domain boundary-interference exchange taps it).
+	onTransmit func(t *Transmission)
+	// interference, when set, returns the summed linear
+	// interference-over-noise a receiver accumulates during t from
+	// sources this medium cannot model itself (remote-domain
+	// transmissions). Zero means none; a positive value is applied as a
+	// flat per-subcarrier SINR penalty before the ESNR evaluation.
+	interference func(rx *Node, t *Transmission) float64
+
 	// txFree recycles pooled Transmissions (see NewTransmission);
 	// okScratch is the shared per-delivery Detection.OK buffer.
 	txFree    []*Transmission
@@ -157,6 +168,19 @@ func NewMedium(loop *sim.Loop, channel Channel, rng *sim.RNG) *Medium {
 		m.hasHeadroom = true
 	}
 	return m
+}
+
+// SetOnTransmit installs (or, with nil, removes) the on-air observation
+// hook; it fires synchronously inside Transmit after Start/End are
+// stamped. The observer must not mutate or retain the transmission.
+func (m *Medium) SetOnTransmit(fn func(t *Transmission)) { m.onTransmit = fn }
+
+// SetInterference installs (or, with nil, removes) the external
+// interference source consulted per delivery (see the interference
+// field). Nil keeps the delivery path bit-identical to a hook-free
+// medium.
+func (m *Medium) SetInterference(fn func(rx *Node, t *Transmission) float64) {
+	m.interference = fn
 }
 
 // SetAudibilityIndex installs (or, with nil, removes) the spatial
@@ -367,6 +391,9 @@ func (m *Medium) Transmit(t *Transmission) {
 	m.active = append(m.active, t)
 	m.stats.PPDUs++
 	m.stats.MPDUs += len(t.MPDUs)
+	if m.onTransmit != nil {
+		m.onTransmit(t)
+	}
 
 	t.deliverEv = m.loop.At(t.End, func() {
 		// The handle must die here: prune may keep t in m.active past
@@ -427,6 +454,17 @@ func (m *Medium) deliverOne(t *Transmission, n *Node, snrs *[rf.NumSubcarriers]f
 	}
 	if !m.channel.SubcarrierSNRs(t.Tx, n, snrs[:]) {
 		return
+	}
+	if m.interference != nil {
+		if iLin := m.interference(n, t); iLin > 0 {
+			// Remote-domain co-channel energy raises the noise floor:
+			// SINR = SNR − 10·log10(1 + I/N), flat across subcarriers
+			// (only the interferer's large-scale budget is known).
+			pen := 10 * math.Log10(1+iLin)
+			for i := range snrs {
+				snrs[i] -= pen
+			}
+		}
 	}
 	esnr := csi.EffectiveSNRdB(snrs[:], t.Rate.Modulation)
 	if esnr < detectThresholdDB {

@@ -10,6 +10,7 @@ import (
 // the best expected throughput, and periodically spends a small fraction
 // of frames sampling other rates so it can climb back up after fades.
 type Minstrel struct {
+	tbl   *Table
 	stats [NumRates]rateStats
 	// sampleCounter spaces probe transmissions.
 	sampleCounter int
@@ -39,7 +40,13 @@ const (
 // mid-table rate instead of blindly blasting MCS7 — essential when an AP
 // adopts a client mid-drive with no history.
 func NewMinstrel(rng *sim.RNG) *Minstrel {
-	m := &Minstrel{rng: rng}
+	return NewMinstrelFor(DefaultTable, rng)
+}
+
+// NewMinstrelFor is NewMinstrel over an explicit rate table (nil means
+// the default); channel backends with their own MCS ladder pass theirs.
+func NewMinstrelFor(tbl *Table, rng *sim.RNG) *Minstrel {
+	m := &Minstrel{tbl: tbl.OrDefault(), rng: rng}
 	for i := range m.stats {
 		m.stats[i].ewmaProb = 1.0 - 0.11*float64(i)
 	}
@@ -62,10 +69,10 @@ func (m *Minstrel) Select(now sim.Time) Rate {
 		}
 		m.sampleIdx++
 		if probe >= 0 && probe < NumRates {
-			return Rates[probe]
+			return m.tbl.Rates[probe]
 		}
 	}
-	return Rates[best]
+	return m.tbl.Rates[best]
 }
 
 // bestIdx returns the index of the rate with maximal expected throughput,
@@ -73,11 +80,11 @@ func (m *Minstrel) Select(now sim.Time) Rate {
 func (m *Minstrel) bestIdx() int {
 	best, bestTput := 0, -1.0
 	for i, s := range m.stats {
-		tput := Rates[i].Mbps * s.ewmaProb
+		tput := m.tbl.Rates[i].Mbps * s.ewmaProb
 		// Rates whose success probability collapsed are useless even
 		// if nominally fast.
 		if s.ewmaProb < 0.1 {
-			tput = Rates[i].Mbps * s.ewmaProb * s.ewmaProb
+			tput = m.tbl.Rates[i].Mbps * s.ewmaProb * s.ewmaProb
 		}
 		if tput > bestTput {
 			best, bestTput = i, tput
@@ -140,7 +147,7 @@ func (m *Minstrel) Prob(mcs int) float64 { return m.stats[mcs].ewmaProb }
 // CSI path and need not rediscover the rate floor frame by frame.
 func (m *Minstrel) Seed(esnrDB float64) {
 	for i := range m.stats {
-		p := 1 - PER(Rates[i], esnrDB, 1500)
+		p := 1 - PER(m.tbl.Rates[i], esnrDB, 1500)
 		if p < 0.01 {
 			p = 0.01
 		}

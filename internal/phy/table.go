@@ -1,0 +1,57 @@
+package phy
+
+// Table is one PHY's rate set: exactly NumRates MCS rows (index == MCS)
+// plus the robust basic rate used for beacons, management frames, and
+// block ACKs. The default table is the 802.11n HT20 short-GI ladder the
+// testbed APs run; channel backends may substitute their own (the
+// mmWave/60 GHz backend ships an 802.11ad-like single-carrier ladder).
+// Every consumer of the table — Minstrel, the per-MCS stat arrays, the
+// PER model — indexes rows by MCS, which is why the row count is fixed.
+type Table struct {
+	// Name identifies the table in logs and snapshots.
+	Name string
+	// Rates is the MCS ladder, ascending; len(Rates) == NumRates and
+	// Rates[i].MCS == i always hold (Valid checks).
+	Rates []Rate
+	// Basic is the robust rate for control/management frames.
+	Basic Rate
+}
+
+// DefaultTable is the stock HT20 short-GI single-stream table; a nil
+// *Table anywhere in a config means this one.
+var DefaultTable = &Table{Name: "ht20-sgi", Rates: Rates, Basic: BasicRate}
+
+// OrDefault resolves a possibly-nil table to the default.
+func (t *Table) OrDefault() *Table {
+	if t == nil {
+		return DefaultTable
+	}
+	return t
+}
+
+// Valid reports whether the table satisfies the fixed-shape contract the
+// per-MCS consumers rely on.
+func (t *Table) Valid() bool {
+	if t == nil || len(t.Rates) != NumRates {
+		return false
+	}
+	for i, r := range t.Rates {
+		if r.MCS != i || r.Mbps <= 0 {
+			return false
+		}
+	}
+	return t.Basic.Mbps > 0
+}
+
+// BestRateFor returns the highest rate of the table whose threshold is at
+// or below the given ESNR with margin marginDB, falling back to the
+// lowest MCS.
+func (t *Table) BestRateFor(esnrDB, marginDB float64) Rate {
+	best := t.Rates[0]
+	for _, r := range t.Rates {
+		if esnrDB >= r.ThresholdDB+marginDB {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+package rf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParabolicBoresightWraparound pins the ±180° seam: a boresight near
+// the wrap must see peak gain straight ahead and a smooth quadratic
+// falloff on both sides of the seam, never a spurious 360° offset.
+func TestParabolicBoresightWraparound(t *testing.T) {
+	for _, boresight := range []float64{180, -180, 179, -179} {
+		ant := DefaultParabolic(boresight)
+		if g := ant.GainDB(boresight); g != ant.PeakGain {
+			t.Errorf("boresight %v: gain at boresight %v, want peak %v", boresight, g, ant.PeakGain)
+		}
+		// Bearings expressed from the other side of the seam are the
+		// same physical direction.
+		other := boresight - 360
+		if boresight < 0 {
+			other = boresight + 360
+		}
+		if g := ant.GainDB(other); g != ant.PeakGain {
+			t.Errorf("boresight %v: gain at equivalent bearing %v is %v, want peak", boresight, other, g)
+		}
+		// Symmetric half-power points: ±HPBW/2 off boresight, crossing
+		// the seam on one side.
+		lo := ant.GainDB(boresight - ant.BeamwidthDeg/2)
+		hi := ant.GainDB(boresight + ant.BeamwidthDeg/2)
+		if math.Abs(lo-(ant.PeakGain-3)) > 1e-9 || math.Abs(hi-(ant.PeakGain-3)) > 1e-9 {
+			t.Errorf("boresight %v: half-power points %v/%v, want %v", boresight, lo, hi, ant.PeakGain-3)
+		}
+		if math.Abs(lo-hi) > 1e-9 {
+			t.Errorf("boresight %v: asymmetric falloff across the seam: %v vs %v", boresight, lo, hi)
+		}
+	}
+}
+
+// TestParabolicSideLobeFloor pins the floor: far off boresight the gain
+// is exactly peak + sidelobe, regardless of how many turns the bearing
+// is expressed with.
+func TestParabolicSideLobeFloor(t *testing.T) {
+	ant := DefaultParabolic(-90)
+	want := ant.PeakGain + ant.SideLobeDB
+	for _, bearing := range []float64{90, 90 + 360, 90 - 720, -270} {
+		if g := ant.GainDB(bearing); g != want {
+			t.Errorf("gain at %v = %v, want side-lobe floor %v", bearing, g, want)
+		}
+	}
+}
+
+// TestOmniFlat pins the client antenna: flat gain at every bearing.
+func TestOmniFlat(t *testing.T) {
+	o := Omni{Gain: 2}
+	for _, b := range []float64{0, 90, -180, 450} {
+		if o.GainDB(b) != 2 {
+			t.Errorf("omni gain at %v not flat", b)
+		}
+	}
+}
+
+// TestAngleToZeroDistance pins the degenerate geometry the gain path can
+// see when a client sits exactly on the AP mount point: the bearing must
+// be a finite number (Atan2(0,0) = 0 by definition), not NaN, so the
+// budget stays finite.
+func TestAngleToZeroDistance(t *testing.T) {
+	p := Position{X: 3, Y: -7}
+	bearing := p.AngleTo(p)
+	if math.IsNaN(bearing) || math.IsInf(bearing, 0) {
+		t.Fatalf("AngleTo(self) = %v; want finite", bearing)
+	}
+	ant := DefaultParabolic(-90)
+	if g := ant.GainDB(bearing); math.IsNaN(g) || g > ant.PeakGain {
+		t.Errorf("gain at zero distance = %v; want finite and <= peak", g)
+	}
+}

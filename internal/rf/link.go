@@ -50,12 +50,13 @@ func (p Params) MaxShadowDB() float64 {
 	return p.ShadowSigmaDB * math.Sqrt(2*shadowComps)
 }
 
-// shadowing is a smooth, spatially-correlated log-normal process over the
+// Shadowing is a smooth, spatially-correlated log-normal process over the
 // client position, built from a small sum of long-wavelength sinusoids.
 // Unlike per-sample Gaussian draws it is continuous in position, so a car
 // driving by sees shadowing evolve at the ~10 m scale (Gudmundson model
-// behaviour) rather than flickering packet to packet.
-type shadowing struct {
+// behaviour) rather than flickering packet to packet. Exported so channel
+// backends other than the default can reuse the realization machinery.
+type Shadowing struct {
 	sigma float64
 	kx    []float64
 	ky    []float64
@@ -67,9 +68,14 @@ type shadowing struct {
 // process; it bounds the process at ±sigma·√(2·shadowComps) dB.
 const shadowComps = 8
 
-func newShadowing(sigmaDB, corrDistM float64, rng *sim.RNG) *shadowing {
+// ShadowComps exposes the sinusoid component count so backends can state
+// the matching MaxShadowDB-style bound: sigma·√(2·ShadowComps).
+const ShadowComps = shadowComps
+
+// NewShadowing draws a shadowing realization from rng.
+func NewShadowing(sigmaDB, corrDistM float64, rng *sim.RNG) *Shadowing {
 	const comps = shadowComps
-	s := &shadowing{sigma: sigmaDB, norm: math.Sqrt(2.0 / comps)}
+	s := &Shadowing{sigma: sigmaDB, norm: math.Sqrt(2.0 / comps)}
 	if sigmaDB == 0 {
 		return s
 	}
@@ -84,7 +90,8 @@ func newShadowing(sigmaDB, corrDistM float64, rng *sim.RNG) *shadowing {
 	return s
 }
 
-func (s *shadowing) dB(pos Position) float64 {
+// DB evaluates the shadowing process in dB at a position.
+func (s *Shadowing) DB(pos Position) float64 {
 	if s.sigma == 0 || len(s.kx) == 0 {
 		return 0
 	}
@@ -104,7 +111,7 @@ type Link struct {
 	apAnt   Antenna
 	cliAnt  Antenna
 	fader   *Fader
-	shadow  *shadowing
+	shadow  *Shadowing
 	fadeOff bool
 }
 
@@ -118,7 +125,7 @@ func NewLink(p Params, apPos Position, apAnt Antenna, cliAnt Antenna, rng *sim.R
 		apAnt:  apAnt,
 		cliAnt: cliAnt,
 		fader:  NewFader(p.Fading, rng.Fork("fading")),
-		shadow: newShadowing(p.ShadowSigmaDB, p.ShadowCorrDistM, rng.Fork("shadow")),
+		shadow: NewShadowing(p.ShadowSigmaDB, p.ShadowCorrDistM, rng.Fork("shadow")),
 	}
 }
 
@@ -139,7 +146,7 @@ func (l *Link) meanRxPowerDBm(cliPos Position) float64 {
 	pl := l.params.RefLossDB + 10*l.params.PathLossExp*math.Log10(d)
 	gTx := l.apAnt.GainDB(l.apPos.AngleTo(cliPos))
 	gRx := l.cliAnt.GainDB(cliPos.AngleTo(l.apPos))
-	return l.params.TxPowerDBm + gTx + gRx - pl - l.params.SystemLossDB + l.shadow.dB(cliPos)
+	return l.params.TxPowerDBm + gTx + gRx - pl - l.params.SystemLossDB + l.shadow.DB(cliPos)
 }
 
 // MeanSNRdB returns the large-scale SNR (no fast fading) at the client

@@ -260,10 +260,10 @@ func TestLinkReciprocityAndDeterminism(t *testing.T) {
 }
 
 func TestShadowingSmoothAndBounded(t *testing.T) {
-	s := newShadowing(2.5, 8, sim.NewRNG(14))
-	prev := s.dB(Position{})
+	s := NewShadowing(2.5, 8, sim.NewRNG(14))
+	prev := s.DB(Position{})
 	for x := 0.1; x < 50; x += 0.1 {
-		v := s.dB(Position{X: x})
+		v := s.DB(Position{X: x})
 		if math.Abs(v) > 4*2.5 {
 			t.Fatalf("shadowing %v dB exceeds 4σ", v)
 		}
@@ -273,8 +273,8 @@ func TestShadowingSmoothAndBounded(t *testing.T) {
 		prev = v
 	}
 	// Zero sigma is exactly zero everywhere.
-	z := newShadowing(0, 8, sim.NewRNG(15))
-	if z.dB(Position{X: 3}) != 0 {
+	z := NewShadowing(0, 8, sim.NewRNG(15))
+	if z.DB(Position{X: 3}) != 0 {
 		t.Error("zero-sigma shadowing nonzero")
 	}
 }

@@ -1,0 +1,79 @@
+package wgtt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCorridorMMWave pins the 60 GHz picocell corridor for seeds 1–3:
+// the ride must be deterministic (two runs render bit-identically), the
+// telemetry-backed handoff rate must reflect picocell density — a
+// switch roughly every AP pitch, two orders of magnitude above a
+// macro-cell deployment — and the switch-time distribution must sit in
+// the paper's 17–21 ms stop/start/ack band.
+func TestCorridorMMWave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full corridor rides per seed")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := CorridorMMWave(Options{Seed: seed})
+			again := CorridorMMWave(Options{Seed: seed})
+			if a, b := render(r), render(again); a != b {
+				t.Fatalf("mmwave corridor is nondeterministic\n%s",
+					firstDiffLabeled("first", "second", a, b))
+			}
+			// Two clients crossing 12 APs at 7.5 m pitch switch
+			// continuously; anything under 40 completed handoffs means
+			// the picocell switching pipeline stalled.
+			if r.Handoffs < 40 {
+				t.Errorf("only %d handoffs completed; picocell switching stalled", r.Handoffs)
+			}
+			if r.HandoffsPerMinute < 100 {
+				t.Errorf("handoff rate %.1f/min/client; want picocell-dense (>= 100)", r.HandoffsPerMinute)
+			}
+			// The stop/start/ack switch time is governed by the AP's
+			// ioctl model, not the channel: the mmWave ride must stay in
+			// the paper's measured band (17–21 ms p50, with margin for
+			// quantile interpolation).
+			if r.HandoffP50Ms < 14 || r.HandoffP50Ms > 25 {
+				t.Errorf("switch-time p50 %.1f ms outside the 17-21 ms band (±margin)", r.HandoffP50Ms)
+			}
+			if r.HandoffP90Ms > 40 {
+				t.Errorf("switch-time p90 %.1f ms; tail blew past the ioctl jitter budget", r.HandoffP90Ms)
+			}
+			// Goodput: blockage and cell edges cost something, but the
+			// dense ladder must still carry most of the 30 Mbit/s load.
+			if r.MeanMbps < 15 {
+				t.Errorf("mean goodput %.1f Mbit/s; mmWave corridor collapsed", r.MeanMbps)
+			}
+			if r.SwitchesAcked == 0 || r.SwitchesIssued < r.SwitchesAcked {
+				t.Errorf("switch scoreboard inconsistent: %d issued, %d acked",
+					r.SwitchesIssued, r.SwitchesAcked)
+			}
+		})
+	}
+}
+
+// TestMMWaveRequiresWGTT pins the configuration contract: the mmWave
+// backend models a steered-beam picocell deployment the baseline
+// schemes' fixed-rate probing logic was never tuned for, so Validate
+// rejects the pairing.
+func TestMMWaveRequiresWGTT(t *testing.T) {
+	cfg := DefaultConfig(SchemeEnhanced80211r)
+	cfg.ChannelBackend = "mmwave60g"
+	if err := cfg.Validate(); err == nil {
+		t.Error("mmwave60g + baseline scheme validated; want error")
+	}
+	cfg = DefaultConfig(SchemeWGTT)
+	cfg.ChannelBackend = "mmwave60g"
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("mmwave60g + WGTT rejected: %v", err)
+	}
+	cfg.ChannelBackend = "am-radio"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown backend validated; want error")
+	}
+}

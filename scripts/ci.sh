@@ -7,6 +7,17 @@ set -eux
 # Formatting gate: gofmt -l prints offending files; fail if any.
 test -z "$(gofmt -l . | tee /dev/stderr)"
 
+# Repo-hygiene gate: no committed file may exceed 1 MB. (A stray
+# compiled wgtt.test once weighed in at 5.7 MB; .gitignore now blocks
+# *.test, this catches everything else before it lands.)
+git ls-files | while IFS= read -r f; do
+    size=$(wc -c < "$f")
+    if [ "$size" -gt 1048576 ]; then
+        echo "repo-hygiene gate: $f is $size bytes (> 1 MB); do not commit build artifacts"
+        exit 1
+    fi
+done
+
 go vet ./...
 go build ./...
 
@@ -19,6 +30,12 @@ go build ./...
 go test -race ./internal/runner/ ./internal/sim/ ./internal/deploy/ ./internal/federation/
 go test -race -run 'TestDomain' ./internal/core/
 go test -race -run 'TestDomain' .
+
+# The mmWave corridor and the cross-domain boundary-interference
+# exchange both ride the parallel-domain executor; shake one seed of
+# each under the race detector (the remaining seeds run race-free in
+# the full suite below).
+go test -race -run 'TestCorridorMMWave/seed1|TestBoundaryInterferenceParity/seed1' .
 
 # Loop owner-guard diagnostics only compile under the simcheck tag.
 go test -tags simcheck ./internal/sim/
@@ -76,3 +93,22 @@ go test -run=NONE -bench '^BenchmarkMeanPerClientMbps$|^BenchmarkCorridorParalle
 # slack. The full grid (24 segments x 1024 clients) is regenerated
 # manually: go run ./cmd/wgtt-benchjson -scale > BENCH_scale.json
 go run ./cmd/wgtt-benchjson -scale -compare BENCH_scale.json -segments 1,8 -clients 2,64
+
+# mmWave golden gate: the 60 GHz picocell corridor must render
+# bit-identically run-to-run (the blockage schedule is seed-derived and
+# precomputed, so there is no excuse for drift) and its switch-time
+# distribution must sit in the paper's 17–21 ms stop/start/ack band
+# (±quantile-interpolation margin; see TestCorridorMMWave).
+mm_out=$(mktemp)
+go run ./cmd/wgtt-experiments -run corridor-mmwave | tee "$mm_out"
+go run ./cmd/wgtt-experiments -run corridor-mmwave | diff "$mm_out" -
+awk '
+    /^handoffs:/ {
+        seen = 1; handoffs = $2+0; p50 = $8+0; p90 = $11+0
+        printf "mmwave gate: handoffs=%d p50=%.1fms p90=%.1fms\n", handoffs, p50, p90
+        if (handoffs < 40) { print "mmwave gate: picocell switching stalled"; exit 1 }
+        if (p50 < 14 || p50 > 25) { print "mmwave gate: switch-time p50 left the 17-21 ms band"; exit 1 }
+        if (p90 > 40) { print "mmwave gate: switch-time p90 blew the ioctl jitter budget"; exit 1 }
+    }
+    END { if (!seen) { print "mmwave gate: handoff summary line missing"; exit 1 } }' "$mm_out"
+rm -f "$mm_out"

@@ -28,6 +28,7 @@
 package wgtt
 
 import (
+	"wgtt/internal/channel"
 	"wgtt/internal/core"
 	"wgtt/internal/deploy"
 	"wgtt/internal/federation"
@@ -56,6 +57,19 @@ func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
 
 // Config describes a deployment; see core.Config for every knob.
 type Config = core.Config
+
+// Channel-model backend re-exports (Config.ChannelBackend): the RF/PHY
+// stack is pluggable — "wifi5g" (the paper's 2.4/5 GHz roadside model,
+// the default) or "mmwave60g" (a 60 GHz picocell model with steered
+// beams, a hard cell-radius cap, and deterministic blockage).
+type MMWaveParams = channel.MMWaveParams
+
+// DefaultMMWaveParams returns the 60 GHz picocell tuning
+// (Config.MMWave).
+func DefaultMMWaveParams() MMWaveParams { return channel.DefaultMMWaveParams() }
+
+// ChannelBackends lists the registered channel-model backends.
+func ChannelBackends() []string { return channel.Names() }
 
 // SegmentSpec describes one road segment in a multi-segment deployment
 // (Config.Segments).
