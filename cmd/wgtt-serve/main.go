@@ -1,0 +1,371 @@
+// Command wgtt-serve is the long-running form of the simulator: one
+// daemon per process, each hosting a share of a scenario's execution
+// domains and exchanging cross-domain envelopes with its peers over a
+// serialized trunk transport (unix sockets locally, TCP across hosts).
+//
+// Every process of a run is started with the identical deployment
+// flags (construction is SPMD — each builds the whole network and
+// executes only its -partition share) plus its own -proc index:
+//
+//	wgtt-serve -scenario corridor -partition segs,server \
+//	    -peers unix:/tmp/w0.sock,unix:/tmp/w1.sock -proc 0 -report &
+//	wgtt-serve -scenario corridor -partition segs,server \
+//	    -peers unix:/tmp/w0.sock,unix:/tmp/w1.sock -proc 1 -report
+//
+// Without -peers the daemon runs the whole scenario in-process — the
+// reference a sharded run must reproduce bit for bit.
+//
+// -http serves the Prometheus exposition of the process's owned
+// telemetry shards at /metrics, refreshed at every slice boundary.
+// -ckpt journals every exchange; at -checkpoint-at the daemon writes a
+// checkpoint sidecar, and -restore resumes from it by replaying the
+// journal through the identical slice schedule before rejoining the
+// live mesh.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"wgtt"
+	"wgtt/internal/core"
+	"wgtt/internal/sim"
+	"wgtt/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wgtt-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario = flag.String("scenario", "corridor",
+			"scenario to host: "+strings.Join(wgtt.ServeScenarios(), " | "))
+		proc  = flag.Int("proc", 0, "this process's index into -peers / -partition")
+		peers = flag.String("peers", "",
+			"comma-separated peer addresses (unix:/path or tcp:host:port), one per process; empty = run the whole scenario in this process")
+		partition = flag.String("partition", "segs,server",
+			"domain-to-process assignment: comma-separated groups, domains joined by +, e.g. seg0,seg1+seg2,server")
+		sliceMs = flag.Int64("slice", 0,
+			"advance in slices of this many virtual milliseconds (0 = one slice to the end); slice boundaries refresh -http metrics and are the only checkpoint sites")
+		untilMs = flag.Int64("until", 0,
+			"stop at this virtual time in milliseconds (0 = the scenario's natural duration)")
+		ckptAtMs = flag.Int64("checkpoint-at", 0,
+			"write a checkpoint at this virtual millisecond (requires -ckpt; added to the slice schedule)")
+		ckptPath = flag.String("ckpt", "",
+			"checkpoint path prefix: journals exchanges to PREFIX.journal and writes PREFIX.ckpt at -checkpoint-at")
+		restore = flag.Bool("restore", false,
+			"resume from -ckpt: replay the journal to the checkpoint, then rejoin the live mesh")
+		httpAddr = flag.String("http", "",
+			"serve the owned telemetry shards in Prometheus exposition format at this address's /metrics")
+		report = flag.Bool("report", false, "print the end-of-run JSON report on stdout")
+	)
+	cfg, _, err := wgtt.LoadConfig(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, fmt.Sprintf("wgtt-serve[%d] ", *proc), log.Lmicroseconds)
+
+	// The scenario fixes the deployment shape (scheme, segments, domain
+	// mode); the shared flag surface contributes the seed and the
+	// datapath knobs every process must agree on.
+	opt := wgtt.Options{Seed: cfg.Seed, Mutate: func(c *wgtt.Config) {
+		c.Audibility = cfg.Audibility
+		c.ChannelBackend = cfg.ChannelBackend
+	}}
+	sr, err := wgtt.BuildServeScenario(*scenario, opt)
+	if err != nil {
+		return err
+	}
+	if err := sr.Cfg.Validate(); err != nil {
+		return err
+	}
+
+	dur := sr.Dur
+	if *untilMs > 0 {
+		dur = wgtt.Duration(*untilMs) * wgtt.Millisecond
+	}
+	slice := wgtt.Duration(*sliceMs) * wgtt.Millisecond
+	ckptAt := wgtt.Duration(*ckptAtMs) * wgtt.Millisecond
+	if ckptAt > 0 && *ckptPath == "" {
+		return fmt.Errorf("-checkpoint-at needs -ckpt")
+	}
+	if ckptAt >= dur {
+		ckptAt = 0
+	}
+	sched := schedule(dur, slice, ckptAt)
+
+	if *peers == "" {
+		if *restore || *ckptPath != "" {
+			return fmt.Errorf("-ckpt/-restore checkpoint a partitioned run; they need -peers")
+		}
+		return runSingle(sr, sched, *scenario, cfg.Seed, *report, *httpAddr)
+	}
+	addrs := strings.Split(*peers, ",")
+	return runPartitioned(sr, sched, serveParams{
+		scenario: *scenario, seed: cfg.Seed,
+		audibility: cfg.Audibility, channel: cfg.ChannelBackend,
+		proc: *proc, addrs: addrs, partition: *partition,
+		dur: dur, slice: slice, ckptAt: ckptAt,
+		ckptPath: *ckptPath, restore: *restore,
+		httpAddr: *httpAddr, report: *report,
+	}, logger)
+}
+
+// schedule lists the RunPartitioned boundaries: slice multiples, the
+// checkpoint instant, and the end — sorted, deduplicated. Every
+// process derives the identical schedule from the identical flags (the
+// config digest guarantees the flags agree).
+func schedule(dur, slice, ckptAt wgtt.Duration) []wgtt.Duration {
+	var b []wgtt.Duration
+	if slice > 0 {
+		for t := slice; t < dur; t += slice {
+			b = append(b, t)
+		}
+	}
+	if ckptAt > 0 && ckptAt < dur {
+		b = append(b, ckptAt)
+	}
+	b = append(b, dur)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	out := b[:1]
+	for _, t := range b[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// promCache is the /metrics payload, refreshed at slice boundaries by
+// the sim goroutine and served by HTTP handler goroutines.
+type promCache struct {
+	mu   sync.Mutex
+	body []byte
+}
+
+func (p *promCache) refresh(snap *wgtt.MetricsSnapshot) {
+	if snap == nil {
+		return
+	}
+	var sb strings.Builder
+	if err := snap.Write(&sb, wgtt.MetricsProm); err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.body = []byte(sb.String())
+	p.mu.Unlock()
+}
+
+func (p *promCache) serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p.mu.Lock()
+		body := p.body
+		p.mu.Unlock()
+		w.Write(body)
+	})
+	go http.Serve(ln, mux) //nolint:errcheck — lives for the process
+	return nil
+}
+
+// runSingle hosts the whole scenario in one process: the bit-exact
+// reference for any partitioning of the same flags.
+func runSingle(sr *wgtt.ServeRun, sched []wgtt.Duration, scenario string, seed int64, report bool, httpAddr string) error {
+	var prom promCache
+	if httpAddr != "" {
+		if err := prom.serve(httpAddr); err != nil {
+			return err
+		}
+	}
+	for _, t := range sched {
+		sr.Net.Run(t)
+		prom.refresh(sr.Net.MetricsSnapshot())
+	}
+	if report {
+		return writeReport(os.Stdout, wgtt.ServeReport{
+			Proc: 0, Scenario: scenario, Seed: seed,
+			NowNs: int64(sr.Now()), Clients: sr.Figures(nil),
+			Metrics: sr.Net.MetricsSnapshot(),
+		})
+	}
+	return nil
+}
+
+// serveParams carries the resolved partitioned-run settings.
+type serveParams struct {
+	scenario, audibility, channel string
+	seed                          int64
+	proc                          int
+	addrs                         []string
+	partition                     string
+	dur, slice, ckptAt            wgtt.Duration
+	ckptPath                      string
+	restore                       bool
+	httpAddr                      string
+	report                        bool
+}
+
+// digest canonicalizes everything two processes must agree on for
+// their exchange streams to be compatible. The transport handshake and
+// the checkpoint sidecar both verify it.
+func (p serveParams) digest() [32]byte {
+	return sha256.Sum256([]byte(fmt.Sprintf(
+		"wgtt-serve|1|scenario=%s|seed=%d|aud=%s|chan=%s|part=%s|procs=%d|slice=%d|until=%d|ckpt=%d",
+		p.scenario, p.seed, p.audibility, p.channel,
+		p.partition, len(p.addrs), int64(p.slice), int64(p.dur), int64(p.ckptAt))))
+}
+
+func runPartitioned(sr *wgtt.ServeRun, sched []wgtt.Duration, p serveParams, logger *log.Logger) error {
+	part, err := core.ParsePartition(p.partition)
+	if err != nil {
+		return err
+	}
+	if len(part) != len(p.addrs) {
+		return fmt.Errorf("partition has %d process groups but -peers lists %d addresses", len(part), len(p.addrs))
+	}
+	if p.proc < 0 || p.proc >= len(p.addrs) {
+		return fmt.Errorf("-proc %d out of range for %d processes", p.proc, len(p.addrs))
+	}
+	procs, err := part.Resolve(sr.Net)
+	if err != nil {
+		return err
+	}
+	owned := procs[p.proc]
+	digest := p.digest()
+
+	// Restore first: replay the journaled exchanges through the same
+	// schedule prefix the checkpointing run executed.
+	var (
+		journal  *wire.Journal
+		startSeq int64
+		resumeAt wgtt.Duration
+	)
+	journalPath := p.ckptPath + ".journal"
+	sidecarPath := p.ckptPath + ".ckpt"
+	if p.restore {
+		if p.ckptPath == "" {
+			return fmt.Errorf("-restore needs -ckpt")
+		}
+		ck, err := wire.ReadCheckpoint(sidecarPath, digest)
+		if err != nil {
+			return err
+		}
+		recs, offset, err := wire.ReadJournal(journalPath, digest, ck.Exchanges)
+		if err != nil {
+			return err
+		}
+		if offset != ck.Offset {
+			return fmt.Errorf("journal %s: %d records end at byte %d, checkpoint says %d",
+				journalPath, ck.Exchanges, offset, ck.Offset)
+		}
+		replay := wire.NewReplayBus(recs)
+		for _, t := range sched {
+			if int64(t) > ck.At {
+				break
+			}
+			if err := sr.Net.RunPartitioned(t, owned, replay); err != nil {
+				return fmt.Errorf("replay to %v: %w", t, err)
+			}
+			resumeAt = t
+		}
+		if int64(resumeAt) != ck.At {
+			return fmt.Errorf("checkpoint at %d is not on the slice schedule", ck.At)
+		}
+		if rem := replay.Remaining(); rem != 0 {
+			return fmt.Errorf("replay stopped %d journal records short of the checkpoint", rem)
+		}
+		startSeq = ck.Exchanges
+		journal, err = wire.OpenJournalAppend(journalPath, ck.Offset)
+		if err != nil {
+			return err
+		}
+		logger.Printf("restored to t=%v from %s (%d exchanges replayed)", resumeAt, p.ckptPath, ck.Exchanges)
+	} else if p.ckptPath != "" {
+		journal, err = wire.CreateJournal(journalPath, digest)
+		if err != nil {
+			return err
+		}
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
+	tp, err := wire.New(wire.Config{
+		Self: p.proc, Addrs: p.addrs, Digest: digest,
+		StartSeq: startSeq, Logf: logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer tp.Close()
+	var bus sim.PeerBus = tp
+	if journal != nil {
+		bus = &wire.JournalBus{Bus: tp, J: journal}
+	}
+
+	var prom promCache
+	if p.httpAddr != "" {
+		if err := prom.serve(p.httpAddr); err != nil {
+			return err
+		}
+	}
+
+	for _, t := range sched {
+		if t <= resumeAt {
+			continue
+		}
+		if err := sr.Net.RunPartitioned(t, owned, bus); err != nil {
+			return err
+		}
+		prom.refresh(sr.Net.MetricsSnapshotOwned(owned))
+		if t == p.ckptAt && !p.restore {
+			off, err := journal.Offset()
+			if err != nil {
+				return err
+			}
+			if err := journal.Sync(); err != nil {
+				return err
+			}
+			ck := wire.Checkpoint{
+				Exchanges: sr.Net.Coord.Exchanges(), At: int64(sr.Now()),
+				Offset: off, Digest: wire.DigestHex(digest),
+			}
+			if err := wire.WriteCheckpoint(sidecarPath, ck); err != nil {
+				return err
+			}
+			logger.Printf("checkpoint at t=%v: %d exchanges, journal byte %d", t, ck.Exchanges, off)
+		}
+	}
+
+	if p.report {
+		return writeReport(os.Stdout, wgtt.ServeReport{
+			Proc: p.proc, Scenario: p.scenario, Seed: p.seed,
+			NowNs: int64(sr.Now()), Clients: sr.Figures(owned),
+			Metrics: sr.Net.MetricsSnapshotOwned(owned),
+		})
+	}
+	return nil
+}
+
+func writeReport(w *os.File, rep wgtt.ServeReport) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(rep)
+}

@@ -14,8 +14,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 
 	"wgtt"
 	"wgtt/internal/trace"
@@ -77,64 +75,30 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-// parseSegments parses the -segments syntax: comma-separated NUMxSPACING
-// entries ("8x7.5,4x15"); a bare NUM inherits the default AP spacing.
-func parseSegments(s string) ([]wgtt.SegmentSpec, error) {
-	var specs []wgtt.SegmentSpec
-	for _, part := range strings.Split(s, ",") {
-		var spec wgtt.SegmentSpec
-		num, spacing, found := strings.Cut(part, "x")
-		n, err := strconv.Atoi(strings.TrimSpace(num))
-		if err != nil {
-			return nil, fmt.Errorf("bad segment %q: %v", part, err)
-		}
-		spec.NumAPs = n
-		if found {
-			sp, err := strconv.ParseFloat(strings.TrimSpace(spacing), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad segment %q: %v", part, err)
-			}
-			spec.APSpacing = sp
-		}
-		specs = append(specs, spec)
-	}
-	return specs, nil
-}
-
 func main() {
 	var (
-		schemeName = flag.String("scheme", "wgtt", "wgtt | 11r | stock11r")
-		mph        = flag.Float64("mph", 15, "client speed (0 = parked mid-array)")
-		clients    = flag.Int("clients", 1, "number of clients (following pattern)")
-		workloadN  = flag.String("workload", "udp", "udp | tcp | video | web | conference")
-		rate       = flag.Float64("rate", 30, "UDP offered load, Mbit/s")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		segments   = flag.String("segments", "", "multi-segment roadway, e.g. 8x7.5,4x15 (NUMxSPACING per segment)")
-		series     = flag.Bool("series", false, "print 100 ms throughput series for client 0")
-		traceN     = flag.Int("trace", 0, "dump the last N switch-protocol events (tcpdump-style)")
-		traceKind  = flag.String("trace-kind", "", "filter -trace output by kind: dl | ul | sw | ctl | drop (empty = all)")
-		traceNode  = flag.String("trace-node", "", "filter -trace output to events whose node contains this substring")
-
-		parallelSegments = flag.Bool("parallel-segments", false,
-			"run each road segment as its own parallel event-loop domain (multi-segment WGTT, udp/tcp/conference workloads)")
-		channelName = flag.String("channel", "",
-			"channel-model backend: wifi5g (default) | mmwave60g")
-		boundaryInterference = flag.Bool("boundary-interference", false,
-			"exchange boundary-zone co-channel interference between adjacent segment domains (needs -parallel-segments and >= 2 segments)")
-
-		fed = flag.Bool("federation", false,
-			"enable the cross-segment federation layer (ownership directory, multi-hop routing, re-locate protocol)")
-		ringTrunk = flag.Bool("ring-trunk", false,
-			"close the trunk chain into a ring (implies -federation; needs >= 3 segments)")
-		trunkFaults = flag.String("trunk-faults", "",
-			"trunk fault schedule, e.g. drop=0.01,jitter=50us,outage=1-2@2s-3s,outage=all@5s-5.1s")
+		mph       = flag.Float64("mph", 15, "client speed (0 = parked mid-array)")
+		clients   = flag.Int("clients", 1, "number of clients (following pattern)")
+		workloadN = flag.String("workload", "udp", "udp | tcp | video | web | conference")
+		rate      = flag.Float64("rate", 30, "UDP offered load, Mbit/s")
+		series    = flag.Bool("series", false, "print 100 ms throughput series for client 0")
+		traceKind = flag.String("trace-kind", "", "filter -trace output by kind: dl | ul | sw | ctl | drop (empty = all)")
+		traceNode = flag.String("trace-node", "", "filter -trace output to events whose node contains this substring")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	var metrics metricsFlag
 	flag.Var(&metrics, "metrics", "print end-of-run metrics; optionally -metrics=text|json|csv|prom")
-	flag.Parse()
+
+	// The deployment-shaping flags (-scheme, -seed, -segments, -channel,
+	// -audibility, -parallel-segments, ...) come from the surface shared
+	// with wgtt-serve, plus -config for a JSON options file.
+	cfg, opts, err := wgtt.LoadConfig(flag.CommandLine, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	kindFilter, err := trace.ParseKind(*traceKind)
 	if err != nil {
@@ -157,45 +121,11 @@ func main() {
 		}()
 	}
 
-	scheme, err := wgtt.ParseScheme(*schemeName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	cfg := wgtt.DefaultConfig(scheme)
-	cfg.Seed = *seed
-	cfg.TraceCapacity = *traceN
+	scheme := cfg.Scheme
 	cfg.Telemetry = metrics.on
-	if *segments != "" {
-		specs, err := parseSegments(*segments)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		cfg.Segments = specs
-	}
-	if *parallelSegments {
-		if *workloadN != "udp" && *workloadN != "tcp" && *workloadN != "conference" {
-			fmt.Fprintf(os.Stderr, "-parallel-segments supports the udp, tcp, and conference workloads, not %q\n", *workloadN)
-			os.Exit(2)
-		}
-		cfg.Domains = wgtt.DomainsParallel
-	}
-	cfg.ChannelBackend = *channelName
-	cfg.BoundaryInterference = *boundaryInterference
-	if *ringTrunk {
-		*fed = true
-		cfg.Federation.Ring = true
-	}
-	cfg.Federation.Enabled = *fed
-	if *trunkFaults != "" {
-		faults, err := wgtt.ParseFaultSchedule(*trunkFaults)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		cfg.Trunk.Faults = faults
+	if opts.ParallelSegments && *workloadN != "udp" && *workloadN != "tcp" && *workloadN != "conference" {
+		fmt.Fprintf(os.Stderr, "-parallel-segments supports the udp, tcp, and conference workloads, not %q\n", *workloadN)
+		os.Exit(2)
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -245,7 +175,7 @@ func main() {
 			pages = append(pages, w)
 		case "conference":
 			cf := wgtt.NewConference(n, c)
-			if *parallelSegments {
+			if opts.ParallelSegments {
 				// Domain mode: the call's client-side timers must be
 				// armed from the construction goroutine before the
 				// domains start, not from the server loop mid-run.
@@ -309,7 +239,7 @@ func main() {
 				rel, abandoned, releases, outage, random, len(n.LostClients()))
 		}
 	}
-	if *traceN > 0 && n.Trace != nil {
+	if opts.Trace > 0 && n.Trace != nil {
 		fmt.Println("\nevent trace (most recent):")
 		_ = trace.DumpEvents(os.Stdout, n.Trace.Filter(kindFilter, *traceNode))
 	}

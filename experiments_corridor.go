@@ -42,12 +42,12 @@ func corridorRide(opt Options, mode core.DomainMode) CorridorResult {
 	return corridorRideN(opt, mode, 3, 0)
 }
 
-// corridorRideN is the ride at an arbitrary corridor length; the domain
-// benchmark uses it to scale the domain count past the core count. A
-// zero maxDur rides the full corridor; a positive one caps the sim time
-// (a long corridor is then only partially ridden, which is fine for
-// timing — every domain still advances through the whole window).
-func corridorRideN(opt Options, mode core.DomainMode, segments int, maxDur Duration) CorridorResult {
+// corridorSetup constructs the corridor deployment and its workload
+// without running it. It is the single construction path shared by the
+// in-process rides below and wgtt-serve's "corridor" scenario, so a
+// partitioned multi-process run builds the bit-identical network the
+// parity pins reference.
+func corridorSetup(opt Options, mode core.DomainMode, segments int, maxDur Duration) *ServeRun {
 	const (
 		apsPer  = 4
 		clients = 2
@@ -68,17 +68,28 @@ func corridorRideN(opt Options, mode core.DomainMode, segments int, maxDur Durat
 		dur = maxDur
 	}
 	lo, _ := cfg.RoadSpanX()
-	var meters []*throughput
+	r := &ServeRun{Net: n, Cfg: cfg, Dur: dur, APsPerSegment: apsPer, SpeedMPH: mph}
 	for _, traj := range Scenario(Following, clients, lo-5, 0, mph) {
 		c := n.AddClient(traj)
 		f := NewUDPDownlink(n, c, offeredUDPMbps)
 		startAfterWarmup(n, f.Start)
-		meters = append(meters, f.Meter)
+		r.meters = append(r.meters, f.Meter)
+		r.clients = append(r.clients, c)
 	}
-	n.Run(dur)
-	res := CorridorResult{Segments: segments, APsPerSegment: apsPer, SpeedMPH: mph}
-	for _, m := range meters {
-		res.PerClientMbps = append(res.PerClientMbps, m.MeanMbps(n.Loop.Now()))
+	return r
+}
+
+// corridorRideN is the ride at an arbitrary corridor length; the domain
+// benchmark uses it to scale the domain count past the core count. A
+// zero maxDur rides the full corridor; a positive one caps the sim time
+// (a long corridor is then only partially ridden, which is fine for
+// timing — every domain still advances through the whole window).
+func corridorRideN(opt Options, mode core.DomainMode, segments int, maxDur Duration) CorridorResult {
+	r := corridorSetup(opt, mode, segments, maxDur)
+	r.Net.Run(r.Dur)
+	res := CorridorResult{Segments: segments, APsPerSegment: r.APsPerSegment, SpeedMPH: r.SpeedMPH}
+	for _, f := range r.Figures(nil) {
+		res.PerClientMbps = append(res.PerClientMbps, f.Mbps)
 	}
 	res.MeanMbps = mean(res.PerClientMbps)
 	return res

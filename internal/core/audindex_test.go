@@ -25,7 +25,9 @@ func indexRideSignature(t *testing.T, seed int64, mode DomainMode, noIndex bool)
 	cfg.Segments = []deploy.SegmentSpec{{NumAPs: 4}, {NumAPs: 4}, {NumAPs: 4}}
 	cfg.Domains = mode
 	cfg.Telemetry = true
-	cfg.NoAudibilityIndex = noIndex
+	if noIndex {
+		cfg.Audibility = AudibilityScan
+	}
 	n := MustNewNetwork(cfg)
 
 	var sinks []*transport.UDPSink

@@ -91,6 +91,11 @@ type Network struct {
 	// Domain-partitioned execution (Coord != nil).
 	segs        []*segDomain
 	serverToSeg []*sim.Mailbox
+	// trunkChans numbers the directed trunk transports in TrunkLink
+	// call order (deterministic — part of the cross-process schedule);
+	// trunkWired marks mailboxes whose kindTrunk demux is registered.
+	trunkChans []*trunkChannel
+	trunkWired map[*sim.Mailbox]bool
 
 	// Telemetry (Config.Telemetry; nil/empty when disabled). telSegs[i]
 	// is segment i's scope — a root-shard view on the single-loop path,
@@ -138,7 +143,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		n.initTelemetrySingle(loop, len(cfg.segmentGeoms()))
 	}
 	n.Medium = mac.NewMedium(loop, &netChannel{n: n, loop: loop}, rng.Fork("medium"))
-	if !cfg.NoAudibilityIndex {
+	if cfg.audibilityIndexEnabled() {
 		n.Medium.SetAudibilityIndex(newAudIndex(n, loop))
 	}
 	fedTopo := cfg.federationTopology()
@@ -347,13 +352,11 @@ func (n *Network) SendFromServer(p packet.Packet) {
 	}
 	if n.Coord != nil {
 		// Cross the server→segment mailbox; the backhaul hop itself runs
-		// in the segment domain. The closure serializes later, so the
+		// in the segment domain (the kindServerSend handler registered in
+		// wireServerSendEnvelopes). The envelope serializes later, so the
 		// message cannot be scratch here.
-		msg := &packet.ServerData{Inner: p}
-		bh := n.Deploy.Segments[si].Backhaul
-		n.serverToSeg[si].Post(n.Loop.Now().Add(n.Cfg.Trunk.PropDelay), func() {
-			bh.Send(deploy.NodeServer, deploy.NodeController, msg)
-		})
+		n.serverToSeg[si].Post(n.Loop.Now().Add(n.Cfg.Trunk.PropDelay),
+			sim.Envelope{Kind: kindServerSend, Payload: &packet.ServerData{Inner: p}})
 		return
 	}
 	// Single-loop path: Send serializes synchronously, so reuse a shell.

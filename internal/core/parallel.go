@@ -126,12 +126,11 @@ func (s *segDomain) patrol() {
 	for _, c := range s.order {
 		want := s.n.segmentForPos(c.Traj.Pos(now))
 		var mb *sim.Mailbox
-		var dst *segDomain
 		switch {
 		case want > s.idx && s.toNext != nil:
-			mb, dst = s.toNext, s.n.segs[s.idx+1]
+			mb = s.toNext
 		case want < s.idx && s.toPrev != nil:
-			mb, dst = s.toPrev, s.n.segs[s.idx-1]
+			mb = s.toPrev
 		}
 		if mb == nil {
 			kept = append(kept, c)
@@ -139,8 +138,9 @@ func (s *segDomain) patrol() {
 		}
 		c.Detach()
 		delete(s.resident, c.Client)
-		moved := c
-		mb.Post(now.Add(s.n.Cfg.Trunk.PropDelay), func() { dst.adopt(moved) })
+		// The kindMigrate handler registered on mb belongs to the
+		// adjacent domain (wireDomainEnvelopes) and adopts the client.
+		mb.Post(now.Add(s.n.Cfg.Trunk.PropDelay), sim.Envelope{Kind: kindMigrate, Payload: c})
 	}
 	for i := len(kept); i < len(s.order); i++ {
 		s.order[i] = nil
@@ -183,7 +183,7 @@ func newDomainNetwork(cfg Config, model channel.Model) (*Network, error) {
 		}
 		sd.medium = mac.NewMedium(d.Loop, &netChannel{n: n, loop: d.Loop},
 			rng.Fork(fmt.Sprintf("medium%d", i)))
-		if !cfg.NoAudibilityIndex {
+		if cfg.audibilityIndexEnabled() {
 			sd.medium.SetAudibilityIndex(newAudIndex(n, d.Loop))
 		}
 		n.segs = append(n.segs, sd)
@@ -227,6 +227,8 @@ func newDomainNetwork(cfg Config, model channel.Model) (*Network, error) {
 		sd.toServer = coord.Connect(sd.dom, server, lookahead)
 		n.serverToSeg = append(n.serverToSeg, coord.Connect(server, sd.dom, lookahead))
 	}
+	n.trunkWired = make(map[*sim.Mailbox]bool)
+	n.wireDomainEnvelopes()
 	fedTopo := cfg.federationTopology()
 
 	d, err := deploy.Builder{
@@ -237,24 +239,24 @@ func newDomainNetwork(cfg Config, model channel.Model) (*Network, error) {
 		FaultSeed:   cfg.Seed,
 		Telemetry:   n.segTel,
 		SegmentLoop: func(i int) *sim.Loop { return n.segs[i].dom.Loop },
-		TrunkPost: func(from, to int) func(at sim.Time, fn func()) {
-			return n.segs[from].mbTo[to].Post
-		},
+		TrunkLink:   n.trunkLink,
 		ServerHandler: func(si int) backhaul.Handler {
 			sd := n.segs[si]
 			return func(from backhaul.NodeID, msg packet.Message) {
 				// The segment's server tap crosses into the server
 				// domain; route/dedup state then stays server-local.
-				// ServerData arrives in the backhaul's decode scratch,
-				// and the posted closure outlives the handler call, so
-				// it must be copied here.
+				// ServerData arrives in the backhaul's decode scratch
+				// and the envelope outlives the handler call, so the
+				// payload embeds a copy.
+				tp := &serverTapPayload{seg: si, from: from}
 				if d, ok := msg.(*packet.ServerData); ok {
-					cp := *d
-					msg = &cp
+					tp.sd = *d
+					tp.msg = &tp.sd
+				} else {
+					tp.msg = msg
 				}
-				sd.toServer.Post(sd.dom.Loop.Now().Add(lookahead), func() {
-					n.onServerBackhaul(si, from, msg)
-				})
+				sd.toServer.Post(sd.dom.Loop.Now().Add(lookahead),
+					sim.Envelope{Kind: kindServerTap, Payload: tp})
 			}
 		},
 		BuildPlane: func(seg *deploy.Segment) deploy.Plane {
@@ -278,6 +280,7 @@ func newDomainNetwork(cfg Config, model channel.Model) (*Network, error) {
 	}
 	n.Deploy = d
 	n.Backhaul = d.Segments[0].Backhaul
+	n.wireServerSendEnvelopes()
 	for _, sd := range n.segs {
 		sd := sd
 		sd.dom.Loop.After(patrolInterval, sd.patrol)
@@ -310,6 +313,12 @@ func (n *Network) wireBoundaryInterference(geoms []deploy.Geometry) {
 		sd := sd
 		sd.medium.SetOnTransmit(sd.exportBoundaryTx)
 		sd.medium.SetInterference(sd.remoteInterference)
+		for _, b := range sd.bounds {
+			dst := n.segs[b.to]
+			sd.mbTo[b.to].OnReceive(kindBoundary, func(p any) {
+				dst.acceptRemoteTx(*p.(*remoteTx))
+			})
+		}
 	}
 }
 
@@ -325,11 +334,9 @@ func (s *segDomain) exportBoundaryTx(t *mac.Transmission) {
 		if math.Abs(pos.X-b.boundaryX) > s.n.Cfg.BoundaryZoneM {
 			continue
 		}
-		rec := remoteTx{start: t.Start, end: t.End, pos: pos, isAP: ref.isAP}
-		dst := s.n.segs[b.to]
-		s.mbTo[b.to].Post(s.dom.Loop.Now().Add(s.n.Cfg.Trunk.PropDelay), func() {
-			dst.acceptRemoteTx(rec)
-		})
+		rec := &remoteTx{start: t.Start, end: t.End, pos: pos, isAP: ref.isAP}
+		s.mbTo[b.to].Post(s.dom.Loop.Now().Add(s.n.Cfg.Trunk.PropDelay),
+			sim.Envelope{Kind: kindBoundary, Payload: rec})
 		s.boundaryPosted++
 	}
 }

@@ -140,7 +140,7 @@ func (d *Deployment) SegmentOfAP(global int) *Segment {
 // server's receive handler for a segment's backhaul tap, and BuildPlane
 // constructs the scheme-specific plane (it runs after the segment's
 // backhaul and server tap exist, preserving the single-segment
-// construction order bit-for-bit). The optional SegmentLoop/TrunkPost
+// construction order bit-for-bit). The optional SegmentLoop/TrunkLink
 // hooks partition the deployment into per-segment event-loop domains;
 // when unset, everything shares Loop and trunks schedule directly on
 // it, which is the exact serial path the golden figures pin.
@@ -163,11 +163,14 @@ type Builder struct {
 	// (conservative parallel domains). The segment's backhaul and plane
 	// are built on that loop.
 	SegmentLoop func(seg int) *sim.Loop
-	// TrunkPost, when set, returns the cross-domain scheduler used to
-	// deliver trunk messages from segment from into segment to's loop
-	// (typically a sim.Mailbox.Post bound to that directed edge). Must
-	// be set whenever SegmentLoop is.
-	TrunkPost func(from, to int) func(at sim.Time, fn func())
+	// TrunkLink, when set, returns a fresh cross-domain transport for
+	// one trunk direction from segment from into segment to (typically
+	// a typed-envelope channel over the sim.Mailbox bound to that
+	// directed edge). Each call must return a NEW transport: two trunks
+	// sharing a directed segment pair (adjacent chain plus a ring
+	// bypass) need distinct channels to demultiplex on. Must be set
+	// whenever SegmentLoop is.
+	TrunkLink func(from, to int) TrunkTransport
 	// Telemetry, when set, returns segment seg's telemetry scope. Build
 	// instruments each segment's backhaul under <scope>/backhaul and its
 	// outgoing trunk egress under <scope>/trunk (a middle segment's two
@@ -193,8 +196,8 @@ func (b Builder) Build() (*Deployment, error) {
 	if len(b.Geoms) == 0 {
 		return nil, fmt.Errorf("deploy: a deployment needs at least one segment")
 	}
-	if b.SegmentLoop != nil && b.TrunkPost == nil && len(b.Geoms) > 1 {
-		return nil, fmt.Errorf("deploy: SegmentLoop without TrunkPost cannot link segments")
+	if b.SegmentLoop != nil && b.TrunkLink == nil && len(b.Geoms) > 1 {
+		return nil, fmt.Errorf("deploy: SegmentLoop without TrunkLink cannot link segments")
 	}
 	loopFor := func(i int) *sim.Loop {
 		if b.SegmentLoop != nil {
@@ -224,14 +227,13 @@ func (b Builder) Build() (*Deployment, error) {
 	}
 	trunkPair := func(i, j int) (fwd, rev *Trunk) {
 		li, lj := loopFor(i), loopFor(j)
-		postFwd := func(at sim.Time, fn func()) { lj.At(at, fn) }
-		postRev := func(at sim.Time, fn func()) { li.At(at, fn) }
-		if b.TrunkPost != nil {
-			postFwd = b.TrunkPost(i, j)
-			postRev = b.TrunkPost(j, i)
+		if b.TrunkLink != nil {
+			fwd = NewTrunkTransport(li.Now, b.TrunkLink(i, j), b.Trunk)
+			rev = NewTrunkTransport(lj.Now, b.TrunkLink(j, i), b.Trunk)
+		} else {
+			fwd = NewTrunk(li.Now, func(at sim.Time, fn func()) { lj.At(at, fn) }, b.Trunk)
+			rev = NewTrunk(lj.Now, func(at sim.Time, fn func()) { li.At(at, fn) }, b.Trunk)
 		}
-		fwd = NewTrunk(li.Now, postFwd, b.Trunk)
-		rev = NewTrunk(lj.Now, postRev, b.Trunk)
 		// Each trunk direction's counters live in the SENDING segment's
 		// scope: Deliver runs on the sender's loop, so the handles stay
 		// inside that domain's shard.
@@ -300,15 +302,17 @@ const trunkEncapOverhead = 66
 
 // Trunk is one direction of an inter-segment link: reliable, FIFO,
 // serialization at the line rate plus fixed propagation. It is a
-// cross-domain channel: now reads the sending side's clock and post
-// schedules the arrival on the receiving side — either the same loop
-// (serial) or a sim.Mailbox.Post crossing domains. Because the arrival
+// cross-domain channel: now reads the sending side's clock and the
+// arrival is scheduled on the receiving side — directly on the shared
+// loop (serial) or as a typed envelope over a TrunkTransport crossing
+// domains (and, partitioned, processes). Because the arrival
 // is always at least PropDelay after the sender's now, PropDelay lower-
 // bounds the trunk's latency and serves as the conservative-sync
 // lookahead.
 type Trunk struct {
 	now     func() sim.Time
 	post    func(at sim.Time, fn func())
+	link    TrunkTransport
 	cfg     TrunkConfig
 	free    sim.Time // egress availability
 	deliver func(msg packet.Message)
@@ -333,9 +337,32 @@ type Trunk struct {
 }
 
 // NewTrunk builds one trunk direction from a sender clock and a
-// receiver scheduler.
+// receiver scheduler (the single-loop path: both ends share one event
+// loop, so the arrival schedules directly).
 func NewTrunk(now func() sim.Time, post func(at sim.Time, fn func()), cfg TrunkConfig) *Trunk {
 	return &Trunk{now: now, post: post, cfg: cfg}
+}
+
+// TrunkTransport carries one trunk direction's messages across a domain
+// (and possibly process) boundary as data: Post ships a message for
+// arrival at the receiving domain at the given virtual time, and
+// OnDeliver registers the receiving side's callback. Implementations
+// route over typed sim.Mailbox envelopes; each transport instance is
+// one demultiplexing channel.
+type TrunkTransport interface {
+	Post(at sim.Time, msg packet.Message)
+	OnDeliver(fn func(msg packet.Message))
+}
+
+// NewTrunkTransport builds one trunk direction whose arrivals cross a
+// domain boundary over a TrunkTransport (the partitioned path). The
+// transport's delivery callback reads the trunk's deliver hook at call
+// time, so planes may wire it after construction exactly as on the
+// single-loop path.
+func NewTrunkTransport(now func() sim.Time, link TrunkTransport, cfg TrunkConfig) *Trunk {
+	t := &Trunk{now: now, link: link, cfg: cfg}
+	link.OnDeliver(func(m packet.Message) { t.deliver(m) })
+	return t
 }
 
 // SetTelemetry installs the trunk's egress counters. The handles must
@@ -407,6 +434,10 @@ func (t *Trunk) Deliver(m packet.Message) {
 			arrive = t.lastArrive
 		}
 		t.lastArrive = arrive
+	}
+	if t.link != nil {
+		t.link.Post(arrive, m)
+		return
 	}
 	t.post(arrive, func() { t.deliver(m) })
 }

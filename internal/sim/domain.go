@@ -24,12 +24,16 @@ import (
 //
 // Determinism. Domains only share state through mailboxes. At each barrier
 // the coordinator — on a single goroutine — drains mailboxes in registration
-// order, FIFO within each, scheduling the thunks onto the receiving Loops.
-// Each Loop assigns its own monotonic sequence numbers, so the event order
-// inside every domain is a pure function of (round schedule, mailbox
-// registration order, per-domain event history) and is identical whether
-// rounds run serially or on one goroutine per domain. Parallel execution is
-// therefore bit-identical to serial execution of the same domain graph.
+// order, FIFO within each, scheduling each envelope's dispatch onto the
+// receiving Loop at its arrival time. Each Loop assigns its own monotonic
+// sequence numbers, so the event order inside every domain is a pure
+// function of (round schedule, mailbox registration order, per-domain event
+// history) and is identical whether rounds run serially or on one goroutine
+// per domain. Parallel execution is therefore bit-identical to serial
+// execution of the same domain graph — and, because typed envelopes are
+// data (see envelope.go), so is multi-process execution of a partition of
+// it (see shard.go): the same envelopes reach the same mailboxes at the
+// same times in the same order, whether by reference or by wire.
 
 // Domain is one event loop in a partitioned simulation. All state owned by
 // a domain must only be touched from its Loop's callbacks; the only legal
@@ -43,32 +47,97 @@ type Domain struct {
 // Name returns the label the domain was created with.
 func (d *Domain) Name() string { return d.name }
 
-type timedThunk struct {
-	at Time
-	fn func()
+// pendingEnv is one posted envelope awaiting the round barrier.
+type pendingEnv struct {
+	at  Time
+	env Envelope
 }
 
 // Mailbox is a single-sender, single-receiver channel between two domains
 // with a bounded minimum latency. Post may only be called from the sending
-// domain's callbacks (or before the coordinator starts running); the thunks
-// are moved onto the receiving domain's Loop at the next round barrier.
+// domain's callbacks (or before the coordinator starts running); the
+// envelopes are dispatched onto the receiving domain's Loop at the next
+// round barrier. See envelope.go for the full envelope contract
+// (ordering, min-delay, copy semantics).
 type Mailbox struct {
 	from, to *Domain
 	minDelay Duration
-	pending  []timedThunk
+	pending  []pendingEnv
+	handlers map[EnvelopeKind]func(payload any)
 }
 
-// Post schedules fn to run in the receiving domain at virtual time at.
-// The arrival must respect the mailbox's minimum delay relative to the
-// sender's clock; violating it would break conservative synchronization,
-// so Post panics rather than silently reordering time.
-func (m *Mailbox) Post(at Time, fn func()) {
+// Post schedules env for dispatch in the receiving domain at virtual time
+// at. The arrival must respect the mailbox's minimum delay relative to
+// the sender's clock; violating it would break conservative
+// synchronization, so Post panics rather than silently reordering time.
+// The validation is shared by both directions of a Connect pair and by
+// the deprecated PostFunc shim — no entry point or direction skips it.
+func (m *Mailbox) Post(at Time, env Envelope) {
+	m.checkDelay(at)
+	m.pending = append(m.pending, pendingEnv{at: at, env: env})
+}
+
+// PostFunc schedules fn to run in the receiving domain at virtual time
+// at — the old closure API, kept as a shim for tests and transitional
+// callers.
+//
+// Deprecated: closures cannot cross a process boundary; use Post with a
+// registered envelope kind. PostFunc applies the same min-delay
+// validation as Post.
+func (m *Mailbox) PostFunc(at Time, fn func()) {
+	m.Post(at, Envelope{Kind: KindFunc, Payload: fn})
+}
+
+// checkDelay enforces the conservative-synchronization min-delay
+// contract against the sender's clock.
+func (m *Mailbox) checkDelay(at Time) {
 	if now := m.from.Loop.Now(); at.Sub(now) < m.minDelay {
 		panic(fmt.Sprintf(
 			"sim: Mailbox.Post %s->%s at %v violates min delay %v (sender now %v)",
 			m.from.name, m.to.name, at, m.minDelay, now))
 	}
-	m.pending = append(m.pending, timedThunk{at: at, fn: fn})
+}
+
+// OnReceive registers the receiving domain's handler for one envelope
+// kind on this mailbox. The handler runs on the receiving domain's Loop
+// at each envelope's arrival time. Registration happens at construction
+// (before the coordinator runs) and is required for every typed kind the
+// mailbox will carry; KindFunc needs no handler (the payload is the
+// closure itself). Registering a kind twice panics: handler identity is
+// part of the deterministic schedule.
+func (m *Mailbox) OnReceive(kind EnvelopeKind, fn func(payload any)) {
+	if kind == KindFunc {
+		panic("sim: OnReceive(KindFunc): closure envelopes dispatch directly")
+	}
+	if _, ok := envelopeCodec(kind); !ok {
+		panic(fmt.Sprintf("sim: OnReceive of unregistered envelope kind %d", kind))
+	}
+	if m.handlers == nil {
+		m.handlers = make(map[EnvelopeKind]func(any))
+	}
+	if _, dup := m.handlers[kind]; dup {
+		panic(fmt.Sprintf("sim: duplicate OnReceive for envelope kind %s on %s->%s",
+			EnvelopeKindName(kind), m.from.name, m.to.name))
+	}
+	m.handlers[kind] = fn
+}
+
+// deliver schedules one envelope's dispatch onto the receiving Loop. A
+// KindFunc payload is the event closure itself; a typed payload is
+// dispatched through the mailbox's registered handler at the same
+// virtual time, so both forms produce identical event schedules.
+func (m *Mailbox) deliver(at Time, env Envelope) {
+	if env.Kind == KindFunc {
+		m.to.Loop.At(at, env.Payload.(func()))
+		return
+	}
+	h := m.handlers[env.Kind]
+	if h == nil {
+		panic(fmt.Sprintf("sim: no OnReceive handler for envelope kind %s on %s->%s",
+			EnvelopeKindName(env.Kind), m.from.name, m.to.name))
+	}
+	p := env.Payload
+	m.to.Loop.At(at, func() { h(p) })
 }
 
 // Coordinator advances a set of domains in lockstep rounds of width equal
@@ -84,6 +153,7 @@ type Coordinator struct {
 	boxes     []*Mailbox
 	now       Time
 	rounds    int64
+	exchanges int64
 }
 
 // NewCoordinator returns a coordinator advancing time in rounds of width
@@ -130,20 +200,26 @@ func (c *Coordinator) Connect(from, to *Domain, minDelay Duration) *Mailbox {
 	return m
 }
 
-// drain moves every pending mailbox thunk onto its receiving Loop. Runs on
-// the coordinator goroutine while no domain executes, in registration order
-// and FIFO within each mailbox, so the resulting event sequence numbers are
-// deterministic.
+// drain moves every pending mailbox envelope onto its receiving Loop.
+// Runs on the coordinator goroutine while no domain executes, in
+// registration order and FIFO within each mailbox, so the resulting
+// event sequence numbers are deterministic.
 func (c *Coordinator) drain() {
 	for _, m := range c.boxes {
-		for _, t := range m.pending {
-			m.to.Loop.At(t.at, t.fn)
+		for _, p := range m.pending {
+			m.deliver(p.at, p.env)
 		}
-		for i := range m.pending {
-			m.pending[i] = timedThunk{}
-		}
-		m.pending = m.pending[:0]
+		clearPending(m)
 	}
+}
+
+// clearPending empties a mailbox, zeroing entries so payloads don't
+// pin their referents past delivery.
+func clearPending(m *Mailbox) {
+	for i := range m.pending {
+		m.pending[i] = pendingEnv{}
+	}
+	m.pending = m.pending[:0]
 }
 
 // nextEventAt returns the earliest pending event across all domains.

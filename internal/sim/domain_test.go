@@ -50,7 +50,7 @@ func ringSignature(t *testing.T, seed int64, nDom int, parallel bool) []string {
 				mb := boxes[[2]int{i, dst}]
 				at := now.Add(mb.minDelay + Duration(rng.Intn(300))*Microsecond)
 				val := fires * (i + 1)
-				mb.Post(at, func() {
+				mb.PostFunc(at, func() {
 					logs[dst] = append(logs[dst], fmt.Sprintf("d%d recv %d from d%d @%v",
 						dst, val, i, doms[dst].Loop.Now()))
 				})
@@ -116,7 +116,39 @@ func TestMailboxPostBelowMinDelayPanics(t *testing.T) {
 				t.Error("Post below min delay did not panic")
 			}
 		}()
-		mb.Post(a.Loop.Now().Add(100*Microsecond), func() {})
+		mb.PostFunc(a.Loop.Now().Add(100*Microsecond), func() {})
+	})
+	c.Run(Time(2 * Millisecond))
+}
+
+// TestMailboxPostBelowMinDelayPanicsBothDirections pins the min-delay
+// validation on BOTH mailboxes of a Connect pair and on both entry
+// points (typed Post and the deprecated PostFunc shim): the check lives
+// in one shared Mailbox.checkDelay, so neither direction nor API can
+// drift to unvalidated posts.
+func TestMailboxPostBelowMinDelayPanicsBothDirections(t *testing.T) {
+	c := NewCoordinator(200*Microsecond, false)
+	a := c.NewDomain("a")
+	b := c.NewDomain("b")
+	fwd := c.Connect(a, b, 200*Microsecond)
+	rev := c.Connect(b, a, 200*Microsecond)
+	mustPanic := func(name string, post func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s below min delay did not panic", name)
+			}
+		}()
+		post()
+	}
+	a.Loop.After(Millisecond, func() {
+		at := a.Loop.Now().Add(100 * Microsecond)
+		mustPanic("fwd Post", func() { fwd.Post(at, Envelope{Kind: KindFunc, Payload: func() {}}) })
+		mustPanic("fwd PostFunc", func() { fwd.PostFunc(at, func() {}) })
+	})
+	b.Loop.After(Millisecond, func() {
+		at := b.Loop.Now().Add(100 * Microsecond)
+		mustPanic("rev Post", func() { rev.Post(at, Envelope{Kind: KindFunc, Payload: func() {}}) })
+		mustPanic("rev PostFunc", func() { rev.PostFunc(at, func() {}) })
 	})
 	c.Run(Time(2 * Millisecond))
 }
@@ -162,8 +194,8 @@ func TestCoordinatorConstructionPosts(t *testing.T) {
 	b := c.NewDomain("b")
 	mb := c.Connect(a, b, 200*Microsecond)
 	var got []Time
-	mb.Post(Time(200*Microsecond), func() { got = append(got, b.Loop.Now()) })
-	mb.Post(Time(5*Millisecond), func() { got = append(got, b.Loop.Now()) })
+	mb.PostFunc(Time(200*Microsecond), func() { got = append(got, b.Loop.Now()) })
+	mb.PostFunc(Time(5*Millisecond), func() { got = append(got, b.Loop.Now()) })
 	c.Run(Time(10 * Millisecond))
 	if len(got) != 2 || got[0] != Time(200*Microsecond) || got[1] != Time(5*Millisecond) {
 		t.Fatalf("construction posts delivered at %v", got)

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file defines the typed envelope layer that makes every
+// cross-domain message data rather than code. A Mailbox carries
+// Envelopes: a registered kind plus a payload. In-process the payload
+// travels by reference and the receiving mailbox's handler turns it
+// back into the same closure the old API would have posted; across
+// processes the kind's registered codec serializes the payload into a
+// WireEnvelope and the peer decodes it into an identical payload before
+// running the identical handler. Because the handler dispatch happens
+// at the same virtual time, in the same mailbox drain order, the event
+// sequence a receiving Loop sees is bit-identical whether the envelope
+// crossed a function call or a socket.
+//
+// # Envelope contract
+//
+// Ordering: envelopes posted to one mailbox are delivered FIFO, and
+// mailboxes drain in Connect registration order; both orders are part
+// of the deterministic schedule and are preserved verbatim by the wire
+// transport (per-peer sequence numbers, one batch per mailbox per
+// round, in registration order).
+//
+// Min-delay: an envelope's arrival time must be at least the sender's
+// current virtual time plus the mailbox's minimum delay — the
+// conservative-synchronization contract. Both directions of a domain
+// pair and both Post entry points (Post and the deprecated PostFunc)
+// share one validation; violations panic at the Post call.
+//
+// Copy semantics: the in-process path moves the payload by reference —
+// the sender must not retain or mutate a payload after posting it
+// unless the payload is immutable by convention (this matches the old
+// closure API, where captured state crossed by reference). Payloads of
+// kinds that may cross a process boundary must be fully encodable by
+// their codec: any state not captured by Encode does not exist on the
+// far side. Kinds registered with a nil Encode are local-only; posting
+// one toward a remote receiver is a hard error at round exchange.
+
+// EnvelopeKind identifies a registered cross-domain message type.
+// Kinds are small integers shared by every process of a partitioned
+// run; registration order must therefore be deterministic (register
+// from package init or deterministic construction code).
+type EnvelopeKind uint16
+
+// KindFunc is the deprecated closure envelope: Payload is a func()
+// run verbatim on the receiving domain's loop. It cannot cross a
+// process boundary and needs no registration or handler; it exists so
+// tests (and transitional callers) keep the old Mailbox.Post behaviour
+// via PostFunc.
+const KindFunc EnvelopeKind = 0
+
+// Envelope is one typed cross-domain message: a registered kind plus
+// its payload. See the package comment for the ordering, min-delay and
+// copy-semantics contract.
+type Envelope struct {
+	Kind    EnvelopeKind
+	Payload any
+}
+
+// EnvelopeCodec (de)serializes one envelope kind's payload for the
+// wire. Encode appends the payload's encoding to b and returns the
+// extended slice (append-style, like packet.Message.Marshal); Decode
+// parses one payload back out. A nil Encode marks the kind local-only:
+// its payloads may reference live object graphs and can never cross a
+// process boundary.
+type EnvelopeCodec struct {
+	// Name labels the kind in error messages and journals.
+	Name string
+	// Encode appends the payload encoding to b; nil means local-only.
+	Encode func(payload any, b []byte) []byte
+	// Decode parses a payload previously produced by Encode.
+	Decode func(b []byte) (any, error)
+}
+
+var (
+	envelopeMu    sync.RWMutex
+	envelopeKinds = map[EnvelopeKind]EnvelopeCodec{
+		KindFunc: {Name: "func"},
+	}
+)
+
+// RegisterEnvelope registers a kind's codec. Kinds are process-global;
+// registering the same kind twice (or KindFunc) panics. Every process
+// of a partitioned run must register the same kinds with equivalent
+// codecs — normally guaranteed by registering from package init.
+func RegisterEnvelope(kind EnvelopeKind, c EnvelopeCodec) {
+	envelopeMu.Lock()
+	defer envelopeMu.Unlock()
+	if _, dup := envelopeKinds[kind]; dup {
+		panic(fmt.Sprintf("sim: envelope kind %d (%q) already registered", kind, c.Name))
+	}
+	if c.Name == "" {
+		panic(fmt.Sprintf("sim: envelope kind %d registered without a name", kind))
+	}
+	envelopeKinds[kind] = c
+}
+
+// envelopeCodec looks a kind up; ok is false for unregistered kinds.
+func envelopeCodec(kind EnvelopeKind) (EnvelopeCodec, bool) {
+	envelopeMu.RLock()
+	defer envelopeMu.RUnlock()
+	c, ok := envelopeKinds[kind]
+	return c, ok
+}
+
+// EnvelopeKindName returns the registered name of a kind, or a numeric
+// placeholder for unknown kinds.
+func EnvelopeKindName(kind EnvelopeKind) string {
+	if c, ok := envelopeCodec(kind); ok {
+		return c.Name
+	}
+	return fmt.Sprintf("kind%d", kind)
+}
+
+// RegisteredEnvelopeKinds returns the registered kinds in ascending
+// order (KindFunc included) — the fuzz harness's seed corpus.
+func RegisteredEnvelopeKinds() []EnvelopeKind {
+	envelopeMu.RLock()
+	defer envelopeMu.RUnlock()
+	kinds := make([]EnvelopeKind, 0, len(envelopeKinds))
+	for k := range envelopeKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"strings"
 
 	"wgtt/internal/sim"
@@ -85,6 +86,36 @@ type Snapshot struct {
 	Histograms []HistogramPoint
 	Series     []SeriesPoint
 	Spans      []SpanStat
+}
+
+// MergeSnapshots stitches disjoint per-process snapshots (each exported
+// with SnapshotShards over its owned shards) back into one. Because
+// metric names are unique across shards and both this and Snapshot sort
+// every category by name, merging the per-process parts of a partitioned
+// run is bit-identical to an in-process Snapshot of the whole registry.
+// The result's At is the parts' common timestamp (the latest, if they
+// ever differ).
+func MergeSnapshots(parts ...*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if p.At > out.At {
+			out.At = p.At
+		}
+		out.Counters = append(out.Counters, p.Counters...)
+		out.Gauges = append(out.Gauges, p.Gauges...)
+		out.Histograms = append(out.Histograms, p.Histograms...)
+		out.Series = append(out.Series, p.Series...)
+		out.Spans = append(out.Spans, p.Spans...)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+	sort.Slice(out.Spans, func(i, j int) bool { return out.Spans[i].Name < out.Spans[j].Name })
+	return out
 }
 
 // leafMatch reports whether name is exactly leaf or ends in "/<leaf>".

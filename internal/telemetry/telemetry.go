@@ -227,13 +227,18 @@ type metric struct {
 }
 
 // shard holds the metrics owned by one execution domain. Registration
-// order is remembered so sampling walks series deterministically.
+// order is remembered so sampling walks series deterministically. name
+// is the prefix the shard was created with ("" for the root shard) —
+// the key a partitioned run filters per-process snapshots by.
 type shard struct {
+	name   string
 	byName map[string]*metric
 	order  []*metric
 }
 
-func newShard() *shard { return &shard{byName: make(map[string]*metric)} }
+func newShard(name string) *shard {
+	return &shard{name: name, byName: make(map[string]*metric)}
+}
 
 func (sh *shard) lookup(name string, kind metricKind) *metric {
 	if m, ok := sh.byName[name]; ok {
@@ -256,7 +261,7 @@ type Registry struct {
 
 // NewRegistry returns a registry with a root shard.
 func NewRegistry() *Registry {
-	return &Registry{shards: []*shard{newShard()}}
+	return &Registry{shards: []*shard{newShard("")}}
 }
 
 // Scope returns a registration view onto the root shard with the given
@@ -276,7 +281,7 @@ func (r *Registry) NewShard(prefix string) Scope {
 	if r == nil {
 		return Scope{}
 	}
-	sh := newShard()
+	sh := newShard(prefix)
 	r.shards = append(r.shards, sh)
 	return Scope{sh: sh, prefix: prefix}
 }
@@ -396,11 +401,26 @@ func (s Scope) Sample(now sim.Time) {
 // quiescent (after Run returns): that is both the determinism rule for
 // GaugeFunc reads and the memory-visibility edge for parallel domains.
 func (r *Registry) Snapshot(at sim.Time) *Snapshot {
+	return r.SnapshotShards(at, nil)
+}
+
+// SnapshotShards is Snapshot restricted to the shards whose name keep
+// accepts (the root shard's name is ""); a nil keep accepts every
+// shard. A partitioned run exports each shard from the process that
+// owns its domain — remote shards' series never sample and remote
+// GaugeFuncs would read never-run state, so each process keeps exactly
+// its own shards and MergeSnapshots stitches the full picture, bit-
+// identical to an in-process Snapshot because metric names are unique
+// across shards and both paths sort by name.
+func (r *Registry) SnapshotShards(at sim.Time, keep func(shard string) bool) *Snapshot {
 	if r == nil {
 		return nil
 	}
 	snap := &Snapshot{At: at}
 	for _, sh := range r.shards {
+		if keep != nil && !keep(sh.name) {
+			continue
+		}
 		for _, m := range sh.order {
 			switch m.kind {
 			case kindCounter:

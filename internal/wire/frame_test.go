@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"wgtt/internal/sim"
+)
+
+func sampleRound(seq int64) sim.RoundMsg {
+	return sim.RoundMsg{
+		Seq:     seq,
+		Next:    sim.Time(123456789 + seq),
+		HasNext: true,
+		Boxes: []sim.BoxBatch{
+			{Box: 0, Envelopes: []sim.WireEnvelope{
+				{At: 1000, Kind: 2, Data: []byte("hello")},
+				{At: 2000, Kind: 7, Data: nil},
+			}},
+			{Box: 5, Envelopes: []sim.WireEnvelope{
+				{At: 1500, Kind: 1, Data: bytes.Repeat([]byte{0xAB}, 300)},
+			}},
+		},
+	}
+}
+
+func TestRoundCodecRoundTrip(t *testing.T) {
+	cases := []sim.RoundMsg{
+		sampleRound(0),
+		sampleRound(42),
+		{Seq: 7, Flush: true},                      // flush with no boxes, no next
+		{Seq: -1, Next: -5, HasNext: true},         // negative times survive
+		{Seq: 3, Boxes: []sim.BoxBatch{{Box: 12}}}, // empty batch
+	}
+	for i, m := range cases {
+		enc := encodeRound(m)
+		got, err := decodeRound(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// Canonical-form comparison: re-encoding must be byte-identical
+		// (nil vs empty Data both encode as length 0).
+		if !bytes.Equal(enc, encodeRound(got)) {
+			t.Fatalf("case %d: round trip changed encoding\n in: %+v\nout: %+v", i, m, got)
+		}
+		if got.Seq != m.Seq || got.Next != m.Next || got.HasNext != m.HasNext || got.Flush != m.Flush {
+			t.Fatalf("case %d: header fields changed: %+v -> %+v", i, m, got)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var digest [32]byte
+	for i := range digest {
+		digest[i] = byte(i * 7)
+	}
+	h := hello{Proc: 3, Digest: digest, NextRecv: 99}
+	got, err := decodeHello(encodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("hello round trip: %+v -> %+v", h, got)
+	}
+}
+
+func TestDecodeRoundRejectsTrailingBytes(t *testing.T) {
+	enc := append(encodeRound(sampleRound(1)), 0xFF)
+	if _, err := decodeRound(enc); err == nil {
+		t.Fatal("decodeRound accepted a frame with trailing bytes")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Seq: 9, Peers: []sim.RoundMsg{sampleRound(9), {Seq: 9, Flush: true}}}
+	got, err := decodeRecord(encodeRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != rec.Seq || len(got.Peers) != len(rec.Peers) {
+		t.Fatalf("record round trip: %+v -> %+v", rec, got)
+	}
+	for i := range rec.Peers {
+		if !bytes.Equal(encodeRound(rec.Peers[i]), encodeRound(got.Peers[i])) {
+			t.Fatalf("peer %d changed across record round trip", i)
+		}
+	}
+}
+
+// FuzzEnvelopeCodec hammers the wire decoders with arbitrary bytes:
+// they must never panic, and anything they accept must re-encode to a
+// decodable, stable form (decode ∘ encode is the identity on the
+// canonical encoding).
+func FuzzEnvelopeCodec(f *testing.F) {
+	f.Add(encodeRound(sampleRound(0)))
+	f.Add(encodeRound(sim.RoundMsg{Seq: 1, Flush: true}))
+	f.Add(encodeRecord(Record{Seq: 2, Peers: []sim.RoundMsg{sampleRound(2)}}))
+	f.Add(encodeHello(hello{Proc: 1, NextRecv: 7}))
+	f.Add([]byte{frameRound})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		decodeHello(b) // must not panic
+		if m, err := decodeRound(b); err == nil {
+			enc := encodeRound(m)
+			m2, err := decodeRound(enc)
+			if err != nil {
+				t.Fatalf("re-decode of accepted round failed: %v", err)
+			}
+			if !bytes.Equal(enc, encodeRound(m2)) {
+				t.Fatal("canonical round encoding is not stable")
+			}
+		}
+		if rec, err := decodeRecord(b); err == nil {
+			enc := encodeRecord(rec)
+			if _, err := decodeRecord(enc); err != nil {
+				t.Fatalf("re-decode of accepted record failed: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wgtt/internal/sim"
+)
+
+// TestJournalRecordReplay records a live 2-process exchange stream on
+// one side, then replays a prefix through a ReplayBus and verifies the
+// replayed messages are byte-identical to what the transport delivered
+// — the property checkpoint/restore determinism rests on.
+func TestJournalRecordReplay(t *testing.T) {
+	const rounds = 20
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := CreateJournal(path, testDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := startMesh(t, 2, nil)
+	jb := &JournalBus{Bus: ts[0], J: j}
+
+	var lived [][]sim.RoundMsg
+	errc := make(chan error, 1)
+	go func() { // proc 1 drives the raw transport
+		for seq := int64(0); seq < rounds; seq++ {
+			if _, err := ts[1].Exchange(testRound(1, seq)); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for seq := int64(0); seq < rounds; seq++ {
+		out, err := jb.Exchange(testRound(0, seq))
+		if err != nil {
+			t.Fatalf("exchange %d: %v", seq, err)
+		}
+		lived = append(lived, out)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("proc 1: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full read-back matches the live stream.
+	recs, _, err := ReadJournal(path, testDigest, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != rounds {
+		t.Fatalf("journal has %d records, want %d", len(recs), rounds)
+	}
+	for i, rec := range recs {
+		if rec.Seq != int64(i) || len(rec.Peers) != 1 {
+			t.Fatalf("record %d: seq %d with %d peers", i, rec.Seq, len(rec.Peers))
+		}
+		if !bytes.Equal(encodeRound(rec.Peers[0]), encodeRound(lived[i][0])) {
+			t.Fatalf("record %d differs from the live exchange", i)
+		}
+	}
+
+	// Prefix replay: the first 12 exchanges come back verbatim.
+	const k = 12
+	prefix, offset, err := ReadJournal(path, testDigest, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := NewReplayBus(prefix)
+	for seq := int64(0); seq < k; seq++ {
+		out, err := rb.Exchange(testRound(0, seq))
+		if err != nil {
+			t.Fatalf("replay %d: %v", seq, err)
+		}
+		if !bytes.Equal(encodeRound(out[0]), encodeRound(lived[seq][0])) {
+			t.Fatalf("replay %d differs from the live exchange", seq)
+		}
+	}
+	if rb.Remaining() != 0 {
+		t.Fatalf("%d records left after replay", rb.Remaining())
+	}
+	if _, err := rb.Exchange(testRound(0, k)); err == nil {
+		t.Fatal("replay past the recorded prefix succeeded")
+	}
+
+	// Out-of-step replay is rejected.
+	rb2 := NewReplayBus(prefix)
+	if _, err := rb2.Exchange(testRound(0, 5)); err == nil {
+		t.Fatal("replay accepted a mismatched sequence number")
+	}
+
+	// Truncate-and-append: resume recording after record k.
+	j2, err := OpenJournalAppend(path, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Record{Seq: k, Peers: []sim.RoundMsg{testRound(1, k)}}
+	if err := j2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs2, _, err := ReadJournal(path, testDigest, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != k+1 {
+		t.Fatalf("after truncate+append: %d records, want %d", len(recs2), k+1)
+	}
+	if !bytes.Equal(encodeRecord(recs2[k]), encodeRecord(extra)) {
+		t.Fatal("appended record did not survive the truncate")
+	}
+
+	// A different configuration cannot consume this journal.
+	var other [32]byte
+	copy(other[:], "different-config")
+	if _, _, err := ReadJournal(path, other, -1); err == nil {
+		t.Fatal("journal read accepted a mismatched digest")
+	}
+	// Asking for more records than exist is an explicit error.
+	if _, _, err := ReadJournal(path, testDigest, 1000); err == nil {
+		t.Fatal("journal read satisfied an oversized prefix request")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	c := Checkpoint{Exchanges: 37, At: 123456, Offset: 8899, Digest: DigestHex(testDigest)}
+	if err := WriteCheckpoint(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path, testDigest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("checkpoint round trip: %+v -> %+v", c, got)
+	}
+	var other [32]byte
+	if _, err := ReadCheckpoint(path, other); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("checkpoint read accepted a mismatched digest: %v", err)
+	}
+}

@@ -1,0 +1,215 @@
+package wgtt
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wgtt/internal/core"
+)
+
+// Audibility values for Config.Audibility / the -audibility flag.
+const (
+	// AudibilityIndex is the spatial audibility index (the default).
+	AudibilityIndex = core.AudibilityIndex
+	// AudibilityScan is the brute-force all-nodes delivery scan.
+	AudibilityScan = core.AudibilityScan
+)
+
+// DeployOptions is the deployment-shaping option surface shared by every
+// wgtt binary (wgtt-sim, wgtt-serve): everything two processes must
+// agree on to construct the identical Network. Binaries register it
+// with LoadConfig so their flag names, defaults, and config-file keys
+// cannot drift; binary-specific knobs (workloads, output formats,
+// process topology) stay in each main.
+//
+// String-typed fields keep their flag syntax so the JSON config file
+// and the command line parse through the same code.
+type DeployOptions struct {
+	Scheme               string `json:"scheme"`
+	Seed                 int64  `json:"seed"`
+	Segments             string `json:"segments"`
+	Channel              string `json:"channel"`
+	Audibility           string `json:"audibility"`
+	ParallelSegments     bool   `json:"parallel-segments"`
+	BoundaryInterference bool   `json:"boundary-interference"`
+	Federation           bool   `json:"federation"`
+	RingTrunk            bool   `json:"ring-trunk"`
+	TrunkFaults          string `json:"trunk-faults"`
+	Trace                int    `json:"trace"`
+}
+
+// DefaultDeployOptions mirrors DefaultConfig at the flag surface.
+func DefaultDeployOptions() DeployOptions {
+	return DeployOptions{Scheme: "wgtt", Seed: 1}
+}
+
+// RegisterFlags binds the shared option set onto fs. LoadConfig calls
+// it; it is exported for binaries that need the registration without
+// the config-file layer.
+func RegisterFlags(fs *flag.FlagSet, o *DeployOptions) {
+	fs.StringVar(&o.Scheme, "scheme", o.Scheme, "wgtt | 11r | stock11r")
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "simulation seed")
+	fs.StringVar(&o.Segments, "segments", o.Segments,
+		"multi-segment roadway, e.g. 8x7.5,4x15 (NUMxSPACING per segment)")
+	fs.StringVar(&o.Channel, "channel", o.Channel,
+		"channel-model backend: wifi5g (default) | mmwave60g")
+	fs.StringVar(&o.Audibility, "audibility", o.Audibility,
+		"medium receiver lookup: index (default) | scan")
+	fs.BoolVar(&o.ParallelSegments, "parallel-segments", o.ParallelSegments,
+		"run each road segment as its own parallel event-loop domain (multi-segment WGTT, udp/tcp/conference workloads)")
+	fs.BoolVar(&o.BoundaryInterference, "boundary-interference", o.BoundaryInterference,
+		"exchange boundary-zone co-channel interference between adjacent segment domains (needs -parallel-segments and >= 2 segments)")
+	fs.BoolVar(&o.Federation, "federation", o.Federation,
+		"enable the cross-segment federation layer (ownership directory, multi-hop routing, re-locate protocol)")
+	fs.BoolVar(&o.RingTrunk, "ring-trunk", o.RingTrunk,
+		"close the trunk chain into a ring (implies -federation; needs >= 3 segments)")
+	fs.StringVar(&o.TrunkFaults, "trunk-faults", o.TrunkFaults,
+		"trunk fault schedule, e.g. drop=0.01,jitter=50us,outage=1-2@2s-3s,outage=all@5s-5.1s")
+	fs.IntVar(&o.Trace, "trace", o.Trace,
+		"dump the last N switch-protocol events (tcpdump-style)")
+}
+
+// sharedFlagNames must list every flag RegisterFlags registers; the
+// config-file overlay keys off it.
+var sharedFlagNames = []string{
+	"scheme", "seed", "segments", "channel", "audibility",
+	"parallel-segments", "boundary-interference",
+	"federation", "ring-trunk", "trunk-faults", "trace",
+}
+
+// overlayField copies one option from src when its flag was not set
+// explicitly on the command line.
+func overlayField(name string, dst, src *DeployOptions) {
+	switch name {
+	case "scheme":
+		dst.Scheme = src.Scheme
+	case "seed":
+		dst.Seed = src.Seed
+	case "segments":
+		dst.Segments = src.Segments
+	case "channel":
+		dst.Channel = src.Channel
+	case "audibility":
+		dst.Audibility = src.Audibility
+	case "parallel-segments":
+		dst.ParallelSegments = src.ParallelSegments
+	case "boundary-interference":
+		dst.BoundaryInterference = src.BoundaryInterference
+	case "federation":
+		dst.Federation = src.Federation
+	case "ring-trunk":
+		dst.RingTrunk = src.RingTrunk
+	case "trunk-faults":
+		dst.TrunkFaults = src.TrunkFaults
+	case "trace":
+		dst.Trace = src.Trace
+	}
+}
+
+// LoadConfig parses args with the shared flag surface plus -config and
+// resolves a Config with flags > config file > defaults precedence:
+// every shared option not set explicitly on the command line takes the
+// config file's value (when -config is given), and defaults otherwise.
+// Binary-specific flags must be registered on fs before the call; they
+// are parsed alongside but not overlaid from the file.
+//
+// The returned Config is resolved but not validated — binaries apply
+// their own mutations (workload telemetry, serve's domain mode) and
+// then call Config.Validate themselves.
+func LoadConfig(fs *flag.FlagSet, args []string) (Config, DeployOptions, error) {
+	o := DefaultDeployOptions()
+	configPath := fs.String("config", "", "JSON options file; explicit flags override its values")
+	RegisterFlags(fs, &o)
+	if err := fs.Parse(args); err != nil {
+		return Config{}, o, err
+	}
+	if *configPath != "" {
+		fileOpts := DefaultDeployOptions()
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return Config{}, o, err
+		}
+		dec := json.NewDecoder(f)
+		dec.DisallowUnknownFields()
+		err = dec.Decode(&fileOpts)
+		f.Close()
+		if err != nil {
+			return Config{}, o, fmt.Errorf("config file %s: %w", *configPath, err)
+		}
+		visited := make(map[string]bool)
+		fs.Visit(func(fl *flag.Flag) { visited[fl.Name] = true })
+		for _, name := range sharedFlagNames {
+			if !visited[name] {
+				overlayField(name, &o, &fileOpts)
+			}
+		}
+	}
+	cfg, err := o.Config()
+	return cfg, o, err
+}
+
+// Config resolves the option set into a deployment Config.
+func (o DeployOptions) Config() (Config, error) {
+	scheme, err := ParseScheme(o.Scheme)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := DefaultConfig(scheme)
+	cfg.Seed = o.Seed
+	cfg.TraceCapacity = o.Trace
+	cfg.ChannelBackend = o.Channel
+	cfg.Audibility = o.Audibility
+	cfg.BoundaryInterference = o.BoundaryInterference
+	if o.Segments != "" {
+		specs, err := ParseSegments(o.Segments)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Segments = specs
+	}
+	if o.ParallelSegments {
+		cfg.Domains = DomainsParallel
+	}
+	cfg.Federation.Enabled = o.Federation
+	if o.RingTrunk {
+		cfg.Federation.Enabled = true
+		cfg.Federation.Ring = true
+	}
+	if o.TrunkFaults != "" {
+		faults, err := ParseFaultSchedule(o.TrunkFaults)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Trunk.Faults = faults
+	}
+	return cfg, nil
+}
+
+// ParseSegments parses the -segments syntax: comma-separated
+// NUMxSPACING entries ("8x7.5,4x15"); a bare NUM inherits the default
+// AP spacing.
+func ParseSegments(s string) ([]SegmentSpec, error) {
+	var specs []SegmentSpec
+	for _, part := range strings.Split(s, ",") {
+		var spec SegmentSpec
+		num, spacing, found := strings.Cut(part, "x")
+		n, err := strconv.Atoi(strings.TrimSpace(num))
+		if err != nil {
+			return nil, fmt.Errorf("bad segment %q: %v", part, err)
+		}
+		spec.NumAPs = n
+		if found {
+			sp, err := strconv.ParseFloat(strings.TrimSpace(spacing), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad segment %q: %v", part, err)
+			}
+			spec.APSpacing = sp
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

@@ -1,0 +1,80 @@
+package wgtt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadConfigPrecedence pins the flags > config file > defaults
+// contract: an explicit flag beats the file, the file beats
+// DefaultDeployOptions, and untouched options keep their defaults.
+func TestLoadConfigPrecedence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "opts.json")
+	file := `{"seed": 7, "segments": "4x7.5,4x7.5", "audibility": "scan"}`
+	if err := os.WriteFile(path, []byte(file), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg, opts, err := LoadConfig(fs, []string{"-config", path, "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 {
+		t.Errorf("flag -seed 9 lost to the file: got %d", cfg.Seed)
+	}
+	if len(cfg.Segments) != 2 || opts.Segments != "4x7.5,4x7.5" {
+		t.Errorf("file segments not applied: %+v", cfg.Segments)
+	}
+	if cfg.Audibility != AudibilityScan {
+		t.Errorf("file audibility not applied: %q", cfg.Audibility)
+	}
+	if cfg.Scheme != SchemeWGTT {
+		t.Errorf("untouched option lost its default: scheme %v", cfg.Scheme)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("resolved config does not validate: %v", err)
+	}
+}
+
+func TestLoadConfigNoFile(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg, _, err := LoadConfig(fs, []string{"-audibility", "scan", "-seed", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 3 || cfg.Audibility != AudibilityScan {
+		t.Errorf("flags not applied: seed %d audibility %q", cfg.Seed, cfg.Audibility)
+	}
+}
+
+func TestLoadConfigRejectsUnknownFileKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "opts.json")
+	if err := os.WriteFile(path, []byte(`{"sede": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	if _, _, err := LoadConfig(fs, []string{"-config", path}); err == nil {
+		t.Fatal("a config file with a misspelled key was accepted")
+	}
+}
+
+// TestSharedFlagNamesComplete guards the overlay table against drift:
+// every flag RegisterFlags registers must be listed.
+func TestSharedFlagNamesComplete(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var o DeployOptions
+	RegisterFlags(fs, &o)
+	registered := make(map[string]bool)
+	fs.VisitAll(func(f *flag.Flag) { registered[f.Name] = true })
+	for _, name := range sharedFlagNames {
+		if !registered[name] {
+			t.Errorf("sharedFlagNames lists %q but RegisterFlags does not register it", name)
+		}
+		delete(registered, name)
+	}
+	for name := range registered {
+		t.Errorf("RegisterFlags registers %q but sharedFlagNames omits it (config-file overlay will miss it)", name)
+	}
+}

@@ -1,0 +1,258 @@
+package wgtt
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"wgtt/internal/telemetry"
+)
+
+// These tests pin the tentpole guarantee of the distributed runtime:
+// the corridor scenario sharded across real wgtt-serve processes over
+// unix sockets is bit-identical — goodput figures AND telemetry — to
+// the in-process serial run, and a checkpoint/restore mid-run
+// reproduces the uninterrupted result.
+
+var (
+	serveBinOnce sync.Once
+	serveBinPath string
+	serveBinErr  error
+)
+
+// serveBin builds cmd/wgtt-serve once per test binary.
+func serveBin(t *testing.T) string {
+	t.Helper()
+	serveBinOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "wgtt-serve-bin")
+		if err != nil {
+			serveBinErr = err
+			return
+		}
+		serveBinPath = filepath.Join(dir, "wgtt-serve")
+		cmd := exec.Command("go", "build", "-o", serveBinPath, "./cmd/wgtt-serve")
+		cmd.Dir = moduleRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			serveBinErr = fmt.Errorf("go build ./cmd/wgtt-serve: %v\n%s", err, out)
+		}
+	})
+	if serveBinErr != nil {
+		t.Fatal(serveBinErr)
+	}
+	return serveBinPath
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// runServeProcs starts one wgtt-serve process per element of extraArgs
+// (all sharing common) and returns each process's raw stdout. Any
+// process failure fails the test with its stderr.
+func runServeProcs(t *testing.T, common []string, extraArgs [][]string) [][]byte {
+	t.Helper()
+	bin := serveBin(t)
+	outs := make([][]byte, len(extraArgs))
+	errs := make([]error, len(extraArgs))
+	var stderrs = make([]string, len(extraArgs))
+	var wg sync.WaitGroup
+	for i, extra := range extraArgs {
+		wg.Add(1)
+		go func(i int, extra []string) {
+			defer wg.Done()
+			args := append(append([]string{}, common...), extra...)
+			cmd := exec.Command(bin, args...)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			errs[i] = cmd.Run()
+			outs[i] = stdout.Bytes()
+			stderrs[i] = stderr.String()
+		}(i, extra)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("wgtt-serve proc %d: %v\nstderr:\n%s", i, err, stderrs[i])
+		}
+	}
+	return outs
+}
+
+// udsPeers returns a -peers value with n unix sockets under the test's
+// temp dir.
+func udsPeers(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, fmt.Sprintf("unix:%s/p%d.sock", dir, i))
+	}
+	return strings.Join(addrs, ",")
+}
+
+// mergeServeReports stitches per-process reports back into one figure
+// set and one snapshot, insisting each client is owned exactly once.
+func mergeServeReports(t *testing.T, reports []ServeReport) ([]ServeClient, *telemetry.Snapshot) {
+	t.Helper()
+	merged := map[int]ServeClient{}
+	var parts []*telemetry.Snapshot
+	for _, rep := range reports {
+		for _, c := range rep.Clients {
+			if !c.Owned {
+				continue
+			}
+			if prev, dup := merged[c.ID]; dup {
+				t.Fatalf("client %d owned by two processes (%.6f and %.6f Mbit/s)", c.ID, prev.Mbps, c.Mbps)
+			}
+			merged[c.ID] = c
+		}
+		parts = append(parts, rep.Metrics)
+	}
+	var figs []ServeClient
+	for id := 0; id < len(merged); id++ {
+		c, ok := merged[id]
+		if !ok {
+			t.Fatalf("client %d owned by no process", id)
+		}
+		figs = append(figs, c)
+	}
+	return figs, telemetry.MergeSnapshots(parts...)
+}
+
+func snapshotText(t *testing.T, snap *telemetry.Snapshot) string {
+	t.Helper()
+	if snap == nil {
+		t.Fatal("nil telemetry snapshot")
+	}
+	var sb strings.Builder
+	if err := snap.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestMultiProcessParity shards the corridor ride across two
+// wgtt-serve processes over unix sockets — segment domains in one,
+// the server domain in the other, so every cross-domain envelope and
+// every client migration crosses the wire — and requires the merged
+// figures and merged telemetry to be bit-identical to the in-process
+// serial run at seeds 1–3.
+func TestMultiProcessParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three corridor rides in-process plus six in subprocesses")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ref, err := BuildServeScenario("corridor", Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Net.Run(ref.Dur)
+			refFigs := ref.Figures(nil)
+			refText := snapshotText(t, ref.Net.MetricsSnapshot())
+
+			peers := udsPeers(t, 2)
+			common := []string{
+				"-scenario", "corridor", "-seed", fmt.Sprint(seed),
+				"-partition", "segs,server", "-peers", peers, "-report",
+			}
+			outs := runServeProcs(t, common, [][]string{
+				{"-proc", "0"}, {"-proc", "1"},
+			})
+			var reports []ServeReport
+			for i, out := range outs {
+				var rep ServeReport
+				if err := json.Unmarshal(out, &rep); err != nil {
+					t.Fatalf("proc %d report: %v\n%s", i, err, out)
+				}
+				reports = append(reports, rep)
+			}
+			figs, snap := mergeServeReports(t, reports)
+
+			if len(figs) != len(refFigs) {
+				t.Fatalf("merged %d client figures, reference has %d", len(figs), len(refFigs))
+			}
+			for i, f := range figs {
+				if f.Mbps != refFigs[i].Mbps {
+					t.Errorf("client %d: sharded %v Mbit/s, in-process %v", i, f.Mbps, refFigs[i].Mbps)
+				}
+			}
+			if got := snapshotText(t, snap); got != refText {
+				i := 0
+				for i < len(got) && i < len(refText) && got[i] == refText[i] {
+					i++
+				}
+				lo := i - 40
+				if lo < 0 {
+					lo = 0
+				}
+				t.Errorf("merged telemetry diverges from in-process at byte %d:\n  sharded:    …%s…\n  in-process: …%s…",
+					i, clipStr(got, lo, i+40), clipStr(refText, lo, i+40))
+			}
+		})
+	}
+}
+
+func clipStr(s string, lo, hi int) string {
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+// TestServeCheckpointRestore runs the sharded corridor twice: run A
+// start-to-finish while journaling with a checkpoint at t=4 s, run B
+// restoring from that checkpoint. Both processes' reports — figures
+// and telemetry — must come out byte-identical, i.e. a crash at the
+// checkpoint loses nothing.
+func TestServeCheckpointRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four corridor rides in subprocesses")
+	}
+	peers := udsPeers(t, 2)
+	ckptDir := t.TempDir()
+	common := []string{
+		"-scenario", "corridor", "-seed", "1",
+		"-partition", "segs,server", "-peers", peers,
+		"-checkpoint-at", "4000", "-report",
+	}
+	procArgs := func(restore bool) [][]string {
+		var extra [][]string
+		for i := 0; i < 2; i++ {
+			a := []string{"-proc", fmt.Sprint(i), "-ckpt", filepath.Join(ckptDir, fmt.Sprintf("ck%d", i))}
+			if restore {
+				a = append(a, "-restore")
+			}
+			extra = append(extra, a)
+		}
+		return extra
+	}
+	runA := runServeProcs(t, common, procArgs(false))
+	for i := 0; i < 2; i++ {
+		for _, suffix := range []string{".journal", ".ckpt"} {
+			path := filepath.Join(ckptDir, fmt.Sprintf("ck%d%s", i, suffix))
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("run A left no %s: %v", path, err)
+			}
+		}
+	}
+	runB := runServeProcs(t, common, procArgs(true))
+	for i := 0; i < 2; i++ {
+		if !bytes.Equal(runA[i], runB[i]) {
+			t.Errorf("proc %d: restored run's report differs from the uninterrupted run\nA: %.200s\nB: %.200s",
+				i, runA[i], runB[i])
+		}
+	}
+}

@@ -31,6 +31,11 @@ go test -race ./internal/runner/ ./internal/sim/ ./internal/deploy/ ./internal/f
 go test -race -run 'TestDomain' ./internal/core/
 go test -race -run 'TestDomain' .
 
+# The wire transport carries the cross-process exchange protocol
+# (reconnect, resend, dedup, journal replay); it runs goroutine-heavy,
+# so the whole package goes under the race detector.
+go test -race ./internal/wire/
+
 # The mmWave corridor and the cross-domain boundary-interference
 # exchange both ride the parallel-domain executor; shake one seed of
 # each under the race detector (the remaining seeds run race-free in
@@ -41,6 +46,14 @@ go test -race -run 'TestCorridorMMWave/seed1|TestBoundaryInterferenceParity/seed
 go test -tags simcheck ./internal/sim/
 
 go test ./...
+
+# Distributed-runtime gate: the corridor sharded across two wgtt-serve
+# processes over unix sockets must merge — figures and telemetry — to
+# the bit-exact in-process serial run at seeds 1–3, and a
+# checkpoint/restore mid-run must reproduce the uninterrupted reports
+# byte for byte. The in-test runner side goes under the race detector
+# (the subprocesses themselves are plain builds).
+go test -race -run 'TestMultiProcessParity|TestServeCheckpointRestore' .
 
 # Federation fault gate: a four-segment federated corridor with a canned
 # trunk fault schedule (mid-run outage + random drops + jitter) must end
