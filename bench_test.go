@@ -235,9 +235,31 @@ func BenchmarkCorridorParallel(b *testing.B) {
 // of BenchmarkCorridorParallel it measures the end-to-end overhead of
 // instrumentation on the hot path; scripts/ci.sh gates the ratio at 5%.
 func BenchmarkCorridorParallelMetrics(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opt := benchOpts(i)
 		opt.Mutate = func(c *Config) { c.Telemetry = true }
+		r := corridorRideN(opt, core.DomainsParallel, 24, 10*Second)
+		b.ReportMetric(r.MeanMbps, "Mbps")
+	}
+}
+
+// BenchmarkCorridorParallelFlightRec is BenchmarkCorridorParallelMetrics
+// with the causal flight recorder live in every domain — per-switch
+// structured records, trace-register propagation, and the latency-band
+// anomaly trigger. The delta against the recorder-off ride prices
+// recording on the hot path; scripts/ci.sh gates the ratio at 5% (and
+// the disabled path adds no allocations: records are value-typed and a
+// nil recorder is a no-op).
+func BenchmarkCorridorParallelFlightRec(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := benchOpts(i)
+		opt.Mutate = func(c *Config) {
+			c.Telemetry = true
+			c.FlightRecorder = 4096
+			c.HandoffBandLoMs, c.HandoffBandHiMs = 17, 21
+		}
 		r := corridorRideN(opt, core.DomainsParallel, 24, 10*Second)
 		b.ReportMetric(r.MeanMbps, "Mbps")
 	}

@@ -84,6 +84,8 @@ func main() {
 		series    = flag.Bool("series", false, "print 100 ms throughput series for client 0")
 		traceKind = flag.String("trace-kind", "", "filter -trace output by kind: dl | ul | sw | ctl | drop (empty = all)")
 		traceNode = flag.String("trace-node", "", "filter -trace output to events whose node contains this substring")
+		traceOut  = flag.String("trace-out", "",
+			"write the stitched flight-recorder timeline as Chrome trace_event JSON to this file (\"-\" = stdout); enables -flight-recorder 4096 when unset")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -123,6 +125,9 @@ func main() {
 
 	scheme := cfg.Scheme
 	cfg.Telemetry = metrics.on
+	if *traceOut != "" && cfg.FlightRecorder == 0 {
+		cfg.FlightRecorder = 4096
+	}
 	if opts.ParallelSegments && *workloadN != "udp" && *workloadN != "tcp" && *workloadN != "conference" {
 		fmt.Fprintf(os.Stderr, "-parallel-segments supports the udp, tcp, and conference workloads, not %q\n", *workloadN)
 		os.Exit(2)
@@ -242,6 +247,29 @@ func main() {
 	if opts.Trace > 0 && n.Trace != nil {
 		fmt.Println("\nevent trace (most recent):")
 		_ = trace.DumpEvents(os.Stdout, n.Trace.Filter(kindFilter, *traceNode))
+	}
+	if *traceOut != "" {
+		out := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := n.WriteChromeTrace(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *traceOut != "-" {
+			fmt.Printf("\nflight-recorder timeline: %s (load in ui.perfetto.dev)\n", *traceOut)
+		}
+	}
+	if anoms := n.FlightAnomalies(); len(anoms) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d anomalies triggered:\n", len(anoms))
+		_ = trace.DumpAnomalies(os.Stderr, n.FlightRecords(), anoms, 5*wgtt.Millisecond)
 	}
 	if metrics.on {
 		if snap := n.MetricsSnapshot(); snap != nil {

@@ -115,6 +115,10 @@ type AP struct {
 
 	// Trace, when set, receives stop/start/drop events.
 	Trace *trace.Log
+	// Rec, when set, is the domain's flight recorder: the AP writes its
+	// stop/start protocol steps into it under the causal trace id the
+	// controller's Stop/Start delivery carried.
+	Rec *trace.Recorder
 
 	// met holds telemetry handles resolved once by SetTelemetry; all
 	// fields are nil (free no-ops) when telemetry is off. spans is the
@@ -302,6 +306,12 @@ func (a *AP) onStop(m *packet.Stop) {
 	a.met.stops.Inc()
 	cs.serving = false
 	a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "stop #%d %s", m.SwitchID, m.Client)
+	newAP := int32(m.NewAPID)
+	if m.NewAPID == packet.RemoteAPID {
+		newAP = -1
+	}
+	a.Rec.Record(trace.Record{At: a.loop.Now(), Trace: a.loop.Trace(), SwitchID: m.SwitchID,
+		Node: int16(a.ID), Op: trace.OpStop, Client: m.Client, A: newAP})
 	// Pending retries stay: they model frames already committed to the
 	// NIC hardware queue, which §3.1.2 lets AP1 drain onto the air even
 	// after the stop (the ~6 ms the paper accepts as minimal loss).
@@ -327,6 +337,8 @@ func (a *AP) onStop(m *packet.Stop) {
 			// overtakes the drained data frames.
 			a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "start #%d k=%d -> remote", m.SwitchID, k)
 			a.spans.MarkStart(m.SwitchID, a.loop.Now())
+			a.Rec.Record(trace.Record{At: a.loop.Now(), Trace: a.loop.Trace(), SwitchID: m.SwitchID,
+				Node: int16(a.ID), Op: trace.OpStart, Client: m.Client, A: int32(k), B: -1})
 			a.bh.Send(a.self, a.fabric.Controller(), &packet.Start{
 				Client:   m.Client,
 				Index:    k,
@@ -348,6 +360,8 @@ func (a *AP) onStop(m *packet.Stop) {
 		}
 		a.Trace.Addf(a.loop.Now(), trace.Control, a.node.Name, "start #%d k=%d -> ap%d", m.SwitchID, k, m.NewAPID)
 		a.spans.MarkStart(m.SwitchID, a.loop.Now())
+		a.Rec.Record(trace.Record{At: a.loop.Now(), Trace: a.loop.Trace(), SwitchID: m.SwitchID,
+			Node: int16(a.ID), Op: trace.OpStart, Client: m.Client, A: int32(k), B: int32(m.NewAPID)})
 		a.bh.Send(a.self, a.fabric.APNode(m.NewAPID), &packet.Start{
 			Client:   m.Client,
 			Index:    k,
@@ -360,10 +374,11 @@ func (a *AP) onStop(m *packet.Stop) {
 // controller, and start transmitting from our own cyclic queue.
 func (a *AP) onStart(m *packet.Start) {
 	cs := a.stateFor(m.Client)
+	flushed := 0
 	if a.cfg.FlushOnStart {
 		before := cs.cyclic.Stats.Flushed
 		cs.cyclic.SetHead(m.Index)
-		if flushed := cs.cyclic.Stats.Flushed - before; flushed > 0 {
+		if flushed = cs.cyclic.Stats.Flushed - before; flushed > 0 {
 			a.met.flushedPkts.Add(int64(flushed))
 			a.spans.AddFlushed(m.SwitchID, flushed)
 		}
@@ -374,6 +389,8 @@ func (a *AP) onStart(m *packet.Start) {
 	cs.serving = true
 	a.Switches++
 	a.met.switches.Inc()
+	a.Rec.Record(trace.Record{At: a.loop.Now(), Trace: a.loop.Trace(), SwitchID: m.SwitchID,
+		Node: int16(a.ID), Op: trace.OpStartRx, Client: m.Client, A: int32(flushed)})
 	a.bh.Send(a.self, a.fabric.Controller(), &packet.SwitchAck{
 		Client:   m.Client,
 		APID:     a.ID,

@@ -58,6 +58,12 @@ const encapOverhead = 66
 type frame struct {
 	from, to NodeID
 	data     []byte
+	// trace is the sender's causal trace id, captured at Send time and
+	// restored around the destination handler. Frames queue per node and
+	// the drain events chain off each other, so the loop's inherited
+	// register alone would attribute a queued frame to whichever frame's
+	// txDone scheduled it — the explicit copy keeps causality exact.
+	trace uint64
 	// src is the egress node, for chaining the next drain step.
 	src *node
 	// txDone fires when the frame finishes serializing onto the wire;
@@ -173,6 +179,7 @@ func (n *Net) Send(from, to NodeID, msg packet.Message) {
 	}
 	f := n.acquire()
 	f.from, f.to, f.src = from, to, src
+	f.trace = n.loop.Trace()
 	f.data = msg.Marshal(f.data[:0])
 	n.sent++
 	n.metSent.Inc()
@@ -237,7 +244,9 @@ func (n *Net) handle(f *frame) {
 	n.metDelivered.Inc()
 	n.bytes += int64(len(f.data) + encapOverhead)
 	n.metBytes.Add(int64(len(f.data) + encapOverhead))
+	prev := n.loop.SetTrace(f.trace)
 	n.handlerFor(dst)(f.from, msg)
+	n.loop.SetTrace(prev)
 	n.release(f)
 }
 

@@ -58,6 +58,12 @@ type Config struct {
 	// that does not own a client asks the owner to hand it over
 	// (cross-segment handoff). Only consulted when trunks are connected.
 	ClaimThresholdDB float64
+	// HandoffBandLoMs/HandoffBandHiMs bound the expected stop→ack
+	// execution time of a completed handoff (Table 1: 17–21 ms). When
+	// HandoffBandHiMs > 0, a completed handoff outside [lo, hi] notes a
+	// latency anomaly on the flight recorder. Purely observational.
+	HandoffBandLoMs float64
+	HandoffBandHiMs float64
 }
 
 // DefaultConfig returns the paper's controller settings.
@@ -149,6 +155,10 @@ type Controller struct {
 
 	// Trace, when set, receives switch-protocol events.
 	Trace *trace.Log
+	// Rec, when set, is the domain's flight recorder: the controller
+	// writes structured switch-protocol records into it and originates
+	// the causal trace ids that thread a handoff's events together.
+	Rec *trace.Recorder
 
 	// met holds the controller's telemetry counters; spans tracks one
 	// span per stop/start/ack handoff. Both are nil-safe no-ops until
@@ -444,6 +454,11 @@ func (c *Controller) maybeSwitch(cs *clientState) {
 func (c *Controller) issueSwitch(cs *clientState, to int) {
 	c.switchID++
 	sw := &switchState{id: c.switchID, from: cs.serving, to: to, remote: -1, remoteSeg: -1, issued: c.loop.Now()}
+	// Originate the causal trace: everything this switch schedules —
+	// the stop send, its timers, the AP's ioctl callback, the ack —
+	// inherits the register until it is restored below.
+	prev := c.loop.SetTrace(c.traceID(sw.id))
+	defer c.loop.SetTrace(prev)
 	cs.sw = sw
 	cs.lastInit = c.loop.Now()
 	cs.everInit = true
@@ -456,6 +471,9 @@ func (c *Controller) issueSwitch(cs *clientState, to int) {
 	}
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "issue #%d %s ap%d->ap%d",
 		sw.id, cs.addr, c.traceAP(sw.from), c.traceAP(sw.to))
+	c.Rec.Record(trace.Record{At: c.loop.Now(), Trace: c.traceID(sw.id), SwitchID: sw.id,
+		Node: -1, Op: trace.OpIssue, Client: cs.addr,
+		A: int32(c.traceAP(sw.from)), B: int32(c.traceAP(sw.to))})
 	c.sendStop(cs, sw)
 }
 
@@ -466,6 +484,28 @@ func (c *Controller) traceAP(local int) int {
 		return local
 	}
 	return c.apBase + local
+}
+
+// traceID derives the globally unique causal id for switch transaction
+// id: this segment's first global AP id (+1, so segment 0's ids are
+// nonzero) in the high word, the per-controller switch counter in the
+// low. It is assigned unconditionally — flight recorder on or off — so
+// event schedules and wire bytes never depend on observability state.
+func (c *Controller) traceID(id uint32) uint64 {
+	return uint64(c.apBase+1)<<32 | uint64(id)
+}
+
+// UnownedClients counts client states this controller tracks without
+// owning (overheard across a segment boundary, or exported away) — the
+// input to the unowned-spike anomaly trigger.
+func (c *Controller) UnownedClients() int {
+	n := 0
+	for _, cs := range c.clients {
+		if !cs.owned {
+			n++
+		}
+	}
+	return n
 }
 
 // sendStop transmits the protocol's first step — or, for a client with no
@@ -515,6 +555,8 @@ func (c *Controller) stopTimeout(cs *clientState, sw *switchState) {
 		cs.sw = nil
 		c.met.switchAbandoned.Inc()
 		c.spans.Drop(sw.id)
+		c.Rec.Record(trace.Record{At: c.loop.Now(), Trace: c.traceID(sw.id), SwitchID: sw.id,
+			Node: -1, Op: trace.OpAbandon, Client: cs.addr, A: int32(sw.retries)})
 		// An abandoned cross-segment handoff re-admits the downlink
 		// packets held while the stop was in flight (stamped backlog
 		// re-fans as-is).
@@ -529,6 +571,8 @@ func (c *Controller) stopTimeout(cs *clientState, sw *switchState) {
 	sw.retries++
 	c.StopRetransmits++
 	c.met.stopRetx.Inc()
+	c.Rec.Record(trace.Record{At: c.loop.Now(), Trace: c.traceID(sw.id), SwitchID: sw.id,
+		Node: -1, Op: trace.OpRetx, Client: cs.addr, A: int32(sw.retries)})
 	c.sendStop(cs, sw)
 }
 
@@ -546,11 +590,19 @@ func (c *Controller) onSwitchAck(m *packet.SwitchAck) {
 	c.SwitchesAcked++
 	c.met.switchesAcked.Inc()
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "ack #%d now ap%d", sw.id, m.APID)
+	c.Rec.Record(trace.Record{At: c.loop.Now(), Trace: c.traceID(sw.id), SwitchID: sw.id,
+		Node: -1, Op: trace.OpAck, Client: cs.addr, A: int32(m.APID)})
 	if sw.from >= 0 {
 		// Only real handoffs count toward the protocol's execution
 		// time; initial adoptions skip the stop leg.
-		c.SwitchLatencies = append(c.SwitchLatencies, c.loop.Now().Sub(sw.issued))
+		lat := c.loop.Now().Sub(sw.issued)
+		c.SwitchLatencies = append(c.SwitchLatencies, lat)
 		c.spans.End(sw.id, c.loop.Now())
+		ms := float64(lat) / float64(sim.Millisecond)
+		if hi := c.cfg.HandoffBandHiMs; hi > 0 && (ms < c.cfg.HandoffBandLoMs || ms > hi) {
+			c.Rec.Anomaly(trace.Anomaly{At: c.loop.Now(), Kind: trace.AnomalyLatency,
+				Trace: c.traceID(sw.id), Value: ms})
+		}
 	}
 }
 
@@ -636,6 +688,11 @@ func (c *Controller) maybeClaim(cs *clientState) {
 	c.HandoffClaims++
 	c.met.handoffClaims.Inc()
 	c.Trace.Addf(now, trace.Switch, "ctrl", "claim %s score %.1f dB", cs.addr, best)
+	// Claims precede any switch transaction, so there is no trace id
+	// yet; the record rides whatever causal context is active (usually
+	// none) and shows up as a standalone instant.
+	c.Rec.Record(trace.Record{At: now, Trace: c.loop.Trace(), Node: -1,
+		Op: trace.OpClaim, Client: cs.addr, A: int32(best)})
 	if c.fed != nil {
 		c.fed.Claim(cs.addr, best)
 		return
@@ -694,6 +751,8 @@ func (c *Controller) onClaim(peer int, m *packet.Handoff) {
 	}
 	c.switchID++
 	sw := &switchState{id: c.switchID, from: cs.serving, to: -1, remote: peer, remoteSeg: -1, issued: now}
+	prev := c.loop.SetTrace(c.traceID(sw.id))
+	defer c.loop.SetTrace(prev)
 	cs.sw = sw
 	cs.lastInit, cs.everInit = now, true
 	c.SwitchesIssued++
@@ -706,6 +765,8 @@ func (c *Controller) onClaim(peer int, m *packet.Handoff) {
 	}
 	c.Trace.Addf(now, trace.Switch, "ctrl", "handoff #%d %s ap%d->peer%d (score %.1f)",
 		sw.id, cs.addr, c.traceAP(sw.from), peer, m.Score)
+	c.Rec.Record(trace.Record{At: now, Trace: c.traceID(sw.id), SwitchID: sw.id,
+		Node: -1, Op: trace.OpIssue, Client: cs.addr, A: int32(c.traceAP(sw.from)), B: -1})
 	if cs.serving < 0 {
 		// Nothing to stop locally: export immediately, resuming at the
 		// next index this controller would have stamped.
@@ -757,6 +818,8 @@ func (c *Controller) exportTo(cs *clientState, sw *switchState, k uint16) {
 	c.met.handoffExports.Inc()
 	c.spans.Drop(sw.id)
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "export #%d %s k=%d -> peer%d", sw.id, cs.addr, k, peer)
+	c.Rec.Record(trace.Record{At: c.loop.Now(), Trace: c.traceID(sw.id), SwitchID: sw.id,
+		Node: -1, Op: trace.OpExport, Client: cs.addr, A: int32(len(sw.held)), B: int32(peer)})
 }
 
 // onReturnedBacklog forwards the stopped AP's drained cyclic backlog to
@@ -810,6 +873,10 @@ func (c *Controller) importClient(peer int, m *packet.Handoff) {
 	c.HandoffsImported++
 	c.met.handoffImports.Inc()
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "import #%d %s k=%d", m.SwitchID, m.Client, m.Index)
+	// The trunk envelope carried the exporter's trace id across the
+	// boundary; the import stitches onto that timeline.
+	c.Rec.Record(trace.Record{At: c.loop.Now(), Trace: c.loop.Trace(), SwitchID: m.SwitchID,
+		Node: -1, Op: trace.OpImport, Client: m.Client, A: int32(m.Index)})
 	c.bh.Broadcast(c.self, &packet.AssocState{
 		Client: m.Client,
 		IP:     m.IP,

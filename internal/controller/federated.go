@@ -71,6 +71,8 @@ func (c *Controller) onFedClaim(src int, m *packet.Handoff) {
 	}
 	c.switchID++
 	sw := &switchState{id: c.switchID, from: cs.serving, to: -1, remote: -1, remoteSeg: src, issued: now}
+	prev := c.loop.SetTrace(c.traceID(sw.id))
+	defer c.loop.SetTrace(prev)
 	cs.sw = sw
 	cs.lastInit, cs.everInit = now, true
 	c.SwitchesIssued++
@@ -82,6 +84,8 @@ func (c *Controller) onFedClaim(src int, m *packet.Handoff) {
 	}
 	c.Trace.Addf(now, trace.Switch, "ctrl", "fed-handoff #%d %s ap%d->seg%d (score %.1f)",
 		sw.id, cs.addr, c.traceAP(sw.from), src, m.Score)
+	c.Rec.Record(trace.Record{At: now, Trace: c.traceID(sw.id), SwitchID: sw.id,
+		Node: -1, Op: trace.OpIssue, Client: cs.addr, A: int32(c.traceAP(sw.from)), B: -1})
 	if cs.serving < 0 {
 		c.exportFed(cs, sw, cs.nextIndex)
 		return
@@ -131,6 +135,8 @@ func (c *Controller) exportOutcome(cs *clientState, sw *switchState, ok bool) {
 			c.fed.Send(dst, &packet.ServerData{Inner: p})
 		}
 		c.Trace.Addf(now, trace.Switch, "ctrl", "fed-export #%d %s -> seg%d", sw.id, cs.addr, dst)
+		c.Rec.Record(trace.Record{At: now, Trace: c.traceID(sw.id), SwitchID: sw.id,
+			Node: -1, Op: trace.OpExport, Client: cs.addr, A: int32(len(sw.held)), B: int32(dst)})
 		return
 	}
 	// The importer never acked: keep the client, re-assert ownership
@@ -172,6 +178,8 @@ func (c *Controller) importFed(src int, m *packet.Handoff) {
 	c.HandoffsImported++
 	c.met.handoffImports.Inc()
 	c.Trace.Addf(c.loop.Now(), trace.Switch, "ctrl", "fed-import #%d %s k=%d from seg%d", m.SwitchID, m.Client, m.Index, src)
+	c.Rec.Record(trace.Record{At: c.loop.Now(), Trace: c.loop.Trace(), SwitchID: m.SwitchID,
+		Node: -1, Op: trace.OpImport, Client: m.Client, A: int32(m.Index)})
 	c.bh.Broadcast(c.self, &packet.AssocState{
 		Client: m.Client,
 		IP:     m.IP,
@@ -216,11 +224,15 @@ func (c *Controller) Release(addr packet.MAC, owner int) {
 	cs.hasAdoptAt = false
 	if cs.serving >= 0 {
 		c.switchID++
+		// Trace the stand-down stop so the AP's records attach to a
+		// causal id even though no local switch state exists for it.
+		prev := c.loop.SetTrace(c.traceID(c.switchID))
 		c.bh.Send(c.self, c.fabric.APNode(uint16(c.apBase+cs.serving)), &packet.Stop{
 			Client:   addr,
 			NewAPID:  packet.RemoteAPID,
 			SwitchID: c.switchID,
 		})
+		c.loop.SetTrace(prev)
 		cs.serving = -1
 	}
 	c.FedReleases++

@@ -161,6 +161,23 @@ type Config struct {
 	// (Network.Trace) retaining this many most-recent events.
 	TraceCapacity int
 
+	// FlightRecorder, when positive, enables the causal flight recorder:
+	// one fixed ring of this many structured switch-protocol records per
+	// domain shard (internal/trace.Recorder). Unlike TraceCapacity it is
+	// legal in every domain mode — each domain records into its own
+	// ring — and it never perturbs the event schedule.
+	FlightRecorder int
+	// HandoffBandLoMs/HandoffBandHiMs bound the expected stop→ack
+	// latency of a completed handoff. With HandoffBandHiMs > 0, a
+	// completed handoff outside [lo, hi] ms notes a latency anomaly on
+	// the domain's flight recorder.
+	HandoffBandLoMs float64
+	HandoffBandHiMs float64
+	// UnownedSpike, when positive, notes an unowned-spike anomaly when a
+	// controller tracks more than this many clients it does not own,
+	// checked at Run/slice boundaries.
+	UnownedSpike int
+
 	// Telemetry enables the metrics registry: datapath counters, handoff
 	// span tracing, and 100 ms time-series sampling across every segment
 	// (Network.MetricsSnapshot). Unlike the trace log it works in domain

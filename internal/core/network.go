@@ -66,6 +66,10 @@ type Network struct {
 
 	// Trace is the optional event log (Config.TraceCapacity > 0).
 	Trace *trace.Log
+	// recs[i] is segment i's flight recorder (Config.FlightRecorder > 0);
+	// entries are nil when disabled or for baseline planes. In domain
+	// mode each recorder is written only by its segment's goroutine.
+	recs []*trace.Recorder
 
 	rng        *sim.RNG
 	serverIPID uint16
@@ -121,6 +125,11 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The handoff latency band rides on the controller's config so the
+	// deploy layer needs no extra plumbing; controllers only evaluate it
+	// when a flight recorder is attached.
+	cfg.Controller.HandoffBandLoMs = cfg.HandoffBandLoMs
+	cfg.Controller.HandoffBandHiMs = cfg.HandoffBandHiMs
 	if cfg.Domains != SingleLoop && len(cfg.segmentGeoms()) > 1 {
 		return newDomainNetwork(cfg, model)
 	}
@@ -165,7 +174,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 			// The only scheme switch in the network: pick the plane.
 			switch cfg.Scheme {
 			case WGTT:
-				p := deploy.NewWGTTPlane(seg, loop, n.Medium, n.Trace,
+				rec := trace.NewRecorder(seg.Index, cfg.FlightRecorder)
+				n.recs = append(n.recs, rec)
+				p := deploy.NewWGTTPlane(seg, loop, n.Medium, n.Trace, rec,
 					n.segTel(seg.Index), rng, cfg.AP, cfg.Controller)
 				n.attachFederation(fedTopo, seg.Index, loop, p.Ctrl)
 				if n.Ctrl == nil {
@@ -178,6 +189,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 				}
 				return p
 			default:
+				n.recs = append(n.recs, nil)
 				p := deploy.NewBaselinePlane(seg, loop, n.Medium, rng, cfg.BaselineAP)
 				if n.Bridge == nil {
 					n.Bridge = p.Bridge
@@ -323,9 +335,10 @@ func (n *Network) nearestAP(pos rf.Position) int {
 func (n *Network) Run(until sim.Duration) {
 	if n.Coord != nil {
 		n.Coord.Run(sim.Time(until))
-		return
+	} else {
+		n.Loop.Run(sim.Time(until))
 	}
-	n.Loop.Run(sim.Time(until))
+	n.noteUnownedSpike(nil)
 }
 
 // ServerHandle registers an uplink consumer for a destination port at the

@@ -12,6 +12,7 @@ import (
 	"wgtt/internal/packet"
 	"wgtt/internal/rf"
 	"wgtt/internal/sim"
+	"wgtt/internal/trace"
 )
 
 // This file builds the domain-partitioned execution of a multi-segment
@@ -261,7 +262,9 @@ func newDomainNetwork(cfg Config, model channel.Model) (*Network, error) {
 		},
 		BuildPlane: func(seg *deploy.Segment) deploy.Plane {
 			sd := n.segs[seg.Index]
-			p := deploy.NewWGTTPlane(seg, sd.dom.Loop, sd.medium, nil,
+			rec := trace.NewRecorder(seg.Index, cfg.FlightRecorder)
+			n.recs = append(n.recs, rec)
+			p := deploy.NewWGTTPlane(seg, sd.dom.Loop, sd.medium, nil, rec,
 				n.segTel(seg.Index), rng, cfg.AP, cfg.Controller)
 			n.attachFederation(fedTopo, seg.Index, sd.dom.Loop, p.Ctrl)
 			if n.Ctrl == nil {

@@ -124,8 +124,12 @@ func (n *Network) RunPartitioned(until sim.Duration, owned map[string]bool, bus 
 	if n.Coord == nil {
 		return fmt.Errorf("RunPartitioned: network is not in a domain mode")
 	}
-	return n.Coord.RunPartitioned(sim.Time(until),
-		func(d *sim.Domain) bool { return owned[d.Name()] }, bus)
+	if err := n.Coord.RunPartitioned(sim.Time(until),
+		func(d *sim.Domain) bool { return owned[d.Name()] }, bus); err != nil {
+		return err
+	}
+	n.noteUnownedSpike(owned)
+	return nil
 }
 
 // MetricsSnapshotOwned exports the telemetry shards owned by this

@@ -41,12 +41,40 @@ func (n *Network) initTelemetryDomains(coord *sim.Coordinator, server *sim.Domai
 		sc := n.tel.NewShard(fmt.Sprintf("seg%d", i))
 		n.telSegs = append(n.telSegs, sc)
 		n.loopGauges(sc, sd.dom.Loop)
+		n.domainIntrospection(sc, coord, sd.dom)
 		scheduleSampler(sd.dom.Loop, sc)
 	}
 	n.loopGauges(n.telRoot, server.Loop)
 	n.serverGauges()
 	n.telRoot.GaugeFunc("coord_rounds", func() float64 { return float64(coord.Rounds()) })
+	n.domainIntrospection(n.telRoot, coord, server)
 	scheduleSampler(server.Loop, n.telRoot)
+}
+
+// domainIntrospection exposes the sync-round view from inside one
+// domain: the depth of its outgoing cross-domain envelope queue and how
+// much lookahead slack its local schedule has, sampled on the 100 ms
+// series grid. Both read only virtual-schedule state — never wall
+// clock — so serial, parallel, and partitioned runs sample identical
+// values and the merged snapshots stay bit-identical.
+func (n *Network) domainIntrospection(sc telemetry.Scope, coord *sim.Coordinator, dom *sim.Domain) {
+	loop := dom.Loop
+	la := coord.Lookahead()
+	sc.Series("envelope_queue_100ms", func() float64 {
+		return float64(coord.PendingEnvelopesFrom(dom))
+	})
+	// Slack = how long the domain could idle before its next local
+	// event, capped at the sync horizon (a domain with no work for the
+	// rest of the round reports the full lookahead).
+	sc.Series("lookahead_slack_100ms", func() float64 {
+		slack := la
+		if next, ok := loop.NextEventAt(); ok {
+			if d := next.Sub(loop.Now()); d < slack {
+				slack = d
+			}
+		}
+		return float64(slack) / float64(sim.Millisecond)
+	})
 }
 
 // loopGauges exposes one event loop's occupancy under sc.

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // This file implements conservative parallel discrete-event simulation over
@@ -49,8 +50,9 @@ func (d *Domain) Name() string { return d.name }
 
 // pendingEnv is one posted envelope awaiting the round barrier.
 type pendingEnv struct {
-	at  Time
-	env Envelope
+	at    Time
+	env   Envelope
+	trace uint64 // sender's causal trace register at Post time
 }
 
 // Mailbox is a single-sender, single-receiver channel between two domains
@@ -74,7 +76,7 @@ type Mailbox struct {
 // the deprecated PostFunc shim — no entry point or direction skips it.
 func (m *Mailbox) Post(at Time, env Envelope) {
 	m.checkDelay(at)
-	m.pending = append(m.pending, pendingEnv{at: at, env: env})
+	m.pending = append(m.pending, pendingEnv{at: at, env: env, trace: m.from.Loop.curTrace})
 }
 
 // PostFunc schedules fn to run in the receiving domain at virtual time
@@ -125,10 +127,13 @@ func (m *Mailbox) OnReceive(kind EnvelopeKind, fn func(payload any)) {
 // deliver schedules one envelope's dispatch onto the receiving Loop. A
 // KindFunc payload is the event closure itself; a typed payload is
 // dispatched through the mailbox's registered handler at the same
-// virtual time, so both forms produce identical event schedules.
-func (m *Mailbox) deliver(at Time, env Envelope) {
+// virtual time, so both forms produce identical event schedules. The
+// sender's causal trace id is stamped onto the scheduled event so the
+// receiving domain's handler (and anything it schedules) continues the
+// sender's trace.
+func (m *Mailbox) deliver(at Time, env Envelope, trace uint64) {
 	if env.Kind == KindFunc {
-		m.to.Loop.At(at, env.Payload.(func()))
+		m.to.Loop.At(at, env.Payload.(func())).trace = trace
 		return
 	}
 	h := m.handlers[env.Kind]
@@ -137,7 +142,7 @@ func (m *Mailbox) deliver(at Time, env Envelope) {
 			EnvelopeKindName(env.Kind), m.from.name, m.to.name))
 	}
 	p := env.Payload
-	m.to.Loop.At(at, func() { h(p) })
+	m.to.Loop.At(at, func() { h(p) }).trace = trace
 }
 
 // Coordinator advances a set of domains in lockstep rounds of width equal
@@ -154,6 +159,11 @@ type Coordinator struct {
 	now       Time
 	rounds    int64
 	exchanges int64
+	// waitStats, when non-nil, collects per-domain wall-clock barrier
+	// waits in parallel mode (EnableWaitStats). workNs is the workers'
+	// per-round scratch; written before wg.Done, read after wg.Wait.
+	waitStats []waitRec
+	workNs    []int64
 }
 
 // NewCoordinator returns a coordinator advancing time in rounds of width
@@ -207,7 +217,7 @@ func (c *Coordinator) Connect(from, to *Domain, minDelay Duration) *Mailbox {
 func (c *Coordinator) drain() {
 	for _, m := range c.boxes {
 		for _, p := range m.pending {
-			m.deliver(p.at, p.env)
+			m.deliver(p.at, p.env, p.trace)
 		}
 		clearPending(m)
 	}
@@ -252,12 +262,18 @@ func (c *Coordinator) Run(until Time) {
 		for i, d := range c.domains {
 			ch := make(chan Time)
 			work[i] = ch
-			go func(d *Domain, ch chan Time) {
+			go func(i int, d *Domain, ch chan Time) {
 				for end := range ch {
-					d.Loop.Run(end)
+					if c.waitStats != nil {
+						t0 := time.Now()
+						d.Loop.Run(end)
+						c.workNs[i] = time.Since(t0).Nanoseconds()
+					} else {
+						d.Loop.Run(end)
+					}
 					wg.Done()
 				}
-			}(d, ch)
+			}(i, d, ch)
 		}
 		defer func() {
 			for _, ch := range work {
@@ -283,11 +299,18 @@ func (c *Coordinator) Run(until Time) {
 			end = until
 		}
 		if c.parallel {
+			var t0 time.Time
+			if c.waitStats != nil {
+				t0 = time.Now()
+			}
 			wg.Add(len(c.domains))
 			for _, ch := range work {
 				ch <- end
 			}
 			wg.Wait()
+			if c.waitStats != nil {
+				c.recordWaits(time.Since(t0).Nanoseconds())
+			}
 		} else {
 			for _, d := range c.domains {
 				d.Loop.Run(end)
@@ -303,6 +326,104 @@ func (c *Coordinator) Run(until Time) {
 // the coordinator's occupancy measure for telemetry. Read it between
 // Run calls only.
 func (c *Coordinator) Rounds() int64 { return c.rounds }
+
+// WaitBoundsNs are the bucket bounds (nanoseconds) of the barrier-wait
+// histograms: 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s, +overflow.
+var WaitBoundsNs = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+// waitRec accumulates one domain's barrier waits.
+type waitRec struct {
+	rounds  int64
+	sumNs   int64
+	maxNs   int64
+	buckets [8]int64 // len(WaitBoundsNs)+1
+}
+
+// WaitStat summarizes one domain's wall-clock barrier waits: the time
+// the domain's worker spent idle at round barriers waiting for the
+// slowest domain of each round. Wall-clock and therefore
+// nondeterministic — this deliberately lives outside the telemetry
+// registry (whose snapshots must be a pure function of the simulated
+// schedule) and is surfaced through wgtt-serve's introspection
+// endpoints instead.
+type WaitStat struct {
+	Domain  string  `json:"domain"`
+	Rounds  int64   `json:"rounds"`
+	SumNs   int64   `json:"sum_ns"`
+	MaxNs   int64   `json:"max_ns"`
+	Buckets []int64 `json:"buckets"` // per WaitBoundsNs, last = overflow
+}
+
+// EnableWaitStats turns on barrier-wait collection for subsequent
+// parallel Run calls (two clock reads per domain per round; off by
+// default so the hot path stays untouched). Serial rounds have no
+// barrier waits and record nothing.
+func (c *Coordinator) EnableWaitStats() {
+	if c.waitStats == nil {
+		c.waitStats = make([]waitRec, len(c.domains))
+		c.workNs = make([]int64, len(c.domains))
+	}
+}
+
+// recordWaits folds one parallel round's per-domain waits (round wall
+// time minus the domain's own work time) into the histograms.
+func (c *Coordinator) recordWaits(roundNs int64) {
+	for i := range c.waitStats {
+		wait := roundNs - c.workNs[i]
+		if wait < 0 {
+			wait = 0
+		}
+		r := &c.waitStats[i]
+		r.rounds++
+		r.sumNs += wait
+		if wait > r.maxNs {
+			r.maxNs = wait
+		}
+		bi := len(WaitBoundsNs)
+		for j, b := range WaitBoundsNs {
+			if wait <= b {
+				bi = j
+				break
+			}
+		}
+		r.buckets[bi]++
+	}
+}
+
+// WaitStats returns the per-domain barrier-wait summaries, or nil when
+// collection was never enabled. Read it between Run calls only.
+func (c *Coordinator) WaitStats() []WaitStat {
+	if c.waitStats == nil {
+		return nil
+	}
+	out := make([]WaitStat, len(c.waitStats))
+	for i, r := range c.waitStats {
+		out[i] = WaitStat{
+			Domain:  c.domains[i].name,
+			Rounds:  r.rounds,
+			SumNs:   r.sumNs,
+			MaxNs:   r.maxNs,
+			Buckets: append([]int64(nil), r.buckets[:]...),
+		}
+	}
+	return out
+}
+
+// PendingEnvelopesFrom returns the number of envelopes currently
+// pending in mailboxes whose sender is d — the domain's outgoing
+// envelope-queue depth. Posts append and barriers drain, both on the
+// domain's own schedule, so when read from one of d's own callbacks
+// (the telemetry sampler) the value is a pure function of the simulated
+// schedule and is safe to feed a deterministic gauge.
+func (c *Coordinator) PendingEnvelopesFrom(d *Domain) int {
+	n := 0
+	for _, m := range c.boxes {
+		if m.from == d {
+			n += len(m.pending)
+		}
+	}
+	return n
+}
 
 // RunFor advances the simulation by d from the coordinator's current time.
 func (c *Coordinator) RunFor(d Duration) { c.Run(c.now.Add(d)) }

@@ -23,6 +23,9 @@ type Event struct {
 	index int
 	// keep marks events excluded from free-list recycling (AtKeep).
 	keep bool
+	// trace is the causal trace id captured from the scheduling loop's
+	// current trace register (see Loop.SetTrace). Zero means untraced.
+	trace uint64
 }
 
 // Canceled reports whether the event has been canceled or already fired.
@@ -84,6 +87,13 @@ type Loop struct {
 	// free is the Event free list: fired events (minus AtKeep ones) are
 	// recycled here so a steady event stream costs no allocation.
 	free []*Event
+	// curTrace is the causal trace register: the trace id of the event
+	// currently executing. At stamps it onto every event it schedules, so
+	// causality flows through timers and message deliveries without any
+	// call-site changes; protocol code that *originates* a causal chain
+	// (e.g. the controller issuing a switch) brackets the originating
+	// calls with SetTrace.
+	curTrace uint64
 }
 
 // checkOwner panics if the caller is scheduling against a Loop that is
@@ -126,6 +136,7 @@ func (l *Loop) At(t Time, fn func()) *Event {
 	} else {
 		e = &Event{when: t, fn: fn}
 	}
+	e.trace = l.curTrace
 	e.seq = l.nextSeq
 	l.nextSeq++
 	heap.Push(&l.events, e)
@@ -179,6 +190,7 @@ func (l *Loop) Run(until Time) {
 		heap.Pop(&l.events)
 		l.now = next.when
 		l.executed++
+		l.curTrace = next.trace
 		next.fn()
 		// Recycle after fn returns: a self-Cancel inside fn saw index
 		// -1 and no-oped, so nothing still treats next as pending.
@@ -190,6 +202,26 @@ func (l *Loop) Run(until Time) {
 	if l.now < until {
 		l.now = until
 	}
+	l.curTrace = 0
+}
+
+// Trace returns the causal trace id of the event currently executing
+// (zero outside traced chains). See SetTrace.
+func (l *Loop) Trace() uint64 { return l.curTrace }
+
+// SetTrace sets the loop's causal trace register and returns its
+// previous value. Every event scheduled while the register is nonzero
+// inherits the id, and Run restores the register from each event before
+// dispatching it, so one SetTrace at the origin of a protocol exchange
+// (bracketed with a deferred restore of the previous value) threads the
+// id through timers, retransmissions and mailbox deliveries with no
+// further plumbing. Purely observational: the register never affects
+// the event schedule, so runs are bit-identical whether or not anything
+// reads it.
+func (l *Loop) SetTrace(id uint64) uint64 {
+	prev := l.curTrace
+	l.curTrace = id
+	return prev
 }
 
 // RunFor advances the simulation by d from the current virtual time.

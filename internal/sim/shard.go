@@ -45,11 +45,14 @@ import "fmt"
 // pinned by TestRunPartitionedParity and, end to end, by
 // TestMultiProcessParity at the repo root.
 
-// WireEnvelope is one serialized envelope inside a round message.
+// WireEnvelope is one serialized envelope inside a round message. Trace
+// carries the sender's causal trace id across the process boundary so a
+// stitched flight-recorder timeline follows a handoff between shards.
 type WireEnvelope struct {
-	At   Time
-	Kind EnvelopeKind
-	Data []byte
+	At    Time
+	Kind  EnvelopeKind
+	Trace uint64
+	Data  []byte
 }
 
 // BoxBatch carries one mailbox's envelopes for one round, FIFO. Box is
@@ -110,7 +113,7 @@ func (c *Coordinator) RunPartitioned(until Time, owned func(*Domain) bool, bus P
 	for _, m := range c.boxes {
 		if own[m.to.id] {
 			for _, p := range m.pending {
-				m.deliver(p.at, p.env)
+				m.deliver(p.at, p.env, p.trace)
 			}
 		}
 		clearPending(m)
@@ -182,9 +185,10 @@ func (c *Coordinator) exchangeRound(own []bool, bus PeerBus, flush bool) (Time, 
 					EnvelopeKindName(p.env.Kind), m.from.name, m.to.name)
 			}
 			batch.Envelopes = append(batch.Envelopes, WireEnvelope{
-				At:   p.at,
-				Kind: p.env.Kind,
-				Data: codec.Encode(p.env.Payload, nil),
+				At:    p.at,
+				Kind:  p.env.Kind,
+				Trace: p.trace,
+				Data:  codec.Encode(p.env.Payload, nil),
 			})
 		}
 		out = append(out, batch)
@@ -228,7 +232,7 @@ func (c *Coordinator) exchangeRound(own []bool, bus PeerBus, flush bool) (Time, 
 		switch {
 		case own[m.from.id] && own[m.to.id]:
 			for _, p := range m.pending {
-				m.deliver(p.at, p.env)
+				m.deliver(p.at, p.env, p.trace)
 			}
 			clearPending(m)
 		case own[m.from.id]:
@@ -245,7 +249,7 @@ func (c *Coordinator) exchangeRound(own []bool, bus PeerBus, flush bool) (Time, 
 					return 0, false, fmt.Errorf("sim: decoding %s envelope on mailbox %d: %w",
 						EnvelopeKindName(we.Kind), bi, err)
 				}
-				m.deliver(we.At, Envelope{Kind: we.Kind, Payload: payload})
+				m.deliver(we.At, Envelope{Kind: we.Kind, Payload: payload}, we.Trace)
 			}
 		}
 	}

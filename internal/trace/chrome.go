@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wgtt/internal/sim"
+)
+
+// Chrome trace_event JSON export of a stitched flight-recorder
+// timeline, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Mapping: one "process" per domain shard (segments, then the server
+// domain), one "thread" per node (the controller plus each AP). Every
+// record becomes a thread-scoped instant event, and every handoff that
+// reached its Start or SwitchAck additionally renders as duration
+// slices — the whole transaction plus its stop (issue→start) and ack
+// (start→ack) phases — on the issuing controller's lane, so one
+// switch reads as a nested bar whose width is the paper's 17–21 ms
+// band. Timestamps are virtual microseconds.
+
+// chromePid maps a domain index (-1 = server) to a trace pid.
+func chromePid(domain int16) int { return int(domain) + 1 } // server=0, segN=N+1
+
+// chromeTid maps a node (-1 = controller) to a trace tid.
+func chromeTid(node int16) int { return int(node) + 2 } // ctrl=1, apN=N+2
+
+func chromeTs(t sim.Time) float64 { return float64(t) / 1e3 } // ns → µs
+
+// WriteChrome renders a stitched record timeline (see Stitch) as Chrome
+// trace_event JSON. Output is deterministic: records are emitted in
+// input order and metadata lanes in sorted order.
+func WriteChrome(w io.Writer, recs []Record) error {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, format, args...)
+	}
+
+	// Lane metadata: name every process (domain) and thread (node) that
+	// appears, in sorted lane order.
+	type lane struct{ domain, node int16 }
+	seen := map[lane]bool{}
+	for _, r := range recs {
+		seen[lane{r.Domain, -1}] = true // domain itself
+		seen[lane{r.Domain, r.Node}] = true
+	}
+	lanes := make([]lane, 0, len(seen))
+	for l := range seen {
+		lanes = append(lanes, l)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].domain != lanes[j].domain {
+			return lanes[i].domain < lanes[j].domain
+		}
+		return lanes[i].node < lanes[j].node
+	})
+	domName := func(d int16) string {
+		if d < 0 {
+			return "server"
+		}
+		return fmt.Sprintf("seg%d", d)
+	}
+	for _, l := range lanes {
+		if l.node == -1 {
+			emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%q}}`,
+				chromePid(l.domain), domName(l.domain))
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"ctrl"}}`,
+				chromePid(l.domain), chromeTid(-1))
+			continue
+		}
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"ap%d"}}`,
+			chromePid(l.domain), chromeTid(l.node), l.node)
+	}
+
+	// Handoff duration slices on the issuing controller's lane.
+	for _, h := range Handoffs(recs) {
+		if !h.HasIssue {
+			continue
+		}
+		pid, tid := chromePid(h.Domain), chromeTid(-1)
+		end, closed := h.Ack, h.HasAck
+		if !closed && h.HasStart {
+			end, closed = h.Start, true
+		}
+		if !closed {
+			continue // issue-only fragment: the instant events cover it
+		}
+		emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"handoff #%d %s ap%d->ap%d","args":{"trace":%d,"retx":%d,"flushed":%d,"completed":%t}}`,
+			pid, tid, chromeTs(h.Issue), chromeTs(end)-chromeTs(h.Issue),
+			h.SwitchID, h.Client, h.From, h.To, h.Trace, h.Retx, h.Flushed, h.HasAck)
+		if h.HasStart {
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"stop-phase #%d","args":{"trace":%d}}`,
+				pid, tid, chromeTs(h.Issue), chromeTs(h.Start)-chromeTs(h.Issue), h.SwitchID, h.Trace)
+			if h.HasAck {
+				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":"ack-phase #%d","args":{"trace":%d}}`,
+					pid, tid, chromeTs(h.Start), chromeTs(h.Ack)-chromeTs(h.Start), h.SwitchID, h.Trace)
+			}
+		}
+	}
+
+	// Every record as a thread-scoped instant on its own lane.
+	for _, r := range recs {
+		emit(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%.3f,"name":"%s #%d","args":{"trace":%d,"client":%q,"a":%d,"b":%d}}`,
+			chromePid(r.Domain), chromeTid(r.Node), chromeTs(r.At),
+			r.Op, r.SwitchID, r.Trace, r.Client.String(), r.A, r.B)
+	}
+
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,7 +1,12 @@
 package trace
 
 import (
+	"fmt"
+	"io"
+	"os"
 	"strconv"
+	"sync/atomic"
+	"testing"
 
 	"wgtt/internal/packet"
 	"wgtt/internal/sim"
@@ -51,13 +56,13 @@ func appendFormat(b []byte, format string, args []any) []byte {
 			b = append(b, "(MISSING)"...)
 			continue
 		}
-		b = appendArg(b, verb, prec, args[arg])
+		b = appendArg(b, format, verb, prec, args[arg])
 		arg++
 	}
 	return b
 }
 
-func appendArg(b []byte, verb byte, prec int, v any) []byte {
+func appendArg(b []byte, format string, verb byte, prec int, v any) []byte {
 	switch verb {
 	case 'd', 'x':
 		base := 10
@@ -121,15 +126,42 @@ func appendArg(b []byte, verb byte, prec int, v any) []byte {
 		if verb == 'v' {
 			switch v.(type) {
 			case float64, float32:
-				return appendArg(b, 'g', prec, v)
+				return appendArg(b, format, 'g', prec, v)
 			default:
-				return appendArg(b, 'd', prec, v)
+				return appendArg(b, format, 'd', prec, v)
 			}
 		}
 	}
+	noteBadVerb(format, verb)
 	b = append(b, '%', '!')
 	b = append(b, verb)
 	return append(b, "(?)"...)
+}
+
+// badVerbNoted latches the one-time bad-verb warning; badVerbOut is the
+// test seam for capturing it.
+var (
+	badVerbNoted atomic.Bool
+	badVerbOut   io.Writer = os.Stderr
+)
+
+// noteBadVerb surfaces the first verb/argument combination the
+// mini-formatter cannot render. The "%!x(?)" placeholder it emits in
+// the trace output is easy to miss, so under `go test` the first
+// occurrence per process also prints a warning naming the format string
+// — new call sites with unsupported verbs fail loudly in review instead
+// of silently producing placeholders. Outside tests it stays silent
+// (tracing must never spam a production run's stderr). Deliberately
+// does not take the offending argument: boxing it into fmt would make
+// every Addf variadic slice escape and break the disabled-path
+// zero-allocation contract.
+func noteBadVerb(format string, verb byte) {
+	if !testing.Testing() || badVerbNoted.Swap(true) {
+		return
+	}
+	fmt.Fprintf(badVerbOut,
+		"trace: Addf format %q: unsupported verb %%%c for its argument type — rendered as %%!%c(?); extend internal/trace/format.go or change the call site\n",
+		format, verb, verb)
 }
 
 const hexDigits = "0123456789abcdef"

@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+// This file is the causal flight recorder: a fixed-size ring of
+// structured, value-typed records — one Recorder per domain shard, so
+// recording never shares state across domains and stays legal in every
+// domain mode (unlike the formatted-string Log, which Config.Validate
+// forbids outside single-loop runs).
+//
+// Records are written synchronously from existing protocol handlers:
+// recording schedules no events and draws no randomness, so the event
+// schedule — and every golden pin — is bit-identical with the recorder
+// on or off. Causality comes from the sim layer's trace register
+// (sim.Loop.SetTrace): the controller stamps each switch transaction
+// with a globally unique trace id at the issue site, the register
+// flows through timers, backhaul deliveries and cross-process
+// envelopes, and every record captures the id active when its handler
+// ran. Stitching the per-shard rings back together by trace id yields
+// one causal timeline per handoff, across processes.
+
+// Op identifies a flight-recorder record's protocol step.
+type Op uint8
+
+// Flight-recorder operations, in rough protocol order.
+const (
+	OpNone    Op = iota
+	OpIssue      // controller issued a Stop (A=from AP, B=to AP; A=-1 adoption)
+	OpStop       // old AP received the Stop (A=new AP)
+	OpStart      // old AP sent the Start, radio ioctl done (A=queue index, B=new AP or -1 remote)
+	OpStartRx    // new AP received the Start (A=stale packets flushed)
+	OpAck        // controller saw the SwitchAck (A=serving AP)
+	OpRetx       // controller retransmitted the Stop (A=retry count)
+	OpAbandon    // controller gave up after retry exhaustion (A=retries)
+	OpClaim      // controller claimed an unowned client overheard above threshold
+	OpExport     // controller exported the client mid-handoff (A=held pkts, B=peer/segment)
+	OpImport     // controller imported the client (A=resume index k)
+)
+
+var opNames = [...]string{
+	OpNone: "none", OpIssue: "issue", OpStop: "stop", OpStart: "start",
+	OpStartRx: "start-rx", OpAck: "ack", OpRetx: "retx", OpAbandon: "abandon",
+	OpClaim: "claim", OpExport: "export", OpImport: "import",
+}
+
+// String returns the op's wire-stable lowercase name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Record is one flight-recorder entry. Fixed-size and self-contained:
+// recording is a single ring-slot copy, and records marshal losslessly
+// for cross-process stitching. A and B are per-Op arguments (see the Op
+// constants).
+type Record struct {
+	At       sim.Time   `json:"at"`
+	Trace    uint64     `json:"trace"`
+	SwitchID uint32     `json:"sw"`
+	Domain   int16      `json:"dom"`  // segment index, -1 = server domain
+	Node     int16      `json:"node"` // global AP id, -1 = the domain's controller
+	Op       Op         `json:"op"`
+	Client   packet.MAC `json:"client"`
+	A        int32      `json:"a"`
+	B        int32      `json:"b"`
+}
+
+// Recorder is a fixed-capacity ring of Records for one domain shard.
+// All methods are nil-safe; a nil Recorder records nothing and is the
+// disabled state, so instrumentation sites need no gating. Not
+// goroutine-safe: each Recorder belongs to one domain and is written
+// only from that domain's loop callbacks.
+type Recorder struct {
+	domain  int16
+	recs    []Record
+	next    int
+	filled  bool
+	total   uint64
+	anoms   []Anomaly
+	maxAnom int
+}
+
+// NewRecorder returns a recorder for one domain shard (segment index,
+// or -1 for the server domain) holding the last capacity records.
+// capacity <= 0 returns nil — the disabled recorder.
+func NewRecorder(domain int, capacity int) *Recorder {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Recorder{domain: int16(domain), recs: make([]Record, capacity), maxAnom: 64}
+}
+
+// Record appends one record, stamping the recorder's domain. The ring
+// overwrites oldest-first; no allocation on any path.
+func (r *Recorder) Record(rec Record) {
+	if r == nil {
+		return
+	}
+	rec.Domain = r.domain
+	r.recs[r.next] = rec
+	r.next++
+	r.total++
+	if r.next == len(r.recs) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Total returns the number of records ever written (including ones the
+// ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Len returns the number of records currently held.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.filled {
+		return len(r.recs)
+	}
+	return r.next
+}
+
+// Records returns the held records oldest-first, as a copy.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	out := make([]Record, 0, r.Len())
+	if r.filled {
+		out = append(out, r.recs[r.next:]...)
+	}
+	return append(out, r.recs[:r.next]...)
+}
+
+// Window returns the held records with lo <= At <= hi, oldest-first.
+func (r *Recorder) Window(lo, hi sim.Time) []Record {
+	var out []Record
+	for _, rec := range r.Records() {
+		if rec.At >= lo && rec.At <= hi {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// AnomalyKind names a trigger.
+type AnomalyKind uint8
+
+// Anomaly triggers.
+const (
+	AnomalyLatency AnomalyKind = iota + 1 // handoff latency outside the configured band
+	AnomalyUnowned                        // unowned-client count above threshold
+	AnomalyStall                          // a sync round stalled in wall-clock time
+)
+
+var anomalyNames = map[AnomalyKind]string{
+	AnomalyLatency: "handoff-latency", AnomalyUnowned: "unowned-spike", AnomalyStall: "stalled-round",
+}
+
+// String returns the kind's wire-stable name.
+func (k AnomalyKind) String() string {
+	if s, ok := anomalyNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("anomaly%d", uint8(k))
+}
+
+// Anomaly is one trigger firing: what, when (virtual time), which trace
+// (zero when not tied to one handoff), and the offending value (latency
+// ms, unowned count, stalled exchange seq — per kind).
+type Anomaly struct {
+	At    sim.Time    `json:"at"`
+	Kind  AnomalyKind `json:"kind"`
+	Trace uint64      `json:"trace"`
+	Value float64     `json:"value"`
+}
+
+// Anomaly notes a trigger firing. Bounded (the first 64 per recorder)
+// so a pathological run cannot grow memory; the flight-recorder window
+// around each is cut lazily at export time, not here.
+func (r *Recorder) Anomaly(a Anomaly) {
+	if r == nil || len(r.anoms) >= r.maxAnom {
+		return
+	}
+	r.anoms = append(r.anoms, a)
+}
+
+// Anomalies returns the noted anomalies in firing order, as a copy.
+func (r *Recorder) Anomalies() []Anomaly {
+	if r == nil {
+		return nil
+	}
+	return append([]Anomaly(nil), r.anoms...)
+}
+
+// Stitch merges per-shard record sets into one deterministic timeline:
+// sorted by virtual time, then trace id, then domain, node, op and the
+// remaining fields, so any permutation of the same shards yields the
+// identical slice.
+func Stitch(shards ...[]Record) []Record {
+	var out []Record
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.SwitchID != b.SwitchID {
+			return a.SwitchID < b.SwitchID
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return out
+}
+
+// Handoff is one switch transaction reassembled from stitched records.
+type Handoff struct {
+	Trace    uint64
+	SwitchID uint32
+	Client   packet.MAC
+	From, To int   // global AP ids; From -1 for adoptions
+	Domain   int16 // domain that issued the switch
+
+	Issue, Stop, Start, StartRx, Ack sim.Time
+	HasIssue, HasStop, HasStart      bool
+	HasStartRx, HasAck               bool
+	Retx, Flushed                    int
+	Exported, Abandoned              bool
+}
+
+// Completed reports whether the handoff ran to its SwitchAck.
+func (h Handoff) Completed() bool { return h.HasIssue && h.HasAck }
+
+// TotalMs is the issue→ack latency in milliseconds (completed handoffs).
+func (h Handoff) TotalMs() float64 {
+	return float64(h.Ack.Sub(h.Issue)) / float64(sim.Millisecond)
+}
+
+// Handoffs folds a stitched timeline into per-transaction summaries,
+// keyed by trace id, in first-record order. Records without a trace id
+// are skipped.
+func Handoffs(recs []Record) []Handoff {
+	byTrace := map[uint64]*Handoff{}
+	var order []uint64
+	get := func(r Record) *Handoff {
+		h, ok := byTrace[r.Trace]
+		if !ok {
+			h = &Handoff{Trace: r.Trace, SwitchID: r.SwitchID, Client: r.Client, From: -1, To: -1}
+			byTrace[r.Trace] = h
+			order = append(order, r.Trace)
+		}
+		return h
+	}
+	for _, r := range recs {
+		if r.Trace == 0 {
+			continue
+		}
+		h := get(r)
+		switch r.Op {
+		case OpIssue:
+			h.Issue, h.HasIssue = r.At, true
+			h.From, h.To = int(r.A), int(r.B)
+			h.SwitchID, h.Client, h.Domain = r.SwitchID, r.Client, r.Domain
+		case OpStop:
+			if !h.HasStop {
+				h.Stop, h.HasStop = r.At, true
+			}
+		case OpStart:
+			if !h.HasStart {
+				h.Start, h.HasStart = r.At, true
+			}
+		case OpStartRx:
+			if !h.HasStartRx {
+				h.StartRx, h.HasStartRx = r.At, true
+			}
+			h.Flushed += int(r.A)
+		case OpAck:
+			h.Ack, h.HasAck = r.At, true
+		case OpRetx:
+			h.Retx++
+		case OpAbandon:
+			h.Abandoned = true
+		case OpExport:
+			h.Exported = true
+		}
+	}
+	out := make([]Handoff, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byTrace[id])
+	}
+	return out
+}
+
+// DumpAnomalies writes a human-readable report: each anomaly followed
+// by the stitched records inside ±window of its virtual time.
+func DumpAnomalies(w io.Writer, recs []Record, anoms []Anomaly, window sim.Duration) error {
+	for _, a := range anoms {
+		if _, err := fmt.Fprintf(w, "anomaly %s at %v trace=%#x value=%g\n", a.Kind, a.At, a.Trace, a.Value); err != nil {
+			return err
+		}
+		lo, hi := a.At.Add(-window), a.At.Add(window)
+		for _, r := range recs {
+			if r.At < lo || r.At > hi {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %v dom=%d node=%d %-8s #%d %s trace=%#x a=%d b=%d\n",
+				r.At, r.Domain, r.Node, r.Op, r.SwitchID, r.Client, r.Trace, r.A, r.B); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

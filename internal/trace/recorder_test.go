@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wgtt/internal/packet"
+	"wgtt/internal/sim"
+)
+
+func rec(at sim.Time, trace uint64, op Op, node int16) Record {
+	return Record{At: at, Trace: trace, Op: op, Node: node, SwitchID: uint32(trace & 0xffffffff)}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Record{})
+	r.Anomaly(Anomaly{Kind: AnomalyLatency})
+	if r.Len() != 0 || r.Total() != 0 || r.Records() != nil || r.Anomalies() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+	if got := NewRecorder(0, 0); got != nil {
+		t.Fatalf("NewRecorder(capacity=0) = %v, want nil", got)
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(2, 4)
+	for i := 1; i <= 7; i++ {
+		r.Record(rec(sim.Time(i), uint64(i), OpIssue, -1))
+	}
+	if r.Total() != 7 || r.Len() != 4 {
+		t.Fatalf("Total=%d Len=%d, want 7, 4", r.Total(), r.Len())
+	}
+	got := r.Records()
+	for i, want := range []sim.Time{4, 5, 6, 7} {
+		if got[i].At != want {
+			t.Fatalf("Records()[%d].At = %v, want %v (oldest-first)", i, got[i].At, want)
+		}
+		if got[i].Domain != 2 {
+			t.Fatalf("record not stamped with recorder domain: %+v", got[i])
+		}
+	}
+	if w := r.Window(5, 6); len(w) != 2 || w[0].At != 5 || w[1].At != 6 {
+		t.Fatalf("Window(5,6) = %+v", w)
+	}
+}
+
+// TestRecordZeroAlloc pins the hot-path contract: recording into a live
+// ring — and the disabled nil path — never allocates.
+func TestRecordZeroAlloc(t *testing.T) {
+	live := NewRecorder(0, 128)
+	var off *Recorder
+	sample := rec(5, 9, OpStop, 3)
+	if n := testing.AllocsPerRun(1000, func() { live.Record(sample) }); n != 0 {
+		t.Errorf("enabled Record allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { off.Record(sample) }); n != 0 {
+		t.Errorf("disabled Record allocates %v/op, want 0", n)
+	}
+}
+
+func TestAnomalyBounded(t *testing.T) {
+	r := NewRecorder(0, 4)
+	for i := 0; i < 100; i++ {
+		r.Anomaly(Anomaly{At: sim.Time(i), Kind: AnomalyUnowned, Value: float64(i)})
+	}
+	if got := len(r.Anomalies()); got != 64 {
+		t.Fatalf("anomalies = %d, want capped at 64", got)
+	}
+}
+
+// TestStitchPermutationDeterminism: stitching the same shards in any
+// order yields the identical timeline.
+func TestStitchPermutationDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shards := make([][]Record, 4)
+	for d := range shards {
+		for i := 0; i < 20; i++ {
+			shards[d] = append(shards[d], Record{
+				At:     sim.Time(rng.Intn(10)),
+				Trace:  uint64(rng.Intn(5)),
+				Domain: int16(d),
+				Node:   int16(rng.Intn(3)) - 1,
+				Op:     Op(rng.Intn(int(OpImport)) + 1),
+			})
+		}
+	}
+	want := Stitch(shards...)
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(len(shards))
+		sh := make([][]Record, 0, len(shards))
+		for _, p := range perm {
+			sh = append(sh, shards[p])
+		}
+		if got := Stitch(sh...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("permutation %v stitched differently", perm)
+		}
+	}
+}
+
+func handoffRecords() []Record {
+	mac := packet.ClientMAC(4)
+	const tr = uint64(3)<<32 | 7
+	return []Record{
+		{At: 10, Trace: tr, SwitchID: 7, Op: OpIssue, Client: mac, A: 2, B: 5, Domain: 1, Node: -1},
+		{At: 11, Trace: tr, SwitchID: 7, Op: OpStop, Node: 2, A: 5},
+		{At: 12, Trace: tr, SwitchID: 7, Op: OpRetx, Node: -1, A: 1},
+		{At: 14, Trace: tr, SwitchID: 7, Op: OpStart, Node: 2, A: 9, B: 5},
+		{At: 15, Trace: tr, SwitchID: 7, Op: OpStartRx, Node: 5, A: 3},
+		{At: 17, Trace: tr, SwitchID: 7, Op: OpAck, Node: -1, A: 5},
+		{At: 16, Trace: 0, Op: OpClaim}, // traceless: skipped
+	}
+}
+
+func TestHandoffsReassembly(t *testing.T) {
+	hs := Handoffs(Stitch(handoffRecords()))
+	if len(hs) != 1 {
+		t.Fatalf("handoffs = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if !h.Completed() || h.From != 2 || h.To != 5 || h.Domain != 1 || h.SwitchID != 7 {
+		t.Fatalf("handoff = %+v", h)
+	}
+	if !h.HasStop || !h.HasStart || !h.HasStartRx || h.Retx != 1 || h.Flushed != 3 {
+		t.Fatalf("phases = %+v", h)
+	}
+	if h.Issue != 10 || h.Start != 14 || h.Ack != 17 {
+		t.Fatalf("times = %+v", h)
+	}
+	if want := float64(17-10) / float64(sim.Millisecond); h.TotalMs() != want {
+		t.Fatalf("TotalMs = %g, want %g", h.TotalMs(), want)
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, Stitch(handoffRecords())); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteChrome emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var slices, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+		case "i":
+			instants++
+		}
+	}
+	// One handoff slice + stop-phase + ack-phase; every record an instant.
+	if slices != 3 {
+		t.Fatalf("duration slices = %d, want 3:\n%s", slices, buf.String())
+	}
+	if instants != len(handoffRecords()) {
+		t.Fatalf("instants = %d, want %d", instants, len(handoffRecords()))
+	}
+	if !strings.Contains(buf.String(), `"name":"seg1"`) {
+		t.Fatalf("missing process metadata:\n%s", buf.String())
+	}
+}
+
+func TestDumpAnomalies(t *testing.T) {
+	recs := Stitch(handoffRecords())
+	anoms := []Anomaly{{At: 14, Kind: AnomalyLatency, Trace: recs[0].Trace, Value: 33.5}}
+	var buf bytes.Buffer
+	if err := DumpAnomalies(&buf, recs, anoms, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "handoff-latency") || !strings.Contains(out, "value=33.5") {
+		t.Fatalf("missing anomaly header:\n%s", out)
+	}
+	// Window ±2ns around t=14 covers records at 12 and 14–16 but not 10.
+	if !strings.Contains(out, "retx") || !strings.Contains(out, "start-rx") {
+		t.Fatalf("missing window records:\n%s", out)
+	}
+	if strings.Contains(out, "issue") {
+		t.Fatalf("record outside window leaked in:\n%s", out)
+	}
+}
+
+// TestBadVerbWarning pins the satellite-6 contract: the first
+// unsupported verb/argument combination under `go test` prints one
+// warning naming the format string; later ones stay silent.
+func TestBadVerbWarning(t *testing.T) {
+	prevOut := badVerbOut
+	prevNoted := badVerbNoted.Load()
+	defer func() { badVerbOut = prevOut; badVerbNoted.Store(prevNoted) }()
+	var buf bytes.Buffer
+	badVerbOut = &buf
+	badVerbNoted.Store(false)
+
+	type odd struct{ x int }
+	if got := sprintf("bad %s here", []any{odd{1}}); got != "bad %!s(?) here" {
+		t.Fatalf("placeholder = %q", got)
+	}
+	warn := buf.String()
+	if !strings.Contains(warn, `"bad %s here"`) || !strings.Contains(warn, "verb %s") {
+		t.Fatalf("warning should name format and verb, got %q", warn)
+	}
+	if n := strings.Count(warn, "\n"); n != 1 {
+		t.Fatalf("want exactly one warning line, got %d:\n%s", n, warn)
+	}
+	sprintf("also bad %d", []any{"str"})
+	if buf.String() != warn {
+		t.Fatalf("second bad verb warned again:\n%s", buf.String())
+	}
+}

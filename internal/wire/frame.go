@@ -27,7 +27,7 @@ import (
 // Protocol constants.
 const (
 	magic        = "WGTT"
-	version      = 1
+	version      = 2 // v2: per-envelope causal trace id
 	frameHello   = 1
 	frameRound   = 2
 	maxFrameSize = 64 << 20 // hard cap against corrupt length prefixes
@@ -72,7 +72,7 @@ func decodeHello(b []byte) (hello, error) {
 func encodeRound(m sim.RoundMsg) []byte {
 	size := 1 + 8 + 1 + 8 + binary.MaxVarintLen64
 	for _, b := range m.Boxes {
-		size += 2*binary.MaxVarintLen64 + len(b.Envelopes)*(8+2+binary.MaxVarintLen64)
+		size += 2*binary.MaxVarintLen64 + len(b.Envelopes)*(8+2+2*binary.MaxVarintLen64)
 		for _, e := range b.Envelopes {
 			size += len(e.Data)
 		}
@@ -96,6 +96,7 @@ func encodeRound(m sim.RoundMsg) []byte {
 		for _, e := range box.Envelopes {
 			b = binary.BigEndian.AppendUint64(b, uint64(e.At))
 			b = binary.BigEndian.AppendUint16(b, uint16(e.Kind))
+			b = binary.AppendUvarint(b, e.Trace)
 			b = binary.AppendUvarint(b, uint64(len(e.Data)))
 			b = append(b, e.Data...)
 		}
@@ -190,8 +191,9 @@ func decodeRound(b []byte) (sim.RoundMsg, error) {
 		}
 		for j := uint64(0); j < nEnv && r.err == nil; j++ {
 			e := sim.WireEnvelope{
-				At:   sim.Time(r.u64()),
-				Kind: sim.EnvelopeKind(r.u16()),
+				At:    sim.Time(r.u64()),
+				Kind:  sim.EnvelopeKind(r.u16()),
+				Trace: r.uvarint(),
 			}
 			dlen := r.uvarint()
 			if r.err == nil && dlen > uint64(len(r.b)) {

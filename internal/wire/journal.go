@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"wgtt/internal/sim"
 )
@@ -82,6 +83,10 @@ func decodeRecord(b []byte) (Record, error) {
 type Journal struct {
 	f *os.File
 	w *bufio.Writer
+	// appended counts records written through this handle; atomic so
+	// introspection endpoints can read the journal depth while the sim
+	// goroutine appends.
+	appended atomic.Int64
 }
 
 // CreateJournal truncates path and writes a fresh journal header.
@@ -123,8 +128,17 @@ func OpenJournalAppend(path string, offset int64) (*Journal, error) {
 
 // Append records one exchange. Buffered; call Sync at checkpoints.
 func (j *Journal) Append(rec Record) error {
-	return writeFrame(j.w, encodeRecord(rec))
+	if err := writeFrame(j.w, encodeRecord(rec)); err != nil {
+		return err
+	}
+	j.appended.Add(1)
+	return nil
 }
+
+// Records returns the number of records appended through this handle —
+// the journal depth an introspection endpoint reports. Safe to call
+// concurrently with Append.
+func (j *Journal) Records() int64 { return j.appended.Load() }
 
 // Offset returns the byte position just past the last appended record
 // — the value Checkpoint.Offset wants. It flushes buffered records

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"sync/atomic"
+
+	"wgtt/internal/sim"
+)
+
+// This file is the transport's introspection surface: cheap atomic
+// counters and an exchange wall-time histogram, readable from any
+// goroutine while the sim goroutine exchanges. Everything here is
+// wall-clock or connection-lifecycle state — nondeterministic by nature
+// — so none of it may enter the telemetry registry (whose snapshots are
+// a pure function of the simulated schedule and are byte-compared
+// across process layouts). wgtt-serve surfaces it through /metrics
+// extra samples, /healthz and /varz instead.
+
+// Stats is a point-in-time copy of the transport counters.
+type Stats struct {
+	Reconnects int64 `json:"reconnects"`  // connection re-establishments (first connect excluded)
+	Resends    int64 `json:"resends"`     // round frames replayed on reconnect
+	DedupDrops int64 `json:"dedup_drops"` // duplicate round frames discarded by sequence
+	BytesTx    int64 `json:"bytes_tx"`    // round-frame bytes written, length prefix included
+	BytesRx    int64 `json:"bytes_rx"`    // frame bytes read, length prefix included
+
+	// Exchange wall-time histogram: how long Exchange blocked waiting
+	// for every peer's round — the distributed run's barrier wait.
+	Exchanges       int64   `json:"exchanges"`
+	ExchangeSumNs   int64   `json:"exchange_sum_ns"`
+	ExchangeMaxNs   int64   `json:"exchange_max_ns"`
+	ExchangeBuckets []int64 `json:"exchange_buckets"` // per sim.WaitBoundsNs, last = overflow
+}
+
+// tstats is the live atomic form embedded in Transport.
+type tstats struct {
+	reconnects, resends, dedupDrops atomic.Int64
+	bytesTx, bytesRx                atomic.Int64
+	exchanges, exchSumNs, exchMaxNs atomic.Int64
+	exchBuckets                     [8]atomic.Int64 // len(sim.WaitBoundsNs)+1
+}
+
+// observeExchange folds one Exchange's wall duration into the histogram.
+func (s *tstats) observeExchange(ns int64) {
+	s.exchanges.Add(1)
+	s.exchSumNs.Add(ns)
+	for {
+		max := s.exchMaxNs.Load()
+		if ns <= max || s.exchMaxNs.CompareAndSwap(max, ns) {
+			break
+		}
+	}
+	bi := len(sim.WaitBoundsNs)
+	for i, b := range sim.WaitBoundsNs {
+		if ns <= b {
+			bi = i
+			break
+		}
+	}
+	s.exchBuckets[bi].Add(1)
+}
+
+// Stats returns a consistent-enough copy of the counters (each field is
+// individually atomic; cross-field skew of an in-flight exchange is
+// acceptable for monitoring).
+func (t *Transport) Stats() Stats {
+	s := Stats{
+		Reconnects:    t.stats.reconnects.Load(),
+		Resends:       t.stats.resends.Load(),
+		DedupDrops:    t.stats.dedupDrops.Load(),
+		BytesTx:       t.stats.bytesTx.Load(),
+		BytesRx:       t.stats.bytesRx.Load(),
+		Exchanges:     t.stats.exchanges.Load(),
+		ExchangeSumNs: t.stats.exchSumNs.Load(),
+		ExchangeMaxNs: t.stats.exchMaxNs.Load(),
+	}
+	s.ExchangeBuckets = make([]int64, len(t.stats.exchBuckets))
+	for i := range t.stats.exchBuckets {
+		s.ExchangeBuckets[i] = t.stats.exchBuckets[i].Load()
+	}
+	return s
+}
+
+// PeerState is one peer's connection health.
+type PeerState struct {
+	Proc      int   `json:"proc"`
+	Connected bool  `json:"connected"`
+	NextRecv  int64 `json:"next_recv"` // next inbound exchange sequence expected
+	Retained  int64 `json:"retained"`  // unacknowledged round frames held for resend
+}
+
+// PeerStates reports every peer's connection state in process-index
+// order (this process itself is omitted).
+func (t *Transport) PeerStates() []PeerState {
+	var out []PeerState
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		out = append(out, PeerState{
+			Proc:      p.idx,
+			Connected: p.conn != nil,
+			NextRecv:  p.nextRecv,
+			Retained:  int64(len(p.sent)),
+		})
+		p.mu.Unlock()
+	}
+	return out
+}

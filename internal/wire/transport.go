@@ -56,6 +56,7 @@ type Transport struct {
 	timeout time.Duration
 	ln      net.Listener
 	peers   []*peer // indexed by process; peers[cfg.Self] == nil
+	stats   tstats  // atomic introspection counters (stats.go)
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -78,6 +79,7 @@ type peer struct {
 	conn     net.Conn
 	sent     map[int64][]byte // retained round frames, by sequence
 	nextRecv int64            // next inbound sequence we will accept
+	everUp   bool             // a connection has been installed before (reconnect counting)
 
 	wmu sync.Mutex
 
@@ -187,6 +189,8 @@ func (t *Transport) Exchange(m sim.RoundMsg) ([]sim.RoundMsg, error) {
 			p.send(m.Seq, frame)
 		}
 	}
+	t0 := time.Now()
+	defer func() { t.stats.observeExchange(time.Since(t0).Nanoseconds()) }()
 	timer := time.NewTimer(t.timeout)
 	defer timer.Stop()
 	out := make([]sim.RoundMsg, 0, len(t.peers)-1)
@@ -235,6 +239,7 @@ func (p *peer) send(seq int64, frame []byte) {
 		p.connLost(conn)
 		return
 	}
+	p.t.stats.bytesTx.Add(int64(len(frame)) + 4)
 	if f := p.t.cfg.FaultSeqs; f != nil && f(seq) {
 		p.t.cfg.Logf("wire: fault hook severing peer %d after seq %d", p.idx, seq)
 		conn.Close()
@@ -400,6 +405,10 @@ func (p *peer) install(conn net.Conn, resendFrom int64) {
 	p.mu.Lock()
 	old := p.conn
 	p.conn = conn
+	if p.everUp {
+		p.t.stats.reconnects.Add(1)
+	}
+	p.everUp = true
 	var seqs []int64
 	for s := range p.sent {
 		if s >= resendFrom {
@@ -422,6 +431,8 @@ func (p *peer) install(conn net.Conn, resendFrom int64) {
 			p.connLost(conn)
 			return
 		}
+		p.t.stats.resends.Add(1)
+		p.t.stats.bytesTx.Add(int64(len(f)) + 4)
 	}
 	go p.readLoop(conn)
 }
@@ -438,6 +449,7 @@ func (p *peer) readLoop(conn net.Conn) {
 			p.connLost(conn)
 			return
 		}
+		p.t.stats.bytesRx.Add(int64(len(b)) + 4)
 		if len(b) > 0 && b[0] == frameHello {
 			continue // late duplicate handshake; harmless
 		}
@@ -449,6 +461,7 @@ func (p *peer) readLoop(conn net.Conn) {
 		p.mu.Lock()
 		if m.Seq < p.nextRecv {
 			p.mu.Unlock()
+			p.t.stats.dedupDrops.Add(1)
 			continue // duplicate after a resend
 		}
 		if m.Seq > p.nextRecv {

@@ -40,6 +40,9 @@ type DeployOptions struct {
 	RingTrunk            bool   `json:"ring-trunk"`
 	TrunkFaults          string `json:"trunk-faults"`
 	Trace                int    `json:"trace"`
+	FlightRecorder       int    `json:"flight-recorder"`
+	HandoffBand          string `json:"handoff-band"`
+	UnownedSpike         int    `json:"unowned-spike"`
 }
 
 // DefaultDeployOptions mirrors DefaultConfig at the flag surface.
@@ -71,6 +74,12 @@ func RegisterFlags(fs *flag.FlagSet, o *DeployOptions) {
 		"trunk fault schedule, e.g. drop=0.01,jitter=50us,outage=1-2@2s-3s,outage=all@5s-5.1s")
 	fs.IntVar(&o.Trace, "trace", o.Trace,
 		"dump the last N switch-protocol events (tcpdump-style)")
+	fs.IntVar(&o.FlightRecorder, "flight-recorder", o.FlightRecorder,
+		"causal flight recorder: retain the last N structured switch-protocol records per domain")
+	fs.StringVar(&o.HandoffBand, "handoff-band", o.HandoffBand,
+		"expected handoff latency band in ms, e.g. 17,21; completed handoffs outside it note an anomaly")
+	fs.IntVar(&o.UnownedSpike, "unowned-spike", o.UnownedSpike,
+		"note an anomaly when a controller tracks more than N unowned clients (0 disables)")
 }
 
 // sharedFlagNames must list every flag RegisterFlags registers; the
@@ -79,6 +88,7 @@ var sharedFlagNames = []string{
 	"scheme", "seed", "segments", "channel", "audibility",
 	"parallel-segments", "boundary-interference",
 	"federation", "ring-trunk", "trunk-faults", "trace",
+	"flight-recorder", "handoff-band", "unowned-spike",
 }
 
 // overlayField copies one option from src when its flag was not set
@@ -107,6 +117,12 @@ func overlayField(name string, dst, src *DeployOptions) {
 		dst.TrunkFaults = src.TrunkFaults
 	case "trace":
 		dst.Trace = src.Trace
+	case "flight-recorder":
+		dst.FlightRecorder = src.FlightRecorder
+	case "handoff-band":
+		dst.HandoffBand = src.HandoffBand
+	case "unowned-spike":
+		dst.UnownedSpike = src.UnownedSpike
 	}
 }
 
@@ -161,6 +177,15 @@ func (o DeployOptions) Config() (Config, error) {
 	cfg := DefaultConfig(scheme)
 	cfg.Seed = o.Seed
 	cfg.TraceCapacity = o.Trace
+	cfg.FlightRecorder = o.FlightRecorder
+	cfg.UnownedSpike = o.UnownedSpike
+	if o.HandoffBand != "" {
+		lo, hi, err := ParseHandoffBand(o.HandoffBand)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.HandoffBandLoMs, cfg.HandoffBandHiMs = lo, hi
+	}
 	cfg.ChannelBackend = o.Channel
 	cfg.Audibility = o.Audibility
 	cfg.BoundaryInterference = o.BoundaryInterference
@@ -187,6 +212,25 @@ func (o DeployOptions) Config() (Config, error) {
 		cfg.Trunk.Faults = faults
 	}
 	return cfg, nil
+}
+
+// ParseHandoffBand parses the -handoff-band syntax: "lo,hi" in
+// milliseconds with 0 <= lo < hi (the paper's expectation is 17,21).
+func ParseHandoffBand(s string) (lo, hi float64, err error) {
+	loS, hiS, found := strings.Cut(s, ",")
+	if !found {
+		return 0, 0, fmt.Errorf("bad handoff band %q: want lo,hi in ms", s)
+	}
+	if lo, err = strconv.ParseFloat(strings.TrimSpace(loS), 64); err != nil {
+		return 0, 0, fmt.Errorf("bad handoff band %q: %v", s, err)
+	}
+	if hi, err = strconv.ParseFloat(strings.TrimSpace(hiS), 64); err != nil {
+		return 0, 0, fmt.Errorf("bad handoff band %q: %v", s, err)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("bad handoff band %q: want 0 <= lo < hi", s)
+	}
+	return lo, hi, nil
 }
 
 // ParseSegments parses the -segments syntax: comma-separated

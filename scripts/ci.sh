@@ -36,6 +36,14 @@ go test -race -run 'TestDomain' .
 # so the whole package goes under the race detector.
 go test -race ./internal/wire/
 
+# Flight-recorder/stitching gate: the trace package (ring recorder,
+# stitch, Chrome export) races against nothing by design — prove it —
+# and the recorder-on parity + cross-process stitching tests shake the
+# trace-register propagation through the parallel executor under the
+# race detector.
+go test -race ./internal/trace/
+go test -race -run 'TestFlightRecorderOffOnParity|TestMultiProcessStitchedTimeline' .
+
 # The mmWave corridor and the cross-domain boundary-interference
 # exchange both ride the parallel-domain executor; shake one seed of
 # each under the race detector (the remaining seeds run race-free in
@@ -90,6 +98,25 @@ awk '
         if (base == 0 || met == 0) { print "telemetry gate: benchmark output missing"; exit 1 }
         printf "telemetry overhead: base=%.0fns metrics=%.0fns ratio=%.3f\n", base, met, met/base
         if (met > base * 1.05) { print "telemetry overhead exceeds 5% budget"; exit 1 }
+    }' "$bench_out"
+rm -f "$bench_out"
+
+# Flight-recorder-overhead gate: the fully instrumented 24-segment
+# corridor with the recorder live in every domain must not run more
+# than 5% slower than the recorder-off ride. Same interleaved
+# min-of-3 sampling as the telemetry gate above.
+bench_out=$(mktemp)
+for _ in 1 2 3; do
+    go test -run=NONE -bench 'BenchmarkCorridorParallelMetrics$|BenchmarkCorridorParallelFlightRec$' \
+        -benchtime=3x -count=1 . | tee -a "$bench_out"
+done
+awk '
+    /^BenchmarkCorridorParallelMetrics/   { if (base == 0 || $3+0 < base) base = $3+0 }
+    /^BenchmarkCorridorParallelFlightRec/ { if (rec == 0 || $3+0 < rec) rec = $3+0 }
+    END {
+        if (base == 0 || rec == 0) { print "flight-recorder gate: benchmark output missing"; exit 1 }
+        printf "flight-recorder overhead: base=%.0fns rec=%.0fns ratio=%.3f\n", base, rec, rec/base
+        if (rec > base * 1.05) { print "flight-recorder overhead exceeds 5% budget"; exit 1 }
     }' "$bench_out"
 rm -f "$bench_out"
 

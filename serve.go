@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wgtt/internal/core"
+	"wgtt/internal/trace"
 )
 
 // This file is the scenario surface of wgtt-serve, the long-running
@@ -81,7 +82,28 @@ type ServeReport struct {
 	NowNs    int64            `json:"now_ns"`
 	Clients  []ServeClient    `json:"clients"`
 	Metrics  *MetricsSnapshot `json:"metrics,omitempty"`
+	// Trace and Anomalies are this process's flight-recorder shards
+	// (-flight-recorder): records only from domains the process
+	// executed, since remote domains never run here. Stitching every
+	// process's Trace with StitchTrace reassembles the run's causal
+	// timeline.
+	Trace     []TraceRecord  `json:"trace,omitempty"`
+	Anomalies []TraceAnomaly `json:"anomalies,omitempty"`
 }
+
+// TraceRecord is one flight-recorder entry (see internal/trace.Record).
+type TraceRecord = trace.Record
+
+// TraceAnomaly is one anomaly-trigger firing (internal/trace.Anomaly).
+type TraceAnomaly = trace.Anomaly
+
+// StitchTrace merges per-process flight-recorder shards into one
+// deterministic causal timeline (internal/trace.Stitch).
+func StitchTrace(shards ...[]TraceRecord) []TraceRecord { return trace.Stitch(shards...) }
+
+// TraceHandoffs folds a stitched timeline into per-switch summaries
+// (internal/trace.Handoffs).
+func TraceHandoffs(recs []TraceRecord) []trace.Handoff { return trace.Handoffs(recs) }
 
 // ServeScenarios lists the scenario names BuildServeScenario accepts.
 func ServeScenarios() []string { return []string{"corridor", "shuttle"} }
