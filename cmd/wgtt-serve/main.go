@@ -84,15 +84,32 @@ func run() error {
 
 	// The scenario fixes the deployment shape (scheme, segments, domain
 	// mode); the shared flag surface contributes the seed and the
-	// datapath knobs every process must agree on.
+	// datapath knobs every process must agree on. The copies are
+	// conditional so an unset flag never stomps a value a scenario file
+	// compiled in (e.g. its channel backend).
 	opt := wgtt.Options{Seed: cfg.Seed, Mutate: func(c *wgtt.Config) {
-		c.Audibility = cfg.Audibility
-		c.ChannelBackend = cfg.ChannelBackend
-		c.FlightRecorder = cfg.FlightRecorder
-		c.HandoffBandLoMs = cfg.HandoffBandLoMs
-		c.HandoffBandHiMs = cfg.HandoffBandHiMs
-		c.UnownedSpike = cfg.UnownedSpike
+		if cfg.Audibility != "" {
+			c.Audibility = cfg.Audibility
+		}
+		if cfg.ChannelBackend != "" {
+			c.ChannelBackend = cfg.ChannelBackend
+		}
+		if cfg.FlightRecorder != 0 {
+			c.FlightRecorder = cfg.FlightRecorder
+		}
+		if cfg.HandoffBandHiMs != 0 {
+			c.HandoffBandLoMs = cfg.HandoffBandLoMs
+			c.HandoffBandHiMs = cfg.HandoffBandHiMs
+		}
+		if cfg.UnownedSpike != 0 {
+			c.UnownedSpike = cfg.UnownedSpike
+		}
 	}}
+	if wgtt.ScenarioIsFile(*scenario) && !flagWasSet("seed") {
+		// Without an explicit -seed the scenario file's own seed rules;
+		// a set flag (even -seed 1) overrides it on every process.
+		opt.Seed = 0
+	}
 	sr, err := wgtt.BuildServeScenario(*scenario, opt)
 	if err != nil {
 		return err
@@ -119,17 +136,29 @@ func run() error {
 		if *restore || *ckptPath != "" {
 			return fmt.Errorf("-ckpt/-restore checkpoint a partitioned run; they need -peers")
 		}
-		return runSingle(sr, sched, *scenario, cfg.Seed, *report, *httpAddr)
+		return runSingle(sr, sched, *scenario, sr.Cfg.Seed, *report, *httpAddr)
 	}
 	addrs := strings.Split(*peers, ",")
 	return runPartitioned(sr, sched, serveParams{
-		scenario: *scenario, seed: cfg.Seed,
+		scenario: *scenario, seed: sr.Cfg.Seed,
 		audibility: cfg.Audibility, channel: cfg.ChannelBackend,
 		proc: *proc, addrs: addrs, partition: *partition,
 		dur: dur, slice: slice, ckptAt: ckptAt,
 		ckptPath: *ckptPath, restore: *restore,
 		httpAddr: *httpAddr, report: *report,
 	}, logger)
+}
+
+// flagWasSet reports whether the named flag was explicitly set on the
+// command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // schedule lists the RunPartitioned boundaries: slice multiples, the

@@ -14,8 +14,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"wgtt"
+	"wgtt/internal/core"
 	"wgtt/internal/trace"
 )
 
@@ -89,6 +92,13 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+
+		scenarioPath = flag.String("scenario", "",
+			"run a declarative scenario file (YAML or JSON) instead of the flag-built deployment")
+		genScenario = flag.String("gen-scenario", "",
+			"run a generated scenario: SEED[:SIZE] with SIZE small | medium | large (e.g. 7:medium)")
+		scenarioDigest = flag.Bool("scenario-digest", false,
+			"with -scenario/-gen-scenario: print the compiled scenario's content digest and exit without running")
 	)
 	var metrics metricsFlag
 	flag.Var(&metrics, "metrics", "print end-of-run metrics; optionally -metrics=text|json|csv|prom")
@@ -105,6 +115,21 @@ func main() {
 	kindFilter, err := trace.ParseKind(*traceKind)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *scenarioPath != "" || *genScenario != "" {
+		if *scenarioPath != "" && *genScenario != "" {
+			fmt.Fprintln(os.Stderr, "-scenario and -gen-scenario are mutually exclusive")
+			os.Exit(2)
+		}
+		if err := runScenario(cfg, opts, *scenarioPath, *genScenario, *scenarioDigest, metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scenarioDigest {
+		fmt.Fprintln(os.Stderr, "-scenario-digest needs -scenario or -gen-scenario")
 		os.Exit(2)
 	}
 	if *cpuProfile != "" {
@@ -296,4 +321,104 @@ func main() {
 			}
 		}
 	}
+}
+
+// flagWasSet reports whether the named flag was explicitly set on the
+// command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// parseGenSpec splits a -gen-scenario argument: SEED[:SIZE].
+func parseGenSpec(s string) (int64, string, error) {
+	seedStr, size, _ := strings.Cut(s, ":")
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad -gen-scenario %q: want SEED[:SIZE]", s)
+	}
+	return seed, size, nil
+}
+
+// runScenario is the declarative-scenario path: load or generate a
+// scenario, compile it, and either print the content digest (the CI
+// determinism gate diffs two of these) or build and run it.
+func runScenario(cfg wgtt.Config, opts wgtt.DeployOptions, path, gen string, digestOnly bool, metrics metricsFlag) error {
+	var spec *wgtt.ScenarioSpec
+	var err error
+	if path != "" {
+		spec, err = wgtt.LoadScenario(path)
+	} else {
+		var seed int64
+		var size string
+		if seed, size, err = parseGenSpec(gen); err == nil {
+			spec, err = wgtt.GenerateScenario(seed, size)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	// The scenario file's own seed rules unless -seed was explicitly
+	// given (the default would otherwise silently override it).
+	var seed int64
+	if flagWasSet("seed") {
+		seed = cfg.Seed
+	}
+	comp, err := wgtt.CompileScenario(spec, seed)
+	if err != nil {
+		return err
+	}
+	if digestOnly {
+		fmt.Println(comp.Digest())
+		return nil
+	}
+	r := wgtt.BuildScenarioRun(comp, wgtt.Options{Mutate: func(c *wgtt.Config) {
+		c.Telemetry = metrics.on
+		if opts.ParallelSegments && len(c.Segments) >= 2 {
+			c.Domains = core.DomainsParallel
+		}
+		if cfg.Audibility != "" {
+			c.Audibility = cfg.Audibility
+		}
+		if cfg.ChannelBackend != "" {
+			c.ChannelBackend = cfg.ChannelBackend
+		}
+		if cfg.FlightRecorder != 0 {
+			c.FlightRecorder = cfg.FlightRecorder
+		}
+	}})
+	r.Net.Run(r.Dur)
+	now := r.Net.Loop.Now()
+
+	fmt.Printf("scenario=%s  seed=%d  segments=%d  sim=%.1fs\n\n",
+		comp.Name, r.Cfg.Seed, len(r.Cfg.Segments), now.Seconds())
+	for _, f := range r.Figures(nil) {
+		fmt.Printf("client %d: %.1f Mbit/s\n", f.ID, f.Mbps)
+	}
+	if r.Cfg.Scheme == wgtt.SchemeWGTT {
+		var issued, acked int
+		for _, ctrl := range r.Net.Controllers() {
+			issued += ctrl.SwitchesIssued
+			acked += ctrl.SwitchesAcked
+		}
+		fmt.Printf("\nswitches: %d issued, %d completed", issued, acked)
+		if len(r.Net.FederationNodes()) > 0 {
+			fmt.Printf("; lost clients: %d", len(r.Net.LostClients()))
+		}
+		fmt.Println()
+	}
+	if metrics.on {
+		if snap := r.Net.MetricsSnapshot(); snap != nil {
+			fmt.Println()
+			if err := snap.Write(os.Stdout, metrics.format); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

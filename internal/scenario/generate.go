@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"fmt"
+
+	"wgtt/internal/sim"
+)
+
+// SizeClass scales generated scenarios.
+type SizeClass int
+
+// Size classes.
+const (
+	// SizeSmall is a two-segment corridor with one route — the property
+	// tests' bread and butter.
+	SizeSmall SizeClass = iota
+	// SizeMedium adds a third segment, a second route, and stop churn.
+	SizeMedium
+	// SizeLarge is the widest shape: up to four segments, ring trunks,
+	// U-turns, and mixed speed regimes.
+	SizeLarge
+)
+
+// String implements fmt.Stringer.
+func (s SizeClass) String() string {
+	switch s {
+	case SizeSmall:
+		return "small"
+	case SizeMedium:
+		return "medium"
+	case SizeLarge:
+		return "large"
+	}
+	return "SizeClass(?)"
+}
+
+// ParseSizeClass parses a size-class name.
+func ParseSizeClass(name string) (SizeClass, error) {
+	switch name {
+	case "small", "":
+		return SizeSmall, nil
+	case "medium":
+		return SizeMedium, nil
+	case "large":
+		return SizeLarge, nil
+	}
+	return 0, fmt.Errorf("unknown size class %q (want small | medium | large)", name)
+}
+
+// Generate builds a seeded random transit scenario that always
+// validates: a multi-segment federated road, routes across the speed
+// regimes (walking pace through trackside), optional stops with
+// boarding/alighting riders, optional U-turn runs, and a short explicit
+// horizon so property tests stay fast. The same (seed, size) always
+// yields the identical scenario — the generator draws from the
+// simulator's deterministic RNG and never touches a clock.
+func Generate(seed int64, size SizeClass) *Scenario {
+	rng := sim.NewRNG(seed).Fork("scenario-gen")
+	s := &Scenario{
+		Name:       fmt.Sprintf("gen-%s-%d", size, seed),
+		Seed:       seed,
+		Federation: true,
+	}
+
+	// Road: segment count by size class, small AP counts so a horizon of
+	// a couple of virtual seconds still crosses coverage boundaries.
+	numSegs := 2
+	switch size {
+	case SizeMedium:
+		numSegs = 2 + rng.Intn(2)
+	case SizeLarge:
+		numSegs = 3 + rng.Intn(2)
+	}
+	for i := 0; i < numSegs; i++ {
+		s.Road.Segments = append(s.Road.Segments, Segment{APs: 2 + rng.Intn(3)})
+	}
+	if numSegs >= 3 && rng.Intn(2) == 0 {
+		s.RingTrunk = true
+	}
+	lo, hi := s.roadSpan()
+
+	// A mid-road intersection with a U-turn bay, sometimes.
+	uturn := 0.0
+	if size != SizeSmall && rng.Intn(2) == 0 {
+		uturn = lo + (0.4+0.3*rng.Float64())*(hi-lo)
+		s.Road.Intersections = append(s.Road.Intersections, uturn)
+		s.Road.UTurns = append(s.Road.UTurns, uturn)
+	}
+
+	// Routes: one per size step, each in a random speed regime.
+	numRoutes := 1
+	if size == SizeMedium {
+		numRoutes = 1 + rng.Intn(2)
+	} else if size == SizeLarge {
+		numRoutes = 2
+	}
+	for i := 0; i < numRoutes; i++ {
+		r := Route{Name: fmt.Sprintf("line-%d", i+1), Lane: -3 * float64(i)}
+		switch rng.Intn(3) {
+		case 0: // walking pace
+			r.Mps = 1 + rng.Float64()
+		case 1: // city bus
+			r.MPH = 20 + float64(rng.Intn(16))
+		default: // trackside
+			r.Mps = 30 + float64(rng.Intn(16))
+		}
+		switch {
+		case i == 0 && rng.Intn(2) == 0:
+			// Stop-bearing line with a short dwell.
+			r.Stops = 2 + rng.Intn(2)
+			r.Dwell = Dur(sim.Duration(100+rng.Intn(200)) * sim.Millisecond)
+		case uturn != 0 && rng.Intn(2) == 0:
+			u := uturn
+			r.UTurnAt = &u
+		case rng.Intn(4) == 0:
+			r.Reverse = true
+		}
+		if rng.Intn(3) == 0 {
+			r.Headway = Dur(sim.Duration(500+rng.Intn(500)) * sim.Millisecond)
+			r.Runs = 1 + rng.Intn(2)
+		}
+		s.Routes = append(s.Routes, r)
+	}
+
+	// Populations: a few clients spread over the routes; riders with
+	// boarding/alighting churn when the route has stops.
+	maxClients := 2
+	if size == SizeMedium {
+		maxClients = 3
+	} else if size == SizeLarge {
+		maxClients = 4
+	}
+	total := 1 + rng.Intn(maxClients)
+	for total > 0 {
+		ri := rng.Intn(len(s.Routes))
+		r := &s.Routes[ri]
+		count := 1 + rng.Intn(total)
+		total -= count
+		p := Population{Route: r.Name, Count: count}
+		if n := r.departureCount(); n > 1 {
+			p.Departure = rng.Intn(n)
+		}
+		if r.stopCount() >= 2 && rng.Intn(2) == 0 {
+			b, a := 0, r.stopCount()-1
+			p.Board = &b
+			p.Alight = &a
+		}
+		switch rng.Intn(4) {
+		case 0:
+			p.Workload = WorkloadTCP
+		case 1:
+			p.Workload = WorkloadNone
+		default:
+			p.RateMbps = 10 + float64(rng.Intn(21))
+		}
+		s.Clients = append(s.Clients, p)
+	}
+
+	// A short explicit horizon keeps 10-seed × 2-mode parity sweeps fast
+	// regardless of how slow a walking-pace run would be to complete.
+	s.Horizon = Dur(sim.Duration(1500+rng.Intn(1000)) * sim.Millisecond)
+
+	if err := s.Validate(); err != nil {
+		// A generated scenario that fails validation is a generator bug,
+		// not a caller error.
+		panic(fmt.Sprintf("scenario: Generate(%d, %s) produced an invalid scenario: %v", seed, size, err))
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Parse reads a scenario from YAML or JSON bytes. A document whose
+// first significant byte is '{' parses as JSON; everything else goes
+// through the YAML-subset reader. Both paths bind the Scenario struct
+// strictly: unknown fields are errors, so a typoed key can never
+// silently no-op. Parse does not validate — call Validate (Compile
+// does) to check semantic invariants.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if looksLikeJSON(data) {
+		if err := strictUnmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return &s, nil
+	}
+	v, err := yamlToAny(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if _, ok := v.(map[string]any); !ok {
+		return nil, fmt.Errorf("scenario: top level must be a mapping, not %T", v)
+	}
+	// Re-encode the generic tree as JSON so YAML and JSON share one
+	// strict struct-binding path (and one set of error messages).
+	enc, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := strictUnmarshal(enc, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// ParseFile reads a scenario file; .json forces JSON, anything else
+// sniffs.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".json") && !looksLikeJSON(data) {
+		return nil, fmt.Errorf("scenario: %s: not a JSON document", path)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// looksLikeJSON reports whether the document's first significant byte
+// opens a JSON object.
+func looksLikeJSON(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+// strictUnmarshal binds JSON with unknown fields rejected.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second document after the first is garbage, not padding.
+	if dec.More() {
+		return fmt.Errorf("trailing data after scenario document")
+	}
+	return nil
+}

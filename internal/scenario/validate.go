@@ -1,0 +1,301 @@
+package scenario
+
+import (
+	"fmt"
+
+	"wgtt/internal/channel"
+	"wgtt/internal/core"
+	"wgtt/internal/sim"
+)
+
+// Validate rejects scenarios the compiler cannot faithfully express:
+// dangling route→stop references, overlapping timetables, zero-length
+// segments, out-of-range speeds, undeclared U-turn points, and every
+// combination the downstream core.Config would refuse. A scenario that
+// passes Validate always compiles, and its compiled Config always
+// passes core's Config.Validate — the invariant FuzzScenario holds the
+// pair to.
+func (s *Scenario) Validate() error {
+	scheme, err := s.scheme()
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if !channel.Known(s.Channel) {
+		return fmt.Errorf("scenario: unknown channel backend %q (have %v)", s.Channel, channel.Names())
+	}
+	if s.Channel != "" && s.Channel != channel.DefaultBackend && scheme != core.WGTT {
+		return fmt.Errorf("scenario: channel backend %q requires the wgtt scheme", s.Channel)
+	}
+	if err := s.validateRoad(); err != nil {
+		return err
+	}
+	lo, hi := s.roadSpan()
+	for _, u := range s.Road.UTurns {
+		if u < lo || u > hi {
+			return fmt.Errorf("scenario: u-turn at x=%g lies outside the road span [%g, %g]", u, lo, hi)
+		}
+	}
+	for _, x := range s.Road.Intersections {
+		if x < lo || x > hi {
+			return fmt.Errorf("scenario: intersection at x=%g lies outside the road span [%g, %g]", x, lo, hi)
+		}
+	}
+	if s.Horizon < 0 {
+		return fmt.Errorf("scenario: negative horizon %v", s.Horizon.D())
+	}
+	numSegs := len(s.Road.Segments)
+	if (s.Federation || s.RingTrunk) && numSegs < 2 {
+		return fmt.Errorf("scenario: federation needs at least 2 road segments, got %d", numSegs)
+	}
+	if s.RingTrunk && numSegs < 3 {
+		return fmt.Errorf("scenario: a ring trunk needs at least 3 road segments, got %d", numSegs)
+	}
+	if (s.Federation || s.RingTrunk) && scheme != core.WGTT {
+		return fmt.Errorf("scenario: federation requires the wgtt scheme")
+	}
+	if len(s.Routes) == 0 {
+		return fmt.Errorf("scenario: no routes (a transit network needs at least one)")
+	}
+	names := make(map[string]bool, len(s.Routes))
+	for i := range s.Routes {
+		r := &s.Routes[i]
+		if err := s.validateRoute(i, r, lo, hi); err != nil {
+			return err
+		}
+		if names[r.Name] {
+			return fmt.Errorf("scenario: duplicate route name %q", r.Name)
+		}
+		names[r.Name] = true
+	}
+	for i := range s.Clients {
+		if err := s.validatePopulation(i, &s.Clients[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateRoad checks the segment chain geometry.
+func (s *Scenario) validateRoad() error {
+	if len(s.Road.Segments) == 0 {
+		return fmt.Errorf("scenario: road has no segments")
+	}
+	if s.Road.Spacing < 0 || s.Road.Setback < 0 {
+		return fmt.Errorf("scenario: negative road spacing/setback")
+	}
+	for i, seg := range s.Road.Segments {
+		if seg.APs <= 0 {
+			return fmt.Errorf("scenario: road segment %d has no APs (zero-length segment)", i)
+		}
+		if seg.Spacing < 0 || seg.Setback < 0 || seg.Gap < 0 {
+			return fmt.Errorf("scenario: road segment %d has negative spacing/setback/gap", i)
+		}
+	}
+	return nil
+}
+
+// validateRoute checks one route's speed profile, stops, U-turn, and
+// timetable.
+func (s *Scenario) validateRoute(i int, r *Route, lo, hi float64) error {
+	if r.Name == "" {
+		return fmt.Errorf("scenario: route %d has no name", i)
+	}
+	if r.MPH != 0 && r.Mps != 0 {
+		return fmt.Errorf("scenario: route %q sets both mph and mps", r.Name)
+	}
+	if r.MPH < 0 || r.Mps < 0 {
+		return fmt.Errorf("scenario: route %q has a negative speed", r.Name)
+	}
+	if v := r.speedMps(); v <= 0 || v > MaxSpeedMps {
+		return fmt.Errorf("scenario: route %q speed %g m/s out of range (0, %g] m/s",
+			r.Name, v, MaxSpeedMps)
+	}
+	if r.LeadIn < 0 {
+		return fmt.Errorf("scenario: route %q has a negative lead-in", r.Name)
+	}
+	if r.Stops < 0 {
+		return fmt.Errorf("scenario: route %q has a negative stop count", r.Name)
+	}
+	if r.Stops > 0 && len(r.StopsAt) > 0 {
+		return fmt.Errorf("scenario: route %q sets both stops and stops-at", r.Name)
+	}
+	if r.Dwell < 0 {
+		return fmt.Errorf("scenario: route %q has a negative dwell", r.Name)
+	}
+	startX := lo - r.leadIn()
+	for j, x := range r.StopsAt {
+		if x < lo || x > hi {
+			return fmt.Errorf("scenario: route %q stop %d at x=%g lies outside the road span [%g, %g]",
+				r.Name, j, x, lo, hi)
+		}
+		if x <= startX {
+			return fmt.Errorf("scenario: route %q stop %d at x=%g is not ahead of the route start x=%g",
+				r.Name, j, x, startX)
+		}
+		if j > 0 && x <= r.StopsAt[j-1] {
+			return fmt.Errorf("scenario: route %q stops-at must be strictly increasing (stop %d at x=%g)",
+				r.Name, j, x)
+		}
+	}
+	nStops := r.stopCount()
+	if r.Reverse && (nStops > 0 || r.UTurnAt != nil) {
+		return fmt.Errorf("scenario: route %q is reverse and cannot also have stops or a u-turn", r.Name)
+	}
+	if r.UTurnAt != nil {
+		if nStops > 0 {
+			return fmt.Errorf("scenario: route %q u-turns and cannot also have stops", r.Name)
+		}
+		u := *r.UTurnAt
+		declared := false
+		for _, x := range s.Road.UTurns {
+			if x == u {
+				declared = true
+				break
+			}
+		}
+		if !declared {
+			return fmt.Errorf("scenario: route %q u-turns at x=%g but the road declares no u-turn point there",
+				r.Name, u)
+		}
+		if u <= startX {
+			return fmt.Errorf("scenario: route %q u-turn at x=%g is not ahead of the route start x=%g",
+				r.Name, u, startX)
+		}
+	}
+	if len(r.Departures) > 0 && (r.Headway != 0 || r.Runs != 0) {
+		return fmt.Errorf("scenario: route %q sets both departures and headway/runs", r.Name)
+	}
+	if r.Headway < 0 {
+		return fmt.Errorf("scenario: route %q has a negative headway", r.Name)
+	}
+	if r.Headway > 0 && r.Runs < 1 {
+		return fmt.Errorf("scenario: route %q has a headway but no runs", r.Name)
+	}
+	if r.Headway == 0 && r.Runs > 0 {
+		return fmt.Errorf("scenario: route %q has runs but no headway", r.Name)
+	}
+	for j, d := range r.Departures {
+		if d < 0 {
+			return fmt.Errorf("scenario: route %q departure %d is negative", r.Name, j)
+		}
+		if j > 0 && d <= r.Departures[j-1] {
+			return fmt.Errorf("scenario: route %q timetable overlaps: departure %d (%v) does not follow departure %d (%v)",
+				r.Name, j, d.D(), j-1, r.Departures[j-1].D())
+		}
+	}
+	return nil
+}
+
+// validatePopulation checks one client group's route/stop references
+// and workload.
+func (s *Scenario) validatePopulation(i int, p *Population) error {
+	r := s.route(p.Route)
+	if r == nil {
+		return fmt.Errorf("scenario: client group %d references unknown route %q", i, p.Route)
+	}
+	nDeps := r.departureCount()
+	if p.Departure < 0 || p.Departure >= nDeps {
+		return fmt.Errorf("scenario: client group %d departure %d out of range: route %q has %d",
+			i, p.Departure, r.Name, nDeps)
+	}
+	if p.Count < 0 {
+		return fmt.Errorf("scenario: client group %d has a negative count", i)
+	}
+	if p.Gap < 0 {
+		return fmt.Errorf("scenario: client group %d has a negative gap", i)
+	}
+	nStops := r.stopCount()
+	if p.Board != nil && (*p.Board < 0 || *p.Board >= nStops) {
+		return fmt.Errorf("scenario: client group %d boards at stop %d but route %q has %d stops",
+			i, *p.Board, r.Name, nStops)
+	}
+	if p.Alight != nil && (*p.Alight < 0 || *p.Alight >= nStops) {
+		return fmt.Errorf("scenario: client group %d alights at stop %d but route %q has %d stops",
+			i, *p.Alight, r.Name, nStops)
+	}
+	if p.Board != nil && p.Alight != nil && *p.Alight <= *p.Board {
+		return fmt.Errorf("scenario: client group %d alights at stop %d before boarding at stop %d",
+			i, *p.Alight, *p.Board)
+	}
+	if (p.Board != nil || p.Alight != nil) && r.UTurnAt != nil {
+		return fmt.Errorf("scenario: client group %d boards a u-turn route %q (u-turn routes have no stops)",
+			i, r.Name)
+	}
+	switch p.Workload {
+	case "", WorkloadUDP, WorkloadTCP, WorkloadNone:
+	default:
+		return fmt.Errorf("scenario: client group %d has unknown workload %q (want udp | tcp | none)",
+			i, p.Workload)
+	}
+	if p.RateMbps < 0 {
+		return fmt.Errorf("scenario: client group %d has a negative rate", i)
+	}
+	if p.Start < 0 {
+		return fmt.Errorf("scenario: client group %d has a negative workload start", i)
+	}
+	return nil
+}
+
+// scheme resolves the scenario's roaming scheme (default wgtt).
+func (s *Scenario) scheme() (core.Scheme, error) {
+	if s.Scheme == "" {
+		return core.WGTT, nil
+	}
+	return core.ParseScheme(s.Scheme)
+}
+
+// route finds a route by name (nil when absent).
+func (s *Scenario) route(name string) *Route {
+	for i := range s.Routes {
+		if s.Routes[i].Name == name {
+			return &s.Routes[i]
+		}
+	}
+	return nil
+}
+
+// leadIn resolves the route's entry/exit margin.
+func (r *Route) leadIn() float64 {
+	if r.LeadIn != 0 {
+		return r.LeadIn
+	}
+	return DefaultLeadIn
+}
+
+// stopCount is the route's resolved stop count.
+func (r *Route) stopCount() int {
+	if len(r.StopsAt) > 0 {
+		return len(r.StopsAt)
+	}
+	return r.Stops
+}
+
+// departureCount is the route's resolved timetable length.
+func (r *Route) departureCount() int {
+	if len(r.Departures) > 0 {
+		return len(r.Departures)
+	}
+	if r.Headway > 0 {
+		return r.Runs
+	}
+	return 1
+}
+
+// departures materializes the route's timetable.
+func (r *Route) departures() []sim.Duration {
+	if len(r.Departures) > 0 {
+		out := make([]sim.Duration, len(r.Departures))
+		for i, d := range r.Departures {
+			out[i] = d.D()
+		}
+		return out
+	}
+	if r.Headway > 0 {
+		out := make([]sim.Duration, r.Runs)
+		for i := range out {
+			out[i] = sim.Duration(i) * r.Headway.D()
+		}
+		return out
+	}
+	return []sim.Duration{0}
+}

@@ -1,0 +1,298 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is a small, dependency-free YAML reader covering the subset
+// scenario files use: block mappings and sequences nested by
+// indentation, flow sequences of scalars ([1, 2.5]), quoted and bare
+// scalars, and # comments. It parses to generic Go values
+// (map[string]any / []any / scalars); parse.go then round-trips those
+// through encoding/json to bind the Scenario struct strictly, so YAML
+// and JSON files share one binding path and one set of unknown-field
+// errors. Anchors, aliases, tags, multi-document streams, flow
+// mappings, and block scalars are out of scope and rejected with a
+// line-numbered error — never a panic (FuzzScenario holds the parser
+// to that).
+
+// yline is one significant input line.
+type yline struct {
+	n      int // 1-based source line
+	indent int
+	text   string
+}
+
+// yamlToAny parses the YAML subset into generic values.
+func yamlToAny(data []byte) (any, error) {
+	lines, err := ylex(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yparser{lines: lines}
+	v, err := p.block(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.i < len(p.lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected indentation", p.lines[p.i].n)
+	}
+	return v, nil
+}
+
+// ylex splits the input into significant lines: comments stripped
+// (outside quotes), blanks dropped, tab indentation rejected.
+func ylex(data []byte) ([]yline, error) {
+	var out []yline
+	for n, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("yaml line %d: tab indentation is not allowed", n+1)
+		}
+		text := stripComment(line[indent:])
+		text = strings.TrimRight(text, " ")
+		if text == "" {
+			continue
+		}
+		if text == "---" && indent == 0 {
+			if len(out) > 0 {
+				return nil, fmt.Errorf("yaml line %d: multi-document streams are not supported", n+1)
+			}
+			continue
+		}
+		out = append(out, yline{n: n + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing # comment, honoring quoted strings.
+func stripComment(s string) string {
+	if strings.HasPrefix(s, "#") {
+		return ""
+	}
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && i > 0 && (s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+type yparser struct {
+	lines []yline
+	i     int
+}
+
+// block parses the node whose first line sits at the given indent.
+func (p *yparser) block(indent int) (any, error) {
+	ln := p.lines[p.i]
+	if isSeqItem(ln.text) {
+		return p.sequence(indent)
+	}
+	return p.mapping(indent)
+}
+
+func isSeqItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// sequence parses consecutive "- item" lines at one indent.
+func (p *yparser) sequence(indent int) (any, error) {
+	out := []any{}
+	for p.i < len(p.lines) {
+		ln := p.lines[p.i]
+		if ln.indent != indent || !isSeqItem(ln.text) {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("yaml line %d: unexpected indentation", ln.n)
+			}
+			break
+		}
+		rest := strings.TrimLeft(strings.TrimPrefix(ln.text, "-"), " ")
+		switch {
+		case rest == "":
+			// "-" alone: the item is the nested block below.
+			p.i++
+			if p.i < len(p.lines) && p.lines[p.i].indent > indent {
+				v, err := p.block(p.lines[p.i].indent)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			} else {
+				out = append(out, nil)
+			}
+		case isSeqItem(rest):
+			return nil, fmt.Errorf("yaml line %d: nested inline sequences are not supported", ln.n)
+		case isMapEntry(rest):
+			// "- key: …": the dash opens a mapping whose keys align at
+			// the key's column.
+			p.lines[p.i] = yline{n: ln.n, indent: ln.indent + (len(ln.text) - len(rest)), text: rest}
+			v, err := p.mapping(p.lines[p.i].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			v, err := flowOrScalar(rest, ln.n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			p.i++
+		}
+	}
+	return out, nil
+}
+
+// mapping parses consecutive "key: value" lines at one indent.
+func (p *yparser) mapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.i < len(p.lines) {
+		ln := p.lines[p.i]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("yaml line %d: unexpected indentation", ln.n)
+			}
+			break
+		}
+		if isSeqItem(ln.text) {
+			return nil, fmt.Errorf("yaml line %d: sequence item inside a mapping", ln.n)
+		}
+		key, rest, err := splitMapEntry(ln.text, ln.n)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", ln.n, key)
+		}
+		if rest == "" {
+			p.i++
+			if p.i < len(p.lines) && p.lines[p.i].indent > indent {
+				v, err := p.block(p.lines[p.i].indent)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = v
+			} else {
+				m[key] = nil
+			}
+			continue
+		}
+		v, err := flowOrScalar(rest, ln.n)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+		p.i++
+	}
+	return m, nil
+}
+
+// isMapEntry reports whether text starts a "key: …" entry.
+func isMapEntry(text string) bool {
+	k, _, err := splitMapEntry(text, 0)
+	return err == nil && k != ""
+}
+
+// splitMapEntry cuts "key: value" at the first unquoted colon followed
+// by a space or end of line.
+func splitMapEntry(text string, n int) (key, rest string, err error) {
+	for i := 0; i < len(text); i++ {
+		if text[i] == '"' || text[i] == '\'' {
+			return "", "", fmt.Errorf("yaml line %d: quoted keys are not supported", n)
+		}
+		if text[i] == ':' && (i+1 == len(text) || text[i+1] == ' ') {
+			key = strings.TrimSpace(text[:i])
+			rest = strings.TrimSpace(text[i+1:])
+			if key == "" {
+				return "", "", fmt.Errorf("yaml line %d: empty mapping key", n)
+			}
+			return key, rest, nil
+		}
+	}
+	return "", "", fmt.Errorf("yaml line %d: expected \"key: value\", got %q", n, text)
+}
+
+// flowOrScalar parses an inline value: a [a, b, c] flow sequence of
+// scalars, or a single scalar.
+func flowOrScalar(s string, n int) (any, error) {
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("yaml line %d: flow mappings are not supported", n)
+	}
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow sequence", n)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		out := []any{}
+		if inner == "" {
+			return out, nil
+		}
+		for _, part := range strings.Split(inner, ",") {
+			part = strings.TrimSpace(part)
+			if strings.ContainsAny(part, "[]{}") {
+				return nil, fmt.Errorf("yaml line %d: nested flow collections are not supported", n)
+			}
+			v, err := scalar(part, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	return scalar(s, n)
+}
+
+// scalar parses one scalar token: quoted string, null, bool, int,
+// float, or bare string.
+func scalar(s string, n int) (any, error) {
+	if len(s) >= 2 && s[0] == '"' {
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml line %d: bad quoted string %s", n, s)
+		}
+		return u, nil
+	}
+	if len(s) >= 2 && s[0] == '\'' {
+		if s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("yaml line %d: unterminated string %s", n, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

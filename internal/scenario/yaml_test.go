@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLSubset(t *testing.T) {
+	in := `
+# a comment
+name: corridor  # trailing comment
+seed: 7
+ratio: 2.5
+flag: true
+nothing: null
+quoted: "a # not-comment"
+single: 'it''s'
+list: [1, 2.5, x]
+road:
+  segments:
+    - aps: 4
+      spacing: 7.5
+    - aps: 2
+  uturns: []
+words:
+  - alpha
+  - "beta gamma"
+`
+	got, err := yamlToAny([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":    "corridor",
+		"seed":    int64(7),
+		"ratio":   2.5,
+		"flag":    true,
+		"nothing": nil,
+		"quoted":  "a # not-comment",
+		"single":  "it's",
+		"list":    []any{int64(1), 2.5, "x"},
+		"road": map[string]any{
+			"segments": []any{
+				map[string]any{"aps": int64(4), "spacing": 7.5},
+				map[string]any{"aps": int64(2)},
+			},
+			"uturns": []any{},
+		},
+		"words": []any{"alpha", "beta gamma"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsed tree mismatch\n got: %#v\nwant: %#v", got, want)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tab indentation"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"flow mapping", "a: {b: 1}", "flow mappings are not supported"},
+		{"multi doc", "---\na: 1\n---\nb: 2", "multi-document"},
+		{"unterminated flow", "a: [1, 2", "unterminated flow sequence"},
+		{"nested flow", "a: [[1], 2]", "nested flow collections"},
+		{"bad quoted", `a: "oops`, "bad quoted string"},
+		{"bare text", "just words, no colon", "expected \"key: value\""},
+		{"seq in map", "a: 1\n- b", "sequence item inside a mapping"},
+		{"quoted key", `"a": 1`, "quoted keys are not supported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := yamlToAny([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("parsed %q without error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestYAMLEmptyDocument(t *testing.T) {
+	for _, in := range []string{"", "# only comments\n", "---\n"} {
+		v, err := yamlToAny([]byte(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if m, ok := v.(map[string]any); !ok || len(m) != 0 {
+			t.Errorf("%q parsed to %#v, want empty mapping", in, v)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package wgtt
+
+import (
+	"wgtt/internal/scenario"
+	"wgtt/internal/stats"
+)
+
+// This file is the root-package bridge to internal/scenario: load or
+// generate a declarative scenario, compile it, and build the compiled
+// plan into a runnable ServeRun through the exact same client/workload
+// construction path the hand-built experiments use — which is what
+// keeps a scenario-compiled corridor on the corridor golden pins.
+
+// ScenarioSpec is a declarative scenario (internal/scenario.Scenario).
+type ScenarioSpec = scenario.Scenario
+
+// CompiledScenario is a compiled scenario (internal/scenario.Compiled).
+type CompiledScenario = scenario.Compiled
+
+// LoadScenario parses a scenario file (YAML or JSON).
+func LoadScenario(path string) (*ScenarioSpec, error) {
+	return scenario.ParseFile(path)
+}
+
+// ParseScenario parses scenario bytes (YAML or JSON).
+func ParseScenario(data []byte) (*ScenarioSpec, error) {
+	return scenario.Parse(data)
+}
+
+// GenerateScenario builds a seeded random scenario; size is
+// small | medium | large ("" = small).
+func GenerateScenario(seed int64, size string) (*ScenarioSpec, error) {
+	sc, err := scenario.ParseSizeClass(size)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Generate(seed, sc), nil
+}
+
+// CompileScenario validates and lowers a scenario. seed 0 defers to the
+// scenario's own seed; non-zero overrides it.
+func CompileScenario(s *ScenarioSpec, seed int64) (*CompiledScenario, error) {
+	return scenario.Compile(s, seed)
+}
+
+// BuildScenarioRun constructs the compiled scenario's network and
+// workload. opt.Seed, when non-zero, overrides the compiled seed;
+// opt.Mutate layers execution-mode knobs (domain mode, telemetry,
+// channel overrides) on the compiled config before the network builds.
+func BuildScenarioRun(c *CompiledScenario, opt Options) *ServeRun {
+	cfg := c.Config
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	if opt.Mutate != nil {
+		opt.Mutate(&cfg)
+	}
+	n := NewNetwork(cfg)
+	r := &ServeRun{Net: n, Cfg: cfg, Dur: c.Horizon, APsPerSegment: c.APsPerSegment, SpeedMPH: c.SpeedMPH}
+	for i := range c.Clients {
+		p := &c.Clients[i]
+		cl := n.AddClient(p.Traj)
+		var meter *throughput
+		switch p.Workload {
+		case scenario.WorkloadTCP:
+			f := NewTCPDownlink(n, cl, 0)
+			n.Loop.After(p.Start, f.Start)
+			meter = f.Meter
+		case scenario.WorkloadNone:
+			// No traffic: an idle meter keeps Figures indexed by client.
+			meter = stats.NewThroughput(100 * Millisecond)
+		default:
+			f := NewUDPDownlink(n, cl, p.RateMbps)
+			n.Loop.After(p.Start, f.Start)
+			meter = f.Meter
+		}
+		r.meters = append(r.meters, meter)
+		r.clients = append(r.clients, cl)
+	}
+	return r
+}
+
+// LoadScenarioRun loads, compiles, and builds a scenario file in one
+// step.
+func LoadScenarioRun(path string, opt Options) (*ServeRun, error) {
+	s, err := LoadScenario(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := CompileScenario(s, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Compile already resolved the seed; don't apply it twice.
+	opt.Seed = 0
+	return BuildScenarioRun(c, opt), nil
+}

@@ -50,10 +50,38 @@ go test -race -run 'TestFlightRecorderOffOnParity|TestMultiProcessStitchedTimeli
 # the full suite below).
 go test -race -run 'TestCorridorMMWave/seed1|TestBoundaryInterferenceParity/seed1' .
 
+# Scenario gate, part 1: the declarative scenario layer (parse →
+# validate → compile → generate) under the race detector, plus the
+# compiled-scenario integration tests (corridor golden parity,
+# generated serial==parallel sweeps) which drive the parallel-domain
+# executor.
+go test -race ./internal/scenario/
+go test -race -run 'TestScenario|TestGeneratedScenarioParity|TestServeScenarioFile' .
+
+# Scenario gate, part 2: replay the checked-in fuzz corpus (every
+# example scenario plus the structural edge cases) without -fuzz — a
+# cheap smoke that no corpus input panics the parse/validate/compile
+# front end.
+go test -run 'FuzzScenario' ./internal/scenario/
+
 # Loop owner-guard diagnostics only compile under the simcheck tag.
 go test -tags simcheck ./internal/sim/
 
 go test ./...
+
+# Scenario digest-determinism gate: compiling the same scenario twice —
+# a generated network and the corridor example — must print the same
+# content digest both times. Nondeterminism here would silently break
+# the golden pins and the parity sweeps above.
+for spec in '-gen-scenario 7:small' '-scenario examples/scenarios/corridor.yaml'; do
+    d1=$(go run ./cmd/wgtt-sim $spec -scenario-digest)
+    d2=$(go run ./cmd/wgtt-sim $spec -scenario-digest)
+    if [ "$d1" != "$d2" ]; then
+        echo "scenario digest gate: nondeterministic compile for $spec: $d1 vs $d2"
+        exit 1
+    fi
+    echo "scenario digest gate: $spec -> $d1"
+done
 
 # Distributed-runtime gate: the corridor sharded across two wgtt-serve
 # processes over unix sockets must merge — figures and telemetry — to

@@ -2,6 +2,7 @@ package wgtt
 
 import (
 	"fmt"
+	"strings"
 
 	"wgtt/internal/core"
 	"wgtt/internal/trace"
@@ -106,7 +107,16 @@ func StitchTrace(shards ...[]TraceRecord) []TraceRecord { return trace.Stitch(sh
 func TraceHandoffs(recs []TraceRecord) []trace.Handoff { return trace.Handoffs(recs) }
 
 // ServeScenarios lists the scenario names BuildServeScenario accepts.
+// A name with a path separator or an extension is instead treated as a
+// declarative scenario file (see ScenarioIsFile).
 func ServeScenarios() []string { return []string{"corridor", "shuttle"} }
+
+// ScenarioIsFile reports whether a -scenario argument names a
+// declarative scenario file rather than a built-in scenario: built-in
+// names are bare words, files carry a path separator or an extension.
+func ScenarioIsFile(name string) bool {
+	return strings.Contains(name, "/") || strings.Contains(name, ".")
+}
 
 // BuildServeScenario constructs a named scenario for wgtt-serve.
 //
@@ -122,9 +132,29 @@ func ServeScenarios() []string { return []string{"corridor", "shuttle"} }
 //     between processes — the demo topology for one daemon per street
 //     block.
 //
+// A name for which ScenarioIsFile holds loads a declarative scenario
+// file (internal/scenario) instead and compiles it onto the same
+// serving shape: telemetry on, DomainsSerial within the process. The
+// file's own seed applies unless opt.Seed overrides it.
+//
 // Both scenarios run the domain-mode network serially within each
 // process (DomainsSerial); parallelism comes from the partition.
 func BuildServeScenario(name string, opt Options) (*ServeRun, error) {
+	if ScenarioIsFile(name) {
+		inner := opt.Mutate
+		opt.Mutate = func(c *Config) {
+			c.Telemetry = true
+			// Domain mode needs a multi-segment deployment; a
+			// single-segment scenario serves on the classic loop.
+			if len(c.Segments) >= 2 {
+				c.Domains = core.DomainsSerial
+			}
+			if inner != nil {
+				inner(c)
+			}
+		}
+		return LoadScenarioRun(name, opt)
+	}
 	switch name {
 	case "corridor":
 		inner := opt.Mutate
